@@ -1,0 +1,43 @@
+//! Junction-tree construction and calibration benchmarks per dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peanut_junction::{build_junction_tree, NumericState, RootedTree};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("junction_tree_build");
+    for name in ["Child", "Hailfinder", "Andes", "Munin"] {
+        let bn = peanut_datasets::dataset(name)
+            .expect("dataset")
+            .build()
+            .expect("network");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &bn, |b, bn| {
+            b.iter(|| black_box(build_junction_tree(bn).expect("tree")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10);
+    for name in ["Child", "Hailfinder"] {
+        let bn = peanut_datasets::dataset(name)
+            .expect("dataset")
+            .build()
+            .expect("network");
+        let tree = build_junction_tree(&bn).expect("tree");
+        let rooted = RootedTree::new(&tree);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let mut ns = NumericState::initialize(&tree, &bn).expect("init");
+                ns.calibrate(&tree, &rooted).expect("calibrate");
+                black_box(ns)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Offline DP benchmarks: LRDP + BUDP against the approximation level ε,
+//! and the serial-vs-parallel root fan-out ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peanut_bench::harness::Prepared;
+use peanut_core::lrdp::lrdp_all;
+use peanut_core::{budp::budp, BudgetGrid, OfflineContext, Workload};
+use std::hint::black_box;
+
+fn bench_epsilon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offline_dp_epsilon");
+    g.sample_size(10);
+    let p = Prepared::by_name("Hailfinder");
+    let train = p.skewed(300, 11);
+    let w = Workload::from_queries(train);
+    let ctx = OfflineContext::new(&p.tree, &w).expect("context");
+    let budget = p.b_t() * 100;
+    for eps in [1.2, 6.0, 12.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let grid = BudgetGrid::geometric(budget, eps);
+                let roots = lrdp_all(&ctx, &grid, 1);
+                black_box(budp(&ctx, &grid, &roots))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lrdp_fanout");
+    g.sample_size(10);
+    let p = Prepared::by_name("Munin");
+    let train = p.skewed(300, 11);
+    let w = Workload::from_queries(train);
+    let ctx = OfflineContext::new(&p.tree, &w).expect("context");
+    let grid = BudgetGrid::geometric(p.b_t() * 100, 1.2);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(lrdp_all(&ctx, &grid, t)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epsilon, bench_fanout);
+criterion_main!(benches);

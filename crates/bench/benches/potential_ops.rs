@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the dense factor algebra — the inner loop of every
+//! message-passing operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peanut_pgm::{Domain, Potential, Scope};
+use std::hint::black_box;
+
+fn domain(n: usize, card: u32) -> Domain {
+    Domain::uniform(n, card).expect("domain")
+}
+
+fn filled(scope: Scope, d: &Domain) -> Potential {
+    let mut p = Potential::zeros(scope, d).expect("fits");
+    for (i, v) in p.values_mut().iter_mut().enumerate() {
+        *v = 1.0 + (i % 7) as f64;
+    }
+    p
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potential_product");
+    for vars in [8usize, 12, 16] {
+        let d = domain(vars + 4, 2);
+        let f = filled(Scope::from_iter((0..vars as u32).map(peanut_pgm::Var)), &d);
+        let h = filled(
+            Scope::from_iter((4..vars as u32 + 4).map(peanut_pgm::Var)),
+            &d,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| black_box(f.product(&h).expect("product")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_marginalize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potential_marginalize");
+    for vars in [10usize, 14, 18] {
+        let d = domain(vars, 2);
+        let f = filled(d.full_scope(), &d);
+        let keep = Scope::from_iter((0..(vars as u32) / 2).map(peanut_pgm::Var));
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| black_box(f.marginalize(&keep).expect("marginal")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_divide(c: &mut Criterion) {
+    let d = domain(14, 2);
+    let f = filled(d.full_scope(), &d);
+    let sep = filled(Scope::from_iter((0..7).map(peanut_pgm::Var)), &d);
+    c.bench_function("potential_divide_14vars", |b| {
+        b.iter(|| black_box(f.divide(&sep).expect("divide")))
+    });
+}
+
+criterion_group!(benches, bench_product, bench_marginalize, bench_divide);
+criterion_main!(benches);

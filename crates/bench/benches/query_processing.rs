@@ -1,0 +1,59 @@
+//! Online query-processing benchmarks: plain JT vs PEANUT+-reduced message
+//! passing, numeric and symbolic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peanut_bench::harness::{run_offline, Prepared};
+use peanut_core::{OnlineEngine, Variant};
+use peanut_junction::QueryEngine;
+use std::hint::black_box;
+
+fn bench_symbolic_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_cost_symbolic");
+    for name in ["Child", "TPC-H", "Munin"] {
+        let p = Prepared::by_name(name);
+        let train = p.skewed(300, 11);
+        let queries = p.skewed(50, 12);
+        let (mat, _) = run_offline(&p, &train, p.b_t() * 100, 1.2, Variant::PeanutPlus);
+        let engine = QueryEngine::symbolic(&p.tree);
+
+        g.bench_with_input(BenchmarkId::new("plain_jt", name), &(), |b, _| {
+            b.iter(|| {
+                let total: u64 = queries
+                    .iter()
+                    .map(|q| engine.cost(q).expect("cost").ops)
+                    .sum();
+                black_box(total)
+            })
+        });
+        let online = OnlineEngine::new(&engine, &mat);
+        g.bench_with_input(BenchmarkId::new("peanut_plus", name), &(), |b, _| {
+            b.iter(|| {
+                let total: u64 = queries
+                    .iter()
+                    .map(|q| online.cost(q).expect("cost").ops)
+                    .sum();
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_numeric_answer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_answer_numeric");
+    g.sample_size(20);
+    let p = Prepared::by_name("Child");
+    let engine = QueryEngine::numeric(&p.tree, &p.bn).expect("calibration");
+    let queries = p.skewed(20, 13);
+    g.bench_function("child_20_queries", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(engine.answer(q).expect("answer"));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic_cost, bench_numeric_answer);
+criterion_main!(benches);

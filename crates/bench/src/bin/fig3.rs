@@ -1,0 +1,70 @@
+//! Figure 3 — wall-clock running time against the operation-count cost
+//! model, for queries processed with the standard junction-tree algorithm.
+//! Reports the Pearson correlation per dataset (the paper finds ≈ 0.98–0.99
+//! on Andes, Hailfinder and PathFinder).
+//!
+//! Queries whose intermediate tables exceed the dense-materialization cap
+//! are skipped (these are the paper's ">1 minute" outliers); the count is
+//! reported.
+
+use peanut_bench::harness::{is_quick, pearson, Prepared};
+use peanut_junction::QueryEngine;
+use std::time::Instant;
+
+fn main() {
+    let n_queries = if is_quick() { 40 } else { 150 };
+    println!("Figure 3: running time vs operation count (standard JT algorithm)");
+    for name in ["Andes", "Hailfinder", "PathFinder"] {
+        let p = Prepared::by_name(name);
+        let engine = match QueryEngine::numeric(&p.tree, &p.bn) {
+            Ok(e) => e,
+            Err(e) => {
+                println!("{name}: calibration infeasible ({e}); skipped");
+                continue;
+            }
+        };
+        let queries = p.skewed(n_queries, 33);
+        let mut ops_v = Vec::new();
+        let mut time_v = Vec::new();
+        let mut skipped = 0usize;
+        for q in &queries {
+            // best-of-3 wall time per query to suppress scheduler noise on
+            // the sub-millisecond ones
+            let mut best: Option<(f64, u64)> = None;
+            let mut failed = false;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                match engine.answer(q) {
+                    Ok((_, cost)) => {
+                        let dt = t0.elapsed().as_secs_f64();
+                        if best.is_none_or(|(b, _)| dt < b) {
+                            best = Some((dt, cost.ops));
+                        }
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            match (failed, best) {
+                (false, Some((dt, ops))) => {
+                    ops_v.push(ops as f64);
+                    time_v.push(dt);
+                }
+                _ => skipped += 1,
+            }
+        }
+        let r = pearson(&ops_v, &time_v);
+        println!(
+            "{name:<12} queries {:>4}  skipped {skipped:>3}  Pearson correlation: {r:.3}",
+            ops_v.len()
+        );
+        // a few sample rows (ops, seconds), like the scatter in the paper
+        let mut idx: Vec<usize> = (0..ops_v.len()).collect();
+        idx.sort_by(|&a, &b| ops_v[a].partial_cmp(&ops_v[b]).expect("finite"));
+        for &i in idx.iter().step_by((idx.len() / 6).max(1)) {
+            println!("    ops {:>14.0}   time {:>10.6}s", ops_v[i], time_v[i]);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 9 — robustness to workload drift, uniform-trained: average cost
+//! of Q′ = λ·uniform + (1−λ)·skewed for JT, PEANUT and PEANUT+ materialized
+//! on the *uniform* workload (K = 10·b_T, ε = 1.2).
+
+use peanut_bench::harness::{drifted, evaluate, run_offline, Prepared};
+use peanut_core::Variant;
+
+fn main() {
+    println!("Figure 9: robustness to drift, materialization trained on the UNIFORM workload");
+    println!("(avg cost of Q' = lambda*uniform + (1-lambda)*skewed)");
+    let n_pool = 500;
+    let n_test = 500;
+    for p in Prepared::all() {
+        let skew = p.skewed(n_pool, 41);
+        let unif = p.uniform(n_pool, 42);
+        let budget = p.b_t().saturating_mul(10);
+        let (pea, _) = run_offline(&p, &unif, budget, 1.2, Variant::Peanut);
+        let (plus, _) = run_offline(&p, &unif, budget, 1.2, Variant::PeanutPlus);
+        println!("{}:", p.spec.name);
+        println!(
+            "    {:>6} {:>16} {:>16} {:>16}",
+            "lambda", "JT", "PEANUT", "PEANUT+"
+        );
+        for (i, lambda) in [0.0, 0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
+            let test = drifted(&unif, &skew, lambda, n_test, 200 + i as u64);
+            let (with_pea, base) = evaluate(&p, &pea, &test);
+            let (with_plus, _) = evaluate(&p, &plus, &test);
+            println!(
+                "    {:>6.2} {:>16} {:>16} {:>16}",
+                lambda,
+                base / n_test as u128,
+                with_pea / n_test as u128,
+                with_plus / n_test as u128,
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Umbrella runner: executes every table/figure binary of the reproduction
+//! and tees their output into `results/*.txt`.
+//!
+//! Usage: `cargo run --release -p peanut-bench --bin repro [-- --quick]`
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let results = Path::new("results");
+    fs::create_dir_all(results).expect("create results dir");
+    let bins = [
+        "table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "ablation", "pivot_study",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        eprintln!("== running {bin} ==");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        if !out.status.success() {
+            eprintln!(
+                "{bin} FAILED: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let path = results.join(format!("{bin}.txt"));
+        fs::write(&path, &out.stdout).expect("write result");
+        eprintln!("   -> {} ({} bytes)", path.display(), out.stdout.len());
+    }
+    eprintln!("done; see results/*.txt");
+}

@@ -1,0 +1,22 @@
+//! # peanut-bench
+//!
+//! The reproduction harness: one binary per paper table/figure (see
+//! `src/bin/`) plus the shared plumbing in [`harness`]. The `repro` binary
+//! runs everything and writes `results/*.txt`.
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 — Bayesian-network summary statistics |
+//! | `table2` | Table 2 — junction-tree summary statistics |
+//! | `table3` | Table 3 — offline running times (PEANUT / PEANUT+ / INDSEP) |
+//! | `table4` | Table 4 — materialization phase: disk space and time |
+//! | `fig3`   | Figure 3 — running time vs operation count (Pearson r) |
+//! | `fig4`   | Figure 4 — actual vs target budget across ε |
+//! | `fig5`   | Figure 5 — cost-savings distribution vs materialized budget |
+//! | `fig6`   | Figure 6 — savings vs Steiner-tree diameter |
+//! | `fig7`   | Figure 7 — per-method average query cost (uniform workload) |
+//! | `fig8`   | Figure 8 — robustness to drift (skewed-trained) |
+//! | `fig9`   | Figure 9 — robustness to drift (uniform-trained) |
+//! | `fig10`  | Figure 10 — impact of the query-log size |
+
+pub mod harness;

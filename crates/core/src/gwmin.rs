@@ -1,0 +1,97 @@
+//! GWMIN — the greedy maximum-weight-independent-set heuristic of Sakai,
+//! Togasaki and Yamazaki (2003), used by PEANUT+'s online phase to pick a
+//! non-conflicting set of overlapping shortcut potentials (§4.6).
+
+/// Selects an independent set of the conflict graph greedily: repeatedly
+/// take the vertex maximizing `w(v) / (deg(v) + 1)` among the remaining
+/// vertices, then delete it and its neighbors.
+///
+/// `adj[i]` lists the neighbors of vertex `i`; `weights[i] ≥ 0`. Returns the
+/// chosen vertex indices in selection order. GWMIN guarantees a total
+/// weight of at least `Σ_v w(v)/(deg(v)+1)`.
+pub fn gwmin(weights: &[f64], adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = weights.len();
+    debug_assert_eq!(adj.len(), n);
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut chosen = Vec::new();
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let score = weights[v] / (degree[v] + 1) as f64;
+            // ties broken by lower index for determinism
+            if best.is_none_or(|(bs, bv)| score > bs || (score == bs && v < bv)) {
+                best = Some((score, v));
+            }
+        }
+        let Some((_, v)) = best else { break };
+        chosen.push(v);
+        alive[v] = false;
+        for &u in &adj[v] {
+            if alive[u] {
+                alive[u] = false;
+                for &w in &adj[u] {
+                    degree[w] = degree[w].saturating_sub(1);
+                }
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        assert!(gwmin(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_all_chosen() {
+        let w = [1.0, 2.0, 3.0];
+        let adj = vec![vec![], vec![], vec![]];
+        let mut got = gwmin(&w, &adj);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn triangle_picks_heaviest() {
+        let w = [1.0, 5.0, 2.0];
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        assert_eq!(gwmin(&w, &adj), vec![1]);
+    }
+
+    #[test]
+    fn path_alternates() {
+        // path 0-1-2-3 with equal weights: degree heuristic takes the
+        // endpoints first
+        let w = [1.0, 1.0, 1.0, 1.0];
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let mut got = gwmin(&w, &adj);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn result_is_independent() {
+        // star: center heavy but high degree
+        let w = [10.0, 4.0, 4.0, 4.0, 4.0];
+        let adj = vec![vec![1, 2, 3, 4], vec![0], vec![0], vec![0], vec![0]];
+        let got = gwmin(&w, &adj);
+        for (i, &a) in got.iter().enumerate() {
+            for &b in &got[i + 1..] {
+                assert!(!adj[a].contains(&b));
+            }
+        }
+        // leaves total 16 > center 10; scores: center 10/5 = 2, leaves 4/2 = 2
+        // → tie broken toward center (index 0)... then leaves die. Check
+        // independence held regardless.
+        assert!(!got.is_empty());
+    }
+}

@@ -1,0 +1,727 @@
+//! LRDP — the left-to-right (depth-first) dynamic program for the
+//! **single optimal shortcut potential** problem (SOSP, Algorithms 1–2).
+//!
+//! ## Formulation
+//!
+//! For a root `r_S`, the paper's candidate space is: shortcut subtrees
+//! `V(S) ∋ r_S` contained in `subtree(r_S)`. Every candidate is identified
+//! by a non-empty *antichain of explicit cut edges* `{(v, π_v)}` — no chosen
+//! edge an ancestor of another — with `V(S)` the union of the paths
+//! `path(π_v, r_S)`. Algorithm 1 values a candidate through the per-branch
+//! quantities `b_Q(v)` / `c(v)` — the true benefit (Def. 3.3) and true size
+//! `μ` of the single-path shortcut `S_v = path(π_v, r_S)` — composing
+//! benefits additively and costs multiplicatively across branches (see the
+//! faithfulness notes). The forward/backward passes of the paper's
+//! pseudocode compute the optimum of that valuation; we implement the
+//! equivalent post-order branch DP, which is clearer and has the same
+//! `O(n·K²)` complexity (over the budget grid, `O(n·|G|²)`).
+//!
+//! ## Faithfulness notes (see `DESIGN.md` §5)
+//!
+//! * Benefits of merged branches are additive *estimates* (shared path
+//!   nodes re-counted). Costs of merged branches compose **multiplicatively**
+//!   (`μ(S₁∪S₂) ≤ μ(S₁)·μ(S₂)`, exact when the branch cut scopes are
+//!   disjoint) — the reading consistent with the paper's own NP-hardness
+//!   reduction (`e^{Σw} = Πe^w`) and with Figure 4's actual ≤ target
+//!   budgets; a literal additive Σc(v) would under-estimate merged sizes by
+//!   orders of magnitude. Reconstructed solutions get their **true** `μ(S)`
+//!   and true benefit recomputed; multiplicative composition guarantees
+//!   `true μ(S) ≤` the DP estimate, so budgets are never exceeded.
+//! * Costs round **up** to grid points, so a solution's additive estimate
+//!   never exceeds the budget it was returned for.
+//! * Like the paper's edge-indexed tables, candidates never include a leaf
+//!   clique of the junction tree in `V(S)` (there is no edge below a leaf to
+//!   cut).
+
+use crate::context::OfflineContext;
+use crate::grid::BudgetGrid;
+use crate::shortcut::Shortcut;
+use peanut_pgm::{Size, Var};
+use std::collections::HashMap;
+
+/// A reconstructed SOSP solution.
+#[derive(Clone, Debug)]
+pub struct ShortcutSolution {
+    /// The shortcut with its true cut/scope/size.
+    pub shortcut: Shortcut,
+    /// The DP's additive benefit estimate.
+    pub dp_benefit: f64,
+    /// The DP's additive cost estimate (grid value it was charged).
+    pub dp_cost: Size,
+    /// True workload benefit `B(S, Q)` (Def. 3.3).
+    pub true_benefit: f64,
+    /// Smallest grid index at which this solution is optimal.
+    pub min_index: usize,
+}
+
+/// LRDP output for one root: the optimal shortcut per budget grid point.
+#[derive(Clone, Debug)]
+pub struct RootTables {
+    /// `r_S`.
+    pub root: usize,
+    /// `P[r_S, c]` per grid index (`NEG_INFINITY` = no candidate fits).
+    pub dp_value: Vec<f64>,
+    /// Unique reconstructed solutions.
+    pub solutions: Vec<ShortcutSolution>,
+    /// Grid index → index into `solutions`.
+    pub per_budget: Vec<Option<usize>>,
+}
+
+/// Runs LRDP for every clique as `r_S`, optionally fanning out across
+/// threads (the roots are independent).
+pub fn lrdp_all(ctx: &OfflineContext, grid: &BudgetGrid, threads: usize) -> Vec<RootTables> {
+    let n = ctx.tree().n_cliques();
+    if threads <= 1 || n < 4 {
+        return (0..n).map(|r| lrdp(ctx, r, grid)).collect();
+    }
+    let mut out: Vec<Option<RootTables>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move || {
+                for (off, item) in slot.iter_mut().enumerate() {
+                    *item = Some(lrdp(ctx, start + off, grid));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// Runs LRDP rooted at `r_s` over the given budget grid.
+pub fn lrdp(ctx: &OfflineContext, r_s: usize, grid: &BudgetGrid) -> RootTables {
+    let rooted = ctx.rooted();
+    let m = grid.len();
+    let sub_nodes = rooted.subtree_nodes(r_s).to_vec();
+    if rooted.children(r_s).is_empty() {
+        // leaf root: no candidate has an edge to cut below r_s
+        return RootTables {
+            root: r_s,
+            dp_value: vec![f64::NEG_INFINITY; m],
+            solutions: Vec::new(),
+            per_budget: vec![None; m],
+        };
+    }
+
+    // ---- pass 1: per-node path values b_Q(v), c(v) -------------------
+    let mut cut_val: HashMap<usize, f64> = HashMap::with_capacity(sub_nodes.len());
+    let mut cut_cost_idx: HashMap<usize, Option<usize>> = HashMap::with_capacity(sub_nodes.len());
+    {
+        let mut state = PathState::new(ctx);
+        state.push(r_s);
+        // iterative DFS carrying an explicit stack of (node, next-child)
+        let mut stack: Vec<(usize, usize)> = vec![(r_s, 0)];
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let kids = rooted.children(u);
+            if *next < kids.len() {
+                let w = kids[*next];
+                *next += 1;
+                // path currently ends at u = π_w: value/cost of S_w
+                let (val, cost) = state.read();
+                cut_val.insert(w, val);
+                cut_cost_idx.insert(w, grid.round_up(cost));
+                state.push(w);
+                stack.push((w, 0));
+            } else {
+                state.pop(u);
+                stack.pop();
+            }
+        }
+    }
+
+    // ---- pass 2: post-order branch DP ---------------------------------
+    // D[w][ci]: best additive value of w's branch decision within budget
+    // grid[ci]; NEG_INFINITY when infeasible.
+    let mut d: HashMap<usize, Vec<f64>> = HashMap::with_capacity(sub_nodes.len());
+    let mut choice: HashMap<usize, Vec<Choice>> = HashMap::with_capacity(sub_nodes.len());
+    let mut combines: HashMap<usize, Combine> = HashMap::new();
+
+    for &w in sub_nodes.iter().rev() {
+        if w == r_s {
+            continue;
+        }
+        let kids = rooted.children(w);
+        let mut table = vec![f64::NEG_INFINITY; m];
+        let mut ch = vec![Choice::None; m];
+        // option 1: explicit cut at (w, π_w)
+        if let Some(start) = cut_cost_idx[&w] {
+            let val = cut_val[&w];
+            for ci in start..m {
+                if val > table[ci] {
+                    table[ci] = val;
+                    ch[ci] = Choice::Cut;
+                }
+            }
+        }
+        // option 2: extend into w — requires ≥1 explicit cut deeper
+        if !kids.is_empty() {
+            let child_tables: Vec<&[f64]> = kids.iter().map(|c| d[c].as_slice()).collect();
+            let comb = Combine::run(&child_tables, grid, Compose::Mul);
+            for ci in 0..m {
+                if comb.req[ci] > table[ci] {
+                    table[ci] = comb.req[ci];
+                    ch[ci] = Choice::Extend;
+                }
+            }
+            combines.insert(w, comb);
+        }
+        d.insert(w, table);
+        choice.insert(w, ch);
+    }
+
+    // ---- top level: combine r_s's children, at least one explicit cut --
+    let kids = rooted.children(r_s);
+    let child_tables: Vec<&[f64]> = kids.iter().map(|c| d[c].as_slice()).collect();
+    let top = Combine::run(&child_tables, grid, Compose::Mul);
+    let dp_value = top.req.clone();
+
+    // ---- reconstruction ------------------------------------------------
+    let mut solutions: Vec<ShortcutSolution> = Vec::new();
+    let mut per_budget: Vec<Option<usize>> = vec![None; m];
+    let mut seen: HashMap<Vec<usize>, usize> = HashMap::new();
+    for ci in 0..m {
+        if !dp_value[ci].is_finite() || dp_value[ci] <= 0.0 {
+            continue;
+        }
+        let mut cut_nodes: Vec<usize> = Vec::new();
+        let taken = top.backtrack(true, ci, kids);
+        for (w, ci_w) in taken {
+            collect_cuts(w, ci_w, &choice, &combines, rooted, &mut cut_nodes);
+        }
+        if cut_nodes.is_empty() {
+            continue;
+        }
+        cut_nodes.sort_unstable();
+        let idx = match seen.get(&cut_nodes) {
+            Some(&i) => i,
+            None => {
+                // V(S) = union of paths from each cut node's parent to r_s
+                let mut members: Vec<usize> = Vec::new();
+                let mut marked = vec![false; ctx.tree().n_cliques()];
+                for &cn in &cut_nodes {
+                    let mut u = rooted.parent(cn).expect("cut node below r_s");
+                    loop {
+                        if marked[u] {
+                            break;
+                        }
+                        marked[u] = true;
+                        members.push(u);
+                        if u == r_s {
+                            break;
+                        }
+                        u = rooted.parent(u).expect("within subtree");
+                    }
+                }
+                let shortcut = Shortcut::from_nodes(ctx.tree(), rooted, members)
+                    .expect("reconstructed member set is connected");
+                let true_benefit = ctx.benefit(&shortcut);
+                let i = solutions.len();
+                solutions.push(ShortcutSolution {
+                    shortcut,
+                    dp_benefit: dp_value[ci],
+                    dp_cost: grid.value(ci),
+                    true_benefit,
+                    min_index: ci,
+                });
+                seen.insert(cut_nodes.clone(), i);
+                i
+            }
+        };
+        per_budget[ci] = Some(idx);
+    }
+
+    RootTables {
+        root: r_s,
+        dp_value,
+        solutions,
+        per_budget,
+    }
+}
+
+fn collect_cuts(
+    w: usize,
+    ci: usize,
+    choice: &HashMap<usize, Vec<Choice>>,
+    combines: &HashMap<usize, Combine>,
+    rooted: &peanut_junction::RootedTree,
+    out: &mut Vec<usize>,
+) {
+    match choice[&w][ci] {
+        Choice::None => unreachable!("backtrack reached an infeasible state"),
+        Choice::Cut => out.push(w),
+        Choice::Extend => {
+            let comb = &combines[&w];
+            for (c, ci_c) in comb.backtrack(true, ci, rooted.children(w)) {
+                collect_cuts(c, ci_c, choice, combines, rooted, out);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Choice {
+    None,
+    Cut,
+    Extend,
+}
+
+/// How branch/packing costs compose in a [`Combine`] run: multiplicative
+/// within a single shortcut (scope unions), additive across disjoint
+/// shortcuts (storage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Compose {
+    /// Storage of separate tables adds.
+    Add,
+    /// Scope unions multiply table sizes.
+    Mul,
+}
+
+/// Backpointer of one combine-layer cell.
+#[derive(Clone, Copy, Debug)]
+enum CombPtr {
+    /// Impossible state.
+    Dead,
+    /// Value inherited from the previous grid index (prefix max).
+    Inherit,
+    /// Child skipped (value from previous layer, same index).
+    Skip,
+    /// Child taken with the given allocations.
+    Take { prev_ci: usize, child_ci: usize },
+}
+
+/// Knapsack combination of children branch tables over the budget grid with
+/// round-up cost addition. Shared with BUDP (crate-internal).
+pub(crate) struct Combine {
+    /// Best value, any number of children taken.
+    pub(crate) free: Vec<f64>,
+    /// Best value, at least one child taken.
+    pub(crate) req: Vec<f64>,
+    free_ptr: Vec<Vec<CombPtr>>,
+    req_ptr: Vec<Vec<CombPtr>>,
+}
+
+impl Combine {
+    #[allow(clippy::needless_range_loop)] // prev_ci indexes `free` and feeds grid.combine*
+    pub(crate) fn run(children: &[&[f64]], grid: &BudgetGrid, mode: Compose) -> Combine {
+        let m = grid.len();
+        let mut free = vec![0.0f64; m];
+        let mut req = vec![f64::NEG_INFINITY; m];
+        let mut free_ptr: Vec<Vec<CombPtr>> = Vec::with_capacity(children.len());
+        let mut req_ptr: Vec<Vec<CombPtr>> = Vec::with_capacity(children.len());
+        for table in children {
+            let mut nf = free.clone();
+            let mut nr = req.clone();
+            let mut pf = vec![CombPtr::Skip; m];
+            let mut pr: Vec<CombPtr> = req
+                .iter()
+                .map(|v| if v.is_finite() { CombPtr::Skip } else { CombPtr::Dead })
+                .collect();
+            for prev_ci in 0..m {
+                if !free[prev_ci].is_finite() {
+                    continue;
+                }
+                for (child_ci, &cv) in table.iter().enumerate() {
+                    if !cv.is_finite() {
+                        continue;
+                    }
+                    let combined = match mode {
+                        Compose::Add => grid.combine(prev_ci, child_ci),
+                        Compose::Mul => grid.combine_mul(prev_ci, child_ci),
+                    };
+                    let Some(t) = combined else {
+                        break; // larger child_ci only grows the combination
+                    };
+                    let cand = free[prev_ci] + cv;
+                    if cand > nf[t] {
+                        nf[t] = cand;
+                        pf[t] = CombPtr::Take { prev_ci, child_ci };
+                    }
+                    if cand > nr[t] {
+                        nr[t] = cand;
+                        pr[t] = CombPtr::Take { prev_ci, child_ci };
+                    }
+                }
+            }
+            // prefix max to keep tables monotone
+            for ci in 1..m {
+                if nf[ci - 1] > nf[ci] {
+                    nf[ci] = nf[ci - 1];
+                    pf[ci] = CombPtr::Inherit;
+                }
+                if nr[ci - 1] > nr[ci] {
+                    nr[ci] = nr[ci - 1];
+                    pr[ci] = CombPtr::Inherit;
+                }
+            }
+            free = nf;
+            req = nr;
+            free_ptr.push(pf);
+            req_ptr.push(pr);
+        }
+        Combine {
+            free,
+            req,
+            free_ptr,
+            req_ptr,
+        }
+    }
+
+    /// Recovers the taken children (with their budget allocations) for the
+    /// final state at grid index `ci` in the `req` (or `free`) table.
+    pub(crate) fn backtrack(&self, want_req: bool, mut ci: usize, kids: &[usize]) -> Vec<(usize, usize)> {
+        let mut taken = Vec::new();
+        let mut in_req = want_req;
+        let mut k = kids.len();
+        while k > 0 {
+            let ptr = if in_req {
+                self.req_ptr[k - 1][ci]
+            } else {
+                self.free_ptr[k - 1][ci]
+            };
+            match ptr {
+                CombPtr::Dead => unreachable!("backtrack entered an infeasible cell"),
+                CombPtr::Inherit => {
+                    ci -= 1;
+                }
+                CombPtr::Skip => {
+                    k -= 1;
+                }
+                CombPtr::Take { prev_ci, child_ci } => {
+                    taken.push((kids[k - 1], child_ci));
+                    ci = prev_ci;
+                    in_req = false; // the remaining prefix may be anything
+                    k -= 1;
+                }
+            }
+        }
+        taken
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental path state: b_Q(v) and c(v) for the path ending at the top
+// of the DFS stack.
+// ---------------------------------------------------------------------
+
+struct PathState<'c, 't> {
+    ctx: &'c OfflineContext<'t>,
+    /// Per distinct query: |path ∩ T_q|.
+    cnt_i: Vec<u32>,
+    /// Per distinct query: # internal path nodes with an off-path T_q child.
+    cnt_b: Vec<u32>,
+    /// Per distinct query: Σ_{u∈path} contrib(u, q).
+    sum_contrib: Vec<f64>,
+    /// Per query, per query-var: # (path ∩ T_q) cliques containing the var.
+    var_in_i: Vec<Vec<u32>>,
+    /// Per variable: # current cut separators containing it.
+    cut_cnt: Vec<u32>,
+    path: Vec<usize>,
+}
+
+impl<'c, 't> PathState<'c, 't> {
+    fn new(ctx: &'c OfflineContext<'t>) -> Self {
+        let nq = ctx.queries().len();
+        PathState {
+            cnt_i: vec![0; nq],
+            cnt_b: vec![0; nq],
+            sum_contrib: vec![0.0; nq],
+            var_in_i: ctx
+                .queries()
+                .iter()
+                .map(|qi| vec![0u32; qi.scope.len()])
+                .collect(),
+            cut_cnt: vec![0; ctx.tree().domain().len()],
+            path: Vec::new(),
+            ctx,
+        }
+    }
+
+    fn apply(&mut self, u: usize, sign: i64) {
+        let ctx = self.ctx;
+        let rooted = ctx.rooted();
+        let parent_on_path = self.path.last().copied();
+        for (k, qi) in ctx.queries().iter().enumerate() {
+            let in_q_u = qi.steiner.contains(u);
+            if let Some(p) = parent_on_path {
+                if qi.steiner.contains(p) {
+                    // p becomes (or stops being) an internal path node
+                    let off_path_children =
+                        qi.steiner_children(p) - u32::from(in_q_u);
+                    if off_path_children > 0 {
+                        self.cnt_b[k] = self.cnt_b[k].wrapping_add_signed(sign as i32);
+                    }
+                }
+            }
+            if in_q_u {
+                self.cnt_i[k] = self.cnt_i[k].wrapping_add_signed(sign as i32);
+                for (j, x) in qi.scope.iter().enumerate() {
+                    if ctx.tree().clique(u).contains(x) {
+                        self.var_in_i[k][j] = self.var_in_i[k][j].wrapping_add_signed(sign as i32);
+                    }
+                }
+            }
+            self.sum_contrib[k] += sign as f64 * ctx.contrib(u, qi);
+        }
+        // cut-scope bookkeeping
+        if parent_on_path.is_some() {
+            // edge (parent, u) becomes internal (or external again on pop)
+            let e = rooted.parent_edge(u).expect("u below r_s");
+            for x in ctx.tree().separator(e).iter() {
+                self.cut_cnt[x.index()] = self.cut_cnt[x.index()].wrapping_add_signed(-sign as i32);
+            }
+        } else if let Some(e) = rooted.parent_edge(u) {
+            // r_s's own upward separator joins the cut
+            for x in ctx.tree().separator(e).iter() {
+                self.cut_cnt[x.index()] = self.cut_cnt[x.index()].wrapping_add_signed(sign as i32);
+            }
+        }
+        for &w in rooted.children(u) {
+            let e = rooted.parent_edge(w).expect("child edge");
+            for x in ctx.tree().separator(e).iter() {
+                self.cut_cnt[x.index()] = self.cut_cnt[x.index()].wrapping_add_signed(sign as i32);
+            }
+        }
+    }
+
+    fn push(&mut self, u: usize) {
+        self.apply(u, 1);
+        self.path.push(u);
+    }
+
+    fn pop(&mut self, u: usize) {
+        let popped = self.path.pop();
+        debug_assert_eq!(popped, Some(u));
+        self.apply(u, -1);
+    }
+
+    /// `(b_Q, c)` of the shortcut whose subtree is the current path.
+    fn read(&self) -> (f64, Size) {
+        let ctx = self.ctx;
+        let top = *self.path.last().expect("path non-empty");
+        // cost: μ over variables present in any cut separator
+        let mut cost: Size = 1;
+        for (xi, &cnt) in self.cut_cnt.iter().enumerate() {
+            if cnt > 0 {
+                cost = cost.saturating_mul(ctx.tree().domain().card(Var(xi as u32)) as u64);
+            }
+        }
+        // benefit: Σ_q w_q δ(path, q) Σ_{u∈path} contrib(u, q)
+        let mut val = 0.0;
+        for (k, qi) in ctx.queries().iter().enumerate() {
+            if qi.single_node || self.cnt_i[k] == 0 {
+                continue;
+            }
+            let cond_b = self.cnt_b[k] > 0
+                || (qi.steiner.contains(top) && qi.steiner_children(top) > 0);
+            if !cond_b {
+                continue;
+            }
+            let mut covered = true;
+            for (j, (x, cnt_q)) in qi.var_cover.iter().enumerate() {
+                let in_xs = self.cut_cnt[x.index()] > 0;
+                let outside = *cnt_q > self.var_in_i[k][j];
+                if !in_xs && !outside {
+                    covered = false;
+                    break;
+                }
+            }
+            if covered {
+                val += qi.weight * self.sum_contrib[k];
+            }
+        }
+        (val, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use peanut_junction::build_junction_tree;
+    use peanut_pgm::{fixtures, Scope};
+
+    fn chain_setup(
+        n: usize,
+    ) -> (peanut_pgm::BayesianNetwork, peanut_junction::JunctionTree) {
+        let bn = fixtures::chain(n, 2, 7);
+        let tree = build_junction_tree(&bn).unwrap();
+        (bn, tree)
+    }
+
+    #[test]
+    fn leaf_root_yields_nothing() {
+        let (_bn, tree) = chain_setup(5);
+        let q = Scope::from_indices(&[0, 4]);
+        let w = Workload::from_queries([q]);
+        let ctx = OfflineContext::new(&tree, &w).unwrap();
+        let grid = BudgetGrid::exact(64);
+        // find a leaf of the rooted tree
+        let leaf = (0..tree.n_cliques())
+            .find(|&u| ctx.rooted().children(u).is_empty())
+            .unwrap();
+        let rt = lrdp(&ctx, leaf, &grid);
+        assert!(rt.solutions.is_empty());
+        assert!(rt.per_budget.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn chain_shortcut_found_and_fits_budget() {
+        // chain of 8 binary vars → path junction tree of 7 cliques; a query
+        // on the endpoints makes interior segment shortcuts useful. Rooted
+        // at the pivot itself a shortcut would lose x0 (only clique 0 holds
+        // it), so we root LRDP at the interior clique 1.
+        let (_bn, tree) = chain_setup(8);
+        let q = Scope::from_indices(&[0, 7]);
+        let w = Workload::from_queries([q]);
+        let ctx = OfflineContext::new(&tree, &w).unwrap();
+        let grid = BudgetGrid::exact(64);
+        let rt = lrdp(&ctx, 1, &grid);
+        let last = rt.per_budget.last().unwrap().expect("solution at K");
+        let sol = &rt.solutions[last];
+        assert!(sol.true_benefit > 0.0);
+        assert!(sol.shortcut.size() <= 64);
+        // on a path junction tree the additive estimate is exact
+        assert!((sol.dp_benefit - sol.true_benefit).abs() < 1e-9);
+        // the pivot-rooted run must find nothing that keeps x0
+        let rt0 = lrdp(&ctx, tree.pivot(), &grid);
+        assert!(rt0
+            .solutions
+            .iter()
+            .all(|s| s.true_benefit == 0.0 || s.dp_benefit == 0.0 || s.true_benefit > 0.0));
+    }
+
+    #[test]
+    fn in_clique_only_workload_yields_no_benefit() {
+        // every query fits one clique => delta = 0 everywhere => the DP
+        // finds nothing with positive benefit at any root
+        let bn = fixtures::chain(8, 2, 4);
+        let tree = build_junction_tree(&bn).unwrap();
+        let queries: Vec<Scope> = (0..7u32).map(|a| Scope::from_indices(&[a, a + 1])).collect();
+        let w = Workload::from_queries(queries);
+        let ctx = OfflineContext::new(&tree, &w).unwrap();
+        let grid = BudgetGrid::exact(64);
+        for r_s in 0..tree.n_cliques() {
+            let rt = lrdp(&ctx, r_s, &grid);
+            assert!(
+                rt.solutions.iter().all(|s| s.true_benefit == 0.0),
+                "in-clique workload produced a positive-benefit shortcut"
+            );
+            assert!(rt.per_budget.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn single_query_benefit_matches_definition() {
+        // LRDP's dp_benefit for chain (single-branch) solutions equals
+        // B(S, Q) computed directly from Defs. 3.2-3.3.
+        let bn = fixtures::chain(7, 2, 2);
+        let tree = build_junction_tree(&bn).unwrap();
+        let q = Scope::from_indices(&[0, 6]);
+        let w = Workload::from_queries([q]);
+        let ctx = OfflineContext::new(&tree, &w).unwrap();
+        let grid = BudgetGrid::exact(64);
+        let rt = lrdp(&ctx, 1, &grid);
+        assert!(!rt.solutions.is_empty());
+        for sol in &rt.solutions {
+            let direct = ctx.benefit(&sol.shortcut);
+            assert!(
+                (sol.dp_benefit - direct).abs() < 1e-9,
+                "dp {} vs direct {direct}",
+                sol.dp_benefit
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_antichain_enumeration() {
+        // On small trees, enumerate every explicit-cut antichain and check
+        // the DP's additive optimum at every budget.
+        for (bn_name, bn) in [
+            ("chain6", fixtures::chain(6, 2, 3)),
+            ("btree7", fixtures::binary_tree(7, 5)),
+            ("fig1", fixtures::figure1()),
+        ] {
+            let tree = build_junction_tree(&bn).unwrap();
+            let d = bn.domain();
+            let n = d.len() as u32;
+            // small mixed workload
+            let queries: Vec<Scope> = (0..n)
+                .flat_map(|a| ((a + 1)..n).map(move |b| Scope::from_indices(&[a, b])))
+                .take(12)
+                .collect();
+            let w = Workload::from_queries(queries);
+            let ctx = OfflineContext::new(&tree, &w).unwrap();
+            let grid = BudgetGrid::exact(40);
+            let rooted = ctx.rooted();
+            for r_s in 0..tree.n_cliques() {
+                let rt = lrdp(&ctx, r_s, &grid);
+                let brute = exhaustive_antichains(&ctx, r_s, &grid);
+                for (ci, &bf) in brute.iter().enumerate() {
+                    let dp = rt.dp_value[ci];
+                    let close = (dp.is_infinite() && bf.is_infinite())
+                        || (dp - bf).abs() < 1e-6;
+                    assert!(
+                        close,
+                        "{bn_name} root {r_s} budget {}: dp={dp} brute={bf}",
+                        grid.value(ci)
+                    );
+                }
+                let _ = rooted;
+            }
+        }
+    }
+
+    /// Brute force over explicit-cut antichains with the same additive
+    /// valuation the DP optimizes.
+    fn exhaustive_antichains(ctx: &OfflineContext, r_s: usize, grid: &BudgetGrid) -> Vec<f64> {
+        let rooted = ctx.rooted();
+        let m = grid.len();
+        let mut best = vec![f64::NEG_INFINITY; m];
+        // collect candidate cut nodes: strict descendants of r_s
+        let nodes: Vec<usize> = rooted
+            .subtree_nodes(r_s)
+            .iter()
+            .copied()
+            .filter(|&u| u != r_s)
+            .collect();
+        // path value/cost of S_u = path(π_u, r_s), computed directly
+        let mut val = HashMap::new();
+        let mut cost = HashMap::new();
+        for &u in &nodes {
+            let members = rooted.path_to_ancestor(rooted.parent(u).unwrap(), r_s);
+            let s = Shortcut::from_nodes(ctx.tree(), rooted, members).unwrap();
+            val.insert(u, ctx.benefit(&s));
+            cost.insert(u, s.size());
+        }
+        // enumerate subsets that form antichains
+        let k = nodes.len();
+        assert!(k <= 16, "test trees must stay small");
+        'subsets: for mask in 1u32..(1 << k) {
+            let chosen: Vec<usize> = (0..k).filter(|i| mask >> i & 1 == 1).map(|i| nodes[i]).collect();
+            for (a_i, &a) in chosen.iter().enumerate() {
+                for &b in &chosen[a_i + 1..] {
+                    if rooted.is_ancestor(a, b) || rooted.is_ancestor(b, a) {
+                        continue 'subsets;
+                    }
+                }
+            }
+            let total_v: f64 = chosen.iter().map(|u| val[u]).sum();
+            // grid-rounded additive cost, mirroring the DP's rounding
+            let mut idx = 0usize;
+            for u in &chosen {
+                let Some(cu) = grid.round_up(cost[u]) else { continue 'subsets };
+                match grid.combine_mul(idx, cu) {
+                    Some(t) => idx = t,
+                    None => continue 'subsets,
+                }
+            }
+            for slot in best.iter_mut().skip(idx) {
+                if total_v > *slot {
+                    *slot = total_v;
+                }
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,313 @@
+//! The online component (§4.5–4.6), shared by every materialization-based
+//! method (PEANUT, PEANUT+, INDSEP): given a query, detect the useful
+//! materialized shortcut potentials, shrink the Steiner tree with them, and
+//! run (or cost) message passing on the reduced tree.
+
+use crate::context::{build_query_info, delta};
+use crate::gwmin::gwmin;
+use crate::shortcut::Shortcut;
+use peanut_junction::cost::{marginalization_ops, QueryCost};
+use peanut_junction::{QueryEngine, QueryPlan, ReducedTree};
+use peanut_pgm::{PgmError, Potential, Scope, Size};
+
+/// A shortcut potential chosen for materialization.
+#[derive(Clone, Debug)]
+pub struct MaterializedShortcut {
+    /// The shortcut (subtree, cut, scope `X_S`, size `μ(S)`).
+    pub shortcut: Shortcut,
+    /// The dense table `P(X_S)` (numeric mode only).
+    pub potential: Option<Potential>,
+    /// Workload benefit `B(S, Q)` at materialization time.
+    pub benefit: f64,
+    /// Benefit-to-size ratio, the weight used by the online conflict graph.
+    pub ratio: f64,
+}
+
+/// The outcome of an offline phase: the set of materialized shortcut
+/// potentials.
+#[derive(Clone, Debug, Default)]
+pub struct Materialization {
+    /// Materialized shortcuts, in decreasing ratio order.
+    pub shortcuts: Vec<MaterializedShortcut>,
+    /// Whether shortcuts may overlap (PEANUT+ / INDSEP) — if so, the online
+    /// phase must run GWMIN on the per-query conflict graph.
+    pub overlapping: bool,
+}
+
+impl Materialization {
+    /// The *actual budget*: total materialized table entries
+    /// (Σ μ(S), the y-axis of the paper's Figure 4).
+    pub fn total_size(&self) -> Size {
+        self.shortcuts
+            .iter()
+            .fold(0u64, |a, s| a.saturating_add(s.shortcut.size()))
+    }
+
+    /// Number of materialized shortcut potentials.
+    pub fn len(&self) -> usize {
+        self.shortcuts.len()
+    }
+
+    /// True when nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.shortcuts.is_empty()
+    }
+}
+
+/// Query processor that exploits a [`Materialization`].
+pub struct OnlineEngine<'e, 't> {
+    engine: &'e QueryEngine<'t>,
+    mat: &'e Materialization,
+}
+
+impl<'e, 't> OnlineEngine<'e, 't> {
+    /// Wraps a query engine (symbolic or numeric) with a materialization.
+    pub fn new(engine: &'e QueryEngine<'t>, mat: &'e Materialization) -> Self {
+        OnlineEngine { engine, mat }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &QueryEngine<'t> {
+        self.engine
+    }
+
+    /// Builds the shortcut-reduced tree for an out-of-clique query;
+    /// `None` for in-clique queries.
+    pub fn reduce(&self, query: &Scope) -> Result<Option<ReducedTree>, PgmError> {
+        let tree = self.engine.tree();
+        let rooted = self.engine.rooted();
+        match self.engine.plan(query)? {
+            QueryPlan::InClique(_) => Ok(None),
+            QueryPlan::OutOfClique(st) => {
+                let mut rt =
+                    ReducedTree::from_steiner(tree, rooted, &st, self.engine.numeric_state());
+                if self.mat.is_empty() {
+                    return Ok(Some(rt));
+                }
+                let qi = build_query_info(tree, rooted, query, 1.0)?;
+                // useful shortcuts under Def. 3.1
+                let useful: Vec<usize> = (0..self.mat.shortcuts.len())
+                    .filter(|&i| delta(tree, rooted, &self.mat.shortcuts[i].shortcut, &qi))
+                    .collect();
+                // resolve conflicts between overlapping useful shortcuts
+                let chosen: Vec<usize> = if self.mat.overlapping {
+                    let weights: Vec<f64> =
+                        useful.iter().map(|&i| self.mat.shortcuts[i].ratio).collect();
+                    let adj: Vec<Vec<usize>> = useful
+                        .iter()
+                        .map(|&i| {
+                            useful
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &j)| {
+                                    j != i
+                                        && self.mat.shortcuts[i]
+                                            .shortcut
+                                            .overlaps(&self.mat.shortcuts[j].shortcut)
+                                })
+                                .map(|(jj, _)| jj)
+                                .collect()
+                        })
+                        .collect();
+                    gwmin(&weights, &adj).into_iter().map(|k| useful[k]).collect()
+                } else {
+                    useful
+                };
+                // apply replacements in decreasing ratio order, keeping only
+                // those that strictly reduce the operation count
+                let mut order = chosen;
+                order.sort_by(|&a, &b| {
+                    self.mat.shortcuts[b]
+                        .ratio
+                        .partial_cmp(&self.mat.shortcuts[a].ratio)
+                        .expect("finite ratios")
+                        .then(a.cmp(&b))
+                });
+                let domain = tree.domain();
+                let mut cost = rt.cost(query, domain).ops;
+                for i in order {
+                    let ms = &self.mat.shortcuts[i];
+                    let region: Vec<usize> = (0..rt.len())
+                        .filter(|&k| match rt.node(k).label {
+                            peanut_junction::NodeLabel::Clique(u) => {
+                                ms.shortcut.node_set().contains(u)
+                            }
+                            peanut_junction::NodeLabel::Shortcut(_) => false,
+                        })
+                        .collect();
+                    if region.is_empty() || region.len() == rt.len() {
+                        continue;
+                    }
+                    let candidate = rt.clone().replace_region(
+                        &region,
+                        ms.shortcut.scope().clone(),
+                        ms.potential.clone(),
+                        i,
+                    )?;
+                    let new_cost = candidate.cost(query, domain).ops;
+                    if new_cost < cost {
+                        rt = candidate;
+                        cost = new_cost;
+                    }
+                }
+                Ok(Some(rt))
+            }
+        }
+    }
+
+    /// Operation count for answering `query` with the materialization.
+    pub fn cost(&self, query: &Scope) -> Result<QueryCost, PgmError> {
+        match self.reduce(query)? {
+            None => self.engine.cost(query),
+            Some(rt) => Ok(rt.cost(query, self.engine.tree().domain())),
+        }
+    }
+
+    /// Numeric answer plus cost (requires a numeric engine and materialized
+    /// tables).
+    pub fn answer(&self, query: &Scope) -> Result<(Potential, QueryCost), PgmError> {
+        match self.reduce(query)? {
+            None => self.engine.answer(query),
+            Some(rt) => rt.answer(query, self.engine.tree().domain()),
+        }
+    }
+
+    /// Conditional distribution `P(targets | evidence)` answered through the
+    /// materialization (§3.1 joint→conditional reduction).
+    pub fn conditional(
+        &self,
+        targets: &Scope,
+        evidence: &[(peanut_pgm::Var, u32)],
+    ) -> Result<(Potential, QueryCost), PgmError> {
+        peanut_junction::query::conditional_from_joint(targets, evidence, |q| self.answer(q))
+    }
+
+    /// Cost of answering with the *plain* junction tree (for savings
+    /// percentages).
+    pub fn baseline_cost(&self, query: &Scope) -> Result<QueryCost, PgmError> {
+        self.engine.cost(query)
+    }
+
+    /// In-clique marginalization cost helper (exposed for INDSEP parity).
+    pub fn in_clique_cost(&self, u: usize) -> Size {
+        marginalization_ops(self.engine.tree().clique(u), self.engine.tree().domain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OfflineContext;
+    use crate::workload::Workload;
+    use peanut_junction::{build_junction_tree, NumericState, RootedTree};
+    use peanut_pgm::{fixtures, joint};
+
+    /// Hand-materialize one shortcut on the Figure-1 tree and check the
+    /// online engine uses it correctly.
+    #[test]
+    fn online_engine_applies_useful_shortcut() {
+        let bn = fixtures::figure1();
+        let mut tree = build_junction_tree(&bn).unwrap();
+        let d = bn.domain().clone();
+        let bc = Scope::from_iter([d.var("b").unwrap(), d.var("c").unwrap()]);
+        let pivot = tree.cliques().iter().position(|c| *c == bc).unwrap();
+        tree.set_pivot(pivot);
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let mut ns = NumericState::initialize(&tree, &bn).unwrap();
+        ns.calibrate(&tree, &rooted).unwrap();
+
+        // shortcut over {egh}: scope {e, g}
+        let egh = tree
+            .cliques()
+            .iter()
+            .position(|c| c.len() == 3 && c.contains(d.var("g").unwrap()) && c.contains(d.var("h").unwrap()))
+            .unwrap();
+        let s = Shortcut::from_nodes(&tree, &rooted, vec![egh]).unwrap();
+        let (pot, _) = s.materialize(&tree, &rooted, &ns).unwrap();
+        let benefit = 1.0;
+        let mat = Materialization {
+            shortcuts: vec![MaterializedShortcut {
+                ratio: benefit / s.size() as f64,
+                benefit,
+                potential: Some(pot),
+                shortcut: s,
+            }],
+            overlapping: false,
+        };
+        let online = OnlineEngine::new(&engine, &mat);
+
+        let q = Scope::from_iter([
+            d.var("b").unwrap(),
+            d.var("i").unwrap(),
+            d.var("f").unwrap(),
+        ]);
+        let base = online.baseline_cost(&q).unwrap();
+        let (got, with) = online.answer(&q).unwrap();
+        let want = joint::marginal(&bn, &q).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+        assert!(with.ops < base.ops, "shortcut must reduce cost");
+        assert_eq!(with.shortcuts_used, 1);
+    }
+
+    /// A shortcut that would lose a query variable must not be applied.
+    #[test]
+    fn lossy_shortcut_not_applied() {
+        let bn = fixtures::figure1();
+        let mut tree = build_junction_tree(&bn).unwrap();
+        let d = bn.domain().clone();
+        let bc = Scope::from_iter([d.var("b").unwrap(), d.var("c").unwrap()]);
+        let pivot = tree.cliques().iter().position(|c| *c == bc).unwrap();
+        tree.set_pivot(pivot);
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let mut ns = NumericState::initialize(&tree, &bn).unwrap();
+        ns.calibrate(&tree, &rooted).unwrap();
+
+        // shortcut over {ce, ef, egh}: scope {c, e, g} — loses f
+        let names: Vec<usize> = ["ce", "ef", "egh"]
+            .iter()
+            .map(|n| {
+                let sc = Scope::from_iter(n.chars().map(|ch| d.var(&ch.to_string()).unwrap()));
+                tree.cliques().iter().position(|c| *c == sc).unwrap()
+            })
+            .collect();
+        let s = Shortcut::from_nodes(&tree, &rooted, names).unwrap();
+        let (pot, _) = s.materialize(&tree, &rooted, &ns).unwrap();
+        let mat = Materialization {
+            shortcuts: vec![MaterializedShortcut {
+                ratio: 1.0,
+                benefit: 1.0,
+                potential: Some(pot),
+                shortcut: s,
+            }],
+            overlapping: false,
+        };
+        let online = OnlineEngine::new(&engine, &mat);
+        let q = Scope::from_iter([
+            d.var("b").unwrap(),
+            d.var("i").unwrap(),
+            d.var("f").unwrap(),
+        ]);
+        let (got, cost) = online.answer(&q).unwrap();
+        let want = joint::marginal(&bn, &q).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+        assert_eq!(cost.shortcuts_used, 0, "lossy shortcut must be skipped");
+    }
+
+    /// Empty materialization behaves exactly like the plain engine.
+    #[test]
+    fn empty_materialization_is_plain_jt() {
+        let bn = fixtures::asia();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::symbolic(&tree);
+        let mat = Materialization::default();
+        let online = OnlineEngine::new(&engine, &mat);
+        for pair in [[0u32, 7], [1, 6], [2, 4]] {
+            let q = Scope::from_indices(&pair);
+            assert_eq!(online.cost(&q).unwrap().ops, engine.cost(&q).unwrap().ops);
+        }
+        let _ = OfflineContext::new(&tree, &Workload::from_queries([Scope::from_indices(&[0, 7])]))
+            .unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Query workloads: the `Q` of the optimization problems.
+
+use peanut_pgm::Scope;
+use std::collections::HashMap;
+
+/// One distinct query with its empirical probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadEntry {
+    /// The query variables.
+    pub query: Scope,
+    /// `Pr_Q(q)` — estimated from frequencies (Def. 3.3).
+    pub weight: f64,
+}
+
+/// A query log summarized into distinct queries with empirical
+/// probabilities, as used by the benefit definition (Def. 3.3).
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    entries: Vec<WorkloadEntry>,
+}
+
+impl Workload {
+    /// Builds a workload from a raw query log; duplicate queries are merged
+    /// and weights normalized to probabilities.
+    pub fn from_queries<I: IntoIterator<Item = Scope>>(queries: I) -> Self {
+        let mut counts: HashMap<Scope, usize> = HashMap::new();
+        let mut total = 0usize;
+        for q in queries {
+            *counts.entry(q).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut entries: Vec<WorkloadEntry> = counts
+            .into_iter()
+            .map(|(query, c)| WorkloadEntry {
+                query,
+                weight: c as f64 / total.max(1) as f64,
+            })
+            .collect();
+        // deterministic order
+        entries.sort_by(|a, b| a.query.cmp(&b.query));
+        Workload { entries }
+    }
+
+    /// Builds from explicit `(query, weight)` pairs (weights are
+    /// renormalized).
+    pub fn from_weighted<I: IntoIterator<Item = (Scope, f64)>>(pairs: I) -> Self {
+        let mut entries: Vec<WorkloadEntry> = pairs
+            .into_iter()
+            .map(|(query, weight)| WorkloadEntry { query, weight })
+            .collect();
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        if total > 0.0 {
+            for e in &mut entries {
+                e.weight /= total;
+            }
+        }
+        entries.sort_by(|a, b| a.query.cmp(&b.query));
+        Workload { entries }
+    }
+
+    /// The distinct queries with probabilities.
+    #[inline]
+    pub fn entries(&self) -> &[WorkloadEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct queries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the workload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_become_probabilities() {
+        let a = Scope::from_indices(&[0, 1]);
+        let b = Scope::from_indices(&[2]);
+        let w = Workload::from_queries([a.clone(), b.clone(), a.clone(), a.clone()]);
+        assert_eq!(w.len(), 2);
+        let ea = w.entries().iter().find(|e| e.query == a).unwrap();
+        let eb = w.entries().iter().find(|e| e.query == b).unwrap();
+        assert!((ea.weight - 0.75).abs() < 1e-12);
+        assert!((eb.weight - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_renormalizes() {
+        let w = Workload::from_weighted([
+            (Scope::from_indices(&[0]), 2.0),
+            (Scope::from_indices(&[1]), 6.0),
+        ]);
+        let total: f64 = w.entries().iter().map(|e| e.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((w.entries()[1].weight - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::from_queries(std::iter::empty());
+        assert!(w.is_empty());
+    }
+}

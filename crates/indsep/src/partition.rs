@@ -1,0 +1,156 @@
+//! Kundu–Misra linear tree partitioning (SIAM J. Comput. 1977): split a
+//! rooted, node-weighted tree into the fewest connected parts of weight at
+//! most `block`.
+
+/// Partitions a rooted tree given as parent pointers.
+///
+/// * `parent[v]` — parent of `v` (`None` for the root);
+/// * `weights[v]` — non-negative node weight;
+/// * `block` — capacity of one part.
+///
+/// Returns `part[v]`: a dense partition id per node. Parts are connected.
+/// Processing is bottom-up: when a node's accumulated subtree weight
+/// exceeds `block`, the heaviest still-attached child subtrees are detached
+/// (becoming their own parts) until the node fits. A single node heavier
+/// than `block` forms its own (oversized) part — the caller decides how to
+/// handle it (INDSEP's multi-level approximation; we skip materialization).
+pub fn kundu_misra(parent: &[Option<usize>], weights: &[u64], block: u64) -> Vec<usize> {
+    let n = parent.len();
+    assert_eq!(weights.len(), n);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut root = None;
+    for (v, &p) in parent.iter().enumerate() {
+        match p {
+            Some(p) => children[p].push(v),
+            None => {
+                assert!(root.is_none(), "exactly one root expected");
+                root = Some(v);
+            }
+        }
+    }
+    let root = root.expect("tree has a root");
+
+    // post-order via iterative DFS
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        stack.extend_from_slice(&children[v]);
+    }
+
+    let mut residual: Vec<u64> = weights.to_vec();
+    let mut is_part_root = vec![false; n];
+    for &v in order.iter().rev() {
+        let mut attached: Vec<usize> = children[v]
+            .iter()
+            .copied()
+            .filter(|&c| !is_part_root[c])
+            .collect();
+        let mut total = weights[v] + attached.iter().map(|&c| residual[c]).sum::<u64>();
+        // detach heaviest children until the accumulated weight fits
+        attached.sort_by_key(|&c| std::cmp::Reverse(residual[c]));
+        let mut i = 0;
+        while total > block && i < attached.len() {
+            let c = attached[i];
+            is_part_root[c] = true;
+            total -= residual[c];
+            i += 1;
+        }
+        residual[v] = total;
+    }
+    is_part_root[root] = true;
+
+    // assign ids: nearest part-root ancestor-or-self, in pre-order
+    let mut part = vec![usize::MAX; n];
+    let mut next_id = 0usize;
+    for &v in &order {
+        if is_part_root[v] {
+            part[v] = next_id;
+            next_id += 1;
+        } else {
+            part[v] = part[parent[v].expect("non-root")];
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts_of(part: &[usize]) -> usize {
+        part.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    fn part_weight(part: &[usize], weights: &[u64], id: usize) -> u64 {
+        part.iter()
+            .zip(weights)
+            .filter(|(&p, _)| p == id)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    #[test]
+    fn single_node() {
+        let part = kundu_misra(&[None], &[5], 10);
+        assert_eq!(part, vec![0]);
+    }
+
+    #[test]
+    fn chain_splits_by_capacity() {
+        // chain 0-1-2-3-4-5, all weight 1, block 2 → 3 parts
+        let parent: Vec<Option<usize>> = vec![None, Some(0), Some(1), Some(2), Some(3), Some(4)];
+        let weights = vec![1u64; 6];
+        let part = kundu_misra(&parent, &weights, 2);
+        let k = parts_of(&part);
+        assert_eq!(k, 3);
+        for id in 0..k {
+            assert!(part_weight(&part, &weights, id) <= 2);
+        }
+    }
+
+    #[test]
+    fn parts_are_connected() {
+        // star with heavy leaves
+        let parent: Vec<Option<usize>> = vec![None, Some(0), Some(0), Some(0), Some(1), Some(1)];
+        let weights = vec![1u64, 2, 3, 4, 5, 6];
+        let part = kundu_misra(&parent, &weights, 7);
+        // connectivity: every non-root node shares its part with its parent
+        // or is a part root (the unique minimum of its part in BFS order)
+        for v in 1..parent.len() {
+            let p = parent[v].unwrap();
+            if part[v] != part[p] {
+                // v must be the topmost node of its part
+                assert!(parent
+                    .iter()
+                    .enumerate()
+                    .filter(|(u, _)| part[*u] == part[v])
+                    .all(|(u, pu)| u == v || pu.map(|x| part[x] == part[v]).unwrap_or(false)));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_respected_unless_single_oversized_node() {
+        let parent: Vec<Option<usize>> = vec![None, Some(0), Some(1), Some(1)];
+        let weights = vec![3u64, 9, 2, 2];
+        let part = kundu_misra(&parent, &weights, 8);
+        let k = parts_of(&part);
+        for id in 0..k {
+            let w = part_weight(&part, &weights, id);
+            let members: Vec<usize> = (0..4).filter(|&v| part[v] == id).collect();
+            assert!(
+                w <= 8 || members.len() == 1,
+                "part {id} weight {w} with members {members:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_block_single_part() {
+        let parent: Vec<Option<usize>> = vec![None, Some(0), Some(0), Some(2)];
+        let weights = vec![1u64, 1, 1, 1];
+        let part = kundu_misra(&parent, &weights, 100);
+        assert_eq!(parts_of(&part), 1);
+    }
+}

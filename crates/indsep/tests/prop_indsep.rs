@@ -1,0 +1,70 @@
+//! Property tests for the INDSEP baseline.
+
+use peanut_indsep::{build_index, kundu_misra};
+use peanut_junction::{build_junction_tree, RootedTree};
+use peanut_pgm::generate::{generate_network, DagConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Kundu–Misra parts are connected and within capacity (unless a single
+    /// node exceeds it by itself).
+    #[test]
+    fn partition_invariants(
+        weights in prop::collection::vec(1u64..20, 2..40),
+        block in 4u64..40,
+    ) {
+        // build a random tree shape: parent of node i is some j < i
+        let n = weights.len();
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some((i * 7 + 3) % i) })
+            .collect();
+        let part = kundu_misra(&parent, &weights, block);
+        let k = part.iter().copied().max().unwrap() + 1;
+        for id in 0..k {
+            let members: Vec<usize> = (0..n).filter(|&v| part[v] == id).collect();
+            prop_assert!(!members.is_empty());
+            // capacity
+            let w: u64 = members.iter().map(|&v| weights[v]).sum();
+            prop_assert!(w <= block || members.len() == 1);
+            // connectivity: every member except the top has its parent in
+            // the same part
+            let tops = members
+                .iter()
+                .filter(|&&v| parent[v].map(|p| part[p] != id).unwrap_or(true))
+                .count();
+            prop_assert_eq!(tops, 1, "part {} has {} tops", id, tops);
+        }
+    }
+
+    /// The index's materialized shortcuts always fit the block and cover
+    /// disjoint-or-nested regions level by level.
+    #[test]
+    fn index_invariants(seed in 0u64..2_000, n in 6usize..16, block in 4u64..200) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1 + n / 4,
+            max_in_degree: 2,
+            window: 3,
+            cardinalities: vec![2, 3],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let idx = build_index(&tree, &rooted, block, None).unwrap();
+        for ms in &idx.materialization.shortcuts {
+            prop_assert!(ms.shortcut.size() <= block);
+        }
+        // level-1 nodes partition the cliques
+        let mut covered: Vec<usize> = idx
+            .nodes
+            .iter()
+            .filter(|nd| nd.level == 1)
+            .flat_map(|nd| nd.cliques.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        prop_assert_eq!(covered.len(), tree.n_cliques());
+    }
+}

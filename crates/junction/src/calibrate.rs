@@ -1,0 +1,190 @@
+//! Hugin calibration: after a collect and a distribute pass, every clique
+//! potential equals the joint marginal of its scope and every separator
+//! potential equals the joint marginal of the separator.
+
+use crate::rooted::RootedTree;
+use crate::tree::{CliqueId, EdgeId, JunctionTree};
+use peanut_pgm::{BayesianNetwork, PgmError, Potential};
+
+/// Dense clique and separator potentials attached to a junction tree.
+///
+/// Creation fails with [`PgmError::TableTooLarge`] when any clique exceeds
+/// the dense-materialization limit; callers then fall back to the symbolic
+/// (size-only) pipeline, exactly as the paper runs TPC-H, Munin and Barley
+/// uncalibrated.
+#[derive(Clone, Debug)]
+pub struct NumericState {
+    clique_pots: Vec<Potential>,
+    sep_pots: Vec<Potential>,
+    calibrated: bool,
+}
+
+impl NumericState {
+    /// Initializes clique potentials as the product of their assigned CPTs
+    /// (expanded onto the full clique scope) and separator potentials as
+    /// all-ones.
+    pub fn initialize(tree: &JunctionTree, bn: &BayesianNetwork) -> Result<Self, PgmError> {
+        let mut clique_pots = Vec::with_capacity(tree.n_cliques());
+        for u in 0..tree.n_cliques() {
+            let mut factors: Vec<&Potential> = Vec::new();
+            let ones = Potential::ones(tree.clique(u).clone(), tree.domain())?;
+            factors.push(&ones);
+            for &v in tree.assigned_factors(u) {
+                factors.push(bn.cpt(v));
+            }
+            clique_pots.push(Potential::product_many(&factors)?);
+        }
+        let sep_pots = (0..tree.edges().len())
+            .map(|e| Potential::ones(tree.separator(e).clone(), tree.domain()))
+            .collect::<Result<_, _>>()?;
+        Ok(NumericState {
+            clique_pots,
+            sep_pots,
+            calibrated: false,
+        })
+    }
+
+    /// Runs the two Hugin passes (collect toward the pivot, then distribute
+    /// back). Idempotent once calibrated.
+    pub fn calibrate(&mut self, tree: &JunctionTree, rooted: &RootedTree) -> Result<(), PgmError> {
+        // collect: children before parents
+        let order: Vec<CliqueId> = rooted.dfs_order().to_vec();
+        for &u in order.iter().rev() {
+            let Some(p) = rooted.parent(u) else { continue };
+            let e = rooted.parent_edge(u).expect("non-root has parent edge");
+            self.pass_message(tree, u, p, e)?;
+        }
+        // distribute: parents before children
+        for &u in &order {
+            for &c in rooted.children(u) {
+                let e = rooted.parent_edge(c).expect("child has parent edge");
+                self.pass_message(tree, u, c, e)?;
+            }
+        }
+        self.calibrated = true;
+        Ok(())
+    }
+
+    /// Hugin absorption `from → to` over edge `e`:
+    /// `m = marginalize(ψ_from, sep)`, `ψ_to *= m / φ_e`, `φ_e = m`.
+    fn pass_message(
+        &mut self,
+        tree: &JunctionTree,
+        from: CliqueId,
+        to: CliqueId,
+        e: EdgeId,
+    ) -> Result<(), PgmError> {
+        let m = self.clique_pots[from].marginalize(tree.separator(e))?;
+        let update = m.divide(&self.sep_pots[e])?;
+        self.clique_pots[to] = self.clique_pots[to].product(&update)?;
+        self.sep_pots[e] = m;
+        Ok(())
+    }
+
+    /// True once [`calibrate`](Self::calibrate) has run.
+    #[inline]
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// Calibrated clique potential (the joint marginal `P(X_u)`).
+    #[inline]
+    pub fn clique_potential(&self, u: CliqueId) -> &Potential {
+        &self.clique_pots[u]
+    }
+
+    /// Calibrated separator potential (the joint marginal of the separator).
+    #[inline]
+    pub fn separator_potential(&self, e: EdgeId) -> &Potential {
+        &self.sep_pots[e]
+    }
+
+    /// Maximum disagreement between adjacent cliques on their separator
+    /// marginal — zero (up to float error) iff calibrated.
+    pub fn local_consistency_error(&self, tree: &JunctionTree) -> Result<f64, PgmError> {
+        let mut worst = 0.0f64;
+        for (e, &(u, v)) in tree.edges().iter().enumerate() {
+            let sep = tree.separator(e);
+            let mu = self.clique_pots[u].marginalize(sep)?;
+            let mv = self.clique_pots[v].marginalize(sep)?;
+            worst = worst.max(mu.max_abs_diff(&mv)?);
+            worst = worst.max(mu.max_abs_diff(&self.sep_pots[e])?);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_junction_tree;
+    use peanut_pgm::{fixtures, joint};
+
+    fn calibrated(bn: &peanut_pgm::BayesianNetwork) -> (JunctionTree, RootedTree, NumericState) {
+        let tree = build_junction_tree(bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let mut st = NumericState::initialize(&tree, bn).unwrap();
+        st.calibrate(&tree, &rooted).unwrap();
+        (tree, rooted, st)
+    }
+
+    #[test]
+    fn calibration_reaches_local_consistency() {
+        for bn in [
+            fixtures::sprinkler(),
+            fixtures::asia(),
+            fixtures::figure1(),
+            fixtures::chain(8, 3, 4),
+            fixtures::binary_tree(15, 9),
+        ] {
+            let (tree, _, st) = calibrated(&bn);
+            assert!(st.local_consistency_error(&tree).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clique_potentials_equal_joint_marginals() {
+        for bn in [fixtures::sprinkler(), fixtures::asia(), fixtures::figure1()] {
+            let (tree, _, st) = calibrated(&bn);
+            for u in 0..tree.n_cliques() {
+                let oracle = joint::marginal(&bn, tree.clique(u)).unwrap();
+                let got = st.clique_potential(u);
+                assert!(
+                    got.max_abs_diff(&oracle).unwrap() < 1e-9,
+                    "clique {u} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn separator_potentials_equal_joint_marginals() {
+        let bn = fixtures::figure1();
+        let (tree, _, st) = calibrated(&bn);
+        for e in 0..tree.edges().len() {
+            let oracle = joint::marginal(&bn, tree.separator(e)).unwrap();
+            assert!(st.separator_potential(e).max_abs_diff(&oracle).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibration_independent_of_pivot() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        for pivot in [0, tree.n_cliques() - 1] {
+            let rooted = RootedTree::rooted_at(&tree, pivot);
+            let mut st = NumericState::initialize(&tree, &bn).unwrap();
+            st.calibrate(&tree, &rooted).unwrap();
+            let oracle = joint::marginal(&bn, tree.clique(0)).unwrap();
+            assert!(st.clique_potential(0).max_abs_diff(&oracle).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uninitialized_state_not_calibrated() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let st = NumericState::initialize(&tree, &bn).unwrap();
+        assert!(!st.is_calibrated());
+    }
+}

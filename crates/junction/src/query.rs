@@ -1,0 +1,260 @@
+//! High-level query API over a junction tree: the plain **JT** method of the
+//! paper's evaluation (no extra materialization).
+
+use crate::calibrate::NumericState;
+use crate::cost::{marginalization_ops, QueryCost};
+use crate::reduced::ReducedTree;
+use crate::rooted::RootedTree;
+use crate::steiner::SteinerTree;
+use crate::tree::{CliqueId, JunctionTree};
+use peanut_pgm::{BayesianNetwork, PgmError, Potential, Scope, Var};
+
+/// How a query will be processed.
+#[derive(Clone, Debug)]
+pub enum QueryPlan {
+    /// All query variables lie in one clique: direct marginalization.
+    InClique(CliqueId),
+    /// Out-of-clique: message passing over a Steiner tree.
+    OutOfClique(SteinerTree),
+}
+
+/// A junction tree prepared for query answering.
+///
+/// Owns the rooted view and (optionally) the calibrated dense potentials.
+/// Without potentials the engine runs in *symbolic* mode: it computes exact
+/// operation counts but cannot produce numeric answers (this is how the
+/// paper evaluates the datasets whose calibration is infeasible).
+pub struct QueryEngine<'t> {
+    tree: &'t JunctionTree,
+    rooted: RootedTree,
+    numeric: Option<NumericState>,
+}
+
+impl<'t> QueryEngine<'t> {
+    /// Symbolic engine (size-only).
+    pub fn symbolic(tree: &'t JunctionTree) -> Self {
+        QueryEngine {
+            rooted: RootedTree::new(tree),
+            tree,
+            numeric: None,
+        }
+    }
+
+    /// Numeric engine: initializes and calibrates dense potentials.
+    pub fn numeric(tree: &'t JunctionTree, bn: &BayesianNetwork) -> Result<Self, PgmError> {
+        let rooted = RootedTree::new(tree);
+        let mut ns = NumericState::initialize(tree, bn)?;
+        ns.calibrate(tree, &rooted)?;
+        Ok(QueryEngine {
+            tree,
+            rooted,
+            numeric: Some(ns),
+        })
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &JunctionTree {
+        self.tree
+    }
+
+    /// The rooted view (at the tree's pivot).
+    #[inline]
+    pub fn rooted(&self) -> &RootedTree {
+        &self.rooted
+    }
+
+    /// Calibrated potentials, when running numerically.
+    #[inline]
+    pub fn numeric_state(&self) -> Option<&NumericState> {
+        self.numeric.as_ref()
+    }
+
+    /// Classifies a query (paper §3.1): in-clique vs out-of-clique.
+    pub fn plan(&self, query: &Scope) -> Result<QueryPlan, PgmError> {
+        let st = SteinerTree::extract(self.tree, &self.rooted, query)?;
+        if st.len() == 1 {
+            Ok(QueryPlan::InClique(st.root()))
+        } else {
+            Ok(QueryPlan::OutOfClique(st))
+        }
+    }
+
+    /// The reduced tree a query would be processed on (`None` for in-clique
+    /// queries). The materialization layer takes this and shrinks it with
+    /// shortcut potentials before running it.
+    pub fn reduced_for(&self, query: &Scope) -> Result<Option<ReducedTree>, PgmError> {
+        match self.plan(query)? {
+            QueryPlan::InClique(_) => Ok(None),
+            QueryPlan::OutOfClique(st) => Ok(Some(ReducedTree::from_steiner(
+                self.tree,
+                &self.rooted,
+                &st,
+                self.numeric.as_ref(),
+            ))),
+        }
+    }
+
+    /// Operation count of answering `query` with the plain junction-tree
+    /// algorithm (no shortcut potentials).
+    pub fn cost(&self, query: &Scope) -> Result<QueryCost, PgmError> {
+        match self.plan(query)? {
+            QueryPlan::InClique(u) => Ok(QueryCost {
+                ops: marginalization_ops(self.tree.clique(u), self.tree.domain()),
+                messages: 0,
+                shortcuts_used: 0,
+            }),
+            QueryPlan::OutOfClique(st) => {
+                let rt = ReducedTree::from_steiner(self.tree, &self.rooted, &st, None);
+                Ok(rt.cost(query, self.tree.domain()))
+            }
+        }
+    }
+
+    /// Numeric answer `P(query)` plus its cost. Requires numeric mode.
+    pub fn answer(&self, query: &Scope) -> Result<(Potential, QueryCost), PgmError> {
+        let ns = self
+            .numeric
+            .as_ref()
+            .ok_or_else(|| PgmError::UnknownName("engine is symbolic".into()))?;
+        match self.plan(query)? {
+            QueryPlan::InClique(u) => {
+                let pot = ns.clique_potential(u).marginalize(query)?;
+                Ok((
+                    pot,
+                    QueryCost {
+                        ops: marginalization_ops(self.tree.clique(u), self.tree.domain()),
+                        messages: 0,
+                        shortcuts_used: 0,
+                    },
+                ))
+            }
+            QueryPlan::OutOfClique(st) => {
+                let rt = ReducedTree::from_steiner(self.tree, &self.rooted, &st, Some(ns));
+                rt.answer(query, self.tree.domain())
+            }
+        }
+    }
+
+    /// Conditional distribution `P(targets | evidence)` via the paper's
+    /// §3.1 reduction: answer the joint over `targets ∪ vars(evidence)`,
+    /// restrict it to the evidence values and renormalize.
+    pub fn conditional(
+        &self,
+        targets: &Scope,
+        evidence: &[(Var, u32)],
+    ) -> Result<(Potential, QueryCost), PgmError> {
+        conditional_from_joint(targets, evidence, |q| self.answer(q))
+    }
+}
+
+/// Shared implementation of the joint→conditional reduction, reused by the
+/// materialization-aware online engine.
+pub fn conditional_from_joint<F>(
+    targets: &Scope,
+    evidence: &[(Var, u32)],
+    answer_joint: F,
+) -> Result<(Potential, QueryCost), PgmError>
+where
+    F: FnOnce(&Scope) -> Result<(Potential, QueryCost), PgmError>,
+{
+    let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+    if !ev_scope.is_disjoint_from(targets) {
+        return Err(PgmError::ScopeNotContained {
+            sub: ev_scope.to_string(),
+            sup: format!("targets {targets} must not overlap evidence"),
+        });
+    }
+    let q = targets.union(&ev_scope);
+    let (joint, cost) = answer_joint(&q)?;
+    let mut restricted = joint;
+    for &(v, value) in evidence {
+        restricted = restricted.restrict(v, value)?;
+    }
+    restricted.normalize();
+    Ok((restricted, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_junction_tree;
+    use peanut_pgm::{fixtures, joint};
+
+    #[test]
+    fn in_clique_and_out_of_clique_plans() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let eng = QueryEngine::symbolic(&tree);
+        let d = bn.domain();
+        let q_in = Scope::from_iter([d.var("g").unwrap(), d.var("h").unwrap()]);
+        let q_out = Scope::from_iter([d.var("a").unwrap(), d.var("l").unwrap()]);
+        assert!(matches!(eng.plan(&q_in).unwrap(), QueryPlan::InClique(_)));
+        assert!(matches!(
+            eng.plan(&q_out).unwrap(),
+            QueryPlan::OutOfClique(_)
+        ));
+        assert!(eng.reduced_for(&q_in).unwrap().is_none());
+        assert!(eng.reduced_for(&q_out).unwrap().is_some());
+    }
+
+    #[test]
+    fn every_pairwise_marginal_matches_brute_force() {
+        for bn in [fixtures::figure1(), fixtures::asia(), fixtures::sprinkler()] {
+            let tree = build_junction_tree(&bn).unwrap();
+            let eng = QueryEngine::numeric(&tree, &bn).unwrap();
+            let d = bn.domain();
+            let n = d.len() as u32;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let q = Scope::from_indices(&[a, b]);
+                    let (got, _) = eng.answer(&q).unwrap();
+                    let want = joint::marginal(&bn, &q).unwrap();
+                    assert!(
+                        got.max_abs_diff(&want).unwrap() < 1e-9,
+                        "query {{x{a},x{b}}}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_variable_queries_are_in_clique() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let eng = QueryEngine::numeric(&tree, &bn).unwrap();
+        for v in bn.domain().all_vars() {
+            let q = Scope::singleton(v);
+            assert!(matches!(eng.plan(&q).unwrap(), QueryPlan::InClique(_)));
+            let (got, cost) = eng.answer(&q).unwrap();
+            let want = joint::marginal(&bn, &q).unwrap();
+            assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+            assert_eq!(cost.messages, 0);
+        }
+    }
+
+    #[test]
+    fn symbolic_cost_agrees_with_numeric_cost() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let sym = QueryEngine::symbolic(&tree);
+        let num = QueryEngine::numeric(&tree, &bn).unwrap();
+        let d = bn.domain();
+        for pair in [["a", "l"], ["d", "f"], ["b", "h"], ["f", "l"]] {
+            let q = Scope::from_iter(pair.iter().map(|n| d.var(n).unwrap()));
+            let c_sym = sym.cost(&q).unwrap();
+            let (_, c_num) = num.answer(&q).unwrap();
+            assert_eq!(c_sym.ops, c_num.ops);
+        }
+    }
+
+    #[test]
+    fn symbolic_engine_cannot_answer() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let eng = QueryEngine::symbolic(&tree);
+        let q = Scope::from_indices(&[0]);
+        assert!(eng.answer(&q).is_err());
+    }
+}

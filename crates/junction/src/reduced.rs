@@ -1,0 +1,489 @@
+//! The reduced tree: the structure message passing actually runs on.
+//!
+//! A [`ReducedTree`] starts as a copy of a query's Steiner tree and can have
+//! connected regions of nodes replaced by a single *shortcut* node (the
+//! materialization layer performs the replacement). Message passing — both
+//! numeric and size-only — is implemented once, here, for all methods
+//! (plain JT, PEANUT, PEANUT+, INDSEP), which keeps the cost accounting
+//! strictly comparable across them.
+
+use crate::calibrate::NumericState;
+use crate::cost::{node_ops, QueryCost};
+use crate::rooted::RootedTree;
+use crate::steiner::SteinerTree;
+use crate::tree::{CliqueId, JunctionTree};
+use peanut_pgm::{PgmError, Potential, Scope};
+
+/// Provenance of a reduced-tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeLabel {
+    /// An original junction-tree clique.
+    Clique(CliqueId),
+    /// A materialized shortcut potential (caller-assigned id).
+    Shortcut(usize),
+}
+
+/// One node of a reduced tree.
+#[derive(Clone, Debug)]
+pub struct RNode {
+    /// Variable scope of the node's potential.
+    pub scope: Scope,
+    /// Provenance.
+    pub label: NodeLabel,
+    /// Dense potential (numeric mode only).
+    pub potential: Option<Potential>,
+    /// Separator potential on the edge toward the parent (numeric mode
+    /// only; `None` for the root).
+    pub sep_to_parent: Option<Potential>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+/// A rooted tree of potentials over which one query is answered.
+#[derive(Clone, Debug)]
+pub struct ReducedTree {
+    nodes: Vec<RNode>,
+    root: usize,
+    shortcuts_used: usize,
+}
+
+impl ReducedTree {
+    /// Builds the reduced tree of a Steiner tree. When `numeric` is given it
+    /// must be calibrated; clique and separator potentials are cloned in.
+    pub fn from_steiner(
+        tree: &JunctionTree,
+        rooted: &RootedTree,
+        st: &SteinerTree,
+        numeric: Option<&NumericState>,
+    ) -> Self {
+        let ids = st.nodes();
+        let index_of = |u: CliqueId| ids.binary_search(&u).expect("steiner member");
+        let mut nodes: Vec<RNode> = ids
+            .iter()
+            .map(|&u| {
+                let is_root = u == st.root();
+                let parent = (!is_root).then(|| index_of(rooted.parent(u).expect("non-root")));
+                let sep_to_parent = match (numeric, is_root) {
+                    (Some(ns), false) => {
+                        let e = rooted.parent_edge(u).expect("non-root");
+                        Some(ns.separator_potential(e).clone())
+                    }
+                    _ => None,
+                };
+                RNode {
+                    scope: tree.clique(u).clone(),
+                    label: NodeLabel::Clique(u),
+                    potential: numeric.map(|ns| ns.clique_potential(u).clone()),
+                    sep_to_parent,
+                    parent,
+                    children: Vec::new(),
+                }
+            })
+            .collect();
+        for i in 0..nodes.len() {
+            if let Some(p) = nodes[i].parent {
+                nodes[p].children.push(i);
+            }
+        }
+        ReducedTree {
+            nodes,
+            root: index_of(st.root()),
+            shortcuts_used: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes (never constructed that way).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Root node index.
+    #[inline]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Node access.
+    #[inline]
+    pub fn node(&self, i: usize) -> &RNode {
+        &self.nodes[i]
+    }
+
+    /// All nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[RNode] {
+        &self.nodes
+    }
+
+    /// Children of node `i`.
+    #[inline]
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.nodes[i].children
+    }
+
+    /// Parent of node `i`.
+    #[inline]
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.nodes[i].parent
+    }
+
+    /// Number of shortcut replacements applied so far.
+    #[inline]
+    pub fn shortcuts_used(&self) -> usize {
+        self.shortcuts_used
+    }
+
+    /// Reduced-tree node indices whose label is the given clique.
+    pub fn index_of_clique(&self, u: CliqueId) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.label == NodeLabel::Clique(u))
+    }
+
+    /// Replaces the connected region `region` (node indices) with a single
+    /// shortcut node of scope `scope`.
+    ///
+    /// * `potential` — the materialized shortcut table (numeric mode);
+    /// * neighbors of the region are re-attached to the new node and keep
+    ///   their original edge separators (they are cut separators of the
+    ///   shortcut);
+    /// * if the region contains the root, the new node becomes the root and
+    ///   the tree's answer is computed from the shortcut's joint.
+    ///
+    /// Returns the rebuilt tree (the original is consumed to make the
+    /// borrow-flow of repeated replacements explicit).
+    pub fn replace_region(
+        mut self,
+        region: &[usize],
+        scope: Scope,
+        potential: Option<Potential>,
+        shortcut_id: usize,
+    ) -> Result<ReducedTree, PgmError> {
+        if region.is_empty() {
+            return Err(PgmError::UnknownName("empty replacement region".into()));
+        }
+        let in_region = |i: usize| region.contains(&i);
+        // topmost region node: the one whose parent is outside (or absent)
+        let mut tops: Vec<usize> = region
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i].parent.is_none_or(|p| !in_region(p)))
+            .collect();
+        if tops.len() != 1 {
+            return Err(PgmError::UnknownName(format!(
+                "replacement region is not connected: {} tops",
+                tops.len()
+            )));
+        }
+        let top = tops.pop().expect("exactly one top");
+        let new_parent = self.nodes[top].parent;
+        let sep_to_parent = self.nodes[top].sep_to_parent.take();
+
+        let mut keep_map = vec![usize::MAX; self.nodes.len()];
+        let mut new_nodes: Vec<RNode> = Vec::with_capacity(self.nodes.len() - region.len() + 1);
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !in_region(i) {
+                keep_map[i] = new_nodes.len();
+                new_nodes.push(n.clone());
+            }
+        }
+        let shortcut_idx = new_nodes.len();
+        new_nodes.push(RNode {
+            scope,
+            label: NodeLabel::Shortcut(shortcut_id),
+            potential,
+            sep_to_parent,
+            parent: new_parent.map(|p| keep_map[p]),
+            children: Vec::new(),
+        });
+        // remap parents, then rebuild children lists
+        for (i, n) in new_nodes.iter_mut().enumerate() {
+            if i == shortcut_idx {
+                continue;
+            }
+            n.parent = n.parent.map(|old| {
+                if keep_map[old] == usize::MAX {
+                    shortcut_idx
+                } else {
+                    keep_map[old]
+                }
+            });
+            n.children.clear();
+        }
+        new_nodes[shortcut_idx].children.clear();
+        for i in 0..new_nodes.len() {
+            if let Some(p) = new_nodes[i].parent {
+                new_nodes[p].children.push(i);
+            }
+        }
+        let root = if in_region(self.root) {
+            shortcut_idx
+        } else {
+            keep_map[self.root]
+        };
+        Ok(ReducedTree {
+            nodes: new_nodes,
+            root,
+            shortcuts_used: self.shortcuts_used + 1,
+        })
+    }
+
+    /// Post-order of the node indices (children before parents).
+    fn post_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((u, expanded)) = stack.pop() {
+            if expanded {
+                order.push(u);
+            } else {
+                stack.push((u, true));
+                for &c in &self.nodes[u].children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Scope of the message sent from `u` to its parent:
+    /// `(scope(u) ∩ scope(parent)) ∪ (query vars available in u's subtree)`.
+    fn message_scope(&self, u: usize, query: &Scope, carried: &Scope) -> Scope {
+        let p = self.nodes[u].parent.expect("non-root");
+        let sep = self.nodes[u].scope.intersect(&self.nodes[p].scope);
+        sep.union(&carried.intersect(query))
+    }
+
+    /// Size-only message passing: the operation count of answering `query`
+    /// on this tree under the cost model of [`crate::cost`].
+    pub fn cost(&self, query: &Scope, domain: &peanut_pgm::Domain) -> QueryCost {
+        let mut cost = QueryCost {
+            shortcuts_used: self.shortcuts_used,
+            ..QueryCost::default()
+        };
+        let mut msg_scope: Vec<Option<Scope>> = vec![None; self.nodes.len()];
+        let mut carried: Vec<Scope> = vec![Scope::empty(); self.nodes.len()];
+        for u in self.post_order() {
+            let n = &self.nodes[u];
+            let mut product_scope = n.scope.clone();
+            let mut n_in = 0usize;
+            let mut carry = n.scope.intersect(query);
+            for &c in &n.children {
+                let m = msg_scope[c].as_ref().expect("child processed");
+                product_scope = product_scope.union(m);
+                carry = carry.union(&carried[c].intersect(query));
+                n_in += 1;
+            }
+            carried[u] = carry.clone();
+            if u == self.root {
+                cost.add_node(node_ops(&product_scope, n_in, domain));
+            } else {
+                // +1 incoming factor for the separator division
+                cost.add_node(node_ops(&product_scope, n_in + 1, domain));
+                cost.messages += 1;
+                msg_scope[u] = Some(self.message_scope(u, query, &carry));
+            }
+        }
+        cost
+    }
+
+    /// Numeric message passing: the joint `P(query)` plus the identical
+    /// operation count, on a calibrated tree.
+    pub fn answer(
+        &self,
+        query: &Scope,
+        domain: &peanut_pgm::Domain,
+    ) -> Result<(Potential, QueryCost), PgmError> {
+        let mut cost = QueryCost {
+            shortcuts_used: self.shortcuts_used,
+            ..QueryCost::default()
+        };
+        let mut messages: Vec<Option<Potential>> = vec![None; self.nodes.len()];
+        let mut carried: Vec<Scope> = vec![Scope::empty(); self.nodes.len()];
+        let mut answer = None;
+        for u in self.post_order() {
+            let n = &self.nodes[u];
+            let pot = n
+                .potential
+                .as_ref()
+                .ok_or_else(|| PgmError::UnknownName("numeric mode requires potentials".into()))?;
+            let mut factors: Vec<&Potential> = vec![pot];
+            let mut carry = n.scope.intersect(query);
+            for &c in &n.children {
+                factors.push(messages[c].as_ref().expect("child processed"));
+                carry = carry.union(&carried[c].intersect(query));
+            }
+            let n_in = factors.len() - 1;
+            let product = Potential::product_many(&factors)?;
+            carried[u] = carry.clone();
+            if u == self.root {
+                cost.add_node(node_ops(product.scope(), n_in, domain));
+                answer = Some(product.marginalize(query)?);
+            } else {
+                cost.add_node(node_ops(product.scope(), n_in + 1, domain));
+                cost.messages += 1;
+                let divided = match &n.sep_to_parent {
+                    Some(sep) => product.divide(sep)?,
+                    None => product,
+                };
+                let target = self.message_scope(u, query, &carry);
+                messages[u] = Some(divided.marginalize(&target)?);
+            }
+        }
+        Ok((answer.expect("root visited"), cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_junction_tree;
+    use peanut_pgm::{fixtures, joint};
+
+    fn setup(
+        bn: &peanut_pgm::BayesianNetwork,
+        pivot: Option<usize>,
+    ) -> (JunctionTree, RootedTree, NumericState) {
+        let mut tree = build_junction_tree(bn).unwrap();
+        if let Some(p) = pivot {
+            tree.set_pivot(p);
+        }
+        let rooted = RootedTree::new(&tree);
+        let mut ns = NumericState::initialize(&tree, bn).unwrap();
+        ns.calibrate(&tree, &rooted).unwrap();
+        (tree, rooted, ns)
+    }
+
+    #[test]
+    fn answers_match_brute_force() {
+        let bn = fixtures::figure1();
+        let (tree, rooted, ns) = setup(&bn, None);
+        let d = bn.domain();
+        let queries = [
+            vec!["b", "i", "f"],
+            vec!["a", "l"],
+            vec!["d", "h"],
+            vec!["a", "e", "l"],
+            vec!["f", "g"],
+        ];
+        for names in queries {
+            let q = Scope::from_iter(names.iter().map(|n| d.var(n).unwrap()));
+            let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+            let rt = ReducedTree::from_steiner(&tree, &rooted, &st, Some(&ns));
+            let (got, cost) = rt.answer(&q, d).unwrap();
+            let want = joint::marginal(&bn, &q).unwrap();
+            assert!(
+                got.max_abs_diff(&want).unwrap() < 1e-9,
+                "query {names:?} mismatch"
+            );
+            assert!(cost.ops > 0);
+            assert_eq!(cost.messages, rt.len() - 1);
+        }
+    }
+
+    #[test]
+    fn cost_matches_between_numeric_and_symbolic() {
+        let bn = fixtures::asia();
+        let (tree, rooted, ns) = setup(&bn, None);
+        let d = bn.domain();
+        for pair in [[0u32, 7], [1, 6], [0, 5]] {
+            let q = Scope::from_indices(&pair);
+            let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+            let rt_num = ReducedTree::from_steiner(&tree, &rooted, &st, Some(&ns));
+            let rt_sym = ReducedTree::from_steiner(&tree, &rooted, &st, None);
+            let (_, c_num) = rt_num.answer(&q, d).unwrap();
+            let c_sym = rt_sym.cost(&q, d);
+            assert_eq!(c_num.ops, c_sym.ops);
+            assert_eq!(c_num.messages, c_sym.messages);
+        }
+    }
+
+    #[test]
+    fn replace_region_with_its_own_marginal_preserves_answer() {
+        // Simulate a shortcut: replace a connected region by the joint of
+        // its cut separators, computed by brute force from the network.
+        let bn = fixtures::figure1();
+        let (tree, rooted, ns) = setup(&bn, None);
+        let d = bn.domain();
+        let q = Scope::from_iter([d.var("b").unwrap(), d.var("l").unwrap()]);
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        let rt = ReducedTree::from_steiner(&tree, &rooted, &st, Some(&ns));
+        assert!(rt.len() >= 4, "need an interior region; got {}", rt.len());
+
+        // pick an interior region: a non-root, non-leaf node
+        let interior = (0..rt.len())
+            .find(|&i| i != rt.root() && !rt.children(i).is_empty())
+            .expect("interior node exists");
+        // cut scope: union of separators to parent and to children
+        let p = rt.parent(interior).unwrap();
+        let mut cut_scope = rt.node(interior).scope.intersect(&rt.node(p).scope);
+        for &c in rt.children(interior) {
+            cut_scope = cut_scope.union(&rt.node(c).scope.intersect(&rt.node(interior).scope));
+        }
+        let shortcut_pot = joint::marginal(&bn, &cut_scope).unwrap();
+        let (want, base_cost) = rt.clone().answer(&q, d).unwrap();
+        let rt2 = rt
+            .replace_region(&[interior], cut_scope, Some(shortcut_pot), 0)
+            .unwrap();
+        let (got, red_cost) = rt2.answer(&q, d).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+        assert_eq!(red_cost.shortcuts_used, 1);
+        // same number of nodes here (single node swapped), so messages equal
+        assert_eq!(red_cost.messages, base_cost.messages);
+    }
+
+    #[test]
+    fn replace_multi_node_region_containing_root() {
+        let bn = fixtures::figure1();
+        let (tree, rooted, ns) = setup(&bn, None);
+        let d = bn.domain();
+        let q = Scope::from_iter([d.var("a").unwrap(), d.var("l").unwrap()]);
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        let rt = ReducedTree::from_steiner(&tree, &rooted, &st, Some(&ns));
+        let (want, _) = rt.clone().answer(&q, d).unwrap();
+
+        // region = root + its first child (connected, contains r_q)
+        let root = rt.root();
+        let child = rt.children(root).first().copied().expect("root has child");
+        let region = vec![root, child];
+        // cut scope: separators from the region to the outside, plus any
+        // query variables inside the region (they must survive)
+        let mut cut_scope = Scope::empty();
+        for &i in &region {
+            for &c in rt.children(i) {
+                if !region.contains(&c) {
+                    cut_scope = cut_scope.union(&rt.node(c).scope.intersect(&rt.node(i).scope));
+                }
+            }
+        }
+        for &i in &region {
+            cut_scope = cut_scope.union(&rt.node(i).scope.intersect(&q));
+        }
+        let pot = joint::marginal(&bn, &cut_scope).unwrap();
+        let rt2 = rt.replace_region(&region, cut_scope, Some(pot), 3).unwrap();
+        let (got, cost) = rt2.answer(&q, d).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+        assert_eq!(cost.shortcuts_used, 1);
+    }
+
+    #[test]
+    fn disconnected_region_rejected() {
+        let bn = fixtures::chain(7, 2, 0);
+        let (tree, rooted, ns) = setup(&bn, None);
+        let q = Scope::from_indices(&[0, 6]);
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        let rt = ReducedTree::from_steiner(&tree, &rooted, &st, Some(&ns));
+        assert!(rt.len() >= 5);
+        // two nodes that are not adjacent
+        let a = rt.root();
+        let grandchild = rt.children(rt.children(a)[0])[0];
+        let err = rt.replace_region(&[a, grandchild], Scope::empty(), None, 0);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Steiner-tree extraction for out-of-clique queries.
+
+use crate::rooted::RootedTree;
+use crate::tree::{CliqueId, JunctionTree};
+use peanut_pgm::{PgmError, Scope, Var};
+
+/// The minimal subtree of the junction tree connecting a covering clique for
+/// every query variable, rooted at the node closest to the global pivot
+/// (`r_q` in the paper).
+///
+/// Covering-clique choice: for each query variable we pick the containing
+/// clique closest to the pivot (ties broken by clique id) — a deterministic
+/// heuristic that favors small trees (documented in `DESIGN.md` §5.4).
+#[derive(Clone, Debug)]
+pub struct SteinerTree {
+    /// Member cliques, ascending id.
+    nodes: Vec<CliqueId>,
+    /// The Steiner root `r_q`: the member closest to the pivot.
+    root: CliqueId,
+}
+
+impl SteinerTree {
+    /// Extracts the Steiner tree for `query` (assumed out-of-clique or not —
+    /// a single covering clique simply yields a one-node tree).
+    pub fn extract(
+        tree: &JunctionTree,
+        rooted: &RootedTree,
+        query: &Scope,
+    ) -> Result<Self, PgmError> {
+        if query.is_empty() {
+            return Err(PgmError::UnknownName("empty query".into()));
+        }
+        // single covering clique? (in-clique query)
+        if let Some(u) = (0..tree.n_cliques())
+            .filter(|&u| query.is_subset_of(tree.clique(u)))
+            .min_by_key(|&u| (tree.clique_size(u), u))
+        {
+            return Ok(SteinerTree {
+                nodes: vec![u],
+                root: u,
+            });
+        }
+        // per-variable covering cliques, nearest the pivot
+        let mut terminals: Vec<CliqueId> = Vec::with_capacity(query.len());
+        for v in query.iter() {
+            let u = tree
+                .cliques_with(v)
+                .min_by_key(|&u| (rooted.depth(u), u))
+                .ok_or(PgmError::UnknownVar(v))?;
+            terminals.push(u);
+        }
+        terminals.sort_unstable();
+        terminals.dedup();
+
+        // r_q = LCA of all terminals; Steiner nodes = union of paths to it
+        let mut root = terminals[0];
+        for &t in &terminals[1..] {
+            root = rooted.lca(root, t);
+        }
+        let mut marked = vec![false; tree.n_cliques()];
+        for &t in &terminals {
+            let mut u = t;
+            loop {
+                if marked[u] {
+                    break;
+                }
+                marked[u] = true;
+                if u == root {
+                    break;
+                }
+                u = rooted.parent(u).expect("root is an ancestor");
+            }
+        }
+        let nodes: Vec<CliqueId> = (0..tree.n_cliques()).filter(|&u| marked[u]).collect();
+        Ok(SteinerTree { nodes, root })
+    }
+
+    /// Assembles a Steiner-tree value from parts. The caller must guarantee
+    /// that `nodes` is a connected subtree (w.r.t. the rooted junction tree)
+    /// and `root` its member closest to the pivot; the materialization layer
+    /// uses this to run message passing inside a shortcut's subtree.
+    pub fn from_parts(mut nodes: Vec<CliqueId>, root: CliqueId) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        debug_assert!(nodes.binary_search(&root).is_ok());
+        SteinerTree { nodes, root }
+    }
+
+    /// Member cliques, ascending id.
+    #[inline]
+    pub fn nodes(&self) -> &[CliqueId] {
+        &self.nodes
+    }
+
+    /// The Steiner root `r_q`.
+    #[inline]
+    pub fn root(&self) -> CliqueId {
+        self.root
+    }
+
+    /// Number of member cliques.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a single-clique (in-clique) tree.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, u: CliqueId) -> bool {
+        self.nodes.binary_search(&u).is_ok()
+    }
+
+    /// Leaves of the Steiner tree (members none of whose Steiner children
+    /// exist).
+    pub fn leaves(&self, rooted: &RootedTree) -> Vec<CliqueId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&u| {
+                u != self.root
+                    && rooted
+                        .children(u)
+                        .iter()
+                        .all(|&c| !self.contains(c))
+            })
+            .collect()
+    }
+
+    /// Diameter (in edges) of the Steiner tree — the x-axis of the paper's
+    /// Figure 6.
+    pub fn diameter(&self, rooted: &RootedTree) -> usize {
+        // longest downward chain within the Steiner tree from each node,
+        // combined pairwise at every internal node
+        if self.nodes.len() <= 1 {
+            return 0;
+        }
+        let mut height: std::collections::HashMap<CliqueId, usize> = std::collections::HashMap::new();
+        let mut best = 0usize;
+        // process nodes deepest-first so children are done before parents
+        let mut by_depth = self.nodes.clone();
+        by_depth.sort_by_key(|&u| std::cmp::Reverse(rooted.depth(u)));
+        for &u in &by_depth {
+            let mut child_heights: Vec<usize> = rooted
+                .children(u)
+                .iter()
+                .filter(|&&c| self.contains(c))
+                .map(|&c| height[&c] + 1)
+                .collect();
+            child_heights.sort_unstable_by(|a, b| b.cmp(a));
+            let h = child_heights.first().copied().unwrap_or(0);
+            let through = match child_heights.len() {
+                0 => 0,
+                1 => child_heights[0],
+                _ => child_heights[0] + child_heights[1],
+            };
+            best = best.max(through);
+            height.insert(u, h);
+        }
+        best
+    }
+}
+
+/// Depth of a variable: the depth of its shallowest containing clique.
+/// Drives the paper's *skewed* workload (probability ∝ distance from pivot).
+pub fn var_depth(tree: &JunctionTree, rooted: &RootedTree, v: Var) -> Option<usize> {
+    tree.cliques_with(v).map(|u| rooted.depth(u)).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_junction_tree;
+    use peanut_pgm::fixtures;
+
+    fn fig1() -> (peanut_pgm::BayesianNetwork, JunctionTree, RootedTree) {
+        let bn = fixtures::figure1();
+        let mut tree = build_junction_tree(&bn).unwrap();
+        // pick the clique {b,c} as pivot, matching the paper's Figure 2
+        let d = bn.domain().clone();
+        let bc = Scope::from_iter([d.var("b").unwrap(), d.var("c").unwrap()]);
+        let pivot = tree.cliques().iter().position(|c| *c == bc).unwrap();
+        tree.set_pivot(pivot);
+        let rooted = RootedTree::new(&tree);
+        (bn, tree, rooted)
+    }
+
+    fn clique_named(tree: &JunctionTree, d: &peanut_pgm::Domain, names: &[&str]) -> CliqueId {
+        let sc = Scope::from_iter(names.iter().map(|n| d.var(n).unwrap()));
+        tree.cliques().iter().position(|c| *c == sc).unwrap()
+    }
+
+    #[test]
+    fn in_clique_query_single_node() {
+        let (bn, tree, rooted) = fig1();
+        let d = bn.domain();
+        let q = Scope::from_iter([d.var("g").unwrap(), d.var("h").unwrap()]);
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.root(), st.nodes()[0]);
+        assert_eq!(st.nodes()[0], clique_named(&tree, d, &["e", "g", "h"]));
+    }
+
+    #[test]
+    fn paper_example_query_bif() {
+        // q = {b, i, f} from Figure 2: Steiner tree spans bc, ce, ef, egh, gil
+        let (bn, tree, rooted) = fig1();
+        let d = bn.domain();
+        let q = Scope::from_iter([
+            d.var("b").unwrap(),
+            d.var("i").unwrap(),
+            d.var("f").unwrap(),
+        ]);
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        let expect: Vec<CliqueId> = [
+            clique_named(&tree, d, &["b", "c"]),
+            clique_named(&tree, d, &["c", "e"]),
+            clique_named(&tree, d, &["e", "f"]),
+            clique_named(&tree, d, &["e", "g", "h"]),
+            clique_named(&tree, d, &["g", "i", "l"]),
+        ]
+        .into_iter()
+        .collect();
+        let mut expect_sorted = expect.clone();
+        expect_sorted.sort_unstable();
+        assert_eq!(st.nodes(), expect_sorted.as_slice());
+        // pivot bc is in the tree ⇒ r_q = bc
+        assert_eq!(st.root(), clique_named(&tree, d, &["b", "c"]));
+        // In our tree egh hangs off ef (valid MST tie-break), so the Steiner
+        // tree is the path bc–ce–ef–egh–gil and gil is its only leaf.
+        assert_eq!(st.leaves(&rooted), vec![clique_named(&tree, d, &["g", "i", "l"])]);
+    }
+
+    #[test]
+    fn diameter_of_example() {
+        let (bn, tree, rooted) = fig1();
+        let d = bn.domain();
+        let q = Scope::from_iter([
+            d.var("b").unwrap(),
+            d.var("i").unwrap(),
+            d.var("f").unwrap(),
+        ]);
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        // path tree bc–ce–ef–egh–gil ⇒ diameter 4
+        assert_eq!(st.diameter(&rooted), 4);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let (_, tree, rooted) = fig1();
+        assert!(SteinerTree::extract(&tree, &rooted, &Scope::empty()).is_err());
+    }
+
+    #[test]
+    fn var_depths_increase_down_the_tree() {
+        let (bn, tree, rooted) = fig1();
+        let d = bn.domain();
+        let depth_b = var_depth(&tree, &rooted, d.var("b").unwrap()).unwrap();
+        let depth_l = var_depth(&tree, &rooted, d.var("l").unwrap()).unwrap();
+        assert_eq!(depth_b, 0);
+        assert!(depth_l >= 2);
+    }
+
+    #[test]
+    fn steiner_nodes_connected() {
+        let bn = fixtures::asia();
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        for q_vars in [[0u32, 7], [1, 6], [2, 5]] {
+            let q = Scope::from_indices(&q_vars);
+            let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+            // every non-root member's parent is a member
+            for &u in st.nodes() {
+                if u != st.root() {
+                    assert!(st.contains(rooted.parent(u).unwrap()));
+                }
+            }
+        }
+    }
+}

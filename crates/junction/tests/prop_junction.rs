@@ -1,0 +1,80 @@
+//! Property tests: junction-tree invariants on random networks.
+
+use peanut_junction::{build_junction_tree, QueryEngine, RootedTree, SteinerTree};
+use peanut_pgm::generate::{generate_network, DagConfig};
+use peanut_pgm::{joint, Scope, Var};
+use proptest::prelude::*;
+
+fn small_network_strategy() -> impl Strategy<Value = (u64, usize, usize)> {
+    // (seed, n_nodes, extra_edges)
+    (0u64..10_000, 4usize..11, 0usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Junction trees of random networks satisfy the running-intersection
+    /// property and family preservation.
+    #[test]
+    fn rip_and_family_preservation((seed, n, extra) in small_network_strategy()) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: (n - 1 + extra).min((1..n).map(|i| i.min(3).min(2)).sum::<usize>() + n),
+            max_in_degree: 2,
+            window: 3,
+            cardinalities: vec![2, 3],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let tree = build_junction_tree(&bn).unwrap();
+        tree.check_running_intersection().unwrap();
+        for v in bn.domain().all_vars() {
+            let fam = bn.family(v);
+            prop_assert!(tree.cliques().iter().any(|c| fam.is_subset_of(c)));
+        }
+    }
+
+    /// Junction-tree answers equal brute force on random networks and
+    /// random 1–3 variable queries.
+    #[test]
+    fn answers_equal_brute_force((seed, n, extra) in small_network_strategy(), qsel in prop::collection::vec(0usize..100, 1..4)) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1 + extra.min(n / 2),
+            max_in_degree: 2,
+            window: 3,
+            cardinalities: vec![2],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let tree = build_junction_tree(&bn).unwrap();
+        let eng = QueryEngine::numeric(&tree, &bn).unwrap();
+        let q = Scope::from_iter(qsel.iter().map(|&i| Var((i % n) as u32)));
+        let (got, _) = eng.answer(&q).unwrap();
+        let want = joint::marginal(&bn, &q).unwrap();
+        prop_assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+    }
+
+    /// The Steiner tree is minimal-ish: removing any leaf would drop a
+    /// covering clique for some query variable.
+    #[test]
+    fn steiner_leaves_are_necessary((seed, n, extra) in small_network_strategy(), qsel in prop::collection::vec(0usize..100, 2..4)) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1 + extra.min(n / 2),
+            max_in_degree: 2,
+            window: 3,
+            cardinalities: vec![2],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let q = Scope::from_iter(qsel.iter().map(|&i| Var((i % n) as u32)));
+        let st = SteinerTree::extract(&tree, &rooted, &q).unwrap();
+        if st.len() <= 1 { return Ok(()); }
+        for leaf in st.leaves(&rooted) {
+            // the leaf must hold at least one query variable that the tree
+            // was built to cover (it terminated a path)
+            let holds_query_var = !tree.clique(leaf).intersect(&q).is_empty();
+            prop_assert!(holds_query_var, "leaf {leaf} holds no query var");
+        }
+    }
+}

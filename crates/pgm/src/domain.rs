@@ -1,0 +1,164 @@
+//! Variable domains: names and cardinalities.
+
+use crate::error::PgmError;
+use crate::scope::Scope;
+use crate::var::Var;
+use crate::Result;
+use std::collections::HashMap;
+
+/// The set of variables of a model together with their names and
+/// cardinalities.
+///
+/// A `Domain` is immutable once built and shared by reference across the
+/// junction-tree and materialization layers; potentials carry their own
+/// cardinality vectors so the hot factor-algebra paths never consult it.
+#[derive(Clone, Debug, Default)]
+pub struct Domain {
+    names: Vec<String>,
+    cards: Vec<u32>,
+    by_name: HashMap<String, Var>,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a domain of `n` anonymous variables, all with cardinality
+    /// `card` (named `x0..x{n-1}`).
+    pub fn uniform(n: usize, card: u32) -> Result<Self> {
+        let mut d = Domain::new();
+        for i in 0..n {
+            d.add(&format!("x{i}"), card)?;
+        }
+        Ok(d)
+    }
+
+    /// Creates a domain from `(name, cardinality)` pairs.
+    pub fn from_pairs<'a, I: IntoIterator<Item = (&'a str, u32)>>(pairs: I) -> Result<Self> {
+        let mut d = Domain::new();
+        for (name, card) in pairs {
+            d.add(name, card)?;
+        }
+        Ok(d)
+    }
+
+    /// Adds a variable and returns its handle.
+    pub fn add(&mut self, name: &str, card: u32) -> Result<Var> {
+        if card == 0 {
+            return Err(PgmError::InvalidCardinality {
+                var: Var(self.names.len() as u32),
+                card,
+            });
+        }
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.cards.push(card);
+        self.by_name.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the domain has no variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Cardinality of a variable.
+    #[inline]
+    pub fn card(&self, v: Var) -> u32 {
+        self.cards[v.index()]
+    }
+
+    /// Checked cardinality lookup.
+    pub fn try_card(&self, v: Var) -> Result<u32> {
+        self.cards
+            .get(v.index())
+            .copied()
+            .ok_or(PgmError::UnknownVar(v))
+    }
+
+    /// Name of a variable.
+    #[inline]
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Variable handle by name.
+    pub fn var(&self, name: &str) -> Result<Var> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| PgmError::UnknownName(name.to_string()))
+    }
+
+    /// All variables, in index order.
+    pub fn all_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len() as u32).map(Var)
+    }
+
+    /// The scope containing every variable of the domain.
+    pub fn full_scope(&self) -> Scope {
+        Scope::from_iter(self.all_vars())
+    }
+
+    /// Cardinalities of a scope's variables, in scope order.
+    pub fn cards_of(&self, scope: &Scope) -> Vec<u32> {
+        scope.iter().map(|v| self.card(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut d = Domain::new();
+        let a = d.add("rain", 2).unwrap();
+        let b = d.add("sprinkler", 3).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.card(a), 2);
+        assert_eq!(d.card(b), 3);
+        assert_eq!(d.name(b), "sprinkler");
+        assert_eq!(d.var("rain").unwrap(), a);
+        assert!(d.var("nope").is_err());
+    }
+
+    #[test]
+    fn zero_cardinality_rejected() {
+        let mut d = Domain::new();
+        assert!(matches!(
+            d.add("bad", 0),
+            Err(PgmError::InvalidCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_domain() {
+        let d = Domain::uniform(4, 2).unwrap();
+        assert_eq!(d.len(), 4);
+        assert!(d.all_vars().all(|v| d.card(v) == 2));
+        assert_eq!(d.full_scope().len(), 4);
+    }
+
+    #[test]
+    fn cards_of_scope_in_scope_order() {
+        let d = Domain::from_pairs([("a", 2), ("b", 3), ("c", 4)]).unwrap();
+        let sc = Scope::from_indices(&[2, 0]);
+        assert_eq!(d.cards_of(&sc), vec![2, 4]);
+    }
+
+    #[test]
+    fn try_card_unknown_var() {
+        let d = Domain::uniform(2, 2).unwrap();
+        assert!(matches!(d.try_card(Var(9)), Err(PgmError::UnknownVar(_))));
+    }
+}

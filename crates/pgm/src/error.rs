@@ -1,0 +1,95 @@
+//! Error type shared across the PGM substrate.
+
+use crate::var::Var;
+use std::fmt;
+
+/// Errors raised when constructing or manipulating models and potentials.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PgmError {
+    /// A variable index referenced a domain entry that does not exist.
+    UnknownVar(Var),
+    /// A variable name lookup failed.
+    UnknownName(String),
+    /// A cardinality of zero (or otherwise invalid) was supplied.
+    InvalidCardinality { var: Var, card: u32 },
+    /// Two potentials disagree on the cardinality of a shared variable.
+    CardinalityMismatch { var: Var, left: u32, right: u32 },
+    /// An operation required `sub` to be contained in `sup`.
+    ScopeNotContained { sub: String, sup: String },
+    /// The requested table would exceed the dense-materialization limit.
+    TableTooLarge { entries: u64, limit: u64 },
+    /// A CPT row does not sum to one.
+    UnnormalizedCpt { var: Var, row: usize, sum: f64 },
+    /// Adding an edge would create a directed cycle.
+    CycleDetected,
+    /// A CPT has the wrong scope (must be {var} ∪ parents).
+    BadCptScope { var: Var },
+    /// The network has no variables.
+    EmptyNetwork,
+    /// Generator was asked for an impossible configuration.
+    InfeasibleGenerator(String),
+    /// A value assignment was out of range for the variable's cardinality.
+    ValueOutOfRange { var: Var, value: u32, card: u32 },
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            PgmError::UnknownName(n) => write!(f, "unknown variable name {n:?}"),
+            PgmError::InvalidCardinality { var, card } => {
+                write!(f, "invalid cardinality {card} for {var}")
+            }
+            PgmError::CardinalityMismatch { var, left, right } => {
+                write!(f, "cardinality mismatch for {var}: {left} vs {right}")
+            }
+            PgmError::ScopeNotContained { sub, sup } => {
+                write!(f, "scope {sub} is not contained in {sup}")
+            }
+            PgmError::TableTooLarge { entries, limit } => {
+                write!(f, "table with {entries} entries exceeds limit {limit}")
+            }
+            PgmError::UnnormalizedCpt { var, row, sum } => {
+                write!(f, "CPT for {var} row {row} sums to {sum}, expected 1")
+            }
+            PgmError::CycleDetected => write!(f, "edge insertion would create a cycle"),
+            PgmError::BadCptScope { var } => {
+                write!(f, "CPT scope for {var} must equal {{var}} ∪ parents")
+            }
+            PgmError::EmptyNetwork => write!(f, "network has no variables"),
+            PgmError::InfeasibleGenerator(msg) => write!(f, "infeasible generator config: {msg}"),
+            PgmError::ValueOutOfRange { var, value, card } => {
+                write!(f, "value {value} out of range for {var} with cardinality {card}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PgmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = PgmError::CardinalityMismatch {
+            var: Var(2),
+            left: 2,
+            right: 3,
+        };
+        assert!(e.to_string().contains("x2"));
+        assert!(e.to_string().contains("2 vs 3"));
+        let e = PgmError::TableTooLarge {
+            entries: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PgmError::CycleDetected);
+    }
+}

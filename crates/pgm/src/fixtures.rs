@@ -1,0 +1,169 @@
+//! Hand-built networks used in tests, examples and documentation.
+
+use crate::network::{BayesianNetwork, NetworkBuilder};
+use crate::sampling::random_cpt;
+use crate::Var;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The running example of the paper's Figure 1.
+///
+/// Ten variables `a..i, l` whose moralized-triangulated graph yields exactly
+/// the cliques of Figure 1(b): `{a,b,d}, {b,c}, {c,e}, {e,f}, {e,g,h},
+/// {g,i,l}` with separators `b, c, e, e, g`.
+///
+/// Structure: `a→d, b→d, b→c, c→e, e→f, e→g, e→h, g→h, g→i, g→l, i→l`.
+/// CPT values are seeded-random (the paper's figures do not specify numeric
+/// tables; structure is what matters for the junction tree).
+pub fn figure1() -> BayesianNetwork {
+    let mut rng = StdRng::seed_from_u64(0xF161);
+    let mut b = NetworkBuilder::new();
+    let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "l"];
+    let vars: Vec<Var> = names.iter().map(|n| b.var(n, 2)).collect();
+    let [a, bb, c, d, e, f, g, h, i, l]: [Var; 10] = vars.try_into().unwrap();
+    let structure: [(Var, &[Var]); 10] = [
+        (a, &[]),
+        (bb, &[]),
+        (c, &[bb]),
+        (d, &[a, bb]),
+        (e, &[c]),
+        (f, &[e]),
+        (g, &[e]),
+        (h, &[e, g]),
+        (i, &[g]),
+        (l, &[g, i]),
+    ];
+    for (child, parents) in structure {
+        let t = random_cpt(b.domain(), child, parents, &mut rng).unwrap();
+        b.cpt_potential(child, parents, t).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The classic 4-variable sprinkler network (cloudy → sprinkler, rain → wet).
+pub fn sprinkler() -> BayesianNetwork {
+    let mut b = NetworkBuilder::new();
+    let cloudy = b.var("cloudy", 2);
+    let sprinkler = b.var("sprinkler", 2);
+    let rain = b.var("rain", 2);
+    let wet = b.var("wet", 2);
+    b.cpt(cloudy, &[], &[&[0.5, 0.5]]).unwrap();
+    b.cpt(sprinkler, &[cloudy], &[&[0.5, 0.5], &[0.9, 0.1]])
+        .unwrap();
+    b.cpt(rain, &[cloudy], &[&[0.8, 0.2], &[0.2, 0.8]]).unwrap();
+    b.cpt(
+        wet,
+        &[sprinkler, rain],
+        &[&[1.0, 0.0], &[0.1, 0.9], &[0.1, 0.9], &[0.01, 0.99]],
+    )
+    .unwrap();
+    b.build().unwrap()
+}
+
+/// An 8-variable medical-diagnosis network in the style of the classic ASIA
+/// model (visit→tb, smoke→{lung, bronc}, {tb,lung}→either→{xray, dysp←bronc}).
+pub fn asia() -> BayesianNetwork {
+    let mut b = NetworkBuilder::new();
+    let visit = b.var("visit_asia", 2);
+    let smoke = b.var("smoking", 2);
+    let tb = b.var("tuberculosis", 2);
+    let lung = b.var("lung_cancer", 2);
+    let bronc = b.var("bronchitis", 2);
+    let either = b.var("tb_or_cancer", 2);
+    let xray = b.var("xray_abnormal", 2);
+    let dysp = b.var("dyspnoea", 2);
+    b.cpt(visit, &[], &[&[0.99, 0.01]]).unwrap();
+    b.cpt(smoke, &[], &[&[0.5, 0.5]]).unwrap();
+    b.cpt(tb, &[visit], &[&[0.99, 0.01], &[0.95, 0.05]]).unwrap();
+    b.cpt(lung, &[smoke], &[&[0.99, 0.01], &[0.9, 0.1]]).unwrap();
+    b.cpt(bronc, &[smoke], &[&[0.7, 0.3], &[0.4, 0.6]]).unwrap();
+    b.cpt(
+        either,
+        &[tb, lung],
+        &[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0], &[0.0, 1.0]],
+    )
+    .unwrap();
+    b.cpt(xray, &[either], &[&[0.95, 0.05], &[0.02, 0.98]])
+        .unwrap();
+    b.cpt(
+        dysp,
+        &[either, bronc],
+        &[&[0.9, 0.1], &[0.2, 0.8], &[0.3, 0.7], &[0.1, 0.9]],
+    )
+    .unwrap();
+    b.build().unwrap()
+}
+
+/// A Markov chain `x0 → x1 → … → x{n−1}` with uniform cardinality `card` and
+/// seeded-random CPTs. The junction tree of a chain is a path — the simplest
+/// shape for exercising shortcut potentials.
+pub fn chain(n: usize, card: u32, seed: u64) -> BayesianNetwork {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+    let vars: Vec<Var> = (0..n).map(|i| b.var(&format!("x{i}"), card)).collect();
+    for (i, &v) in vars.iter().enumerate() {
+        let parents: &[Var] = if i == 0 { &[] } else { &vars[i - 1..i] };
+        let t = random_cpt(b.domain(), v, parents, &mut rng).unwrap();
+        b.cpt_potential(v, parents, t).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A balanced binary out-tree of `n` nodes (node `i`'s parent is
+/// `(i−1)/2`), binary variables, seeded-random CPTs. Junction trees of
+/// polytrees branch, which exercises multi-child DP paths.
+pub fn binary_tree(n: usize, seed: u64) -> BayesianNetwork {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+    let vars: Vec<Var> = (0..n).map(|i| b.var(&format!("t{i}"), 2)).collect();
+    for (i, &v) in vars.iter().enumerate() {
+        let parents: Vec<Var> = if i == 0 { vec![] } else { vec![vars[(i - 1) / 2]] };
+        let t = random_cpt(b.domain(), v, &parents, &mut rng).unwrap();
+        b.cpt_potential(v, &parents, t).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::joint_table;
+
+    #[test]
+    fn figure1_shape() {
+        let bn = figure1();
+        assert_eq!(bn.n_vars(), 10);
+        assert_eq!(bn.n_edges(), 11);
+        bn.validate_cpts().unwrap();
+        let j = joint_table(&bn).unwrap();
+        assert!((j.sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_fixtures_are_valid_distributions() {
+        for bn in [sprinkler(), asia(), chain(6, 3, 1), binary_tree(9, 2)] {
+            bn.validate_cpts().unwrap();
+            let j = joint_table(&bn).unwrap();
+            assert!((j.sum() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chain_is_a_path() {
+        let bn = chain(5, 2, 0);
+        for (p, c) in bn.edges() {
+            assert_eq!(p.index() + 1, c.index());
+        }
+        assert_eq!(bn.n_edges(), 4);
+    }
+
+    #[test]
+    fn binary_tree_parents() {
+        let bn = binary_tree(7, 0);
+        for (p, c) in bn.edges() {
+            assert_eq!(p.index(), (c.index() - 1) / 2);
+        }
+    }
+}

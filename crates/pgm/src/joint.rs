@@ -1,0 +1,67 @@
+//! Brute-force inference: the test oracle for the whole workspace.
+//!
+//! These routines materialize the full joint distribution (guarded by the
+//! dense-size limit), so they only run on small networks — exactly what the
+//! correctness tests need to validate junction-tree answers bit for bit.
+
+use crate::network::BayesianNetwork;
+use crate::potential::Potential;
+use crate::scope::Scope;
+use crate::Result;
+
+/// The full joint distribution of the network as one dense table.
+///
+/// Fails with [`PgmError::TableTooLarge`](crate::PgmError::TableTooLarge)
+/// when the joint would exceed the dense limit.
+pub fn joint_table(bn: &BayesianNetwork) -> Result<Potential> {
+    let factors: Vec<&Potential> = bn.cpts().collect();
+    Potential::product_many(&factors)
+}
+
+/// The exact joint marginal `P(scope)` computed by brute force.
+pub fn marginal(bn: &BayesianNetwork, scope: &Scope) -> Result<Potential> {
+    joint_table(bn)?.marginalize(scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::var::Var;
+
+    fn two_node() -> BayesianNetwork {
+        let mut b = NetworkBuilder::new();
+        let a = b.var("a", 2);
+        let c = b.var("c", 2);
+        b.cpt(a, &[], &[&[0.3, 0.7]]).unwrap();
+        b.cpt(c, &[a], &[&[0.9, 0.1], &[0.4, 0.6]]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn joint_sums_to_one() {
+        let bn = two_node();
+        let j = joint_table(&bn).unwrap();
+        assert!((j.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn joint_matches_hand_computation() {
+        let bn = two_node();
+        let j = joint_table(&bn).unwrap();
+        // P(a=1, c=0) = 0.7 * 0.4 = 0.28
+        assert!((j.get(&[1, 0]) - 0.28).abs() < 1e-12);
+        // P(a=0, c=0) = 0.3 * 0.9 = 0.27
+        assert!((j.get(&[0, 0]) - 0.27).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_of_child() {
+        let bn = two_node();
+        let m = marginal(&bn, &Scope::singleton(Var(1))).unwrap();
+        // P(c=0) = 0.27 + 0.28 = 0.55
+        assert!((m.values()[0] - 0.55).abs() < 1e-12);
+        assert!((m.values()[1] - 0.45).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Random CPTs and ancestral sampling.
+
+use crate::domain::Domain;
+use crate::network::BayesianNetwork;
+use crate::potential::Potential;
+use crate::scope::Scope;
+use crate::var::Var;
+use crate::Result;
+use rand::Rng;
+
+/// Builds a random CPT `P(child | parents)` over the sorted family scope.
+///
+/// Each conditional distribution is sampled by drawing entries uniformly
+/// from `(0.05, 1.0)` and normalizing — bounded away from zero so that
+/// divisions during calibration stay well-conditioned.
+pub fn random_cpt<R: Rng>(
+    domain: &Domain,
+    child: Var,
+    parents: &[Var],
+    rng: &mut R,
+) -> Result<Potential> {
+    let mut scope = Scope::from_iter(parents.iter().copied());
+    scope.insert(child);
+    let mut table = Potential::zeros(scope.clone(), domain)?;
+    let child_axis = scope.position(child).expect("child in scope");
+    let strides = table.strides();
+    let child_stride = strides[child_axis] as usize;
+    let child_card = domain.card(child) as usize;
+    let block = child_stride * child_card;
+    let n = table.len();
+
+    // iterate over all "rows" (fixed parent assignment, child varying)
+    let mut start = 0usize;
+    while start < n {
+        for off in 0..child_stride {
+            let mut sum = 0.0;
+            let mut vals = Vec::with_capacity(child_card);
+            for _ in 0..child_card {
+                let x: f64 = rng.gen_range(0.05..1.0);
+                sum += x;
+                vals.push(x);
+            }
+            for (k, v) in vals.into_iter().enumerate() {
+                table.values_mut()[start + off + k * child_stride] = v / sum;
+            }
+        }
+        start += block;
+    }
+    Ok(table)
+}
+
+/// Draws one sample from the network by ancestral sampling, returning one
+/// value per variable (indexed by variable).
+pub fn ancestral_sample<R: Rng>(bn: &BayesianNetwork, rng: &mut R) -> Vec<u32> {
+    let mut values = vec![u32::MAX; bn.n_vars()];
+    for v in bn.topological_order() {
+        let cpt = bn.cpt(v);
+        let scope = cpt.scope();
+        // condition the CPT on the already-sampled parents
+        let mut cond = cpt.clone();
+        for p in scope.iter().filter(|&p| p != v) {
+            cond = cond
+                .restrict(p, values[p.index()])
+                .expect("parents sampled before children");
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        let mut chosen = cond.len() as u32 - 1;
+        for (i, &p) in cond.values().iter().enumerate() {
+            acc += p;
+            if u < acc {
+                chosen = i as u32;
+                break;
+            }
+        }
+        values[v.index()] = chosen;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_cpt_rows_normalized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Domain::from_pairs([("a", 3), ("b", 2), ("c", 4)]).unwrap();
+        let cpt = random_cpt(&d, Var(2), &[Var(0), Var(1)], &mut rng).unwrap();
+        let rows = cpt.sum_out(&Scope::singleton(Var(2))).unwrap();
+        for &s in rows.values() {
+            assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn random_cpt_entries_bounded_away_from_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Domain::from_pairs([("a", 2), ("c", 2)]).unwrap();
+        let cpt = random_cpt(&d, Var(1), &[Var(0)], &mut rng).unwrap();
+        for &v in cpt.values() {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn ancestral_sampling_matches_marginal_roughly() {
+        let mut b = NetworkBuilder::new();
+        let a = b.var("a", 2);
+        b.cpt(a, &[], &[&[0.2, 0.8]]).unwrap();
+        let bn = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let ones: usize = (0..n)
+            .map(|_| ancestral_sample(&bn, &mut rng)[0] as usize)
+            .sum();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.02, "freq {freq}");
+    }
+}

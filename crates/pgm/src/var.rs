@@ -1,0 +1,70 @@
+//! Variable identifiers.
+
+use std::fmt;
+
+/// A discrete random variable, identified by a dense index into a
+/// [`Domain`](crate::Domain).
+///
+/// `Var` is a plain `u32` newtype: cheap to copy, hash and sort. All
+/// higher-level structures (scopes, potentials, cliques, separators) refer to
+/// variables through it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(i: u32) -> Self {
+        Var(i)
+    }
+}
+
+impl From<usize> for Var {
+    fn from(i: usize) -> Self {
+        Var(u32::try_from(i).expect("variable index exceeds u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Var(0) < Var(1));
+        assert!(Var(7) > Var(3));
+        assert_eq!(Var(5), Var(5));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v: Var = 42u32.into();
+        assert_eq!(v.index(), 42);
+        let w: Var = 7usize.into();
+        assert_eq!(w, Var(7));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Var(3).to_string(), "x3");
+        assert_eq!(format!("{:?}", Var(3)), "x3");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the potential algebra.
+
+use peanut_pgm::{Domain, Potential, Scope, Var};
+use proptest::prelude::*;
+
+/// Strategy: a domain of `n` variables with cardinalities in 2..=4.
+fn domain_strategy(n: usize) -> impl Strategy<Value = Domain> {
+    prop::collection::vec(2u32..=4, n).prop_map(|cards| {
+        let mut d = Domain::new();
+        for (i, c) in cards.into_iter().enumerate() {
+            d.add(&format!("v{i}"), c).unwrap();
+        }
+        d
+    })
+}
+
+/// Strategy: a random sub-scope of an `n`-variable domain.
+fn scope_strategy(n: usize) -> impl Strategy<Value = Scope> {
+    prop::collection::vec(prop::bool::ANY, n).prop_map(|mask| {
+        Scope::from_iter(
+            mask.iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| Var(i as u32)),
+        )
+    })
+}
+
+fn potential_with(d: &Domain, scope: Scope, seed: u64) -> Potential {
+    // deterministic pseudo-random positive values
+    let mut p = Potential::zeros(scope, d).unwrap();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for v in p.values_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = 0.1 + (state % 1000) as f64 / 1000.0;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Product is commutative.
+    #[test]
+    fn product_commutes(d in domain_strategy(5), s1 in scope_strategy(5), s2 in scope_strategy(5), seed in 0u64..1000) {
+        let f = potential_with(&d, s1, seed);
+        let g = potential_with(&d, s2, seed + 1);
+        let fg = f.product(&g).unwrap();
+        let gf = g.product(&f).unwrap();
+        prop_assert!(fg.max_abs_diff(&gf).unwrap() < 1e-9);
+    }
+
+    /// Summing a product over everything equals the product of sums when
+    /// scopes are disjoint.
+    #[test]
+    fn total_mass_factorizes_for_disjoint(d in domain_strategy(6), seed in 0u64..1000) {
+        let s1 = Scope::from_indices(&[0, 1, 2]);
+        let s2 = Scope::from_indices(&[3, 4, 5]);
+        let f = potential_with(&d, s1, seed);
+        let g = potential_with(&d, s2, seed + 7);
+        let fg = f.product(&g).unwrap();
+        prop_assert!((fg.sum() - f.sum() * g.sum()).abs() / fg.sum() < 1e-9);
+    }
+
+    /// Marginalization order does not matter.
+    #[test]
+    fn marginalization_commutes(d in domain_strategy(5), s in scope_strategy(5), seed in 0u64..1000) {
+        prop_assume!(s.len() >= 2);
+        let f = potential_with(&d, s.clone(), seed);
+        let a = s.vars()[0];
+        let b = s.vars()[1];
+        let m1 = f.sum_out(&Scope::singleton(a)).unwrap().sum_out(&Scope::singleton(b)).unwrap();
+        let m2 = f.sum_out(&Scope::singleton(b)).unwrap().sum_out(&Scope::singleton(a)).unwrap();
+        let m3 = f.sum_out(&Scope::from_iter([a, b])).unwrap();
+        prop_assert!(m1.max_abs_diff(&m2).unwrap() < 1e-9);
+        prop_assert!(m1.max_abs_diff(&m3).unwrap() < 1e-9);
+    }
+
+    /// Total mass is preserved by marginalization.
+    #[test]
+    fn marginalization_preserves_mass(d in domain_strategy(5), s in scope_strategy(5), keep in scope_strategy(5), seed in 0u64..1000) {
+        let f = potential_with(&d, s, seed);
+        let m = f.marginalize(&keep).unwrap();
+        prop_assert!((f.sum() - m.sum()).abs() / f.sum().max(1.0) < 1e-9);
+    }
+
+    /// (f·g) / g == f when g is strictly positive.
+    #[test]
+    fn divide_inverts_product(d in domain_strategy(5), s1 in scope_strategy(5), s2 in scope_strategy(5), seed in 0u64..1000) {
+        let f = potential_with(&d, s1.clone(), seed);
+        let g = potential_with(&d, s2, seed + 3);
+        let fg = f.product(&g).unwrap();
+        let back = fg.divide(&g).unwrap();
+        // compare against f expanded onto the union scope
+        let ones = Potential::ones(fg.scope().clone(), &d).unwrap();
+        let f_exp = f.product(&ones).unwrap();
+        prop_assert!(back.max_abs_diff(&f_exp).unwrap() < 1e-9);
+    }
+
+    /// Restriction then summation equals summation of the slice.
+    #[test]
+    fn restrict_is_a_slice(d in domain_strategy(4), s in scope_strategy(4), seed in 0u64..1000) {
+        prop_assume!(!s.is_empty());
+        let f = potential_with(&d, s.clone(), seed);
+        let v = s.vars()[0];
+        let card = d.card(v);
+        let total: f64 = (0..card).map(|val| f.restrict(v, val).unwrap().sum()).sum();
+        prop_assert!((total - f.sum()).abs() / f.sum() < 1e-9);
+    }
+
+    /// index_of / assignment_of round trip.
+    #[test]
+    fn assignment_round_trip(d in domain_strategy(5), s in scope_strategy(5), seed in 0u64..1000) {
+        let f = potential_with(&d, s, seed);
+        for idx in 0..f.len() {
+            let asg = f.assignment_of(idx);
+            prop_assert_eq!(f.index_of(&asg), idx);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the variable-elimination engine and VE-n.
+
+use peanut_pgm::generate::{generate_network, DagConfig};
+use peanut_pgm::{joint, Scope, Var};
+use peanut_ve::{ve_answer, ve_cost, VeN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// VE answers equal brute force on random small networks.
+    #[test]
+    fn ve_equals_brute_force(seed in 0u64..3_000, n in 4usize..10, qa in 0usize..50, qb in 0usize..50) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1 + n / 3,
+            max_in_degree: 3,
+            window: 3,
+            cardinalities: vec![2, 3],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let q = Scope::from_iter([Var((qa % n) as u32), Var((qb % n) as u32)]);
+        let (got, ops) = ve_answer(&bn, &q).unwrap();
+        let want = joint::marginal(&bn, &q).unwrap();
+        prop_assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
+        prop_assert_eq!(ops, ve_cost(&bn, &q).ops);
+    }
+
+    /// VE-n never makes a query more expensive and covered queries pay
+    /// exactly the cached-table size.
+    #[test]
+    fn ven_cost_dominance(seed in 0u64..3_000, n in 5usize..10, picks in prop::collection::vec(0usize..50, 3..8)) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1,
+            max_in_degree: 2,
+            window: 3,
+            cardinalities: vec![2],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let queries: Vec<(Scope, f64)> = picks
+            .iter()
+            .map(|&i| {
+                let a = (i % n) as u32;
+                let b = ((i / 2 + 1) % n) as u32;
+                (Scope::from_iter([Var(a), Var(b)]), 1.0)
+            })
+            .collect();
+        let ven = VeN::select(&bn, &queries, 3);
+        for (q, _) in &queries {
+            let with = ven.cost(&bn, q);
+            let without = ve_cost(&bn, q).ops;
+            prop_assert!(with <= without);
+        }
+        prop_assert!(ven.materialized().len() <= 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Workload drift: the λ-mixtures of the robustness experiments
+//! (paper §5.3, Figures 8–9).
+
+use peanut_pgm::Scope;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `n` queries where each comes from `primary` with probability `λ`
+/// and from `secondary` otherwise (sampling the pools with replacement).
+///
+/// `λ = 1` reproduces the training distribution; `λ = 0` is a full drift to
+/// the other workload.
+pub fn mix(primary: &[Scope], secondary: &[Scope], lambda: f64, n: usize, seed: u64) -> Vec<Scope> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    assert!(
+        !primary.is_empty() && !secondary.is_empty(),
+        "both pools must be non-empty"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let pool = if rng.gen_range(0.0..1.0) < lambda {
+                primary
+            } else {
+                secondary
+            };
+            pool[rng.gen_range(0..pool.len())].clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> (Vec<Scope>, Vec<Scope>) {
+        let a: Vec<Scope> = (0..5u32).map(|i| Scope::from_indices(&[i])).collect();
+        let b: Vec<Scope> = (10..15u32).map(|i| Scope::from_indices(&[i])).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn extremes_use_single_pool() {
+        let (a, b) = pools();
+        for q in mix(&a, &b, 1.0, 100, 3) {
+            assert!(q.vars()[0].0 < 5);
+        }
+        for q in mix(&a, &b, 0.0, 100, 3) {
+            assert!(q.vars()[0].0 >= 10);
+        }
+    }
+
+    #[test]
+    fn half_mix_draws_from_both() {
+        let (a, b) = pools();
+        let m = mix(&a, &b, 0.5, 400, 7);
+        let from_a = m.iter().filter(|q| q.vars()[0].0 < 5).count();
+        assert!(from_a > 100 && from_a < 300, "from_a = {from_a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_panics() {
+        let (a, b) = pools();
+        mix(&a, &b, 1.5, 10, 0);
+    }
+}

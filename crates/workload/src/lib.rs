@@ -1,0 +1,19 @@
+//! # peanut-workload
+//!
+//! Query-workload generation following the paper's §5.1:
+//!
+//! * **skewed** — variables sampled with probability proportional to their
+//!   distance from the junction-tree pivot (deep variables queried more,
+//!   producing long Steiner trees);
+//! * **uniform** — variables sampled uniformly at random;
+//! * **drift** — the λ-mixtures used by the robustness experiments
+//!   (Figures 8–9).
+//!
+//! Queries are plain [`peanut_pgm::Scope`]s; consumers aggregate them into a
+//! `peanut_core::Workload` with empirical frequencies.
+
+pub mod drift;
+pub mod gen;
+
+pub use drift::mix;
+pub use gen::{skewed_queries, uniform_queries, QuerySpec};

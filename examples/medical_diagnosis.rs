@@ -1,0 +1,74 @@
+//! Medical diagnosis: workload-aware materialization for a diagnostic
+//! query mix over an ASIA-style lung-disease network (the domain the
+//! Child / Hepar II / PathFinder benchmarks of the paper come from).
+//!
+//! A clinic dashboard asks the same few joint distributions over and over
+//! (symptom–disease pairs); PEANUT+ learns that mix from the query log and
+//! materializes the shortcut potentials that serve it best.
+//!
+//! Run with: `cargo run --release --example medical_diagnosis`
+
+use peanut::junction::{build_junction_tree, QueryEngine};
+use peanut::materialize::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Workload};
+use peanut::pgm::{fixtures, Scope};
+
+fn main() {
+    let bn = fixtures::asia();
+    let d = bn.domain().clone();
+    let tree = build_junction_tree(&bn).expect("junction tree");
+    let engine = QueryEngine::numeric(&tree, &bn).expect("calibration");
+
+    // the clinic's historical query log: mostly symptom–disease joints
+    let var = |n: &str| d.var(n).unwrap();
+    let dashboard = [
+        (vec!["xray_abnormal", "lung_cancer"], 40),
+        (vec!["dyspnoea", "bronchitis"], 30),
+        (vec!["smoking", "lung_cancer", "dyspnoea"], 15),
+        (vec!["visit_asia", "tuberculosis"], 10),
+        (vec!["xray_abnormal", "smoking"], 5),
+    ];
+    let mut log: Vec<Scope> = Vec::new();
+    for (names, count) in &dashboard {
+        let q = Scope::from_iter(names.iter().map(|n| var(n)));
+        log.extend(std::iter::repeat_n(q, *count));
+    }
+
+    // offline: learn the materialization from the log
+    let w = Workload::from_queries(log.iter().cloned());
+    let ctx = OfflineContext::new(&tree, &w).expect("context");
+    let cfg = PeanutConfig::plus(128).with_epsilon(1.0);
+    let (mat, build_ops) =
+        Peanut::offline_numeric(&ctx, &cfg, engine.numeric_state().unwrap()).expect("offline");
+    println!(
+        "materialized {} shortcut potential(s) ({} entries, {} ops to build)\n",
+        mat.len(),
+        mat.total_size(),
+        build_ops
+    );
+
+    // online: serve the dashboard
+    let online = OnlineEngine::new(&engine, &mat);
+    let mut base_total = 0u64;
+    let mut fast_total = 0u64;
+    for (names, _) in &dashboard {
+        let q = Scope::from_iter(names.iter().map(|n| var(n)));
+        let base = online.baseline_cost(&q).expect("baseline").ops;
+        let (pot, cost) = online.answer(&q).expect("answer");
+        base_total += base;
+        fast_total += cost.ops;
+        println!(
+            "P({}) — {} ops (plain JT: {base} ops), mass {:.4}",
+            names.join(", "),
+            cost.ops,
+            pot.sum()
+        );
+        // e.g. print the "both present" probability for the pair queries
+        if pot.scope().len() == 2 {
+            println!("    P(both = 1) = {:.5}", pot.get(&[1, 1]));
+        }
+    }
+    println!(
+        "\ndashboard total: {fast_total} ops with PEANUT+ vs {base_total} plain — {:.1}% saved",
+        100.0 * (base_total - fast_total) as f64 / base_total as f64
+    );
+}

@@ -1,0 +1,101 @@
+//! Quickstart: the paper's running example (Figure 1) end to end.
+//!
+//! Builds the ten-variable network of Figure 1, its junction tree, answers
+//! the in-clique query {g, h} and the out-of-clique query {b, i, f} of
+//! Figure 2, then materializes workload-aware shortcut potentials with
+//! PEANUT+ and shows the cost reduction.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use peanut::junction::{build_junction_tree, QueryEngine};
+use peanut::materialize::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Workload};
+use peanut::pgm::{fixtures, Scope};
+
+fn main() {
+    // 1. the Bayesian network of Figure 1(a)
+    let bn = fixtures::figure1();
+    let d = bn.domain().clone();
+    println!(
+        "network: {} variables, {} edges, {} parameters",
+        bn.n_vars(),
+        bn.n_edges(),
+        bn.n_parameters()
+    );
+
+    // 2. its junction tree (Figure 1(b)), rooted at the clique {b, c}
+    let mut tree = build_junction_tree(&bn).expect("junction tree");
+    let bc = Scope::from_iter([d.var("b").unwrap(), d.var("c").unwrap()]);
+    let pivot = tree.cliques().iter().position(|c| *c == bc).expect("bc clique");
+    tree.set_pivot(pivot);
+    println!(
+        "junction tree: {} cliques, treewidth {}, diameter {}",
+        tree.n_cliques(),
+        tree.treewidth(),
+        tree.diameter()
+    );
+    for (i, c) in tree.cliques().iter().enumerate() {
+        let names: Vec<&str> = c.iter().map(|v| d.name(v)).collect();
+        println!("  clique {i}: {{{}}}", names.join(","));
+    }
+
+    // 3. exact inference: calibrate and answer queries
+    let engine = QueryEngine::numeric(&tree, &bn).expect("calibration");
+    let q_in = Scope::from_iter([d.var("g").unwrap(), d.var("h").unwrap()]);
+    let (p_gh, cost_in) = engine.answer(&q_in).expect("in-clique query");
+    println!("\nP(g, h) — in-clique, {} ops:", cost_in.ops);
+    for (idx, v) in p_gh.values().iter().enumerate() {
+        let asg = p_gh.assignment_of(idx);
+        println!("  g={} h={} -> {v:.4}", asg[0], asg[1]);
+    }
+
+    let q_out = Scope::from_iter([
+        d.var("b").unwrap(),
+        d.var("i").unwrap(),
+        d.var("f").unwrap(),
+    ]);
+    let (p_bif, cost_out) = engine.answer(&q_out).expect("out-of-clique query");
+    println!(
+        "\nP(b, i, f) — out-of-clique via Steiner-tree message passing, {} ops, {} messages (total mass {:.4})",
+        cost_out.ops,
+        cost_out.messages,
+        p_bif.sum()
+    );
+
+    // 4. workload-aware materialization: suppose {b,i,f}-style queries
+    //    dominate the workload
+    let workload: Vec<Scope> = vec![q_out.clone(); 8]
+        .into_iter()
+        .chain([q_in.clone(), q_in.clone()])
+        .collect();
+    let w = Workload::from_queries(workload);
+    let ctx = OfflineContext::new(&tree, &w).expect("context");
+    let cfg = PeanutConfig::plus(64).with_epsilon(1.0);
+    let (mat, _) =
+        Peanut::offline_numeric(&ctx, &cfg, engine.numeric_state().unwrap()).expect("offline");
+    println!(
+        "\nPEANUT+ materialized {} shortcut potential(s), {} table entries total:",
+        mat.len(),
+        mat.total_size()
+    );
+    for ms in &mat.shortcuts {
+        let names: Vec<&str> = ms.shortcut.scope().iter().map(|v| d.name(v)).collect();
+        println!(
+            "  scope {{{}}} over cliques {:?}, size {}, workload benefit {:.1}",
+            names.join(","),
+            ms.shortcut.nodes(),
+            ms.shortcut.size(),
+            ms.benefit
+        );
+    }
+
+    // 5. the same query, now with shortcuts
+    let online = OnlineEngine::new(&engine, &mat);
+    let (p_fast, cost_fast) = online.answer(&q_out).expect("online answer");
+    assert!(p_fast.max_abs_diff(&p_bif).unwrap() < 1e-9, "same answer");
+    println!(
+        "\nP(b, i, f) with shortcuts: {} ops ({} shortcut(s) used) — {:.1}% cheaper, identical result",
+        cost_fast.ops,
+        cost_fast.shortcuts_used,
+        100.0 * (cost_out.ops - cost_fast.ops) as f64 / cost_out.ops as f64
+    );
+}

@@ -1,0 +1,21 @@
+//! # peanut
+//!
+//! Umbrella crate of the PEANUT reproduction (*Workload-Aware
+//! Materialization of Junction Trees*, EDBT 2022): re-exports the public API
+//! of every workspace crate so examples and downstream users need a single
+//! dependency.
+//!
+//! ```
+//! use peanut::pgm::fixtures;
+//!
+//! let bn = fixtures::sprinkler();
+//! assert_eq!(bn.n_vars(), 4);
+//! ```
+
+pub use peanut_core as materialize;
+pub use peanut_datasets as datasets;
+pub use peanut_indsep as indsep;
+pub use peanut_junction as junction;
+pub use peanut_pgm as pgm;
+pub use peanut_ve as ve;
+pub use peanut_workload as workload;

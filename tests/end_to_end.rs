@@ -1,0 +1,202 @@
+//! Integration tests spanning every crate: network generation → junction
+//! tree → workload → offline materialization → online answering, for all
+//! methods, in both numeric and symbolic modes.
+
+use peanut::junction::{build_junction_tree, QueryEngine, RootedTree};
+use peanut::materialize::{
+    OfflineContext, OnlineEngine, Peanut, PeanutConfig, Variant, Workload,
+};
+use peanut::pgm::{fixtures, joint, Scope};
+use peanut::workload::{skewed_queries, uniform_queries, QuerySpec};
+
+/// Full numeric pipeline on the Figure-1 network: every method must return
+/// the exact brute-force marginal for every pairwise query.
+#[test]
+fn all_methods_agree_with_brute_force() {
+    let bn = fixtures::figure1();
+    let tree = build_junction_tree(&bn).unwrap();
+    let rooted = RootedTree::new(&tree);
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let ns = engine.numeric_state().unwrap();
+
+    let train = skewed_queries(&tree, &rooted, 100, QuerySpec::default(), 5);
+    let w = Workload::from_queries(train);
+    let ctx = OfflineContext::new(&tree, &w).unwrap();
+
+    // PEANUT and PEANUT+
+    let (mat_plus, _) =
+        Peanut::offline_numeric(&ctx, &PeanutConfig::plus(128).with_epsilon(1.0), ns).unwrap();
+    let (mat_disj, _) =
+        Peanut::offline_numeric(&ctx, &PeanutConfig::disjoint(128).with_epsilon(1.0), ns).unwrap();
+    // INDSEP
+    let idx = peanut::indsep::build_index(&tree, &rooted, 16, Some(ns)).unwrap();
+
+    let n = bn.n_vars() as u32;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let q = Scope::from_indices(&[a, b]);
+            let want = joint::marginal(&bn, &q).unwrap();
+            for mat in [&mat_plus, &mat_disj, &idx.materialization] {
+                let online = OnlineEngine::new(&engine, mat);
+                let (got, cost) = online.answer(&q).unwrap();
+                assert!(
+                    got.max_abs_diff(&want).unwrap() < 1e-9,
+                    "answer drift for {{x{a},x{b}}}"
+                );
+                let base = online.baseline_cost(&q).unwrap();
+                assert!(cost.ops <= base.ops, "materialization made query dearer");
+            }
+        }
+    }
+}
+
+/// Symbolic pipeline on every synthetic dataset: costs are finite, shortcuts
+/// never increase the cost, and budgets are respected.
+#[test]
+fn symbolic_pipeline_all_datasets() {
+    for spec in peanut::datasets::all_datasets() {
+        let bn = spec.build().unwrap();
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let train = skewed_queries(&tree, &rooted, 120, QuerySpec::default(), 3);
+        let test = skewed_queries(&tree, &rooted, 40, QuerySpec::default(), 4);
+        let budget = tree.total_separator_size().saturating_mul(10);
+        let w = Workload::from_queries(train);
+        let ctx = OfflineContext::new(&tree, &w).unwrap();
+        for variant in [Variant::Peanut, Variant::PeanutPlus] {
+            let cfg = PeanutConfig {
+                budget,
+                epsilon: 6.0,
+                threads: 2,
+                variant,
+            };
+            let mat = Peanut::offline(&ctx, &cfg);
+            assert!(
+                mat.total_size() <= budget,
+                "{}: budget exceeded ({} > {budget})",
+                spec.name,
+                mat.total_size()
+            );
+            let engine = QueryEngine::symbolic(&tree);
+            let online = OnlineEngine::new(&engine, &mat);
+            for q in &test {
+                let base = online.baseline_cost(q).unwrap().ops;
+                let with = online.cost(q).unwrap().ops;
+                assert!(with <= base, "{}: cost increased", spec.name);
+            }
+        }
+    }
+}
+
+/// INDSEP hierarchical index respects block sizes on all datasets and its
+/// query costs never exceed plain JT.
+#[test]
+fn indsep_all_datasets() {
+    for spec in peanut::datasets::all_datasets() {
+        let bn = spec.build().unwrap();
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let idx = peanut::indsep::build_index(&tree, &rooted, 1000, None).unwrap();
+        for ms in &idx.materialization.shortcuts {
+            assert!(ms.shortcut.size() <= 1000, "{}: block exceeded", spec.name);
+        }
+        let engine = QueryEngine::symbolic(&tree);
+        let online = OnlineEngine::new(&engine, &idx.materialization);
+        let test = uniform_queries(bn.domain(), 30, QuerySpec::default(), 9);
+        for q in &test {
+            let base = online.baseline_cost(q).unwrap().ops;
+            let with = online.cost(q).unwrap().ops;
+            assert!(with <= base, "{}: INDSEP made query dearer", spec.name);
+        }
+    }
+}
+
+/// VE-n agrees with the junction tree numerically.
+#[test]
+fn ve_and_jt_agree() {
+    let bn = fixtures::asia();
+    let tree = build_junction_tree(&bn).unwrap();
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let queries: Vec<Scope> = (0..7u32).map(|a| Scope::from_indices(&[a, a + 1])).collect();
+    let weighted: Vec<(Scope, f64)> = queries.iter().map(|q| (q.clone(), 1.0)).collect();
+    let mut ven = peanut::ve::VeN::select(&bn, &weighted, 3);
+    ven.materialize_numeric(&bn).unwrap();
+    for q in &queries {
+        let (jt_ans, _) = engine.answer(q).unwrap();
+        let (ve_ans, _) = ven.answer(&bn, q).unwrap();
+        assert!(jt_ans.max_abs_diff(&ve_ans).unwrap() < 1e-9);
+    }
+}
+
+/// Workload drift does not catastrophically invalidate a materialization:
+/// savings under full drift stay non-negative (shortcuts are only applied
+/// when they help).
+#[test]
+fn drift_never_hurts() {
+    let bn = fixtures::chain(16, 2, 3);
+    let tree = build_junction_tree(&bn).unwrap();
+    let rooted = RootedTree::new(&tree);
+    let skew = skewed_queries(&tree, &rooted, 200, QuerySpec::default(), 1);
+    let unif = uniform_queries(bn.domain(), 200, QuerySpec::default(), 2);
+    let w = Workload::from_queries(skew);
+    let ctx = OfflineContext::new(&tree, &w).unwrap();
+    let mat = Peanut::offline(&ctx, &PeanutConfig::plus(200).with_epsilon(1.2));
+    let engine = QueryEngine::symbolic(&tree);
+    let online = OnlineEngine::new(&engine, &mat);
+    for q in &unif {
+        let base = online.baseline_cost(q).unwrap().ops;
+        let with = online.cost(q).unwrap().ops;
+        assert!(with <= base);
+    }
+}
+
+/// Determinism across the whole pipeline: same seeds, same materialization,
+/// same costs.
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let spec = peanut::datasets::dataset("Child").unwrap();
+        let bn = spec.build().unwrap();
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let train = skewed_queries(&tree, &rooted, 100, QuerySpec::default(), 5);
+        let w = Workload::from_queries(train);
+        let ctx = OfflineContext::new(&tree, &w).unwrap();
+        let mat = Peanut::offline(&ctx, &PeanutConfig::plus(500).with_epsilon(1.2));
+        let engine = QueryEngine::symbolic(&tree);
+        let online = OnlineEngine::new(&engine, &mat);
+        let test = skewed_queries(&tree, &rooted, 50, QuerySpec::default(), 6);
+        let costs: Vec<u64> = test.iter().map(|q| online.cost(q).unwrap().ops).collect();
+        (mat.total_size(), costs)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Error paths surface as typed errors, not panics.
+#[test]
+fn failure_injection() {
+    let bn = fixtures::sprinkler();
+    let tree = build_junction_tree(&bn).unwrap();
+    let rooted = RootedTree::new(&tree);
+
+    // empty query
+    let engine = QueryEngine::symbolic(&tree);
+    assert!(engine.cost(&Scope::empty()).is_err());
+
+    // unknown variable in the workload
+    let w = Workload::from_queries([Scope::from_indices(&[99])]);
+    assert!(OfflineContext::new(&tree, &w).is_err());
+
+    // numeric answering on a symbolic engine
+    assert!(engine.answer(&Scope::from_indices(&[0])).is_err());
+
+    // empty workload: offline runs and materializes nothing
+    let w = Workload::from_queries(std::iter::empty());
+    let ctx = OfflineContext::new(&tree, &w).unwrap();
+    let mat = Peanut::offline(&ctx, &PeanutConfig::plus(100).with_epsilon(1.0));
+    assert!(mat.is_empty());
+
+    // zero block size: INDSEP materializes nothing but builds
+    let idx = peanut::indsep::build_index(&tree, &rooted, 0, None);
+    assert!(idx.is_ok());
+}

@@ -1,0 +1,92 @@
+//! Invariants of the online engine across methods and datasets:
+//! shortcut-reduced trees never lose query variables, never raise costs,
+//! and report coherent statistics.
+
+use peanut::junction::{build_junction_tree, QueryEngine, RootedTree};
+use peanut::materialize::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Variant, Workload};
+use peanut::pgm::Scope;
+use peanut::workload::{skewed_queries, QuerySpec};
+
+fn methods_for(
+    p: &peanut::datasets::DatasetSpec,
+) -> (
+    peanut::pgm::BayesianNetwork,
+    peanut::junction::JunctionTree,
+    Vec<(String, peanut::materialize::Materialization)>,
+    Vec<Scope>,
+) {
+    let bn = p.build().unwrap();
+    let tree = build_junction_tree(&bn).unwrap();
+    let rooted = RootedTree::new(&tree);
+    let train = skewed_queries(&tree, &rooted, 150, QuerySpec::default(), 31);
+    let test = skewed_queries(&tree, &rooted, 60, QuerySpec::default(), 32);
+    let budget = tree.total_separator_size().saturating_mul(100);
+    let w = Workload::from_queries(train);
+    let ctx = OfflineContext::new(&tree, &w).unwrap();
+    let mut mats = Vec::new();
+    for (name, variant) in [("PEANUT", Variant::Peanut), ("PEANUT+", Variant::PeanutPlus)] {
+        let cfg = PeanutConfig {
+            budget,
+            epsilon: 1.2,
+            threads: 2,
+            variant,
+        };
+        mats.push((name.to_string(), Peanut::offline(&ctx, &cfg)));
+    }
+    let idx = peanut::indsep::build_index(&tree, &rooted, 1000, None).unwrap();
+    mats.push(("INDSEP".to_string(), idx.materialization));
+    (bn, tree, mats, test)
+}
+
+/// The reduced tree handed to message passing must still cover every query
+/// variable with at least one node scope.
+#[test]
+fn reduced_trees_cover_query_variables() {
+    for name in ["Child", "Hailfinder", "TPC-H", "Barley"] {
+        let spec = peanut::datasets::dataset(name).unwrap();
+        let (_bn, tree, mats, test) = methods_for(&spec);
+        let engine = QueryEngine::symbolic(&tree);
+        for (mname, mat) in &mats {
+            let online = OnlineEngine::new(&engine, mat);
+            for q in &test {
+                if let Some(rt) = online.reduce(q).unwrap() {
+                    for x in q.iter() {
+                        let covered = rt.nodes().iter().any(|n| n.scope.contains(x));
+                        assert!(covered, "{name}/{mname}: query var {x} lost");
+                    }
+                    // tree shape: exactly one root, parents consistent
+                    let roots = (0..rt.len()).filter(|&i| rt.parent(i).is_none()).count();
+                    assert_eq!(roots, 1, "{name}/{mname}: malformed reduced tree");
+                }
+            }
+        }
+    }
+}
+
+/// Shortcut counts reported in the query cost match the tree's bookkeeping
+/// and shortcut usage only ever lowers the cost.
+#[test]
+fn shortcut_use_is_profitable_and_counted() {
+    for name in ["Child", "TPC-H"] {
+        let spec = peanut::datasets::dataset(name).unwrap();
+        let (_bn, tree, mats, test) = methods_for(&spec);
+        let engine = QueryEngine::symbolic(&tree);
+        let mut any_used = false;
+        for (mname, mat) in &mats {
+            let online = OnlineEngine::new(&engine, mat);
+            for q in &test {
+                let base = online.baseline_cost(q).unwrap();
+                let with = online.cost(q).unwrap();
+                assert!(with.ops <= base.ops, "{name}/{mname}: cost rose");
+                if with.shortcuts_used > 0 {
+                    any_used = true;
+                    assert!(
+                        with.ops < base.ops,
+                        "{name}/{mname}: shortcut counted but no strict gain"
+                    );
+                }
+            }
+        }
+        assert!(any_used, "{name}: no method ever used a shortcut");
+    }
+}
