@@ -212,7 +212,9 @@ pub fn all_datasets() -> Vec<DatasetSpec> {
                 window: 10,
                 cardinalities: vec![2, 4, 7, 10, 48],
             },
-            seed: 0xBA21,
+            // Retuned for the vendored RNG stream (see vendor/rand): the
+            // original seed landed ~900k parameters, 8x the paper's 114k.
+            seed: 0xE,
             paper: PaperStats {
                 nodes: 48,
                 edges: 84,

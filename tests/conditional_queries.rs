@@ -27,7 +27,8 @@ fn conditionals_match_brute_force() {
     let tree = build_junction_tree(&bn).unwrap();
     let engine = QueryEngine::numeric(&tree, &bn).unwrap();
     let d = bn.domain();
-    let cases: [(&[&str], &[(&str, u32)]); 4] = [
+    type Case = (&'static [&'static str], &'static [(&'static str, u32)]);
+    let cases: [Case; 4] = [
         (&["l"], &[("a", 1)]),
         (&["a", "d"], &[("l", 0)]),
         (&["f"], &[("b", 1), ("i", 0)]),

@@ -1,0 +1,524 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the subset of the proptest API used by the workspace's
+//! property suites:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header and `pattern in strategy` parameters),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges,
+//!   tuples, and the combinators below,
+//! * `prop::collection::vec` (exact or ranged length) and `prop::bool::ANY`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest: generation is plain seeded pseudo-random
+//! sampling (no bias toward edge cases) and there is **no shrinking** — a
+//! failing case reports its inputs' debug form and case number instead of a
+//! minimized counterexample. `prop_assume!` rejections are regenerated (like
+//! real proptest) up to 16x the case budget, then the run panics. Runs are
+//! fully deterministic: the RNG seed is fixed per test function.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value` (shim of
+    /// `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Range sampling is delegated to the vendored `rand` shim so the
+    // (deterministic) stream and its overflow handling live in one place.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.sample(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.sample(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec-length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec-length range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The test runner, its configuration, and failure plumbing.
+
+    use crate::strategy::Strategy;
+
+    /// Deterministic generator used for value generation (wraps the
+    /// vendored `rand` shim's [`rand::rngs::StdRng`]).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the generator from a `u64` seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            use rand::SeedableRng as _;
+            TestRng { inner: rand::rngs::StdRng::seed_from_u64(seed) }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore as _;
+            self.inner.next_u64()
+        }
+
+        /// Samples uniformly from a range (delegates to the `rand` shim).
+        pub fn sample<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample_from(&mut self.inner)
+        }
+    }
+
+    /// Shim of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// RNG seed for the case stream (fixed → reproducible runs).
+        pub rng_seed: u64,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, rng_seed: 0x5EED_CAFE_F00D_BEEF }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with its message.
+        Fail(String),
+        /// Case rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runs a strategy against a test closure `config.cases` times.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Builds a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            let rng = TestRng::seed_from_u64(config.rng_seed);
+            TestRunner { config, rng }
+        }
+
+        /// Generates and runs `config.cases` accepted cases; panics on the
+        /// first failure (no shrinking), reporting the failing inputs'
+        /// debug form.
+        ///
+        /// Cases rejected by `prop_assume!` are regenerated rather than
+        /// counted, so assumptions do not silently shrink coverage; if
+        /// rejections exceed 16x the case budget the run panics (the
+        /// assumption is then too strict for its strategy).
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: Strategy,
+            S::Value: core::fmt::Debug + Clone,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let max_rejects = u64::from(self.config.cases) * 16;
+            let mut rejects = 0u64;
+            let mut case = 0;
+            while case < self.config.cases {
+                let value = strategy.new_value(&mut self.rng);
+                match test(value.clone()) {
+                    Ok(()) => case += 1,
+                    Err(TestCaseError::Reject(msg)) => {
+                        rejects += 1;
+                        if rejects > max_rejects {
+                            panic!(
+                                "proptest: too many rejected cases \
+                                 ({rejects} rejects for {case} accepted): {msg}"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest: case {case}/{total} failed: {msg}\n    inputs: {value:?}",
+                        total = self.config.cases,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            left, right, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            left, right, stringify!($left), stringify!($right)
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests (shim of `proptest::proptest!`).
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_prop(x in 0u64..10, (a, b) in my_strategy()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`] (incremental test-item muncher).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (u64, usize)> {
+        (0u64..100, 1usize..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_in_bounds(x in 3u32..9, y in 2u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((2..=4).contains(&y));
+        }
+
+        /// Tuple destructuring patterns work.
+        #[test]
+        fn tuple_patterns((a, b) in pair_strategy(), flag in prop::bool::ANY) {
+            prop_assert!(a < 100, "a = {a}");
+            prop_assert!((1..5).contains(&b));
+            prop_assume!(flag); // rejected cases must not fail the run
+            prop_assert_eq!((a * 2) / 2, a);
+        }
+
+        /// Collection and map strategies produce the right shapes.
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0usize..10, 2..6), n in prop::collection::vec(1u32..3, 4).prop_map(|w| w.len())) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn rejections_do_not_consume_cases() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(32));
+        let mut executed = 0u32;
+        runner.run(&(crate::bool::ANY,), |(flag,)| {
+            if !flag {
+                return Err(crate::test_runner::TestCaseError::reject("flag"));
+            }
+            executed += 1;
+            Ok(())
+        });
+        assert_eq!(executed, 32, "every configured case must actually run");
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: case 0")]
+    fn failures_panic_with_case_info() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
+        runner.run(&(0u64..10,), |(_x,)| {
+            Err(crate::test_runner::TestCaseError::fail("boom"))
+        });
+    }
+}
