@@ -1,0 +1,171 @@
+//! Serving-path benchmarks: batched concurrent query serving vs the
+//! single-threaded per-query loop, on the same calibrated + materialized
+//! tree and the same workload mix.
+//!
+//! Besides the criterion timings, the bench prints an explicit
+//! `serving_speedup` line (batched throughput / single-thread-loop
+//! throughput): the batched path must win through in-batch coalescing and
+//! scratch reuse even on one core, and additionally through the worker
+//! pool on multi-core hosts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peanut_core::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Workload};
+use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree};
+use peanut_pgm::{fixtures, BayesianNetwork, Scratch};
+use peanut_serving::{
+    replay, workload_queries, Query, ReplayConfig, ServingConfig, ServingEngine, WorkloadMix,
+};
+use peanut_workload::QuerySpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N_QUERIES: usize = 512;
+const POOL: usize = 96;
+const BATCH: usize = 128;
+
+struct Setup {
+    bn: BayesianNetwork,
+    tree: JunctionTree,
+}
+
+fn setup() -> Setup {
+    let bn = fixtures::chain(26, 2, 13);
+    let tree = build_junction_tree(&bn).expect("tree");
+    Setup { bn, tree }
+}
+
+fn queries_for(tree: &JunctionTree) -> Vec<Query> {
+    let rooted = RootedTree::new(tree);
+    let mix = WorkloadMix {
+        spec: QuerySpec {
+            min_vars: 1,
+            max_vars: 4,
+        },
+        pool_size: POOL,
+        ..WorkloadMix::default()
+    };
+    workload_queries(tree, &rooted, N_QUERIES, &mix, 99)
+}
+
+fn materialized_engine<'t>(
+    setup: &'t Setup,
+    queries: &[Query],
+) -> (QueryEngine<'t>, peanut_core::Materialization) {
+    let engine = QueryEngine::numeric(&setup.tree, &setup.bn).expect("calibrates");
+    let train: Vec<peanut_pgm::Scope> = queries
+        .iter()
+        .map(|q| match q {
+            Query::Marginal(s) => s.clone(),
+            Query::Conditional { targets, evidence } => {
+                let ev = peanut_pgm::Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+                targets.union(&ev)
+            }
+        })
+        .collect();
+    let ctx = OfflineContext::new(&setup.tree, &Workload::from_queries(train)).expect("context");
+    let (mat, _) = Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(4096),
+        engine.numeric_state().expect("numeric"),
+    )
+    .expect("materializes");
+    (engine, mat)
+}
+
+/// The baseline a non-serving caller runs: one query at a time, in order,
+/// no coalescing, no scratch carry-over.
+fn single_thread_loop(online: &OnlineEngine<'_, '_>, queries: &[Query]) -> usize {
+    let mut answered = 0;
+    for q in queries {
+        let ok = match q {
+            Query::Marginal(s) => online.answer(s).is_ok(),
+            Query::Conditional { targets, evidence } => {
+                online.conditional(targets, evidence).is_ok()
+            }
+        };
+        answered += usize::from(ok);
+    }
+    answered
+}
+
+fn bench_query_serving(c: &mut Criterion) {
+    let setup = setup();
+    let queries = queries_for(&setup.tree);
+    let (engine, mat) = materialized_engine(&setup, &queries);
+    let engine = std::sync::Arc::new(engine);
+    let mat = std::sync::Arc::new(mat);
+    let online = OnlineEngine::new(&engine, &mat);
+
+    let mut g = c.benchmark_group("query_serving");
+    g.bench_function("single_thread_loop_512q", |b| {
+        b.iter(|| black_box(single_thread_loop(&online, &queries)))
+    });
+
+    // steady-state serving: the engine (and its answer cache) persists
+    // across iterations, as it would across arrival waves in a server
+    let serving =
+        ServingEngine::from_shared(engine.clone(), mat.clone(), ServingConfig::default());
+    g.bench_function("batched_serving_512q_steady", |b| {
+        b.iter(|| black_box(replay(&serving, &queries, &ReplayConfig { batch_size: BATCH })))
+    });
+    g.finish();
+
+    // explicit acceptance measurement, cache-cold: a fresh engine drains
+    // the full stream once vs the same stream through the per-query loop
+    let t = Instant::now();
+    let answered = single_thread_loop(&online, &queries);
+    let loop_time = t.elapsed();
+    let cold =
+        ServingEngine::from_shared(engine.clone(), mat.clone(), ServingConfig::default());
+    let report = replay(&cold, &queries, &ReplayConfig { batch_size: BATCH });
+    assert_eq!(answered, N_QUERIES);
+    assert_eq!(report.errors, 0);
+    let loop_qps = N_QUERIES as f64 / loop_time.as_secs_f64();
+    println!(
+        "query_serving/serving_speedup_cold                 {:.2}x  \
+         (loop {:.0} q/s vs batched {:.0} q/s, {} workers, {} computed of {} queries, \
+         p50 {:?} p99 {:?})",
+        report.throughput_qps / loop_qps,
+        loop_qps,
+        report.throughput_qps,
+        cold.workers(),
+        report.unique - report.cache_hits,
+        report.queries,
+        report.latency_p50,
+        report.latency_p99,
+    );
+}
+
+fn bench_scratch_reuse(c: &mut Criterion) {
+    // isolates the scratch-buffer effect on the hottest single query
+    let setup = setup();
+    let queries = queries_for(&setup.tree);
+    let (engine, mat) = materialized_engine(&setup, &queries);
+    let online = OnlineEngine::new(&engine, &mat);
+    let heaviest = queries
+        .iter()
+        .filter_map(|q| match q {
+            Query::Marginal(s) => Some(s),
+            Query::Conditional { .. } => None,
+        })
+        .max_by_key(|s| s.len())
+        .expect("has marginals");
+
+    let mut g = c.benchmark_group("query_serving_scratch");
+    g.bench_function("answer_fresh_alloc", |b| {
+        b.iter(|| black_box(online.answer(heaviest).expect("answers")))
+    });
+    let mut scratch = Scratch::new();
+    g.bench_function("answer_scratch_reuse", |b| {
+        b.iter(|| {
+            let (pot, cost) = online.answer_in(heaviest, &mut scratch).expect("answers");
+            let ops = cost.ops;
+            scratch.recycle(pot);
+            black_box(ops)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_serving, bench_scratch_reuse);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use crate::gwmin::gwmin;
 use crate::shortcut::Shortcut;
 use peanut_junction::cost::{marginalization_ops, QueryCost};
 use peanut_junction::{QueryEngine, QueryPlan, ReducedTree};
-use peanut_pgm::{PgmError, Potential, Scope, Size};
+use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size};
 
 /// A shortcut potential chosen for materialization.
 #[derive(Clone, Debug)]
@@ -166,9 +166,18 @@ impl<'e, 't> OnlineEngine<'e, 't> {
     /// Numeric answer plus cost (requires a numeric engine and materialized
     /// tables).
     pub fn answer(&self, query: &Scope) -> Result<(Potential, QueryCost), PgmError> {
+        self.answer_in(query, &mut Scratch::new())
+    }
+
+    /// [`answer`](Self::answer) with caller-provided kernel scratch.
+    pub fn answer_in(
+        &self,
+        query: &Scope,
+        scratch: &mut Scratch,
+    ) -> Result<(Potential, QueryCost), PgmError> {
         match self.reduce(query)? {
-            None => self.engine.answer(query),
-            Some(rt) => rt.answer(query, self.engine.tree().domain()),
+            None => self.engine.answer_in(query, scratch),
+            Some(rt) => rt.answer_in(query, self.engine.tree().domain(), scratch),
         }
     }
 
@@ -179,7 +188,20 @@ impl<'e, 't> OnlineEngine<'e, 't> {
         targets: &Scope,
         evidence: &[(peanut_pgm::Var, u32)],
     ) -> Result<(Potential, QueryCost), PgmError> {
-        peanut_junction::query::conditional_from_joint(targets, evidence, |q| self.answer(q))
+        self.conditional_in(targets, evidence, &mut Scratch::new())
+    }
+
+    /// [`conditional`](Self::conditional) with caller-provided kernel
+    /// scratch.
+    pub fn conditional_in(
+        &self,
+        targets: &Scope,
+        evidence: &[(peanut_pgm::Var, u32)],
+        scratch: &mut Scratch,
+    ) -> Result<(Potential, QueryCost), PgmError> {
+        peanut_junction::query::conditional_from_joint(targets, evidence, scratch, |q, s| {
+            self.answer_in(q, s)
+        })
     }
 
     /// Cost of answering with the *plain* junction tree (for savings

@@ -4,7 +4,7 @@
 
 use crate::rooted::RootedTree;
 use crate::tree::{CliqueId, EdgeId, JunctionTree};
-use peanut_pgm::{BayesianNetwork, PgmError, Potential};
+use peanut_pgm::{BayesianNetwork, PgmError, Potential, Scratch};
 
 /// Dense clique and separator potentials attached to a junction tree.
 ///
@@ -24,6 +24,7 @@ impl NumericState {
     /// (expanded onto the full clique scope) and separator potentials as
     /// all-ones.
     pub fn initialize(tree: &JunctionTree, bn: &BayesianNetwork) -> Result<Self, PgmError> {
+        let mut scratch = Scratch::new();
         let mut clique_pots = Vec::with_capacity(tree.n_cliques());
         for u in 0..tree.n_cliques() {
             let mut factors: Vec<&Potential> = Vec::new();
@@ -32,7 +33,8 @@ impl NumericState {
             for &v in tree.assigned_factors(u) {
                 factors.push(bn.cpt(v));
             }
-            clique_pots.push(Potential::product_many(&factors)?);
+            clique_pots.push(Potential::product_many_in(&factors, &mut scratch)?);
+            scratch.recycle(ones);
         }
         let sep_pots = (0..tree.edges().len())
             .map(|e| Potential::ones(tree.separator(e).clone(), tree.domain()))
@@ -47,18 +49,19 @@ impl NumericState {
     /// Runs the two Hugin passes (collect toward the pivot, then distribute
     /// back). Idempotent once calibrated.
     pub fn calibrate(&mut self, tree: &JunctionTree, rooted: &RootedTree) -> Result<(), PgmError> {
+        let mut scratch = Scratch::new();
         // collect: children before parents
         let order: Vec<CliqueId> = rooted.dfs_order().to_vec();
         for &u in order.iter().rev() {
             let Some(p) = rooted.parent(u) else { continue };
             let e = rooted.parent_edge(u).expect("non-root has parent edge");
-            self.pass_message(tree, u, p, e)?;
+            self.pass_message(tree, u, p, e, &mut scratch)?;
         }
         // distribute: parents before children
         for &u in &order {
             for &c in rooted.children(u) {
                 let e = rooted.parent_edge(c).expect("child has parent edge");
-                self.pass_message(tree, u, c, e)?;
+                self.pass_message(tree, u, c, e, &mut scratch)?;
             }
         }
         self.calibrated = true;
@@ -73,11 +76,14 @@ impl NumericState {
         from: CliqueId,
         to: CliqueId,
         e: EdgeId,
+        scratch: &mut Scratch,
     ) -> Result<(), PgmError> {
-        let m = self.clique_pots[from].marginalize(tree.separator(e))?;
-        let update = m.divide(&self.sep_pots[e])?;
-        self.clique_pots[to] = self.clique_pots[to].product(&update)?;
-        self.sep_pots[e] = m;
+        let m = self.clique_pots[from].marginalize_in(tree.separator(e), scratch)?;
+        let update = m.divide_in(&self.sep_pots[e], scratch)?;
+        let new_to = self.clique_pots[to].product_in(&update, scratch)?;
+        scratch.recycle(std::mem::replace(&mut self.clique_pots[to], new_to));
+        scratch.recycle(update);
+        scratch.recycle(std::mem::replace(&mut self.sep_pots[e], m));
         Ok(())
     }
 

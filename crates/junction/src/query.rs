@@ -7,7 +7,7 @@ use crate::reduced::ReducedTree;
 use crate::rooted::RootedTree;
 use crate::steiner::SteinerTree;
 use crate::tree::{CliqueId, JunctionTree};
-use peanut_pgm::{BayesianNetwork, PgmError, Potential, Scope, Var};
+use peanut_pgm::{BayesianNetwork, PgmError, Potential, Scope, Scratch, Var};
 
 /// How a query will be processed.
 #[derive(Clone, Debug)]
@@ -113,13 +113,23 @@ impl<'t> QueryEngine<'t> {
 
     /// Numeric answer `P(query)` plus its cost. Requires numeric mode.
     pub fn answer(&self, query: &Scope) -> Result<(Potential, QueryCost), PgmError> {
+        self.answer_in(query, &mut Scratch::new())
+    }
+
+    /// [`answer`](Self::answer) with caller-provided kernel scratch (the
+    /// buffer-reuse path serving workers run on).
+    pub fn answer_in(
+        &self,
+        query: &Scope,
+        scratch: &mut Scratch,
+    ) -> Result<(Potential, QueryCost), PgmError> {
         let ns = self
             .numeric
             .as_ref()
             .ok_or_else(|| PgmError::UnknownName("engine is symbolic".into()))?;
         match self.plan(query)? {
             QueryPlan::InClique(u) => {
-                let pot = ns.clique_potential(u).marginalize(query)?;
+                let pot = ns.clique_potential(u).marginalize_in(query, scratch)?;
                 Ok((
                     pot,
                     QueryCost {
@@ -131,7 +141,7 @@ impl<'t> QueryEngine<'t> {
             }
             QueryPlan::OutOfClique(st) => {
                 let rt = ReducedTree::from_steiner(self.tree, &self.rooted, &st, Some(ns));
-                rt.answer(query, self.tree.domain())
+                rt.answer_in(query, self.tree.domain(), scratch)
             }
         }
     }
@@ -144,19 +154,24 @@ impl<'t> QueryEngine<'t> {
         targets: &Scope,
         evidence: &[(Var, u32)],
     ) -> Result<(Potential, QueryCost), PgmError> {
-        conditional_from_joint(targets, evidence, |q| self.answer(q))
+        conditional_from_joint(targets, evidence, &mut Scratch::new(), |q, s| {
+            self.answer_in(q, s)
+        })
     }
 }
 
 /// Shared implementation of the joint→conditional reduction, reused by the
-/// materialization-aware online engine.
+/// materialization-aware online engine. The scratch is threaded through the
+/// joint computation and the evidence restrictions, and every intermediate
+/// (the joint, each partial restriction) is recycled into it.
 pub fn conditional_from_joint<F>(
     targets: &Scope,
     evidence: &[(Var, u32)],
+    scratch: &mut Scratch,
     answer_joint: F,
 ) -> Result<(Potential, QueryCost), PgmError>
 where
-    F: FnOnce(&Scope) -> Result<(Potential, QueryCost), PgmError>,
+    F: FnOnce(&Scope, &mut Scratch) -> Result<(Potential, QueryCost), PgmError>,
 {
     let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
     if !ev_scope.is_disjoint_from(targets) {
@@ -166,10 +181,12 @@ where
         });
     }
     let q = targets.union(&ev_scope);
-    let (joint, cost) = answer_joint(&q)?;
+    let (joint, cost) = answer_joint(&q, scratch)?;
     let mut restricted = joint;
     for &(v, value) in evidence {
-        restricted = restricted.restrict(v, value)?;
+        let next = restricted.restrict_in(v, value, scratch)?;
+        scratch.recycle(restricted);
+        restricted = next;
     }
     restricted.normalize();
     Ok((restricted, cost))

@@ -12,7 +12,7 @@ use crate::cost::{node_ops, QueryCost};
 use crate::rooted::RootedTree;
 use crate::steiner::SteinerTree;
 use crate::tree::{CliqueId, JunctionTree};
-use peanut_pgm::{PgmError, Potential, Scope};
+use peanut_pgm::{PgmError, Potential, Scope, Scratch};
 
 /// Provenance of a reduced-tree node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -300,6 +300,19 @@ impl ReducedTree {
         query: &Scope,
         domain: &peanut_pgm::Domain,
     ) -> Result<(Potential, QueryCost), PgmError> {
+        self.answer_in(query, domain, &mut Scratch::new())
+    }
+
+    /// [`answer`](Self::answer) with caller-provided kernel scratch: all
+    /// intermediate products and consumed messages are recycled into
+    /// `scratch`, so a worker answering a stream of queries stops allocating
+    /// after warm-up.
+    pub fn answer_in(
+        &self,
+        query: &Scope,
+        domain: &peanut_pgm::Domain,
+        scratch: &mut Scratch,
+    ) -> Result<(Potential, QueryCost), PgmError> {
         let mut cost = QueryCost {
             shortcuts_used: self.shortcuts_used,
             ..QueryCost::default()
@@ -320,20 +333,30 @@ impl ReducedTree {
                 carry = carry.union(&carried[c].intersect(query));
             }
             let n_in = factors.len() - 1;
-            let product = Potential::product_many(&factors)?;
+            let product = Potential::product_many_in(&factors, scratch)?;
+            for &c in &n.children {
+                let spent = messages[c].take().expect("child processed");
+                scratch.recycle(spent);
+            }
             carried[u] = carry.clone();
             if u == self.root {
                 cost.add_node(node_ops(product.scope(), n_in, domain));
-                answer = Some(product.marginalize(query)?);
+                answer = Some(product.marginalize_in(query, scratch)?);
+                scratch.recycle(product);
             } else {
                 cost.add_node(node_ops(product.scope(), n_in + 1, domain));
                 cost.messages += 1;
                 let divided = match &n.sep_to_parent {
-                    Some(sep) => product.divide(sep)?,
+                    Some(sep) => {
+                        let d = product.divide_in(sep, scratch)?;
+                        scratch.recycle(product);
+                        d
+                    }
                     None => product,
                 };
                 let target = self.message_scope(u, query, &carry);
-                messages[u] = Some(divided.marginalize(&target)?);
+                messages[u] = Some(divided.marginalize_in(&target, scratch)?);
+                scratch.recycle(divided);
             }
         }
         Ok((answer.expect("root visited"), cost))

@@ -41,7 +41,7 @@ pub mod var;
 pub use domain::Domain;
 pub use error::PgmError;
 pub use network::{BayesianNetwork, NetworkBuilder};
-pub use potential::{table_size, Potential, Size};
+pub use potential::{table_size, Potential, Scratch, Size};
 pub use scope::Scope;
 pub use var::Var;
 

@@ -3,8 +3,18 @@
 //! A [`Potential`] maps every configuration of its [`Scope`] to a
 //! non-negative real. The junction-tree algorithm is, at its heart, a
 //! sequence of potential products, marginalizations and divisions; this
-//! module implements those in row-major stride arithmetic with odometer
-//! iteration (no per-entry index recomputation, no hashing).
+//! module implements those with precomputed *stride walks*: adjacent result
+//! axes whose operand strides are mutually compatible are coalesced into a
+//! single axis, so every kernel runs as an odometer over a handful of outer
+//! axes with a tight contiguous (or constant-stride) inner loop — no
+//! per-entry index recomputation, no hashing, no per-entry function calls.
+//!
+//! Every kernel also comes in an `_in` variant taking a [`Scratch`]: a
+//! caller-owned bundle of reusable odometer state and recycled value
+//! buffers. Serving workers and calibration passes thread one `Scratch`
+//! through thousands of factor operations and amortize all transient
+//! allocation away; the plain methods delegate to the `_in` forms with a
+//! fresh (empty, allocation-free) scratch.
 //!
 //! Alongside the dense representation, [`table_size`] computes the *symbolic*
 //! size of a table over a scope. The paper's cost model (§5.1) and its
@@ -196,6 +206,12 @@ impl Potential {
     /// must agree on cardinality. With an empty input list this is the scalar
     /// `1`.
     pub fn product_many(factors: &[&Potential]) -> Result<Potential> {
+        Self::product_many_in(factors, &mut Scratch::new())
+    }
+
+    /// [`product_many`](Self::product_many) with caller-provided scratch
+    /// buffers (odometer state + recycled value storage).
+    pub fn product_many_in(factors: &[&Potential], scratch: &mut Scratch) -> Result<Potential> {
         let mut scope = Scope::empty();
         for f in factors {
             scope = scope.union(&f.scope);
@@ -206,19 +222,76 @@ impl Potential {
             .iter()
             .map(|f| steps_into(&scope, f))
             .collect::<Result<_>>()?;
+        let walk = Walk::plan(&cards, &steps);
+        // the walk visits runs in row-major order covering every output
+        // entry exactly once, so the kernels append (no zero-fill pass)
+        let mut values = scratch.take_buf_empty(total as usize);
 
-        let mut values = vec![0.0f64; total as usize];
-        let k = scope.len();
-        let mut digits = vec![0u32; k];
-        let mut offs = vec![0u64; factors.len()];
-        for slot in values.iter_mut() {
-            let mut prod = 1.0;
-            for (f, &off) in factors.iter().zip(&offs) {
-                prod *= f.values[off as usize];
+        match factors.len() {
+            0 => values.resize(total as usize, 1.0),
+            1 => {
+                let a = &factors[0].values;
+                let sa = walk.inner_steps[0];
+                walk.for_each_run(scratch, |_, bases| {
+                    let mut oa = bases[0] as usize;
+                    if sa == 1 {
+                        values.extend_from_slice(&a[oa..oa + walk.inner_len]);
+                    } else {
+                        for _ in 0..walk.inner_len {
+                            values.push(a[oa]);
+                            oa += sa as usize;
+                        }
+                    }
+                });
             }
-            *slot = prod;
-            advance(&mut digits, &cards, &steps, &mut offs);
+            2 => {
+                let a = &factors[0].values;
+                let b = &factors[1].values;
+                let (sa, sb) = (walk.inner_steps[0], walk.inner_steps[1]);
+                walk.for_each_run(scratch, |_, bases| {
+                    let (mut oa, mut ob) = (bases[0] as usize, bases[1] as usize);
+                    match (sa, sb) {
+                        (1, 0) => {
+                            let s = b[ob];
+                            values.extend(a[oa..oa + walk.inner_len].iter().map(|&x| x * s));
+                        }
+                        (0, 1) => {
+                            let s = a[oa];
+                            values.extend(b[ob..ob + walk.inner_len].iter().map(|&x| x * s));
+                        }
+                        (1, 1) => {
+                            values.extend(
+                                a[oa..oa + walk.inner_len]
+                                    .iter()
+                                    .zip(&b[ob..ob + walk.inner_len])
+                                    .map(|(&x, &y)| x * y),
+                            );
+                        }
+                        _ => {
+                            for _ in 0..walk.inner_len {
+                                values.push(a[oa] * b[ob]);
+                                oa += sa as usize;
+                                ob += sb as usize;
+                            }
+                        }
+                    }
+                });
+            }
+            _ => {
+                walk.for_each_run(scratch, |_, bases| {
+                    for i in 0..walk.inner_len {
+                        let mut prod = 1.0;
+                        for (f, (&base, &step)) in
+                            factors.iter().zip(bases.iter().zip(&walk.inner_steps))
+                        {
+                            prod *= f.values[(base + i as u64 * step) as usize];
+                        }
+                        values.push(prod);
+                    }
+                });
+            }
         }
+        debug_assert_eq!(values.len() as u64, total);
         Ok(Potential {
             scope,
             cards,
@@ -231,8 +304,23 @@ impl Potential {
         Potential::product_many(&[self, other])
     }
 
+    /// [`product`](Self::product) with caller-provided scratch.
+    pub fn product_in(&self, other: &Potential, scratch: &mut Scratch) -> Result<Potential> {
+        Potential::product_many_in(&[self, other], scratch)
+    }
+
     /// Marginalizes (sums) the potential onto `keep ∩ scope`.
     pub fn marginalize(&self, keep: &Scope) -> Result<Potential> {
+        self.marginalize_in(keep, &mut Scratch::new())
+    }
+
+    /// [`marginalize`](Self::marginalize) with caller-provided scratch.
+    ///
+    /// Walks the *source* table in row-major order (contiguous reads) while
+    /// tracking the target offset through the stride walk; runs whose target
+    /// step is 0 collapse into a register accumulation, runs whose target
+    /// step is 1 become a contiguous add.
+    pub fn marginalize_in(&self, keep: &Scope, scratch: &mut Scratch) -> Result<Potential> {
         let target_scope = self.scope.intersect(keep);
         let positions: Vec<usize> = self
             .scope
@@ -249,14 +337,30 @@ impl Potential {
         for (t_axis, &s_axis) in positions.iter().enumerate() {
             steps[s_axis] = t_strides[t_axis];
         }
-        let mut values = vec![0.0f64; total as usize];
-        let k = self.scope.len();
-        let mut digits = vec![0u32; k];
-        let mut off = 0u64;
-        for &v in &self.values {
-            values[off as usize] += v;
-            advance_single(&mut digits, &self.cards, &steps, &mut off);
-        }
+        let walk = Walk::plan(&self.cards, std::slice::from_ref(&steps));
+        let mut values = scratch.take_buf(total as usize);
+        let src = &self.values;
+        let st = walk.inner_steps[0];
+        walk.for_each_run(scratch, |src_pos, bases| {
+            let run = &src[src_pos..src_pos + walk.inner_len];
+            let mut t = bases[0] as usize;
+            match st {
+                0 => {
+                    values[t] += run.iter().sum::<f64>();
+                }
+                1 => {
+                    for (slot, &v) in values[t..t + walk.inner_len].iter_mut().zip(run) {
+                        *slot += v;
+                    }
+                }
+                _ => {
+                    for &v in run {
+                        values[t] += v;
+                        t += st as usize;
+                    }
+                }
+            }
+        });
         Ok(Potential {
             scope: target_scope,
             cards: t_cards,
@@ -272,6 +376,11 @@ impl Potential {
     /// Pointwise division by a factor whose scope is contained in `self`'s,
     /// with the Hugin convention `0 / 0 = 0`.
     pub fn divide(&self, other: &Potential) -> Result<Potential> {
+        self.divide_in(other, &mut Scratch::new())
+    }
+
+    /// [`divide`](Self::divide) with caller-provided scratch.
+    pub fn divide_in(&self, other: &Potential, scratch: &mut Scratch) -> Result<Potential> {
         if !other.scope.is_subset_of(&self.scope) {
             return Err(PgmError::ScopeNotContained {
                 sub: other.scope.to_string(),
@@ -279,15 +388,28 @@ impl Potential {
             });
         }
         let steps = steps_into(&self.scope, other)?;
-        let mut values = Vec::with_capacity(self.values.len());
-        let k = self.scope.len();
-        let mut digits = vec![0u32; k];
-        let mut off = 0u64;
-        for &v in &self.values {
-            let d = other.values[off as usize];
-            values.push(if d == 0.0 && v == 0.0 { 0.0 } else { v / d });
-            advance_single(&mut digits, &self.cards, &steps, &mut off);
-        }
+        let walk = Walk::plan(&self.cards, std::slice::from_ref(&steps));
+        let mut values = scratch.take_buf_empty(self.values.len());
+        let src = &self.values;
+        let div = &other.values;
+        let st = walk.inner_steps[0];
+        walk.for_each_run(scratch, |pos, bases| {
+            let run = &src[pos..pos + walk.inner_len];
+            let mut o = bases[0] as usize;
+            if st == 0 {
+                let d = div[o];
+                values.extend(
+                    run.iter()
+                        .map(|&v| if d == 0.0 && v == 0.0 { 0.0 } else { v / d }),
+                );
+            } else {
+                for &v in run {
+                    let d = div[o];
+                    values.push(if d == 0.0 && v == 0.0 { 0.0 } else { v / d });
+                    o += st as usize;
+                }
+            }
+        });
         Ok(Potential {
             scope: self.scope.clone(),
             cards: self.cards.clone(),
@@ -298,6 +420,11 @@ impl Potential {
     /// Fixes `var = value`, dropping the variable from the scope (evidence
     /// restriction).
     pub fn restrict(&self, var: Var, value: u32) -> Result<Potential> {
+        self.restrict_in(var, value, &mut Scratch::new())
+    }
+
+    /// [`restrict`](Self::restrict) with caller-provided scratch.
+    pub fn restrict_in(&self, var: Var, value: u32, scratch: &mut Scratch) -> Result<Potential> {
         let axis = self
             .scope
             .position(var)
@@ -312,7 +439,7 @@ impl Potential {
         cards.remove(axis);
         let strides = self.strides();
         let stride = strides[axis];
-        let mut values = Vec::with_capacity(self.values.len() / card as usize);
+        let mut values = scratch.take_buf_empty(self.values.len() / card as usize);
         // outer: blocks above the axis; inner: contiguous run below it
         let inner = stride as usize;
         let block = inner * card as usize;
@@ -401,36 +528,181 @@ fn resolve_cards(scope: &Scope, factors: &[&Potential]) -> Result<Vec<u32>> {
     Ok(cards)
 }
 
-/// Odometer step for the n-ary product: increments `digits` (last axis
-/// fastest) and updates every factor offset.
-#[inline]
-fn advance(digits: &mut [u32], cards: &[u32], steps: &[Vec<u64>], offs: &mut [u64]) {
-    for ax in (0..digits.len()).rev() {
-        digits[ax] += 1;
-        for (fi, st) in steps.iter().enumerate() {
-            offs[fi] += st[ax];
+/// Reusable scratch state for the stride-walk kernels.
+///
+/// Holds the odometer digit/offset vectors and a pool of recycled `f64`
+/// buffers. One `Scratch` is single-threaded state: give each worker its
+/// own. Creating one is free (no allocation until first use), so the
+/// non-`_in` kernel methods just instantiate a fresh one per call.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    digits: Vec<u64>,
+    bases: Vec<u64>,
+    pool: Vec<Vec<f64>>,
+}
+
+impl Scratch {
+    /// An empty scratch (allocates nothing).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Returns a potential's value buffer to the pool so a later kernel call
+    /// can reuse the allocation. Call this on intermediates (messages,
+    /// superseded clique tables) once they are dead.
+    pub fn recycle(&mut self, p: Potential) {
+        if p.values.capacity() > 0 && self.pool.len() < 32 {
+            self.pool.push(p.values);
         }
-        if digits[ax] < cards[ax] {
-            return;
+    }
+
+    /// Picks the pooled buffer that best fits `len` entries: the smallest
+    /// one whose capacity suffices, else the largest available (it will
+    /// grow). Best-fit keeps a tiny result from capturing — and carrying
+    /// out of the kernel layer — a huge recycled allocation.
+    fn pick_buf(&mut self, len: usize) -> Option<Vec<f64>> {
+        let mut best: Option<usize> = None;
+        for (i, v) in self.pool.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (c, bc) = (v.capacity(), self.pool[b].capacity());
+                    if c >= len {
+                        bc < len || c < bc
+                    } else {
+                        bc < len && c > bc
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
         }
-        digits[ax] = 0;
-        for (fi, st) in steps.iter().enumerate() {
-            offs[fi] -= st[ax] * cards[ax] as u64;
+        best.map(|i| {
+            let mut v = self.pool.swap_remove(i);
+            v.clear();
+            v
+        })
+    }
+
+    /// A zero-filled buffer of `len` entries, reusing pooled storage.
+    fn take_buf(&mut self, len: usize) -> Vec<f64> {
+        match self.pick_buf(len) {
+            Some(mut v) => {
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// An empty buffer with at least `capacity` reserved, reusing pooled
+    /// storage (for kernels that append rather than index).
+    fn take_buf_empty(&mut self, capacity: usize) -> Vec<f64> {
+        match self.pick_buf(capacity) {
+            Some(mut v) => {
+                v.reserve(capacity);
+                v
+            }
+            None => Vec::with_capacity(capacity),
         }
     }
 }
 
-/// Odometer step tracking a single derived offset.
-#[inline]
-fn advance_single(digits: &mut [u32], cards: &[u32], steps: &[u64], off: &mut u64) {
-    for ax in (0..digits.len()).rev() {
-        digits[ax] += 1;
-        *off += steps[ax];
-        if digits[ax] < cards[ax] {
+/// A precomputed stride walk: the row-major iteration space of a table,
+/// with axes coalesced wherever every tracked operand's stride is
+/// compatible, split into outer odometer axes and one inner run.
+///
+/// For each operand `op`, visiting result entry `i` (row-major) touches
+/// operand offset `base(outer digits) + j · inner_steps[op]` where `j` is
+/// the position inside the current inner run.
+struct Walk {
+    /// Coalesced outer axis cardinalities (outer → inner).
+    outer_cards: Vec<u64>,
+    /// Per-operand steps along the outer axes: `outer_steps[op][ax]`.
+    outer_steps: Vec<Vec<u64>>,
+    /// Length of the innermost coalesced run.
+    inner_len: usize,
+    /// Per-operand step along the inner run.
+    inner_steps: Vec<u64>,
+}
+
+impl Walk {
+    /// Plans the walk over a table with axis cardinalities `cards`, tracking
+    /// one offset per operand; `op_steps[op][axis]` is the operand's stride
+    /// along each result axis (0 = broadcast).
+    fn plan(cards: &[u32], op_steps: &[Vec<u64>]) -> Walk {
+        let k = op_steps.len();
+        let mut gcards: Vec<u64> = Vec::with_capacity(cards.len());
+        let mut gsteps: Vec<Vec<u64>> = vec![Vec::with_capacity(cards.len()); k];
+        for (ax, &card32) in cards.iter().enumerate() {
+            let card = card32 as u64;
+            if card == 1 {
+                continue; // unit axes contribute nothing to iteration
+            }
+            let mergeable = !gcards.is_empty()
+                && (0..k).all(|op| {
+                    *gsteps[op].last().expect("group open") == op_steps[op][ax] * card
+                });
+            if mergeable {
+                *gcards.last_mut().expect("group open") *= card;
+                for op in 0..k {
+                    *gsteps[op].last_mut().expect("group open") = op_steps[op][ax];
+                }
+            } else {
+                gcards.push(card);
+                for op in 0..k {
+                    gsteps[op].push(op_steps[op][ax]);
+                }
+            }
+        }
+        match gcards.pop() {
+            Some(inner) => Walk {
+                inner_len: inner as usize,
+                inner_steps: gsteps.iter_mut().map(|s| s.pop().expect("aligned")).collect(),
+                outer_cards: gcards,
+                outer_steps: gsteps,
+            },
+            None => Walk {
+                inner_len: 1,
+                inner_steps: vec![0; k],
+                outer_cards: Vec::new(),
+                outer_steps: vec![Vec::new(); k],
+            },
+        }
+    }
+
+    /// Invokes `f(run_start, operand_bases)` once per inner run, in
+    /// row-major order; `run_start` advances by `inner_len` per call.
+    #[inline]
+    fn for_each_run(&self, scratch: &mut Scratch, mut f: impl FnMut(usize, &[u64])) {
+        let n_outer = self.outer_cards.len();
+        let k = self.inner_steps.len();
+        scratch.digits.clear();
+        scratch.digits.resize(n_outer, 0);
+        scratch.bases.clear();
+        scratch.bases.resize(k, 0);
+        let digits = &mut scratch.digits;
+        let bases = &mut scratch.bases;
+        let mut pos = 0usize;
+        'runs: loop {
+            f(pos, bases);
+            pos += self.inner_len;
+            for ax in (0..n_outer).rev() {
+                digits[ax] += 1;
+                for (op, base) in bases.iter_mut().enumerate() {
+                    *base += self.outer_steps[op][ax];
+                }
+                if digits[ax] < self.outer_cards[ax] {
+                    continue 'runs;
+                }
+                digits[ax] = 0;
+                for (op, base) in bases.iter_mut().enumerate() {
+                    *base -= self.outer_steps[op][ax] * self.outer_cards[ax];
+                }
+            }
             return;
         }
-        digits[ax] = 0;
-        *off -= steps[ax] * cards[ax] as u64;
     }
 }
 

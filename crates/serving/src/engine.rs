@@ -1,0 +1,497 @@
+//! The batched serving engine.
+//!
+//! A [`ServingEngine`] wraps one calibrated
+//! [`QueryEngine`](peanut_junction::QueryEngine) plus one
+//! [`Materialization`](peanut_core::Materialization) (both behind `Arc`, so
+//! several engines — e.g. per traffic class — can share the same calibrated
+//! tree) and answers *batches* of queries:
+//!
+//! 1. duplicate queries inside a batch are coalesced and computed once
+//!    (workloads sample pools with replacement, so real batches repeat);
+//! 2. the unique queries are claimed work-stealing-style by a pool of
+//!    `workers` scoped threads;
+//! 3. every worker owns a [`Scratch`], so all intermediate tables of a
+//!    query are recycled into the next one.
+//!
+//! Answers come back in batch order together with per-query
+//! [`QueryCost`] telemetry and service time.
+
+use peanut_core::{Materialization, OnlineEngine};
+use peanut_junction::cost::QueryCost;
+use peanut_junction::QueryEngine;
+use peanut_pgm::{PgmError, Potential, Scope, Scratch, Var};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One query as submitted by a client.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `P(scope)`.
+    Marginal(Scope),
+    /// `P(targets | evidence)` (§3.1 joint→conditional reduction).
+    Conditional {
+        /// Target variables.
+        targets: Scope,
+        /// Evidence assignments (disjoint from the targets). Keep this
+        /// sorted by variable — dedup and the answer cache compare queries
+        /// structurally, so construct via [`Query::conditioned`] unless the
+        /// list is already canonical.
+        evidence: Vec<(Var, u32)>,
+    },
+}
+
+impl Query {
+    /// Builds a query from a target scope and an evidence list (empty
+    /// evidence ⇒ marginal). Evidence is canonicalized (sorted by
+    /// variable) so order-insensitive duplicates coalesce and hit the
+    /// cache.
+    pub fn conditioned(targets: Scope, mut evidence: Vec<(Var, u32)>) -> Self {
+        if evidence.is_empty() {
+            Query::Marginal(targets)
+        } else {
+            evidence.sort_unstable();
+            Query::Conditional { targets, evidence }
+        }
+    }
+}
+
+/// A served answer: the distribution plus execution telemetry.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// `P(scope)` or `P(targets | evidence)`.
+    pub potential: Potential,
+    /// Operation-count telemetry of the (possibly shared) computation.
+    pub cost: QueryCost,
+    /// Time spent computing this answer — shared by in-batch duplicates of
+    /// the same query (they wait on one computation), and zero when the
+    /// answer came from the cross-batch cache.
+    pub service_time: Duration,
+}
+
+/// Per-batch aggregate telemetry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Queries submitted.
+    pub queries: usize,
+    /// Unique queries after in-batch coalescing.
+    pub unique: usize,
+    /// Unique queries served from the cross-batch answer cache.
+    pub cache_hits: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Summed operation count over freshly computed queries.
+    pub total_ops: u64,
+    /// Summed shortcut uses over freshly computed queries.
+    pub shortcuts_used: usize,
+}
+
+/// Serving knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingConfig {
+    /// Worker threads per batch; `0` means one per available core.
+    pub workers: usize,
+    /// Coalesce duplicate queries within a batch (on by default).
+    pub dedup: bool,
+    /// Capacity of the cross-batch answer cache (FIFO eviction); `0`
+    /// disables caching. Workloads in the paper's model (Def. 3.3) are
+    /// distributions over a finite query pool, so repeated queries dominate
+    /// steady-state traffic.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: 0,
+            dedup: true,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Bounded FIFO map of fully computed answers. Values are `Arc`ed so cache
+/// lookups under the lock are O(1) pointer clones; the table copy for the
+/// caller happens outside the critical section.
+#[derive(Default)]
+struct AnswerCache {
+    map: HashMap<Query, Arc<Answer>>,
+    order: VecDeque<Query>,
+}
+
+impl AnswerCache {
+    fn insert(&mut self, capacity: usize, q: Query, a: Arc<Answer>) {
+        if capacity == 0 || self.map.contains_key(&q) {
+            return;
+        }
+        while self.map.len() >= capacity {
+            let Some(old) = self.order.pop_front() else { break };
+            self.map.remove(&old);
+        }
+        self.order.push_back(q.clone());
+        self.map.insert(q, a);
+    }
+}
+
+/// Batched concurrent query processor over a calibrated, materialized tree.
+pub struct ServingEngine<'t> {
+    engine: Arc<QueryEngine<'t>>,
+    mat: Arc<Materialization>,
+    cfg: ServingConfig,
+    cache: Mutex<AnswerCache>,
+}
+
+impl<'t> ServingEngine<'t> {
+    /// Takes ownership of a (calibrated) query engine and a
+    /// materialization.
+    pub fn new(engine: QueryEngine<'t>, mat: Materialization, cfg: ServingConfig) -> Self {
+        Self::from_shared(Arc::new(engine), Arc::new(mat), cfg)
+    }
+
+    /// Shares an already-`Arc`ed engine and materialization.
+    pub fn from_shared(
+        engine: Arc<QueryEngine<'t>>,
+        mat: Arc<Materialization>,
+        cfg: ServingConfig,
+    ) -> Self {
+        ServingEngine {
+            engine,
+            mat,
+            cfg,
+            cache: Mutex::new(AnswerCache::default()),
+        }
+    }
+
+    /// The wrapped query engine.
+    pub fn engine(&self) -> &QueryEngine<'t> {
+        &self.engine
+    }
+
+    /// The wrapped materialization.
+    pub fn materialization(&self) -> &Materialization {
+        &self.mat
+    }
+
+    /// The worker count a batch will actually use (before capping by batch
+    /// size).
+    pub fn workers(&self) -> usize {
+        if self.cfg.workers > 0 {
+            self.cfg.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Answers a batch. Results come back in submission order; duplicate
+    /// queries share one computation (and its telemetry) when deduping is
+    /// on.
+    pub fn serve_batch(&self, batch: &[Query]) -> (Vec<Result<Answer, PgmError>>, BatchStats) {
+        let start = Instant::now();
+        let mut stats = BatchStats {
+            queries: batch.len(),
+            ..BatchStats::default()
+        };
+        if batch.is_empty() {
+            return (Vec::new(), stats);
+        }
+
+        // coalesce duplicates: assign[i] = index into `uniques`
+        let (uniques, assign): (Vec<&Query>, Vec<usize>) = if self.cfg.dedup {
+            let mut first_of: HashMap<&Query, usize> = HashMap::with_capacity(batch.len());
+            let mut uniques = Vec::new();
+            let assign = batch
+                .iter()
+                .map(|q| {
+                    *first_of.entry(q).or_insert_with(|| {
+                        uniques.push(q);
+                        uniques.len() - 1
+                    })
+                })
+                .collect();
+            (uniques, assign)
+        } else {
+            (batch.iter().collect(), (0..batch.len()).collect())
+        };
+        stats.unique = uniques.len();
+
+        let mut unique_results: Vec<Option<Result<Answer, PgmError>>> = Vec::new();
+        unique_results.resize_with(uniques.len(), || None);
+
+        // cross-batch cache: serve repeats from memory, compute the rest.
+        // Only Arc clones happen under the lock; table copies are deferred.
+        let mut work: Vec<usize> = Vec::with_capacity(uniques.len());
+        let mut hits: Vec<(usize, Arc<Answer>)> = Vec::new();
+        if self.cfg.cache_capacity > 0 {
+            let cache = self.cache.lock().expect("cache lock");
+            for (i, q) in uniques.iter().enumerate() {
+                match cache.map.get(q) {
+                    Some(hit) => hits.push((i, Arc::clone(hit))),
+                    None => work.push(i),
+                }
+            }
+        } else {
+            work.extend(0..uniques.len());
+        }
+        stats.cache_hits = hits.len();
+        for (i, hit) in hits {
+            let mut a = (*hit).clone();
+            a.service_time = Duration::ZERO;
+            unique_results[i] = Some(Ok(a));
+        }
+
+        let n_workers = self.workers().min(work.len()).max(1);
+        if work.len() <= 1 || n_workers == 1 {
+            // in-thread fast path: no spawn overhead for small batches
+            let online = OnlineEngine::new(&self.engine, &self.mat);
+            let mut scratch = Scratch::new();
+            for &i in &work {
+                unique_results[i] = Some(answer_one(&online, uniques[i], &mut scratch));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let worker_outs: Vec<Vec<(usize, Result<Answer, PgmError>)>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n_workers)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let online = OnlineEngine::new(&self.engine, &self.mat);
+                                let mut scratch = Scratch::new();
+                                let mut out = Vec::new();
+                                loop {
+                                    let w = next.fetch_add(1, Ordering::Relaxed);
+                                    if w >= work.len() {
+                                        break;
+                                    }
+                                    let i = work[w];
+                                    out.push((i, answer_one(&online, uniques[i], &mut scratch)));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("serving worker panicked"))
+                        .collect()
+                });
+            for (i, r) in worker_outs.into_iter().flatten() {
+                unique_results[i] = Some(r);
+            }
+        }
+
+        if self.cfg.cache_capacity > 0 && !work.is_empty() {
+            // clone outside the lock, insert Arcs inside it
+            let fresh: Vec<(Query, Arc<Answer>)> = work
+                .iter()
+                .filter_map(|&i| match &unique_results[i] {
+                    Some(Ok(a)) => Some(((*uniques[i]).clone(), Arc::new(a.clone()))),
+                    _ => None,
+                })
+                .collect();
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (q, a) in fresh {
+                cache.insert(self.cfg.cache_capacity, q, a);
+            }
+        }
+
+        for &i in &work {
+            if let Some(Ok(r)) = &unique_results[i] {
+                stats.total_ops = stats.total_ops.saturating_add(r.cost.ops);
+                stats.shortcuts_used += r.cost.shortcuts_used;
+            }
+        }
+        // fan back out: move each unique result on its last use, clone only
+        // for in-batch duplicates (no per-query table copy on the fast path)
+        let mut uses: Vec<usize> = vec![0; uniques.len()];
+        for &u in &assign {
+            uses[u] += 1;
+        }
+        let answers = assign
+            .into_iter()
+            .map(|u| {
+                uses[u] -= 1;
+                if uses[u] == 0 {
+                    unique_results[u].take().expect("all uniques computed")
+                } else {
+                    unique_results[u].clone().expect("all uniques computed")
+                }
+            })
+            .collect();
+        stats.wall = start.elapsed();
+        (answers, stats)
+    }
+}
+
+fn answer_one(
+    online: &OnlineEngine<'_, '_>,
+    q: &Query,
+    scratch: &mut Scratch,
+) -> Result<Answer, PgmError> {
+    let t = Instant::now();
+    let (potential, cost) = match q {
+        Query::Marginal(scope) => online.answer_in(scope, scratch)?,
+        Query::Conditional { targets, evidence } => {
+            online.conditional_in(targets, evidence, scratch)?
+        }
+    };
+    Ok(Answer {
+        potential,
+        cost,
+        service_time: t.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peanut_junction::build_junction_tree;
+    use peanut_pgm::{fixtures, joint};
+
+    fn queries(bn: &peanut_pgm::BayesianNetwork) -> Vec<Query> {
+        let d = bn.domain();
+        let n = d.len() as u32;
+        let mut qs: Vec<Query> = (0..n)
+            .flat_map(|a| {
+                ((a + 1)..n.min(a + 3)).map(move |b| Query::Marginal(Scope::from_indices(&[a, b])))
+            })
+            .collect();
+        qs.push(Query::Conditional {
+            targets: Scope::from_indices(&[0]),
+            evidence: vec![(Var(n - 1), 0)],
+        });
+        // force duplicates
+        let dup = qs[0].clone();
+        qs.push(dup);
+        qs
+    }
+
+    #[test]
+    fn batch_answers_match_sequential_engine() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig {
+                workers: 3,
+                ..ServingConfig::default()
+            },
+        );
+        let batch = queries(&bn);
+        let (answers, stats) = serving.serve_batch(&batch);
+        assert_eq!(answers.len(), batch.len());
+        assert_eq!(stats.queries, batch.len());
+        assert!(stats.unique < batch.len(), "duplicate must coalesce");
+        for (q, a) in batch.iter().zip(&answers) {
+            let a = a.as_ref().expect("served");
+            match q {
+                Query::Marginal(s) => {
+                    let want = joint::marginal(&bn, s).unwrap();
+                    assert!(a.potential.max_abs_diff(&want).unwrap() < 1e-9);
+                }
+                Query::Conditional { targets, .. } => {
+                    assert_eq!(a.potential.scope(), targets);
+                    assert!((a.potential.sum() - 1.0).abs() < 1e-9);
+                }
+            }
+            assert!(a.cost.ops > 0);
+        }
+    }
+
+    #[test]
+    fn dedup_off_computes_every_query() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig {
+                workers: 1,
+                dedup: false,
+                cache_capacity: 0,
+            },
+        );
+        let q = Query::Marginal(Scope::from_indices(&[0, 3]));
+        let batch = vec![q.clone(), q.clone(), q];
+        let (answers, stats) = serving.serve_batch(&batch);
+        assert_eq!(stats.unique, 3);
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported_per_query() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let batch = vec![
+            Query::Marginal(Scope::from_indices(&[0])),
+            // overlapping targets/evidence is rejected per-query
+            Query::Conditional {
+                targets: Scope::from_indices(&[1]),
+                evidence: vec![(Var(1), 0)],
+            },
+        ];
+        let (answers, _) = serving.serve_batch(&batch);
+        assert!(answers[0].is_ok());
+        assert!(answers[1].is_err());
+    }
+
+    #[test]
+    fn cache_serves_repeated_batches() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let batch = queries(&bn);
+        let (first, s1) = serving.serve_batch(&batch);
+        assert_eq!(s1.cache_hits, 0);
+        let (second, s2) = serving.serve_batch(&batch);
+        assert_eq!(s2.cache_hits, s2.unique, "second pass fully cached");
+        assert_eq!(s2.total_ops, 0, "cache hits charge no fresh ops");
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.potential.values(), b.potential.values());
+        }
+    }
+
+    #[test]
+    fn cache_eviction_respects_capacity() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig {
+                cache_capacity: 2,
+                ..ServingConfig::default()
+            },
+        );
+        let qs: Vec<Query> = (0..4u32)
+            .map(|i| Query::Marginal(Scope::from_indices(&[i])))
+            .collect();
+        serving.serve_batch(&qs);
+        let cached = serving.cache.lock().unwrap().map.len();
+        assert!(cached <= 2, "capacity bound violated: {cached}");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let (answers, stats) = serving.serve_batch(&[]);
+        assert!(answers.is_empty());
+        assert_eq!(stats.queries, 0);
+    }
+}

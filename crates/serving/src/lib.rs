@@ -1,0 +1,23 @@
+//! # peanut-serving
+//!
+//! Batched concurrent query serving over a calibrated, materialized
+//! junction tree — the layer between the paper's single-query online phase
+//! (§4.5–4.6) and the ROADMAP's multi-user serving north star.
+//!
+//! * [`engine`] — [`ServingEngine`]: owns a calibrated
+//!   [`QueryEngine`](peanut_junction::QueryEngine) and a
+//!   [`Materialization`](peanut_core::Materialization) behind `Arc`, accepts
+//!   batches of marginal and evidence-conditioned queries, coalesces
+//!   duplicates, and fans the unique work out across a worker pool. Each
+//!   worker runs the shortcut-aware online engine on the stride-walk kernel
+//!   path with its own [`Scratch`](peanut_pgm::Scratch), so steady-state
+//!   serving performs no transient allocation.
+//! * [`replay`] — a workload-replay driver: streams
+//!   `peanut_workload` query mixes through an engine batch by batch and
+//!   reports throughput and latency percentiles.
+
+pub mod engine;
+pub mod replay;
+
+pub use engine::{Answer, BatchStats, Query, ServingConfig, ServingEngine};
+pub use replay::{replay, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};

@@ -1,0 +1,225 @@
+//! Workload replay: stream a query mix through a [`ServingEngine`] batch by
+//! batch and measure what a load test would — throughput, latency
+//! percentiles, operation counts, shortcut hit rates.
+
+use crate::engine::{Query, ServingEngine};
+use peanut_junction::{JunctionTree, RootedTree};
+use peanut_workload::{skewed_queries, uniform_queries, with_evidence, QuerySpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Replay knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayConfig {
+    /// Queries per batch (the arrival buffer a server would drain at once).
+    pub batch_size: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { batch_size: 64 }
+    }
+}
+
+/// Aggregate report of one replay run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayReport {
+    /// Queries replayed.
+    pub queries: usize,
+    /// Batches served.
+    pub batches: usize,
+    /// Queries that returned an error.
+    pub errors: usize,
+    /// Unique computations after in-batch coalescing.
+    pub unique: usize,
+    /// Unique queries served from the cross-batch answer cache.
+    pub cache_hits: usize,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Queries per second over the whole run.
+    pub throughput_qps: f64,
+    /// Median per-query service time (cache hits count as zero, in-batch
+    /// duplicates share their computation's time).
+    pub latency_p50: Duration,
+    /// 95th-percentile per-query service time.
+    pub latency_p95: Duration,
+    /// 99th-percentile per-query service time.
+    pub latency_p99: Duration,
+    /// Summed operation count (cost-model ops) over unique computations.
+    pub total_ops: u64,
+    /// Summed shortcut uses over unique computations.
+    pub shortcuts_used: usize,
+}
+
+/// Streams `queries` through `engine` in batches and aggregates telemetry.
+pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig) -> ReplayReport {
+    let batch_size = cfg.batch_size.max(1);
+    let start = Instant::now();
+    let mut report = ReplayReport {
+        queries: queries.len(),
+        ..ReplayReport::default()
+    };
+    let mut latencies: Vec<Duration> = Vec::with_capacity(queries.len());
+    for batch in queries.chunks(batch_size) {
+        let (answers, stats) = engine.serve_batch(batch);
+        report.batches += 1;
+        report.unique += stats.unique;
+        report.cache_hits += stats.cache_hits;
+        report.total_ops = report.total_ops.saturating_add(stats.total_ops);
+        report.shortcuts_used += stats.shortcuts_used;
+        for a in &answers {
+            match a {
+                Ok(ans) => latencies.push(ans.service_time),
+                Err(_) => report.errors += 1,
+            }
+        }
+    }
+    report.wall = start.elapsed();
+    if report.wall.as_secs_f64() > 0.0 {
+        report.throughput_qps = report.queries as f64 / report.wall.as_secs_f64();
+    }
+    latencies.sort_unstable();
+    report.latency_p50 = percentile(&latencies, 0.50);
+    report.latency_p95 = percentile(&latencies, 0.95);
+    report.latency_p99 = percentile(&latencies, 0.99);
+    report
+}
+
+/// Nearest-rank percentile of a **sorted** latency list.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Shape of a sampled serving workload (see [`workload_queries`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMix {
+    /// Per-query variable-count spec.
+    pub spec: QuerySpec,
+    /// Fraction of the pool drawn from the paper's skewed sampler (the
+    /// rest is uniform).
+    pub skew_fraction: f64,
+    /// Fraction of pool queries turned into evidence-conditioned ones.
+    pub evidence_fraction: f64,
+    /// Number of distinct queries in the pool.
+    pub pool_size: usize,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        WorkloadMix {
+            spec: QuerySpec::default(),
+            skew_fraction: 0.7,
+            evidence_fraction: 0.25,
+            pool_size: 64,
+        }
+    }
+}
+
+/// Samples a serving workload following the paper's workload model
+/// (Def. 3.3: a distribution over a *finite* query pool): draws up to
+/// `mix.pool_size` **distinct** queries (duplicate generator draws are
+/// removed) — a skewed/uniform blend with a fraction turned into
+/// conditional queries — then samples `n` arrivals from the pool with
+/// replacement. Repeated arrivals are what batch coalescing and the answer
+/// cache exploit. Deterministic in `seed`.
+pub fn workload_queries(
+    tree: &JunctionTree,
+    rooted: &RootedTree,
+    n: usize,
+    mix: &WorkloadMix,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(
+        (0.0..=1.0).contains(&mix.skew_fraction),
+        "fraction in [0, 1]"
+    );
+    let pool_size = mix.pool_size.clamp(1, n.max(1));
+    let n_skewed = (pool_size as f64 * mix.skew_fraction).round() as usize;
+    let mut scopes = skewed_queries(tree, rooted, n_skewed, mix.spec, seed);
+    scopes.extend(uniform_queries(
+        tree.domain(),
+        pool_size - n_skewed.min(pool_size),
+        mix.spec,
+        seed ^ 0x5eed,
+    ));
+    let mut seen = std::collections::HashSet::new();
+    let pool: Vec<Query> =
+        with_evidence(tree.domain(), &scopes, mix.evidence_fraction, seed ^ 0xe71d)
+            .into_iter()
+            .map(|(targets, evidence)| Query::conditioned(targets, evidence))
+            .filter(|q| seen.insert(q.clone()))
+            .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa881);
+    (0..n)
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ServingConfig, ServingEngine};
+    use peanut_core::Materialization;
+    use peanut_junction::{build_junction_tree, QueryEngine};
+    use peanut_pgm::fixtures;
+
+    #[test]
+    fn replay_reports_consistent_counts() {
+        let bn = fixtures::chain(10, 2, 7);
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let mix = WorkloadMix {
+            skew_fraction: 0.5,
+            evidence_fraction: 0.3,
+            pool_size: 24,
+            ..WorkloadMix::default()
+        };
+        let queries = workload_queries(&tree, &rooted, 100, &mix, 17);
+        assert_eq!(queries.len(), 100);
+        let report = replay(&serving, &queries, &ReplayConfig { batch_size: 32 });
+        assert_eq!(report.queries, 100);
+        assert_eq!(report.batches, 4);
+        assert_eq!(report.errors, 0);
+        assert!(report.unique <= 100);
+        assert!(
+            report.unique < 100,
+            "pool sampling must repeat queries: {} unique",
+            report.unique
+        );
+        assert!(report.throughput_qps > 0.0);
+        assert!(report.latency_p50 <= report.latency_p95);
+        assert!(report.latency_p95 <= report.latency_p99);
+        assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn workload_queries_deterministic() {
+        let bn = fixtures::chain(12, 2, 3);
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let mix = WorkloadMix {
+            evidence_fraction: 0.4,
+            pool_size: 16,
+            ..WorkloadMix::default()
+        };
+        let a = workload_queries(&tree, &rooted, 50, &mix, 5);
+        let b = workload_queries(&tree, &rooted, 50, &mix, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+}

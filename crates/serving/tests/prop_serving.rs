@@ -1,0 +1,108 @@
+//! Differential property tests: the batched, multi-threaded serving engine
+//! must agree with single-threaded variable elimination on random networks
+//! and random query batches — including evidence-restricted queries and
+//! batches answered through materialized shortcut potentials.
+
+use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workload};
+use peanut_junction::{build_junction_tree, QueryEngine};
+use peanut_pgm::generate::{generate_network, DagConfig};
+use peanut_pgm::{BayesianNetwork, Potential, Scope, Var};
+use peanut_serving::{Query, ServingConfig, ServingEngine};
+use peanut_ve::ve_answer;
+use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
+use proptest::prelude::*;
+
+/// Oracle: `P(targets | evidence)` via single-threaded VE.
+fn ve_conditional(
+    bn: &BayesianNetwork,
+    targets: &Scope,
+    evidence: &[(Var, u32)],
+) -> Potential {
+    let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+    let q = targets.union(&ev_scope);
+    let (mut joint, _) = ve_answer(bn, &q).unwrap();
+    for &(v, val) in evidence {
+        joint = joint.restrict(v, val).unwrap();
+    }
+    joint.normalize();
+    joint
+}
+
+fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+    let spec = QuerySpec {
+        min_vars: 1,
+        max_vars: 4,
+    };
+    let scopes = uniform_queries(bn.domain(), n, spec, seed);
+    with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d)
+        .into_iter()
+        .map(|(t, e)| Query::conditioned(t, e))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serving answers (numeric, multi-threaded, deduped, with shortcut
+    /// materialization) match VE within 1e-9.
+    #[test]
+    fn serving_matches_single_threaded_ve(seed in 0u64..2_000, n in 4usize..10, budget in 0u64..256) {
+        let cfg = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1 + n / 3,
+            max_in_degree: 3,
+            window: 3,
+            cardinalities: vec![2, 3],
+        };
+        let Ok(bn) = generate_network(&cfg, seed) else { return Ok(()) };
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let batch = random_batch(&bn, 20, seed ^ 0xba7c);
+
+        // materialize shortcuts against the marginal part of the batch so
+        // the shortcut-reduced path is exercised, not just plain JT
+        let train: Vec<Scope> = batch
+            .iter()
+            .filter_map(|q| match q {
+                Query::Marginal(s) => Some(s.clone()),
+                Query::Conditional { .. } => None,
+            })
+            .collect();
+        let mat = if train.is_empty() || budget == 0 {
+            Materialization::default()
+        } else {
+            let ctx = OfflineContext::new(&tree, &Workload::from_queries(train)).unwrap();
+            let (mat, _) = Peanut::offline_numeric(
+                &ctx,
+                &PeanutConfig::plus(budget).with_epsilon(1.0),
+                engine.numeric_state().unwrap(),
+            )
+            .unwrap();
+            mat
+        };
+
+        let serving = ServingEngine::new(
+            engine,
+            mat,
+            ServingConfig {
+                workers: 4,
+                ..ServingConfig::default()
+            },
+        );
+        let (answers, stats) = serving.serve_batch(&batch);
+        prop_assert_eq!(answers.len(), batch.len());
+        prop_assert!(stats.unique <= stats.queries);
+
+        for (q, a) in batch.iter().zip(&answers) {
+            let a = a.as_ref().expect("batch query must succeed");
+            let want = match q {
+                Query::Marginal(s) => ve_answer(&bn, s).unwrap().0,
+                Query::Conditional { targets, evidence } => ve_conditional(&bn, targets, evidence),
+            };
+            prop_assert!(
+                a.potential.max_abs_diff(&want).unwrap() < 1e-9,
+                "serving diverged from VE on {:?}", q
+            );
+        }
+    }
+}

@@ -99,6 +99,7 @@ pub fn ve_cost(bn: &BayesianNetwork, query: &Scope) -> EliminationRun {
 /// Numeric VE: the joint `P(query)` plus the identical operation count.
 pub fn ve_answer(bn: &BayesianNetwork, query: &Scope) -> Result<(Potential, Size), PgmError> {
     let domain = bn.domain();
+    let mut scratch = peanut_pgm::Scratch::new();
     let mut factors: Vec<Potential> = bn.cpts().cloned().collect();
     let mut remaining: Vec<Var> = domain.all_vars().filter(|v| !query.contains(*v)).collect();
     let mut ops: Size = 0;
@@ -113,14 +114,18 @@ pub fn ve_answer(bn: &BayesianNetwork, query: &Scope) -> Result<(Potential, Size
             continue;
         }
         let refs: Vec<&Potential> = with_x.iter().collect();
-        let product = Potential::product_many(&refs)?;
+        let product = Potential::product_many_in(&refs, &mut scratch)?;
         ops = ops.saturating_add(ops_of(product.scope(), refs.len(), domain));
-        factors.push(product.sum_out(&Scope::singleton(x))?);
+        factors.push(product.marginalize_in(&product.scope().minus(&Scope::singleton(x)), &mut scratch)?);
+        scratch.recycle(product);
+        for spent in with_x {
+            scratch.recycle(spent);
+        }
     }
     let refs: Vec<&Potential> = factors.iter().collect();
-    let product = Potential::product_many(&refs)?;
+    let product = Potential::product_many_in(&refs, &mut scratch)?;
     ops = ops.saturating_add(ops_of(product.scope(), refs.len(), domain));
-    Ok((product.marginalize(query)?, ops))
+    Ok((product.marginalize_in(query, &mut scratch)?, ops))
 }
 
 #[cfg(test)]

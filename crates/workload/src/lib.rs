@@ -13,7 +13,9 @@
 //! `peanut_core::Workload` with empirical frequencies.
 
 pub mod drift;
+pub mod evidence;
 pub mod gen;
 
 pub use drift::mix;
+pub use evidence::{with_evidence, ConditionedQuery};
 pub use gen::{skewed_queries, uniform_queries, QuerySpec};

@@ -17,5 +17,6 @@ pub use peanut_datasets as datasets;
 pub use peanut_indsep as indsep;
 pub use peanut_junction as junction;
 pub use peanut_pgm as pgm;
+pub use peanut_serving as serving;
 pub use peanut_ve as ve;
 pub use peanut_workload as workload;

@@ -80,6 +80,83 @@ fn conditionals_through_materialization() {
     assert!(got.max_abs_diff(&want).unwrap() < 1e-9);
 }
 
+/// Evidence variables that fall *inside* a materialized shortcut's scope:
+/// the joint is answered over `targets ∪ vars(evidence)`, so the shortcut
+/// must carry the evidence variables through the reduced tree and the
+/// restriction must happen on the correct axes of the shortcut-produced
+/// joint.
+#[test]
+fn evidence_inside_shortcut_scope() {
+    use peanut::materialize::{MaterializedShortcut, Shortcut};
+    use peanut::junction::{NumericState, RootedTree};
+
+    let bn = fixtures::figure1();
+    let mut tree = build_junction_tree(&bn).unwrap();
+    let d = bn.domain().clone();
+    // root at clique {b,c} so the {e,g,h} clique sits deep in the tree
+    let bc = Scope::from_iter([d.var("b").unwrap(), d.var("c").unwrap()]);
+    let pivot = tree.cliques().iter().position(|c| *c == bc).unwrap();
+    tree.set_pivot(pivot);
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let rooted = RootedTree::new(&tree);
+    let mut ns = NumericState::initialize(&tree, &bn).unwrap();
+    ns.calibrate(&tree, &rooted).unwrap();
+
+    // materialize the shortcut over the {e,g,h} clique: scope {e, g}
+    let egh = tree
+        .cliques()
+        .iter()
+        .position(|c| {
+            c.len() == 3 && c.contains(d.var("g").unwrap()) && c.contains(d.var("h").unwrap())
+        })
+        .unwrap();
+    let s = Shortcut::from_nodes(&tree, &rooted, vec![egh]).unwrap();
+    let (pot, _) = s.materialize(&tree, &rooted, &ns).unwrap();
+    let shortcut_scope = s.scope().clone();
+    assert!(shortcut_scope.contains(d.var("g").unwrap()), "test premise");
+    let mat = peanut::materialize::Materialization {
+        shortcuts: vec![MaterializedShortcut {
+            ratio: 1.0,
+            benefit: 1.0,
+            potential: Some(pot),
+            shortcut: s,
+        }],
+        overlapping: false,
+    };
+    let online = OnlineEngine::new(&engine, &mat);
+
+    // evidence on g (inside the shortcut scope), targets far away: the
+    // joint query {b, i, f, g} is the one the shortcut accelerates
+    let g = d.var("g").unwrap();
+    let e_var = d.var("e").unwrap();
+    type EvidenceCase<'a> = (Vec<&'a str>, Vec<(Var, u32)>);
+    let cases: Vec<EvidenceCase> = vec![
+        (vec!["b", "f"], vec![(g, 1)]),
+        (vec!["b", "i"], vec![(g, 0)]),
+        (vec!["b", "f"], vec![(g, 1), (e_var, 0)]), // both evidence vars in scope
+        (vec!["i"], vec![(e_var, 1)]),
+    ];
+    let mut shortcut_hit = false;
+    for (t_names, evidence) in cases {
+        let targets = Scope::from_iter(t_names.iter().map(|n| d.var(n).unwrap()));
+        let (got, cost) = online.conditional(&targets, &evidence).unwrap();
+        let want = oracle_conditional(&bn, &targets, &evidence);
+        assert!(
+            got.max_abs_diff(&want).unwrap() < 1e-9,
+            "conditional {t_names:?} | {evidence:?} through in-scope-evidence shortcut"
+        );
+        assert!((got.sum() - 1.0).abs() < 1e-9);
+        // plain-engine must agree too
+        let (plain, _) = engine.conditional(&targets, &evidence).unwrap();
+        assert!(got.max_abs_diff(&plain).unwrap() < 1e-9);
+        shortcut_hit |= cost.shortcuts_used > 0;
+    }
+    assert!(
+        shortcut_hit,
+        "at least one case must actually route through the shortcut"
+    );
+}
+
 #[test]
 fn overlapping_targets_and_evidence_rejected() {
     let bn = fixtures::sprinkler();

@@ -1,0 +1,71 @@
+//! Reproducibility guarantees: the same dataset spec + seed must produce
+//! byte-identical CPTs, and the same workload + budget must select the same
+//! shortcuts, across independent runs. Protects the retuned dataset seeds
+//! (PR 1) and the offline DP from hidden iteration-order nondeterminism.
+
+use peanut::datasets::dataset;
+use peanut::junction::{build_junction_tree, RootedTree};
+use peanut::materialize::{OfflineContext, Peanut, PeanutConfig, Workload};
+use peanut::workload::{skewed_queries, QuerySpec};
+
+/// Every CPT entry, as raw bits (bitwise equality is stricter than `==`:
+/// it also pins down signed zeros and would expose NaNs).
+fn cpt_bits(bn: &peanut::pgm::BayesianNetwork) -> Vec<u64> {
+    bn.cpts()
+        .flat_map(|c| c.values().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+#[test]
+fn dataset_generation_is_byte_identical() {
+    for name in ["Child", "HeparII", "Barley"] {
+        let spec = dataset(name).expect("known dataset");
+        let a = spec.build().expect("generates");
+        let b = spec.build().expect("generates");
+        assert_eq!(a.n_vars(), b.n_vars(), "{name}: structure drift");
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>(),
+            "{name}: edge drift"
+        );
+        assert_eq!(cpt_bits(&a), cpt_bits(&b), "{name}: CPT bits drift");
+    }
+}
+
+#[test]
+fn peanut_selection_is_run_to_run_identical() {
+    let spec = dataset("Child").expect("known dataset");
+    let select = || {
+        let bn = spec.build().expect("generates");
+        let tree = build_junction_tree(&bn).expect("tree");
+        let rooted = RootedTree::new(&tree);
+        let queries = skewed_queries(&tree, &rooted, 150, QuerySpec::default(), 42);
+        let w = Workload::from_queries(queries);
+        let ctx = OfflineContext::new(&tree, &w).expect("context");
+        let plus = Peanut::offline(&ctx, &PeanutConfig::plus(512).with_epsilon(1.2));
+        let disjoint = Peanut::offline(&ctx, &PeanutConfig::disjoint(512).with_epsilon(1.2));
+        let fingerprint = |m: &peanut::materialize::Materialization| -> Vec<(Vec<usize>, u64)> {
+            m.shortcuts
+                .iter()
+                .map(|s| (s.shortcut.nodes().to_vec(), s.shortcut.size()))
+                .collect()
+        };
+        (fingerprint(&plus), fingerprint(&disjoint))
+    };
+    let run1 = select();
+    let run2 = select();
+    assert_eq!(run1.0, run2.0, "PEANUT+ selection drift");
+    assert_eq!(run1.1, run2.1, "PEANUT selection drift");
+    assert!(!run1.0.is_empty(), "selection must be non-trivial");
+}
+
+#[test]
+fn workload_sampling_is_seed_stable() {
+    let spec = dataset("Child").expect("known dataset");
+    let bn = spec.build().expect("generates");
+    let tree = build_junction_tree(&bn).expect("tree");
+    let rooted = RootedTree::new(&tree);
+    let a = skewed_queries(&tree, &rooted, 100, QuerySpec::default(), 7);
+    let b = skewed_queries(&tree, &rooted, 100, QuerySpec::default(), 7);
+    assert_eq!(a, b);
+}
