@@ -1,0 +1,265 @@
+//! Drift-aware serving benchmark: a long query stream whose distribution
+//! drifts away from the training workload (§5.3, Figures 8–9), served by a
+//! [`ServingEngine`] with a [`RematerializationController`] running on a
+//! background thread.
+//!
+//! Besides criterion timings, the bench prints and asserts the lifecycle
+//! acceptance numbers:
+//!
+//! * serving is uninterrupted across the hot swap (zero batch errors);
+//! * at least one re-materialization is published automatically;
+//! * on the drifted regime, the mean per-query cost after the swap beats
+//!   continuing with the stale epoch by ≥ 1.5×.
+//!
+//! `PEANUT_WORKERS=1,2,4` sweeps the worker-pool size, same flag as
+//! `query_serving`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peanut_bench::harness::worker_sweep;
+use peanut_core::{OfflineContext, Peanut, PeanutConfig, Workload};
+use peanut_junction::{build_junction_tree, QueryEngine};
+use peanut_pgm::{fixtures, BayesianNetwork, Scope};
+use peanut_serving::{
+    replay, LifecycleConfig, Query, RematerializationController, ReplayConfig, ServingConfig,
+    ServingEngine,
+};
+use peanut_workload::{drifting_queries, DriftSchedule};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const N_QUERIES: usize = 4096;
+const BATCH: usize = 128;
+const DRIFT_AT: usize = 512;
+const BUDGET: u64 = 4096;
+/// Inter-batch arrival pacing of the live run: the drift study models a
+/// server draining waves of traffic, not a tight replay loop — the gap is
+/// what lets the background controller observe, re-select and publish
+/// while the stream is still flowing.
+const BATCH_GAP: Duration = Duration::from_millis(2);
+
+/// Long-range pairs over a variable band: a regional workload whose
+/// shortcuts are useless for the other region.
+fn band_pool(lo: u32, hi: u32) -> Vec<Scope> {
+    [6u32, 8]
+        .into_iter()
+        .flat_map(|span| (lo..hi - span).map(move |a| Scope::from_indices(&[a, a + span])))
+        .collect()
+}
+
+struct Setup {
+    bn: BayesianNetwork,
+    tree: peanut_junction::JunctionTree,
+    deep: Vec<Scope>,
+    shallow: Vec<Scope>,
+    stream: Vec<Query>,
+}
+
+fn setup() -> Setup {
+    let bn = fixtures::chain(32, 2, 13);
+    let mut tree = build_junction_tree(&bn).expect("tree");
+    // pivot mid-chain: the two arms are symmetric, both far enough from
+    // the pivot for shortcut potentials to pay off equally — the drift
+    // swings traffic from one arm to the other
+    tree.set_pivot(tree.n_cliques() / 2);
+    let deep = band_pool(21, 32);
+    let shallow = band_pool(0, 11);
+    // serve the training regime, then switch abruptly to the other region
+    let schedule = DriftSchedule::Step {
+        before: 1.0,
+        after: 0.0,
+        at: DRIFT_AT,
+    };
+    let stream: Vec<Query> = drifting_queries(&deep, &shallow, &schedule, N_QUERIES, 77)
+        .into_iter()
+        .map(Query::Marginal)
+        .collect();
+    Setup {
+        bn,
+        tree,
+        deep,
+        shallow,
+        stream,
+    }
+}
+
+fn trained_engine<'t>(setup: &'t Setup) -> (QueryEngine<'t>, peanut_core::Materialization, Workload) {
+    let engine = QueryEngine::numeric(&setup.tree, &setup.bn).expect("calibrates");
+    let train_w = Workload::from_queries(setup.deep.iter().cloned());
+    let ctx = OfflineContext::new(&setup.tree, &train_w).expect("context");
+    let (mat, _) = Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(BUDGET),
+        engine.numeric_state().expect("numeric"),
+    )
+    .expect("materializes");
+    (engine, mat, train_w)
+}
+
+fn lifecycle_cfg() -> LifecycleConfig {
+    LifecycleConfig {
+        min_window: 256,
+        ..LifecycleConfig::new(BUDGET)
+    }
+}
+
+/// Drives the drifting stream with the controller on a background thread.
+/// Returns per-batch (epoch, fresh ops, fresh computations, errors) plus
+/// the number of swaps.
+fn drive_with_lifecycle(
+    serving: &ServingEngine<'_>,
+    ctl: &mut RematerializationController<'_, '_>,
+    stream: &[Query],
+) -> (Vec<(u64, u64, usize, usize)>, usize) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let ctl_handle = s.spawn(|| {
+            ctl.run(&stop, Duration::from_micros(500))
+                .expect("controller must not fail")
+        });
+        let mut per_batch = Vec::new();
+        for batch in stream.chunks(BATCH) {
+            let (answers, stats) = serving.serve_batch(batch);
+            let errors = answers.iter().filter(|a| a.is_err()).count();
+            per_batch.push((
+                stats.epoch,
+                stats.total_ops,
+                stats.unique - stats.cache_hits,
+                errors,
+            ));
+            std::thread::sleep(BATCH_GAP);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let swaps = ctl_handle.join().expect("controller thread");
+        (per_batch, swaps)
+    })
+}
+
+fn bench_drift_serving(c: &mut Criterion) {
+    let setup = setup();
+    let workers = *worker_sweep().first().expect("non-empty sweep");
+
+    // --- acceptance run: lifecycle on, background controller ---
+    let (engine, mat, train_w) = trained_engine(&setup);
+    let serving = ServingEngine::new(
+        engine,
+        mat.clone(),
+        ServingConfig {
+            workers,
+            ..ServingConfig::default()
+        },
+    );
+    let mut ctl = RematerializationController::new(&serving, &train_w, lifecycle_cfg());
+    let t0 = Instant::now();
+    let (per_batch, swaps) = drive_with_lifecycle(&serving, &mut ctl, &setup.stream);
+    let live_wall = t0.elapsed();
+
+    let errors: usize = per_batch.iter().map(|b| b.3).sum();
+    assert_eq!(errors, 0, "serving must be uninterrupted across the swap");
+    assert!(swaps >= 1, "drift must trigger an automatic re-materialization");
+
+    // drifted regime only, split by the epoch each batch was served under
+    let drift_batches = &per_batch[DRIFT_AT / BATCH..];
+    let stale: Vec<_> = drift_batches.iter().filter(|b| b.0 == 0).collect();
+    let fresh: Vec<_> = drift_batches.iter().filter(|b| b.0 >= 1).collect();
+    assert!(
+        !fresh.is_empty(),
+        "the swap must land while the drifted regime is still being served"
+    );
+    let mean = |bs: &[&(u64, u64, usize, usize)]| -> f64 {
+        let ops: u64 = bs.iter().map(|b| b.1).sum();
+        let computed: usize = bs.iter().map(|b| b.2).sum();
+        ops as f64 / computed.max(1) as f64
+    };
+    let fresh_cost = mean(&fresh);
+
+    // --- control run: same drifted traffic, stale epoch kept forever ---
+    let (engine2, mat2, _) = trained_engine(&setup);
+    let stale_engine = ServingEngine::new(
+        engine2,
+        mat2,
+        ServingConfig {
+            workers,
+            ..ServingConfig::default()
+        },
+    );
+    let drift_tail = &setup.stream[DRIFT_AT..];
+    let stale_report = replay(&stale_engine, drift_tail, &ReplayConfig { batch_size: BATCH });
+    assert_eq!(stale_report.errors, 0);
+    let stale_cost = stale_report.mean_ops_per_computed();
+
+    let improvement = stale_cost / fresh_cost.max(1.0);
+    println!(
+        "drift_serving/swap_improvement                     {improvement:.2}x  \
+         (stale {stale_cost:.0} ops/q vs post-swap {fresh_cost:.0} ops/q, \
+         {swaps} swap(s), {} stale-epoch and {} fresh-epoch drifted batches, \
+         {} workers, live run {live_wall:.2?})",
+        stale.len(),
+        fresh.len(),
+        serving.workers(),
+    );
+    for ev in ctl.swaps() {
+        println!(
+            "drift_serving/swap@{:<6} epoch {} observed {:.1}% -> expected {:.1}% \
+             ({} shortcuts, {} entries, selection {:.2?})",
+            ev.at_arrivals,
+            ev.epoch,
+            100.0 * ev.observed_savings,
+            100.0 * ev.new_reference_savings,
+            ev.shortcuts,
+            ev.total_size,
+            ev.selection,
+        );
+    }
+    assert!(
+        improvement >= 1.5,
+        "re-materialization must improve drifted-workload cost ≥1.5x \
+         (got {improvement:.2}x: stale {stale_cost:.0} vs fresh {fresh_cost:.0})"
+    );
+
+    // --- criterion timings: steady drifted serving per worker count ---
+    let mut g = c.benchmark_group("drift_serving");
+    for workers in worker_sweep() {
+        let (engine, mat, _) = trained_engine(&setup);
+        let steady = ServingEngine::new(
+            engine,
+            mat,
+            ServingConfig {
+                workers,
+                ..ServingConfig::default()
+            },
+        );
+        // pre-drifted steady state: what the server does after convergence
+        steady.publish(rematerialized(&setup, &steady));
+        g.bench_function(
+            format!("drifted_tail_steady_w{}", steady.workers()),
+            |b| {
+                b.iter(|| {
+                    black_box(replay(
+                        &steady,
+                        &setup.stream[DRIFT_AT..],
+                        &ReplayConfig { batch_size: BATCH },
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A materialization selected for the drifted (shallow) region — the
+/// artifact the controller converges to.
+fn rematerialized(setup: &Setup, serving: &ServingEngine<'_>) -> peanut_core::Materialization {
+    let w = Workload::from_queries(setup.shallow.iter().cloned());
+    let ctx = OfflineContext::new(&setup.tree, &w).expect("context");
+    Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(BUDGET),
+        serving.engine().numeric_state().expect("numeric"),
+    )
+    .expect("materializes")
+    .0
+}
+
+criterion_group!(benches, bench_drift_serving);
+criterion_main!(benches);

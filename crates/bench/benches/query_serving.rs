@@ -9,6 +9,7 @@
 //! pool on multi-core hosts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use peanut_bench::harness::worker_sweep;
 use peanut_core::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Workload};
 use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree};
 use peanut_pgm::{fixtures, BayesianNetwork, Scratch};
@@ -102,12 +103,23 @@ fn bench_query_serving(c: &mut Criterion) {
     });
 
     // steady-state serving: the engine (and its answer cache) persists
-    // across iterations, as it would across arrival waves in a server
-    let serving =
-        ServingEngine::from_shared(engine.clone(), mat.clone(), ServingConfig::default());
-    g.bench_function("batched_serving_512q_steady", |b| {
-        b.iter(|| black_box(replay(&serving, &queries, &ReplayConfig { batch_size: BATCH })))
-    });
+    // across iterations, as it would across arrival waves in a server.
+    // PEANUT_WORKERS=1,2,4 sweeps the pool size (the multi-core scaling
+    // study); unset means one worker per core.
+    for workers in worker_sweep() {
+        let serving = ServingEngine::from_shared(
+            engine.clone(),
+            mat.clone(),
+            ServingConfig {
+                workers,
+                ..ServingConfig::default()
+            },
+        );
+        g.bench_function(
+            format!("batched_serving_512q_steady_w{}", serving.workers()),
+            |b| b.iter(|| black_box(replay(&serving, &queries, &ReplayConfig { batch_size: BATCH }))),
+        );
+    }
     g.finish();
 
     // explicit acceptance measurement, cache-cold: a fresh engine drains
@@ -115,25 +127,34 @@ fn bench_query_serving(c: &mut Criterion) {
     let t = Instant::now();
     let answered = single_thread_loop(&online, &queries);
     let loop_time = t.elapsed();
-    let cold =
-        ServingEngine::from_shared(engine.clone(), mat.clone(), ServingConfig::default());
-    let report = replay(&cold, &queries, &ReplayConfig { batch_size: BATCH });
     assert_eq!(answered, N_QUERIES);
-    assert_eq!(report.errors, 0);
     let loop_qps = N_QUERIES as f64 / loop_time.as_secs_f64();
-    println!(
-        "query_serving/serving_speedup_cold                 {:.2}x  \
-         (loop {:.0} q/s vs batched {:.0} q/s, {} workers, {} computed of {} queries, \
-         p50 {:?} p99 {:?})",
-        report.throughput_qps / loop_qps,
-        loop_qps,
-        report.throughput_qps,
-        cold.workers(),
-        report.unique - report.cache_hits,
-        report.queries,
-        report.latency_p50,
-        report.latency_p99,
-    );
+    for workers in worker_sweep() {
+        let cold = ServingEngine::from_shared(
+            engine.clone(),
+            mat.clone(),
+            ServingConfig {
+                workers,
+                ..ServingConfig::default()
+            },
+        );
+        let report = replay(&cold, &queries, &ReplayConfig { batch_size: BATCH });
+        assert_eq!(report.errors, 0);
+        println!(
+            "query_serving/serving_speedup_cold_w{:<2}             {:.2}x  \
+             (loop {:.0} q/s vs batched {:.0} q/s, {} workers, {} computed of {} queries, \
+             p50 {:?} p99 {:?})",
+            cold.workers(),
+            report.throughput_qps / loop_qps,
+            loop_qps,
+            report.throughput_qps,
+            cold.workers(),
+            report.computed(),
+            report.queries,
+            report.latency_p50,
+            report.latency_p99,
+        );
+    }
 }
 
 fn bench_scratch_reuse(c: &mut Criterion) {

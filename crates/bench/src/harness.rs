@@ -91,6 +91,33 @@ pub fn threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Worker-thread counts for the serving scaling sweeps. One flag drives
+/// every serving bench (`query_serving`, `drift_serving`): set
+/// `PEANUT_WORKERS="1,2,4,8"` (or a single count) to sweep explicit pool
+/// sizes; unset (or unparsable) means `[0]` — one worker per available
+/// core, the serving default.
+pub fn worker_sweep() -> Vec<usize> {
+    match std::env::var("PEANUT_WORKERS") {
+        Ok(s) => {
+            // all-or-nothing: a mistyped token must not silently shrink
+            // the sweep to a different study than the one requested
+            // (split always yields ≥1 token, and empty tokens fail to
+            // parse, so the Ok list is never empty)
+            match s.split(',').map(|t| t.trim().parse()).collect::<Result<Vec<usize>, _>>() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!(
+                        "PEANUT_WORKERS={s:?} is not a comma-separated list of \
+                         counts; using the per-core default"
+                    );
+                    vec![0]
+                }
+            }
+        }
+        Err(_) => vec![0],
+    }
+}
+
 /// Builds a PEANUT/PEANUT+ materialization, returning it with the offline
 /// wall-clock seconds.
 pub fn run_offline(
@@ -232,6 +259,14 @@ mod tests {
         assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
         let zs = [8.0, 6.0, 4.0, 2.0];
         assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_sweep_parses_the_flag() {
+        // no flag set in the test environment: serving default
+        if std::env::var("PEANUT_WORKERS").is_err() {
+            assert_eq!(worker_sweep(), vec![0]);
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   used by the PEANUT+ online phase;
 //! * [`online`] — the online engine shared by every method: detect useful
 //!   shortcuts, shrink the Steiner tree, run (or cost) the reduced tree;
-//! * [`peanut`] — the assembled PEANUT / PEANUT+ methods.
+//! * [`peanut`] — the assembled PEANUT / PEANUT+ methods;
+//! * [`stats`] — runtime workload observation (per-scope arrivals, shortcut
+//!   hit rates, observed vs training benefit) feeding the epoch-versioned
+//!   serving lifecycle.
 
 pub mod budp;
 pub mod context;
@@ -31,12 +34,14 @@ pub mod online;
 pub mod peanut;
 pub mod plus;
 pub mod shortcut;
+pub mod stats;
 pub mod util;
 pub mod workload;
 
 pub use context::OfflineContext;
 pub use grid::BudgetGrid;
-pub use online::{Materialization, MaterializedShortcut, OnlineEngine};
+pub use online::{Materialization, MaterializedShortcut, OnlineEngine, TracedAnswer};
 pub use peanut::{Peanut, PeanutConfig, Variant};
 pub use shortcut::Shortcut;
+pub use stats::{StatsSnapshot, WorkloadStats};
 pub use workload::Workload;

@@ -6,6 +6,7 @@
 use crate::context::{build_query_info, delta};
 use crate::gwmin::gwmin;
 use crate::shortcut::Shortcut;
+use crate::stats::WorkloadStats;
 use peanut_junction::cost::{marginalization_ops, QueryCost};
 use peanut_junction::{QueryEngine, QueryPlan, ReducedTree};
 use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size};
@@ -32,9 +33,19 @@ pub struct Materialization {
     /// Whether shortcuts may overlap (PEANUT+ / INDSEP) — if so, the online
     /// phase must run GWMIN on the per-query conflict graph.
     pub overlapping: bool,
+    /// Lifecycle version of this artifact. A freshly selected
+    /// materialization is epoch 0; a serving stack that hot-swaps
+    /// materializations stamps each published artifact with the next epoch
+    /// so downstream caches can tell stale answers from current ones.
+    pub epoch: u64,
 }
 
 impl Materialization {
+    /// Stamps the lifecycle epoch (builder-style).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
     /// The *actual budget*: total materialized table entries
     /// (Σ μ(S), the y-axis of the paper's Figure 4).
     pub fn total_size(&self) -> Size {
@@ -54,16 +65,50 @@ impl Materialization {
     }
 }
 
+/// An answer traced with the baseline it is measured against: what the
+/// plain (un-shortcut) junction tree would have charged for the same query.
+/// The gap between the two is the *observed benefit* the lifecycle layer
+/// watches for drift.
+#[derive(Clone, Debug)]
+pub struct TracedAnswer {
+    /// `P(query)` (or `P(targets | evidence)`).
+    pub potential: Potential,
+    /// Cost actually charged, shortcuts included.
+    pub cost: QueryCost,
+    /// Operation count of the same query on the plain junction tree.
+    pub baseline_ops: Size,
+}
+
 /// Query processor that exploits a [`Materialization`].
 pub struct OnlineEngine<'e, 't> {
     engine: &'e QueryEngine<'t>,
     mat: &'e Materialization,
+    stats: Option<&'e WorkloadStats>,
 }
 
 impl<'e, 't> OnlineEngine<'e, 't> {
     /// Wraps a query engine (symbolic or numeric) with a materialization.
     pub fn new(engine: &'e QueryEngine<'t>, mat: &'e Materialization) -> Self {
-        OnlineEngine { engine, mat }
+        OnlineEngine {
+            engine,
+            mat,
+            stats: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), but every answered query is also recorded
+    /// into `stats` (scope, charged cost, plain-JT baseline) — the feed of
+    /// the epoch lifecycle's drift detector.
+    pub fn with_stats(
+        engine: &'e QueryEngine<'t>,
+        mat: &'e Materialization,
+        stats: &'e WorkloadStats,
+    ) -> Self {
+        OnlineEngine {
+            engine,
+            mat,
+            stats: Some(stats),
+        }
     }
 
     /// The underlying engine.
@@ -71,18 +116,47 @@ impl<'e, 't> OnlineEngine<'e, 't> {
         self.engine
     }
 
+    /// The materialization this engine answers through.
+    pub fn materialization(&self) -> &Materialization {
+        self.mat
+    }
+
     /// Builds the shortcut-reduced tree for an out-of-clique query;
     /// `None` for in-clique queries.
     pub fn reduce(&self, query: &Scope) -> Result<Option<ReducedTree>, PgmError> {
+        Ok(self.reduce_traced(query, false)?.0)
+    }
+
+    /// [`reduce`](Self::reduce), optionally also returning the baseline
+    /// operation count of the *unreduced* plan (the plain-JT cost). The
+    /// baseline falls out of the reduction for free when shortcuts are
+    /// considered, so tracing adds no work on the materialized path.
+    fn reduce_traced(
+        &self,
+        query: &Scope,
+        want_baseline: bool,
+    ) -> Result<(Option<ReducedTree>, Size), PgmError> {
         let tree = self.engine.tree();
         let rooted = self.engine.rooted();
         match self.engine.plan(query)? {
-            QueryPlan::InClique(_) => Ok(None),
+            QueryPlan::InClique(u) => {
+                let baseline = if want_baseline {
+                    marginalization_ops(tree.clique(u), tree.domain())
+                } else {
+                    0
+                };
+                Ok((None, baseline))
+            }
             QueryPlan::OutOfClique(st) => {
                 let mut rt =
                     ReducedTree::from_steiner(tree, rooted, &st, self.engine.numeric_state());
+                let baseline = if want_baseline || !self.mat.is_empty() {
+                    rt.cost(query, tree.domain()).ops
+                } else {
+                    0
+                };
                 if self.mat.is_empty() {
-                    return Ok(Some(rt));
+                    return Ok((Some(rt), baseline));
                 }
                 let qi = build_query_info(tree, rooted, query, 1.0)?;
                 // useful shortcuts under Def. 3.1
@@ -124,7 +198,7 @@ impl<'e, 't> OnlineEngine<'e, 't> {
                         .then(a.cmp(&b))
                 });
                 let domain = tree.domain();
-                let mut cost = rt.cost(query, domain).ops;
+                let mut cost = baseline;
                 for i in order {
                     let ms = &self.mat.shortcuts[i];
                     let region: Vec<usize> = (0..rt.len())
@@ -150,7 +224,7 @@ impl<'e, 't> OnlineEngine<'e, 't> {
                         cost = new_cost;
                     }
                 }
-                Ok(Some(rt))
+                Ok((Some(rt), baseline))
             }
         }
     }
@@ -175,10 +249,37 @@ impl<'e, 't> OnlineEngine<'e, 't> {
         query: &Scope,
         scratch: &mut Scratch,
     ) -> Result<(Potential, QueryCost), PgmError> {
+        if self.stats.is_some() {
+            let t = self.answer_traced_in(query, scratch)?;
+            return Ok((t.potential, t.cost));
+        }
         match self.reduce(query)? {
             None => self.engine.answer_in(query, scratch),
             Some(rt) => rt.answer_in(query, self.engine.tree().domain(), scratch),
         }
+    }
+
+    /// Numeric answer together with the plain-JT baseline cost of the same
+    /// query. When the engine carries a [`WorkloadStats`] accumulator
+    /// (see [`with_stats`](Self::with_stats)) the observation is recorded.
+    pub fn answer_traced_in(
+        &self,
+        query: &Scope,
+        scratch: &mut Scratch,
+    ) -> Result<TracedAnswer, PgmError> {
+        let (rt, baseline_ops) = self.reduce_traced(query, true)?;
+        let (potential, cost) = match rt {
+            None => self.engine.answer_in(query, scratch)?,
+            Some(rt) => rt.answer_in(query, self.engine.tree().domain(), scratch)?,
+        };
+        if let Some(stats) = self.stats {
+            stats.record(query, &cost, baseline_ops);
+        }
+        Ok(TracedAnswer {
+            potential,
+            cost,
+            baseline_ops,
+        })
     }
 
     /// Conditional distribution `P(targets | evidence)` answered through the
@@ -201,6 +302,29 @@ impl<'e, 't> OnlineEngine<'e, 't> {
     ) -> Result<(Potential, QueryCost), PgmError> {
         peanut_junction::query::conditional_from_joint(targets, evidence, scratch, |q, s| {
             self.answer_in(q, s)
+        })
+    }
+
+    /// [`conditional_in`](Self::conditional_in) traced with the plain-JT
+    /// baseline of the underlying joint query (the scope the workload model
+    /// and the drift detector reason about).
+    pub fn conditional_traced_in(
+        &self,
+        targets: &Scope,
+        evidence: &[(peanut_pgm::Var, u32)],
+        scratch: &mut Scratch,
+    ) -> Result<TracedAnswer, PgmError> {
+        let mut baseline_ops: Size = 0;
+        let (potential, cost) =
+            peanut_junction::query::conditional_from_joint(targets, evidence, scratch, |q, s| {
+                let t = self.answer_traced_in(q, s)?;
+                baseline_ops = t.baseline_ops;
+                Ok((t.potential, t.cost))
+            })?;
+        Ok(TracedAnswer {
+            potential,
+            cost,
+            baseline_ops,
         })
     }
 
@@ -256,6 +380,7 @@ mod tests {
                 shortcut: s,
             }],
             overlapping: false,
+            epoch: 0,
         };
         let online = OnlineEngine::new(&engine, &mat);
 
@@ -304,6 +429,7 @@ mod tests {
                 shortcut: s,
             }],
             overlapping: false,
+            epoch: 0,
         };
         let online = OnlineEngine::new(&engine, &mat);
         let q = Scope::from_iter([

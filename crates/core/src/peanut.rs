@@ -109,6 +109,7 @@ impl Peanut {
         Materialization {
             shortcuts,
             overlapping: cfg.variant == Variant::PeanutPlus,
+            epoch: 0,
         }
     }
 

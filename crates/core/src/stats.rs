@@ -1,0 +1,209 @@
+//! Runtime workload statistics: the observation side of the
+//! epoch-versioned materialization lifecycle.
+//!
+//! A [`WorkloadStats`] accumulator rides along with one materialization
+//! epoch and records, for every answered query, the scope that was asked,
+//! the operation count actually charged (with the epoch's shortcuts), the
+//! operation count the plain junction tree would have charged, and whether
+//! any shortcut fired. From those the lifecycle layer derives the
+//! *observed benefit* of the epoch — directly comparable to the training
+//! benefit the offline phase optimized (Def. 3.3) — and an empirical
+//! [`Workload`] over the *served* distribution to retrain against when the
+//! observed benefit decays (the λ-drift of §5.3, Figures 8–9).
+//!
+//! All counters are lock-free except the per-scope histogram, which takes a
+//! short mutex per recorded query; the accumulator is shared across serving
+//! workers behind an `Arc`.
+
+use crate::workload::Workload;
+use peanut_junction::cost::QueryCost;
+use peanut_pgm::{Scope, Size};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Concurrent accumulator of per-epoch serving observations.
+#[derive(Debug, Default)]
+pub struct WorkloadStats {
+    queries: AtomicU64,
+    shortcut_queries: AtomicU64,
+    shortcuts_used: AtomicU64,
+    observed_ops: AtomicU64,
+    baseline_ops: AtomicU64,
+    scopes: Mutex<HashMap<Scope, u64>>,
+}
+
+/// A consistent-enough point-in-time copy of the counters (individual loads
+/// are relaxed; the lifecycle layer only needs window-scale accuracy).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries recorded (arrival-weighted, not distinct).
+    pub queries: u64,
+    /// Recorded queries answered using at least one shortcut potential.
+    pub shortcut_queries: u64,
+    /// Total shortcut potentials exploited across recorded queries.
+    pub shortcuts_used: u64,
+    /// Total operation count charged with the epoch's materialization.
+    pub observed_ops: u64,
+    /// Total operation count the plain junction tree would have charged.
+    pub baseline_ops: u64,
+}
+
+impl StatsSnapshot {
+    /// Observed benefit of the epoch: the fraction of baseline operations
+    /// the materialization saved on the recorded traffic
+    /// (`1 − observed/baseline`). Zero when nothing was recorded.
+    pub fn observed_savings(&self) -> f64 {
+        if self.baseline_ops == 0 {
+            return 0.0;
+        }
+        1.0 - self.observed_ops as f64 / self.baseline_ops as f64
+    }
+
+    /// Fraction of recorded queries that exploited at least one shortcut.
+    pub fn shortcut_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.shortcut_queries as f64 / self.queries as f64
+    }
+}
+
+impl WorkloadStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        WorkloadStats::default()
+    }
+
+    /// Records one answered query: its scope, the cost actually charged,
+    /// and the plain-junction-tree cost of the same query.
+    pub fn record(&self, scope: &Scope, cost: &QueryCost, baseline_ops: Size) {
+        self.record_n(scope, cost, baseline_ops, 1);
+    }
+
+    /// [`record`](Self::record) with an arrival multiplicity: `n` identical
+    /// arrivals that shared one computation (in-batch duplicates, answer
+    /// cache hits) weigh the observed distribution like `n` separate
+    /// arrivals would.
+    pub fn record_n(&self, scope: &Scope, cost: &QueryCost, baseline_ops: Size, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.queries.fetch_add(n, Ordering::Relaxed);
+        if cost.shortcuts_used > 0 {
+            self.shortcut_queries.fetch_add(n, Ordering::Relaxed);
+            self.shortcuts_used
+                .fetch_add((cost.shortcuts_used as u64).saturating_mul(n), Ordering::Relaxed);
+        }
+        self.observed_ops
+            .fetch_add(cost.ops.saturating_mul(n), Ordering::Relaxed);
+        self.baseline_ops
+            .fetch_add(baseline_ops.saturating_mul(n), Ordering::Relaxed);
+        let mut scopes = self.scopes.lock().expect("stats lock");
+        *scopes.entry(scope.clone()).or_insert(0) += n;
+    }
+
+    /// Point-in-time copy of the aggregate counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            shortcut_queries: self.shortcut_queries.load(Ordering::Relaxed),
+            shortcuts_used: self.shortcuts_used.load(Ordering::Relaxed),
+            observed_ops: self.observed_ops.load(Ordering::Relaxed),
+            baseline_ops: self.baseline_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct scopes recorded so far.
+    pub fn distinct_scopes(&self) -> usize {
+        self.scopes.lock().expect("stats lock").len()
+    }
+
+    /// The *observed* workload: the recorded scope frequencies as an
+    /// empirical distribution (Def. 3.3), ready to retrain the offline
+    /// selection against. Deterministic: entries come out sorted by scope.
+    pub fn observed_workload(&self) -> Workload {
+        let scopes = self.scopes.lock().expect("stats lock");
+        Workload::from_weighted(scopes.iter().map(|(s, &c)| (s.clone(), c as f64)))
+    }
+
+    /// The raw `(scope, arrivals)` histogram, sorted by scope.
+    pub fn scope_counts(&self) -> Vec<(Scope, u64)> {
+        let scopes = self.scopes.lock().expect("stats lock");
+        let mut v: Vec<(Scope, u64)> = scopes.iter().map(|(s, &c)| (s.clone(), c)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(ops: u64, shortcuts: usize) -> QueryCost {
+        QueryCost {
+            ops,
+            messages: 0,
+            shortcuts_used: shortcuts,
+        }
+    }
+
+    #[test]
+    fn savings_and_hit_rate() {
+        let stats = WorkloadStats::new();
+        let a = Scope::from_indices(&[0, 1]);
+        let b = Scope::from_indices(&[2]);
+        stats.record(&a, &cost(25, 1), 100);
+        stats.record(&b, &cost(50, 0), 50);
+        let s = stats.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.observed_ops, 75);
+        assert_eq!(s.baseline_ops, 150);
+        assert!((s.observed_savings() - 0.5).abs() < 1e-12);
+        assert!((s.shortcut_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplicity_weighs_the_distribution() {
+        let stats = WorkloadStats::new();
+        let a = Scope::from_indices(&[0]);
+        let b = Scope::from_indices(&[1]);
+        stats.record_n(&a, &cost(10, 0), 20, 3);
+        stats.record(&b, &cost(10, 0), 20);
+        let w = stats.observed_workload();
+        assert_eq!(w.len(), 2);
+        let wa = w.entries().iter().find(|e| e.query == a).unwrap().weight;
+        assert!((wa - 0.75).abs() < 1e-12);
+        assert_eq!(stats.snapshot().observed_ops, 40);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let stats = WorkloadStats::new();
+        let s = stats.snapshot();
+        assert_eq!(s.observed_savings(), 0.0);
+        assert_eq!(s.shortcut_hit_rate(), 0.0);
+        assert!(stats.observed_workload().is_empty());
+        assert_eq!(stats.distinct_scopes(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_totals_add_up() {
+        let stats = WorkloadStats::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let stats = &stats;
+                s.spawn(move || {
+                    let scope = Scope::from_indices(&[t]);
+                    for _ in 0..100 {
+                        stats.record(&scope, &cost(7, 1), 10);
+                    }
+                });
+            }
+        });
+        let s = stats.snapshot();
+        assert_eq!(s.queries, 400);
+        assert_eq!(s.observed_ops, 2800);
+        assert_eq!(stats.distinct_scopes(), 4);
+    }
+}

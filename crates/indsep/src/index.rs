@@ -154,6 +154,7 @@ pub fn build_index(
         materialization: Materialization {
             shortcuts,
             overlapping: true,
+            epoch: 0,
         },
         skipped_oversize: skipped,
         levels: level,

@@ -30,6 +30,38 @@ pub fn marginalization_ops(scope: &Scope, domain: &Domain) -> Size {
     table_size(scope, domain)
 }
 
+/// Probability-weighted mean operation count of a workload distribution
+/// under a per-query cost function.
+///
+/// This is the quantity the offline phase optimizes (the expectation in
+/// Def. 3.3) recomputed on an arbitrary distribution — in particular on the
+/// *observed* serving distribution, where comparing it between the current
+/// materialization and the plain tree gives the epoch's expected benefit
+/// after drift. Queries the cost function cannot price (`None`) are skipped
+/// and the remaining weights renormalized; returns 0 when nothing is
+/// priceable.
+pub fn expected_ops<F>(queries: &[(Scope, f64)], mut cost: F) -> f64
+where
+    F: FnMut(&Scope) -> Option<Size>,
+{
+    let mut total = 0.0f64;
+    let mut mass = 0.0f64;
+    for (q, w) in queries {
+        if *w <= 0.0 {
+            continue;
+        }
+        if let Some(ops) = cost(q) {
+            total += *w * ops as f64;
+            mass += *w;
+        }
+    }
+    if mass > 0.0 {
+        total / mass
+    } else {
+        0.0
+    }
+}
+
 /// Accumulated cost of processing one query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryCost {
@@ -65,6 +97,25 @@ mod tests {
     fn marginalization_is_table_size() {
         let d = Domain::uniform(4, 3).unwrap();
         assert_eq!(marginalization_ops(&d.full_scope(), &d), 81);
+    }
+
+    #[test]
+    fn expected_ops_weights_and_renormalizes() {
+        let a = Scope::from_indices(&[0]);
+        let b = Scope::from_indices(&[1]);
+        let c = Scope::from_indices(&[2]);
+        let entries = vec![(a, 0.5), (b, 0.25), (c, 0.25)];
+        // all priceable: plain expectation
+        let e = expected_ops(&entries, |q| Some(100 * (q.vars()[0].0 as u64 + 1)));
+        assert!((e - (0.5 * 100.0 + 0.25 * 200.0 + 0.25 * 300.0)).abs() < 1e-9);
+        // one unpriceable query: weights renormalize over the rest
+        let e = expected_ops(&entries, |q| {
+            (q.vars()[0].0 != 2).then(|| 100 * (q.vars()[0].0 as u64 + 1))
+        });
+        assert!((e - (0.5 * 100.0 + 0.25 * 200.0) / 0.75).abs() < 1e-9);
+        // nothing priceable
+        assert_eq!(expected_ops(&entries, |_| None), 0.0);
+        assert_eq!(expected_ops(&[], |_| Some(1)), 0.0);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The batched serving engine.
 //!
 //! A [`ServingEngine`] wraps one calibrated
-//! [`QueryEngine`](peanut_junction::QueryEngine) plus one
-//! [`Materialization`](peanut_core::Materialization) (both behind `Arc`, so
-//! several engines — e.g. per traffic class — can share the same calibrated
-//! tree) and answers *batches* of queries:
+//! [`QueryEngine`](peanut_junction::QueryEngine) plus an **epoch-versioned,
+//! hot-swappable** [`Materialization`](peanut_core::Materialization) and
+//! answers *batches* of queries:
 //!
 //! 1. duplicate queries inside a batch are coalesced and computed once
 //!    (workloads sample pools with replacement, so real batches repeat);
@@ -13,16 +12,33 @@
 //! 3. every worker owns a [`Scratch`], so all intermediate tables of a
 //!    query are recycled into the next one.
 //!
-//! Answers come back in batch order together with per-query
-//! [`QueryCost`] telemetry and service time.
+//! Answers come back in batch order as [`Served`] handles around
+//! `Arc<Answer>` — the warm path (cross-batch cache hits, in-batch
+//! duplicates) never copies a table.
+//!
+//! # Epochs
+//!
+//! The materialization is not fixed at construction: [`publish`]
+//! (`ServingEngine::publish`) atomically swaps in a new one, stamped with
+//! the next epoch, while batches keep draining. Every answer and every
+//! answer-cache entry is tagged with the epoch that produced it; a lookup
+//! whose entry carries an older epoch is treated as a miss and the entry is
+//! dropped *lazily* — no global cache flush, no serving pause. Each epoch
+//! also carries a fresh [`WorkloadStats`] accumulator which the per-worker
+//! [`OnlineEngine`]s feed (fresh computations) and the batch fan-out tops
+//! up (duplicate and cached arrivals), so the lifecycle layer can watch the
+//! epoch's *observed* benefit decay under workload drift.
+//!
+//! [`publish`]: ServingEngine::publish
 
-use peanut_core::{Materialization, OnlineEngine};
+use peanut_core::{Materialization, OnlineEngine, WorkloadStats};
 use peanut_junction::cost::QueryCost;
 use peanut_junction::QueryEngine;
-use peanut_pgm::{PgmError, Potential, Scope, Scratch, Var};
+use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size, Var};
 use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// One query as submitted by a client.
@@ -55,19 +71,72 @@ impl Query {
             Query::Conditional { targets, evidence }
         }
     }
+
+    /// The scope the workload model reasons about: the query scope itself
+    /// for marginals, the joint targets∪evidence scope for conditionals
+    /// (that is the scope the engine answers, and the one materialization
+    /// selection optimizes for).
+    pub fn stat_scope(&self) -> Scope {
+        match self {
+            Query::Marginal(s) => s.clone(),
+            Query::Conditional { targets, evidence } => {
+                let ev = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+                targets.union(&ev)
+            }
+        }
+    }
 }
 
-/// A served answer: the distribution plus execution telemetry.
+/// A served answer: the distribution plus execution telemetry. Shared
+/// behind `Arc` between in-batch duplicates, the answer cache, and repeat
+/// arrivals in later batches — it is immutable once computed.
 #[derive(Clone, Debug)]
 pub struct Answer {
     /// `P(scope)` or `P(targets | evidence)`.
     pub potential: Potential,
     /// Operation-count telemetry of the (possibly shared) computation.
     pub cost: QueryCost,
-    /// Time spent computing this answer — shared by in-batch duplicates of
-    /// the same query (they wait on one computation), and zero when the
-    /// answer came from the cross-batch cache.
+    /// Operation count the plain (shortcut-free) junction tree would have
+    /// charged for the same query — the baseline the epoch's observed
+    /// benefit is measured against.
+    pub baseline_ops: Size,
+    /// Materialization epoch this answer was computed under. Cache entries
+    /// from older epochs are lazily invalidated after a swap.
+    pub epoch: u64,
+    /// Time spent computing this answer when it was first computed —
+    /// shared by every arrival that reuses the computation.
     pub service_time: Duration,
+}
+
+/// One arrival's view of an answer: a zero-copy handle plus per-arrival
+/// provenance. Dereferences to [`Answer`].
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The shared answer.
+    pub answer: Arc<Answer>,
+    /// True when the answer came from the cross-batch answer cache (the
+    /// arrival did no computation at all).
+    pub from_cache: bool,
+}
+
+impl Served {
+    /// Per-arrival latency: zero for cache hits, the shared computation
+    /// time otherwise (in-batch duplicates wait on one computation).
+    pub fn latency(&self) -> Duration {
+        if self.from_cache {
+            Duration::ZERO
+        } else {
+            self.answer.service_time
+        }
+    }
+}
+
+impl Deref for Served {
+    type Target = Answer;
+
+    fn deref(&self) -> &Answer {
+        &self.answer
+    }
 }
 
 /// Per-batch aggregate telemetry.
@@ -79,6 +148,10 @@ pub struct BatchStats {
     pub unique: usize,
     /// Unique queries served from the cross-batch answer cache.
     pub cache_hits: usize,
+    /// Cache entries found stale (older epoch) and lazily dropped.
+    pub stale_hits: usize,
+    /// Materialization epoch the batch was served under.
+    pub epoch: u64,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
     /// Summed operation count over freshly computed queries.
@@ -111,40 +184,99 @@ impl Default for ServingConfig {
     }
 }
 
-/// Bounded FIFO map of fully computed answers. Values are `Arc`ed so cache
-/// lookups under the lock are O(1) pointer clones; the table copy for the
-/// caller happens outside the critical section.
+/// Bounded FIFO map of fully computed answers. Entries are tagged with the
+/// epoch of the answer they hold; lookups under a newer epoch drop the
+/// entry lazily instead of flushing the cache on swap. The eviction queue
+/// carries the insert-time epoch so a dangling queue entry (whose map slot
+/// was dropped or replaced by a newer epoch) is skipped, never evicting a
+/// fresher entry by key collision.
 #[derive(Default)]
 struct AnswerCache {
     map: HashMap<Query, Arc<Answer>>,
-    order: VecDeque<Query>,
+    order: VecDeque<(Query, u64)>,
+}
+
+enum CacheLookup {
+    Hit(Arc<Answer>),
+    StaleDropped,
+    Miss,
 }
 
 impl AnswerCache {
-    fn insert(&mut self, capacity: usize, q: Query, a: Arc<Answer>) {
-        if capacity == 0 || self.map.contains_key(&q) {
-            return;
+    fn lookup(&mut self, q: &Query, epoch: u64) -> CacheLookup {
+        match self.map.get(q) {
+            Some(hit) if hit.epoch == epoch => CacheLookup::Hit(Arc::clone(hit)),
+            Some(hit) if hit.epoch < epoch => {
+                // stale epoch: lazy invalidation (its order entry dangles
+                // and is skipped at eviction time by the epoch check)
+                self.map.remove(q);
+                CacheLookup::StaleDropped
+            }
+            // a *newer* epoch than this batch's snapshot (the batch raced
+            // a publish): miss for us, but the entry is current for every
+            // following batch — it must not be evicted
+            Some(_) => CacheLookup::Miss,
+            None => CacheLookup::Miss,
         }
-        while self.map.len() >= capacity {
-            let Some(old) = self.order.pop_front() else { break };
+    }
+
+    /// Pops the oldest queue entry, evicting its map entry unless the
+    /// queue entry dangles (the slot was stale-dropped or re-inserted at
+    /// a newer epoch). Returns false when the queue is empty.
+    fn evict_front(&mut self) -> bool {
+        let Some((old, ep)) = self.order.pop_front() else {
+            return false;
+        };
+        if self.map.get(&old).is_some_and(|e| e.epoch == ep) {
             self.map.remove(&old);
         }
-        self.order.push_back(q.clone());
+        true
+    }
+
+    fn insert(&mut self, capacity: usize, q: Query, a: Arc<Answer>) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some(existing) = self.map.get(&q) {
+            if existing.epoch >= a.epoch {
+                return;
+            }
+        }
+        while self.map.len() >= capacity && self.evict_front() {}
+        // The queue accumulates dangling entries (stale drops, same-key
+        // re-inserts at a newer epoch) that the loop above only drains
+        // once the map saturates — which a small working set under
+        // repeated epoch swaps never does. Bound the queue itself: past
+        // 2× capacity at least half of it is dangling, so popping from
+        // the front (evicting the odd live entry early, FIFO-fairly) is
+        // cheap and keeps memory proportional to capacity, not uptime.
+        while self.order.len() >= capacity.saturating_mul(2).max(8) && self.evict_front() {}
+        self.order.push_back((q.clone(), a.epoch));
         self.map.insert(q, a);
     }
 }
 
-/// Batched concurrent query processor over a calibrated, materialized tree.
+/// One epoch's swappable state: the materialization and the accumulator
+/// observing traffic served under it. Replaced as a unit by
+/// [`ServingEngine::publish`].
+struct EpochState {
+    mat: Arc<Materialization>,
+    stats: Arc<WorkloadStats>,
+}
+
+/// Batched concurrent query processor over a calibrated tree and a
+/// hot-swappable, epoch-versioned materialization.
 pub struct ServingEngine<'t> {
     engine: Arc<QueryEngine<'t>>,
-    mat: Arc<Materialization>,
+    state: RwLock<EpochState>,
     cfg: ServingConfig,
     cache: Mutex<AnswerCache>,
 }
 
 impl<'t> ServingEngine<'t> {
-    /// Takes ownership of a (calibrated) query engine and a
-    /// materialization.
+    /// Takes ownership of a (calibrated) query engine and an initial
+    /// materialization (served as whatever epoch it is stamped with,
+    /// 0 for a freshly selected one).
     pub fn new(engine: QueryEngine<'t>, mat: Materialization, cfg: ServingConfig) -> Self {
         Self::from_shared(Arc::new(engine), Arc::new(mat), cfg)
     }
@@ -157,7 +289,10 @@ impl<'t> ServingEngine<'t> {
     ) -> Self {
         ServingEngine {
             engine,
-            mat,
+            state: RwLock::new(EpochState {
+                mat,
+                stats: Arc::new(WorkloadStats::new()),
+            }),
             cfg,
             cache: Mutex::new(AnswerCache::default()),
         }
@@ -168,9 +303,48 @@ impl<'t> ServingEngine<'t> {
         &self.engine
     }
 
-    /// The wrapped materialization.
-    pub fn materialization(&self) -> &Materialization {
-        &self.mat
+    /// Snapshot of the currently served materialization.
+    pub fn materialization(&self) -> Arc<Materialization> {
+        Arc::clone(&self.state.read().expect("epoch lock").mat)
+    }
+
+    /// The epoch currently being served.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("epoch lock").mat.epoch
+    }
+
+    /// The current epoch's observation accumulator (per-scope arrivals,
+    /// shortcut hit rates, observed vs baseline cost). Reset on every
+    /// [`publish`](Self::publish).
+    pub fn stats(&self) -> Arc<WorkloadStats> {
+        Arc::clone(&self.state.read().expect("epoch lock").stats)
+    }
+
+    /// Atomically publishes a new materialization as the next epoch and
+    /// returns that epoch. Serving never pauses: in-flight batches finish
+    /// on the snapshot they took, their answers enter the cache tagged with
+    /// the old epoch, and later lookups drop those entries lazily. The
+    /// observation accumulator starts fresh for the new epoch.
+    pub fn publish(&self, mat: Materialization) -> u64 {
+        let mut state = self.state.write().expect("epoch lock");
+        let epoch = state.mat.epoch + 1;
+        *state = EpochState {
+            mat: Arc::new(mat.with_epoch(epoch)),
+            stats: Arc::new(WorkloadStats::new()),
+        };
+        epoch
+    }
+
+    /// Starts a fresh observation window for the current epoch without
+    /// changing the materialization, returning the retired accumulator.
+    /// The lifecycle controller rolls the window after every decision so
+    /// drift detection always looks at *recent* traffic instead of a
+    /// forever-cumulative average that dilutes a distribution change.
+    /// (Batches already in flight keep recording into the retired window;
+    /// the next window only misses those stragglers.)
+    pub fn reset_stats(&self) -> Arc<WorkloadStats> {
+        let mut state = self.state.write().expect("epoch lock");
+        std::mem::replace(&mut state.stats, Arc::new(WorkloadStats::new()))
     }
 
     /// The worker count a batch will actually use (before capping by batch
@@ -187,15 +361,23 @@ impl<'t> ServingEngine<'t> {
 
     /// Answers a batch. Results come back in submission order; duplicate
     /// queries share one computation (and its telemetry) when deduping is
-    /// on.
-    pub fn serve_batch(&self, batch: &[Query]) -> (Vec<Result<Answer, PgmError>>, BatchStats) {
+    /// on. The whole batch is served under one epoch snapshot — a
+    /// concurrent [`publish`](Self::publish) affects only later batches.
+    pub fn serve_batch(&self, batch: &[Query]) -> (Vec<Result<Served, PgmError>>, BatchStats) {
         let start = Instant::now();
-        let mut stats = BatchStats {
+        // epoch snapshot: the materialization and its stats accumulator
+        let (mat, stats) = {
+            let state = self.state.read().expect("epoch lock");
+            (Arc::clone(&state.mat), Arc::clone(&state.stats))
+        };
+        let epoch = mat.epoch;
+        let mut bstats = BatchStats {
             queries: batch.len(),
+            epoch,
             ..BatchStats::default()
         };
         if batch.is_empty() {
-            return (Vec::new(), stats);
+            return (Vec::new(), bstats);
         }
 
         // coalesce duplicates: assign[i] = index into `uniques`
@@ -215,49 +397,54 @@ impl<'t> ServingEngine<'t> {
         } else {
             (batch.iter().collect(), (0..batch.len()).collect())
         };
-        stats.unique = uniques.len();
+        bstats.unique = uniques.len();
 
-        let mut unique_results: Vec<Option<Result<Answer, PgmError>>> = Vec::new();
+        let mut unique_results: Vec<Option<Result<Arc<Answer>, PgmError>>> = Vec::new();
         unique_results.resize_with(uniques.len(), || None);
+        let mut from_cache = vec![false; uniques.len()];
 
-        // cross-batch cache: serve repeats from memory, compute the rest.
-        // Only Arc clones happen under the lock; table copies are deferred.
+        // cross-batch cache: serve current-epoch repeats from memory, drop
+        // stale-epoch entries lazily, compute the rest. Only Arc clones
+        // happen under the lock.
         let mut work: Vec<usize> = Vec::with_capacity(uniques.len());
-        let mut hits: Vec<(usize, Arc<Answer>)> = Vec::new();
         if self.cfg.cache_capacity > 0 {
-            let cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock().expect("cache lock");
             for (i, q) in uniques.iter().enumerate() {
-                match cache.map.get(q) {
-                    Some(hit) => hits.push((i, Arc::clone(hit))),
-                    None => work.push(i),
+                match cache.lookup(q, epoch) {
+                    CacheLookup::Hit(hit) => {
+                        unique_results[i] = Some(Ok(hit));
+                        from_cache[i] = true;
+                        bstats.cache_hits += 1;
+                    }
+                    CacheLookup::StaleDropped => {
+                        bstats.stale_hits += 1;
+                        work.push(i);
+                    }
+                    CacheLookup::Miss => work.push(i),
                 }
             }
         } else {
             work.extend(0..uniques.len());
         }
-        stats.cache_hits = hits.len();
-        for (i, hit) in hits {
-            let mut a = (*hit).clone();
-            a.service_time = Duration::ZERO;
-            unique_results[i] = Some(Ok(a));
-        }
 
+        type WorkerOut = Vec<(usize, Result<Arc<Answer>, PgmError>)>;
         let n_workers = self.workers().min(work.len()).max(1);
         if work.len() <= 1 || n_workers == 1 {
             // in-thread fast path: no spawn overhead for small batches
-            let online = OnlineEngine::new(&self.engine, &self.mat);
+            let online = OnlineEngine::with_stats(&self.engine, &mat, &stats);
             let mut scratch = Scratch::new();
             for &i in &work {
-                unique_results[i] = Some(answer_one(&online, uniques[i], &mut scratch));
+                unique_results[i] =
+                    Some(answer_one(&online, uniques[i], &mut scratch, epoch).map(Arc::new));
             }
         } else {
             let next = AtomicUsize::new(0);
-            let worker_outs: Vec<Vec<(usize, Result<Answer, PgmError>)>> =
-                std::thread::scope(|s| {
+            let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
                     let handles: Vec<_> = (0..n_workers)
                         .map(|_| {
                             s.spawn(|| {
-                                let online = OnlineEngine::new(&self.engine, &self.mat);
+                                let online =
+                                    OnlineEngine::with_stats(&self.engine, &mat, &stats);
                                 let mut scratch = Scratch::new();
                                 let mut out = Vec::new();
                                 loop {
@@ -266,7 +453,11 @@ impl<'t> ServingEngine<'t> {
                                         break;
                                     }
                                     let i = work[w];
-                                    out.push((i, answer_one(&online, uniques[i], &mut scratch)));
+                                    out.push((
+                                        i,
+                                        answer_one(&online, uniques[i], &mut scratch, epoch)
+                                            .map(Arc::new),
+                                    ));
                                 }
                                 out
                             })
@@ -283,11 +474,11 @@ impl<'t> ServingEngine<'t> {
         }
 
         if self.cfg.cache_capacity > 0 && !work.is_empty() {
-            // clone outside the lock, insert Arcs inside it
+            // zero-copy admission: the cache shares the caller's Arc
             let fresh: Vec<(Query, Arc<Answer>)> = work
                 .iter()
                 .filter_map(|&i| match &unique_results[i] {
-                    Some(Ok(a)) => Some(((*uniques[i]).clone(), Arc::new(a.clone()))),
+                    Some(Ok(a)) => Some(((*uniques[i]).clone(), Arc::clone(a))),
                     _ => None,
                 })
                 .collect();
@@ -299,29 +490,42 @@ impl<'t> ServingEngine<'t> {
 
         for &i in &work {
             if let Some(Ok(r)) = &unique_results[i] {
-                stats.total_ops = stats.total_ops.saturating_add(r.cost.ops);
-                stats.shortcuts_used += r.cost.shortcuts_used;
+                bstats.total_ops = bstats.total_ops.saturating_add(r.cost.ops);
+                bstats.shortcuts_used += r.cost.shortcuts_used;
             }
         }
-        // fan back out: move each unique result on its last use, clone only
-        // for in-batch duplicates (no per-query table copy on the fast path)
-        let mut uses: Vec<usize> = vec![0; uniques.len()];
+
+        // arrival multiplicities, for the fan-out and the observed-workload
+        // accounting (fresh computations recorded themselves once via the
+        // per-worker OnlineEngine; duplicates and cache hits top up here so
+        // the epoch's stats weigh arrivals, not computations)
+        let mut uses: Vec<u64> = vec![0; uniques.len()];
         for &u in &assign {
             uses[u] += 1;
         }
+        for (i, q) in uniques.iter().enumerate() {
+            if let Some(Ok(a)) = &unique_results[i] {
+                let extra = if from_cache[i] { uses[i] } else { uses[i] - 1 };
+                if extra > 0 {
+                    stats.record_n(&q.stat_scope(), &a.cost, a.baseline_ops, extra);
+                }
+            }
+        }
+
+        // fan back out: every arrival gets a zero-copy handle on the shared
+        // answer (errors are cloned; they carry no tables)
         let answers = assign
             .into_iter()
-            .map(|u| {
-                uses[u] -= 1;
-                if uses[u] == 0 {
-                    unique_results[u].take().expect("all uniques computed")
-                } else {
-                    unique_results[u].clone().expect("all uniques computed")
-                }
+            .map(|u| match unique_results[u].as_ref().expect("all uniques computed") {
+                Ok(a) => Ok(Served {
+                    answer: Arc::clone(a),
+                    from_cache: from_cache[u],
+                }),
+                Err(e) => Err(e.clone()),
             })
             .collect();
-        stats.wall = start.elapsed();
-        (answers, stats)
+        bstats.wall = start.elapsed();
+        (answers, bstats)
     }
 }
 
@@ -329,17 +533,20 @@ fn answer_one(
     online: &OnlineEngine<'_, '_>,
     q: &Query,
     scratch: &mut Scratch,
+    epoch: u64,
 ) -> Result<Answer, PgmError> {
     let t = Instant::now();
-    let (potential, cost) = match q {
-        Query::Marginal(scope) => online.answer_in(scope, scratch)?,
+    let traced = match q {
+        Query::Marginal(scope) => online.answer_traced_in(scope, scratch)?,
         Query::Conditional { targets, evidence } => {
-            online.conditional_in(targets, evidence, scratch)?
+            online.conditional_traced_in(targets, evidence, scratch)?
         }
     };
     Ok(Answer {
-        potential,
-        cost,
+        potential: traced.potential,
+        cost: traced.cost,
+        baseline_ops: traced.baseline_ops,
+        epoch,
         service_time: t.elapsed(),
     })
 }
@@ -385,9 +592,11 @@ mod tests {
         let (answers, stats) = serving.serve_batch(&batch);
         assert_eq!(answers.len(), batch.len());
         assert_eq!(stats.queries, batch.len());
+        assert_eq!(stats.epoch, 0);
         assert!(stats.unique < batch.len(), "duplicate must coalesce");
         for (q, a) in batch.iter().zip(&answers) {
             let a = a.as_ref().expect("served");
+            assert_eq!(a.epoch, 0);
             match q {
                 Query::Marginal(s) => {
                     let want = joint::marginal(&bn, s).unwrap();
@@ -399,6 +608,7 @@ mod tests {
                 }
             }
             assert!(a.cost.ops > 0);
+            assert!(a.baseline_ops >= a.cost.ops);
         }
     }
 
@@ -444,7 +654,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_serves_repeated_batches() {
+    fn cache_serves_repeated_batches_zero_copy() {
         let bn = fixtures::figure1();
         let tree = build_junction_tree(&bn).unwrap();
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
@@ -458,7 +668,13 @@ mod tests {
         assert_eq!(s2.total_ops, 0, "cache hits charge no fresh ops");
         for (a, b) in first.iter().zip(&second) {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
-            assert_eq!(a.potential.values(), b.potential.values());
+            // the warm path must share the first pass's table, not copy it
+            assert!(
+                Arc::ptr_eq(&a.answer, &b.answer),
+                "cache hit must be zero-copy"
+            );
+            assert!(b.from_cache);
+            assert_eq!(b.latency(), Duration::ZERO);
         }
     }
 
@@ -481,6 +697,113 @@ mod tests {
         serving.serve_batch(&qs);
         let cached = serving.cache.lock().unwrap().map.len();
         assert!(cached <= 2, "capacity bound violated: {cached}");
+    }
+
+    #[test]
+    fn older_snapshot_lookup_preserves_newer_entries() {
+        // a batch that raced a publish still holds the old epoch; its
+        // lookups must not evict entries the new epoch already cached
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let q = Query::Marginal(Scope::from_indices(&[0, 2]));
+        let (answers, _) = serving.serve_batch(std::slice::from_ref(&q));
+        let mut newer = (*answers[0].as_ref().unwrap().answer).clone();
+        newer.epoch = 1;
+
+        let mut cache = AnswerCache::default();
+        cache.insert(4, q.clone(), Arc::new(newer));
+        assert!(matches!(cache.lookup(&q, 0), CacheLookup::Miss));
+        assert!(cache.map.contains_key(&q), "newer entry must survive");
+        assert!(matches!(cache.lookup(&q, 1), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup(&q, 2), CacheLookup::StaleDropped));
+        assert!(!cache.map.contains_key(&q), "older entry drops lazily");
+    }
+
+    #[test]
+    fn cache_order_queue_stays_bounded_across_swaps() {
+        // a working set far below capacity under repeated epoch swaps:
+        // every swap strands the map entries, and without a queue bound
+        // the dangling order entries would grow with uptime
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig {
+                cache_capacity: 4,
+                ..ServingConfig::default()
+            },
+        );
+        let batch = vec![
+            Query::Marginal(Scope::from_indices(&[0, 2])),
+            Query::Marginal(Scope::from_indices(&[1, 3])),
+        ];
+        for _ in 0..20 {
+            serving.serve_batch(&batch);
+            serving.publish(Materialization::default());
+        }
+        serving.serve_batch(&batch);
+        let order_len = serving.cache.lock().unwrap().order.len();
+        assert!(
+            order_len <= 8,
+            "eviction queue must stay bounded by capacity, got {order_len}"
+        );
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_invalidates_lazily() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let batch = queries(&bn);
+        let (first, _) = serving.serve_batch(&batch);
+        assert_eq!(serving.epoch(), 0);
+
+        let epoch = serving.publish(Materialization::default());
+        assert_eq!(epoch, 1);
+        assert_eq!(serving.epoch(), 1);
+        // entries from epoch 0 are still in the cache, but must not serve
+        let (second, s2) = serving.serve_batch(&batch);
+        assert_eq!(s2.cache_hits, 0, "pre-swap entries must not hit");
+        assert_eq!(s2.stale_hits, s2.unique, "stale entries dropped lazily");
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.epoch, 0);
+            assert_eq!(b.epoch, 1);
+            assert!(!b.from_cache);
+            assert_eq!(a.potential.values(), b.potential.values());
+        }
+        // third pass hits the re-populated epoch-1 entries
+        let (_, s3) = serving.serve_batch(&batch);
+        assert_eq!(s3.cache_hits, s3.unique);
+        assert_eq!(s3.stale_hits, 0);
+    }
+
+    #[test]
+    fn stats_weigh_arrivals_not_computations() {
+        let bn = fixtures::sprinkler();
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        let q = Query::Marginal(Scope::from_indices(&[0, 3]));
+        let batch = vec![q.clone(), q.clone(), q.clone()];
+        serving.serve_batch(&batch); // 1 computation, 3 arrivals
+        serving.serve_batch(&batch); // 1 cache hit, 3 arrivals
+        let snap = serving.stats().snapshot();
+        assert_eq!(snap.queries, 6, "stats must count arrivals");
+        let counts = serving.stats().scope_counts();
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].1, 6);
+        // publish resets the accumulator for the new epoch
+        serving.publish(Materialization::default());
+        assert_eq!(serving.stats().snapshot().queries, 0);
     }
 
     #[test]

@@ -15,9 +15,16 @@
 //! * [`replay`] — a workload-replay driver: streams
 //!   `peanut_workload` query mixes through an engine batch by batch and
 //!   reports throughput and latency percentiles.
+//! * [`lifecycle`] — the epoch lifecycle: a
+//!   [`RematerializationController`](lifecycle::RematerializationController)
+//!   watches the observed benefit of the served epoch, re-runs the offline
+//!   selection on the observed distribution when the workload drifts, and
+//!   hot-publishes the next epoch without pausing serving.
 
 pub mod engine;
+pub mod lifecycle;
 pub mod replay;
 
-pub use engine::{Answer, BatchStats, Query, ServingConfig, ServingEngine};
+pub use engine::{Answer, BatchStats, Query, Served, ServingConfig, ServingEngine};
+pub use lifecycle::{expected_savings, LifecycleConfig, RematerializationController, SwapEvent};
 pub use replay::{replay, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};

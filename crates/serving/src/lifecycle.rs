@@ -1,0 +1,502 @@
+//! The materialization lifecycle: drift-aware hot re-materialization.
+//!
+//! The offline phase optimizes a materialization for the *training*
+//! workload (Def. 3.3); the paper's robustness experiments (§5.3,
+//! Figures 8–9) show the benefit eroding as served traffic drifts away
+//! from that distribution. A [`RematerializationController`] closes the
+//! loop at serving time:
+//!
+//! 1. it watches the current epoch's [`WorkloadStats`] (fed by the
+//!    serving workers' [`OnlineEngine`]s) and compares the *observed*
+//!    benefit against the epoch's *reference* benefit — the savings the
+//!    selection promised on the distribution it was trained on;
+//! 2. when the observed benefit decays past a configurable fraction of the
+//!    reference ([`LifecycleConfig::decay_threshold`]), it re-runs the
+//!    offline selection (PEANUT / PEANUT+) on the **observed** query
+//!    distribution — on the controller's thread, while serving keeps
+//!    draining batches;
+//! 3. if the new artifact's expected benefit (recomputed with the cost
+//!    model on the observed distribution) beats what the stale epoch is
+//!    delivering, it [`publish`](ServingEngine::publish)es the new epoch.
+//!    The swap is a pointer exchange: no serving pause, no cache flush —
+//!    stale cache entries die lazily by their epoch tag.
+//!
+//! Everything the controller decides is a deterministic function of the
+//! recorded arrivals and its configuration, so a replay of the same drift
+//! schedule with the same seeds and the same `tick()` cadence produces the
+//! same swap points and the same selected shortcut sets.
+//!
+//! [`OnlineEngine`]: peanut_core::OnlineEngine
+
+use crate::engine::ServingEngine;
+use peanut_core::{
+    Materialization, OfflineContext, OnlineEngine, Peanut, PeanutConfig, Variant, Workload,
+};
+use peanut_junction::cost::expected_ops;
+use peanut_junction::QueryEngine;
+use peanut_pgm::{PgmError, Scope, Size};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Drift-detection and re-selection knobs.
+#[derive(Clone, Debug)]
+pub struct LifecycleConfig {
+    /// Arrivals an observation window must hold before a decision is
+    /// taken. The controller rolls the window after every decision
+    /// (publish *or* decline), so detection always judges the most recent
+    /// `min_window`-or-more arrivals — a forever-cumulative average would
+    /// dilute a drift signal with pre-drift history.
+    pub min_window: u64,
+    /// Re-materialize when `observed_savings < decay_threshold ×
+    /// reference_savings` — i.e. the epoch delivers less than this
+    /// fraction of the benefit it was selected for.
+    pub decay_threshold: f64,
+    /// Savings below this are treated as "no benefit": epochs whose
+    /// reference is under the floor are not drift-checked (there is
+    /// nothing to decay), and a candidate selection must promise more
+    /// than the floor to be published.
+    pub min_reference_savings: f64,
+    /// When the current epoch has an *empty* materialization, attempt a
+    /// first selection from observed traffic once the window fills
+    /// (cold-start bootstrap).
+    pub bootstrap: bool,
+    /// Space budget `K` for re-selection (table entries).
+    pub budget: Size,
+    /// Budget-grid parameter ε of §4.4.
+    pub epsilon: f64,
+    /// PEANUT (disjoint) or PEANUT+ (overlapping) re-selection.
+    pub variant: Variant,
+    /// Worker threads for the offline DP fan-out.
+    pub threads: usize,
+}
+
+impl LifecycleConfig {
+    /// Sensible defaults around a budget: PEANUT+ at the paper's ε = 1.2,
+    /// window 512, trigger at half the promised benefit.
+    pub fn new(budget: Size) -> Self {
+        LifecycleConfig {
+            min_window: 512,
+            decay_threshold: 0.5,
+            min_reference_savings: 0.01,
+            bootstrap: true,
+            budget,
+            epsilon: 1.2,
+            variant: Variant::PeanutPlus,
+            threads: 1,
+        }
+    }
+}
+
+/// One published re-materialization, as observed by the controller.
+#[derive(Clone, Debug)]
+pub struct SwapEvent {
+    /// The epoch that was published.
+    pub epoch: u64,
+    /// Arrivals in the observation window that triggered the decision.
+    pub at_arrivals: u64,
+    /// Observed savings of the retired epoch over its window.
+    pub observed_savings: f64,
+    /// Reference savings the retired epoch was selected for.
+    pub reference_savings: f64,
+    /// Expected savings of the new epoch on the observed distribution
+    /// (this becomes the new reference).
+    pub new_reference_savings: f64,
+    /// Distinct scopes in the observed workload the selection ran on.
+    pub distinct_scopes: usize,
+    /// Shortcut potentials in the new materialization.
+    pub shortcuts: usize,
+    /// Total table entries of the new materialization.
+    pub total_size: Size,
+    /// Wall-clock time of the re-selection (runs off the serving path).
+    pub selection: Duration,
+}
+
+/// Expected savings of `mat` over the plain junction tree on a workload
+/// distribution, recomputed with the symbolic cost model — the benefit
+/// definition (Def. 3.3) evaluated on arbitrary (e.g. observed) traffic.
+pub fn expected_savings(
+    engine: &QueryEngine<'_>,
+    mat: &Materialization,
+    entries: &[(Scope, f64)],
+) -> f64 {
+    let online = OnlineEngine::new(engine, mat);
+    let with = expected_ops(entries, |q| online.cost(q).ok().map(|c| c.ops));
+    let base = expected_ops(entries, |q| online.baseline_cost(q).ok().map(|c| c.ops));
+    if base > 0.0 {
+        1.0 - with / base
+    } else {
+        0.0
+    }
+}
+
+fn workload_entries(w: &Workload) -> Vec<(Scope, f64)> {
+    w.entries()
+        .iter()
+        .map(|e| (e.query.clone(), e.weight))
+        .collect()
+}
+
+/// Watches a [`ServingEngine`]'s observed benefit and hot-swaps the
+/// materialization when the workload drifts.
+pub struct RematerializationController<'s, 't> {
+    serving: &'s ServingEngine<'t>,
+    cfg: LifecycleConfig,
+    reference_savings: f64,
+    swaps: Vec<SwapEvent>,
+    /// Observation windows closed so far (decisions taken, swaps or not).
+    windows: u64,
+    /// Consecutive re-selections that produced nothing publishable.
+    declined: u32,
+    /// Decayed windows to sit out before attempting re-selection again
+    /// (linear backoff after declines: permanently unhelpable traffic
+    /// must not re-run the offline DP every single window).
+    backoff: u32,
+}
+
+impl<'s, 't> RematerializationController<'s, 't> {
+    /// Wraps a serving engine. `training` is the workload the *current*
+    /// materialization was selected on; its expected savings become the
+    /// reference the observed benefit is compared against.
+    pub fn new(
+        serving: &'s ServingEngine<'t>,
+        training: &Workload,
+        cfg: LifecycleConfig,
+    ) -> Self {
+        let reference_savings = expected_savings(
+            serving.engine(),
+            &serving.materialization(),
+            &workload_entries(training),
+        );
+        RematerializationController {
+            serving,
+            cfg,
+            reference_savings,
+            swaps: Vec::new(),
+            windows: 0,
+            declined: 0,
+            backoff: 0,
+        }
+    }
+
+    /// The reference savings the current epoch is held against.
+    pub fn reference_savings(&self) -> f64 {
+        self.reference_savings
+    }
+
+    /// Every swap published so far.
+    pub fn swaps(&self) -> &[SwapEvent] {
+        &self.swaps
+    }
+
+    /// Observation windows closed so far (every decision, swap or not).
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// One decision round: inspect the current epoch's observations, and
+    /// if drift (or a cold-start) warrants it, re-run the offline
+    /// selection on the observed distribution and publish the next epoch.
+    /// Returns the swap event when a swap happened.
+    ///
+    /// Deterministic: the decision depends only on the recorded arrivals
+    /// and the configuration, never on wall-clock time.
+    pub fn tick(&mut self) -> Result<Option<SwapEvent>, PgmError> {
+        let stats = self.serving.stats();
+        let snap = stats.snapshot();
+        if snap.queries < self.cfg.min_window {
+            return Ok(None);
+        }
+        // a decision closes the window either way: detection must judge
+        // recent traffic, not a forever average diluted by old regimes
+        self.windows += 1;
+        let observed = snap.observed_savings();
+        let decayed = self.reference_savings > self.cfg.min_reference_savings
+            && observed < self.cfg.decay_threshold * self.reference_savings;
+        let cold_start = self.cfg.bootstrap
+            && self.serving.materialization().is_empty()
+            && self.reference_savings <= self.cfg.min_reference_savings;
+        if !decayed && !cold_start {
+            // a healthy window clears any decline backoff: if traffic
+            // shifts again, the next decay deserves a fresh attempt
+            self.declined = 0;
+            self.backoff = 0;
+            self.serving.reset_stats();
+            return Ok(None);
+        }
+        if self.backoff > 0 {
+            // recent re-selections found nothing publishable for traffic
+            // like this; sit this window out instead of re-running the
+            // offline DP on what is almost surely the same distribution
+            self.backoff -= 1;
+            self.serving.reset_stats();
+            return Ok(None);
+        }
+
+        // Re-select on the observed distribution — off the serving path:
+        // batches keep draining on other threads while the DP runs here.
+        let observed_workload = stats.observed_workload();
+        if observed_workload.is_empty() {
+            self.serving.reset_stats();
+            return Ok(None);
+        }
+        let engine = self.serving.engine();
+        let ctx = OfflineContext::new(engine.tree(), &observed_workload)?;
+        let pcfg = PeanutConfig {
+            budget: self.cfg.budget,
+            epsilon: self.cfg.epsilon,
+            threads: self.cfg.threads.max(1),
+            variant: self.cfg.variant,
+        };
+        let t0 = Instant::now();
+        let mat = match engine.numeric_state() {
+            Some(ns) => Peanut::offline_numeric(&ctx, &pcfg, ns)?.0,
+            None => Peanut::offline(&ctx, &pcfg),
+        };
+        let selection = t0.elapsed();
+
+        // Publish only when the candidate's expected benefit on the
+        // observed traffic beats both the floor and what the stale epoch
+        // is still delivering.
+        let entries = workload_entries(&observed_workload);
+        let new_reference = expected_savings(engine, &mat, &entries);
+        if new_reference <= self.cfg.min_reference_savings || new_reference <= observed {
+            self.declined += 1;
+            self.backoff = self.declined.min(16);
+            self.serving.reset_stats();
+            return Ok(None);
+        }
+        let event = SwapEvent {
+            epoch: 0, // stamped below
+            at_arrivals: snap.queries,
+            observed_savings: observed,
+            reference_savings: self.reference_savings,
+            new_reference_savings: new_reference,
+            distinct_scopes: observed_workload.len(),
+            shortcuts: mat.len(),
+            total_size: mat.total_size(),
+            selection,
+        };
+        let epoch = self.serving.publish(mat);
+        let event = SwapEvent { epoch, ..event };
+        self.reference_savings = new_reference;
+        self.declined = 0;
+        self.backoff = 0;
+        self.swaps.push(event.clone());
+        Ok(Some(event))
+    }
+
+    /// Drives [`tick`](Self::tick) on an interval until `stop` is raised —
+    /// meant for a dedicated background thread next to the serving loop.
+    /// Returns the swaps published during the run.
+    pub fn run(&mut self, stop: &AtomicBool, poll: Duration) -> Result<usize, PgmError> {
+        let before = self.swaps.len();
+        while !stop.load(Ordering::Relaxed) {
+            self.tick()?;
+            std::thread::sleep(poll);
+        }
+        Ok(self.swaps.len() - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Query, ServingConfig};
+    use peanut_junction::build_junction_tree;
+    use peanut_pgm::fixtures;
+
+    fn pair_queries(lo: u32, hi: u32, span: u32) -> Vec<Query> {
+        (lo..hi.saturating_sub(span))
+            .map(|a| Query::Marginal(Scope::from_indices(&[a, a + span])))
+            .collect()
+    }
+
+    /// Drive a chain-network engine from a training regime into a fully
+    /// drifted one and check the controller swaps exactly once, improving
+    /// the served cost.
+    #[test]
+    fn controller_swaps_on_drift() {
+        let bn = fixtures::chain(20, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+
+        // train on deep long-range pairs
+        let train: Vec<Query> = pair_queries(10, 20, 5);
+        let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
+        let ctx = OfflineContext::new(&tree, &train_w).unwrap();
+        let (mat, _) = Peanut::offline_numeric(
+            &ctx,
+            &PeanutConfig::plus(512).with_epsilon(1.0),
+            engine.numeric_state().unwrap(),
+        )
+        .unwrap();
+        assert!(!mat.is_empty(), "test premise: training selects shortcuts");
+
+        let serving = ServingEngine::new(
+            engine,
+            mat,
+            ServingConfig {
+                workers: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let mut ctl = RematerializationController::new(
+            &serving,
+            &train_w,
+            LifecycleConfig {
+                min_window: 32,
+                ..LifecycleConfig::new(512)
+            },
+        );
+        assert!(ctl.reference_savings() > 0.0);
+
+        // serve the training regime: no swap
+        for _ in 0..4 {
+            serving.serve_batch(&train);
+            assert!(ctl.tick().unwrap().is_none(), "no drift yet");
+        }
+        assert_eq!(serving.epoch(), 0);
+
+        // full drift to shallow pairs the training shortcuts don't cover;
+        // the decision window must fill with drifted arrivals (a declined
+        // decision waits another min_window arrivals), so drive plenty
+        let drifted: Vec<Query> = pair_queries(0, 10, 5);
+        let mut swapped = None;
+        for _ in 0..30 {
+            serving.serve_batch(&drifted);
+            if let Some(ev) = ctl.tick().unwrap() {
+                swapped = Some(ev);
+                break;
+            }
+        }
+        let ev = swapped.expect("controller must react to full drift");
+        assert_eq!(ev.epoch, 1);
+        assert_eq!(serving.epoch(), 1);
+        assert!(ev.new_reference_savings > ev.observed_savings);
+        assert!(ev.shortcuts > 0);
+
+        // the fresh epoch now covers the drifted traffic
+        let stats = serving.stats();
+        serving.serve_batch(&drifted);
+        assert!(
+            stats.snapshot().observed_savings() > ev.observed_savings,
+            "post-swap savings must improve on the stale epoch"
+        );
+        // and the controller settles: same traffic, no further swap
+        for _ in 0..4 {
+            serving.serve_batch(&drifted);
+            assert!(ctl.tick().unwrap().is_none(), "stable after the swap");
+        }
+    }
+
+    /// An engine started without any materialization bootstraps one from
+    /// observed traffic.
+    #[test]
+    fn controller_bootstraps_cold_start() {
+        let bn = fixtures::chain(16, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig {
+                workers: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let mut ctl = RematerializationController::new(
+            &serving,
+            &Workload::default(),
+            LifecycleConfig {
+                min_window: 16,
+                ..LifecycleConfig::new(512)
+            },
+        );
+        let traffic = pair_queries(0, 16, 6);
+        let mut swapped = false;
+        for _ in 0..6 {
+            serving.serve_batch(&traffic);
+            if ctl.tick().unwrap().is_some() {
+                swapped = true;
+                break;
+            }
+        }
+        assert!(swapped, "cold start must materialize from observations");
+        assert!(!serving.materialization().is_empty());
+        assert_eq!(serving.epoch(), 1);
+    }
+
+    /// Traffic no materialization can help (in-clique queries, zero
+    /// headroom) decays the benefit but must never publish — and the
+    /// decline backoff must keep closing windows without getting stuck.
+    #[test]
+    fn controller_declines_unhelpable_traffic() {
+        let bn = fixtures::chain(14, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let train: Vec<Query> = pair_queries(0, 14, 5);
+        let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
+        let ctx = OfflineContext::new(&tree, &train_w).unwrap();
+        let (mat, _) = Peanut::offline_numeric(
+            &ctx,
+            &PeanutConfig::plus(512).with_epsilon(1.0),
+            engine.numeric_state().unwrap(),
+        )
+        .unwrap();
+        let serving = ServingEngine::new(engine, mat, ServingConfig::default());
+        let mut ctl = RematerializationController::new(
+            &serving,
+            &train_w,
+            LifecycleConfig {
+                min_window: 8,
+                ..LifecycleConfig::new(512)
+            },
+        );
+        assert!(ctl.reference_savings() > 0.0, "test premise");
+        // single-variable in-clique queries: cost == baseline, always
+        let flat: Vec<Query> = (0..14u32)
+            .map(|v| Query::Marginal(Scope::from_indices(&[v])))
+            .collect();
+        for _ in 0..12 {
+            serving.serve_batch(&flat);
+            assert!(ctl.tick().unwrap().is_none(), "nothing publishable");
+        }
+        assert!(ctl.swaps().is_empty());
+        assert_eq!(serving.epoch(), 0);
+        assert!(ctl.windows() >= 10, "windows must keep closing: {}", ctl.windows());
+    }
+
+    /// A window of traffic the current epoch already serves well must not
+    /// trigger a swap, even with an aggressive threshold.
+    #[test]
+    fn controller_holds_without_drift() {
+        let bn = fixtures::chain(14, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let train: Vec<Query> = pair_queries(0, 14, 5);
+        let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
+        let ctx = OfflineContext::new(&tree, &train_w).unwrap();
+        let (mat, _) = Peanut::offline_numeric(
+            &ctx,
+            &PeanutConfig::plus(512).with_epsilon(1.0),
+            engine.numeric_state().unwrap(),
+        )
+        .unwrap();
+        let serving = ServingEngine::new(engine, mat, ServingConfig::default());
+        let mut ctl = RematerializationController::new(
+            &serving,
+            &train_w,
+            LifecycleConfig {
+                min_window: 16,
+                decay_threshold: 0.9,
+                ..LifecycleConfig::new(512)
+            },
+        );
+        for _ in 0..6 {
+            serving.serve_batch(&train);
+            assert!(ctl.tick().unwrap().is_none());
+        }
+        assert_eq!(serving.epoch(), 0);
+        assert!(ctl.swaps().is_empty());
+    }
+}

@@ -35,6 +35,11 @@ pub struct ReplayReport {
     pub unique: usize,
     /// Unique queries served from the cross-batch answer cache.
     pub cache_hits: usize,
+    /// Cache entries found stale after an epoch swap and lazily dropped.
+    pub stale_hits: usize,
+    /// Materialization epochs observed: (first batch, last batch). They
+    /// differ when a re-materialization was published mid-replay.
+    pub epochs: (u64, u64),
     /// End-to-end wall-clock time.
     pub wall: Duration,
     /// Queries per second over the whole run.
@@ -52,6 +57,22 @@ pub struct ReplayReport {
     pub shortcuts_used: usize,
 }
 
+impl ReplayReport {
+    /// Unique queries actually computed (cache hits excluded).
+    pub fn computed(&self) -> usize {
+        self.unique.saturating_sub(self.cache_hits)
+    }
+
+    /// Mean operation count per freshly computed unique query — the
+    /// cost-model figure the drift experiments compare across epochs.
+    pub fn mean_ops_per_computed(&self) -> f64 {
+        if self.computed() == 0 {
+            return 0.0;
+        }
+        self.total_ops as f64 / self.computed() as f64
+    }
+}
+
 /// Streams `queries` through `engine` in batches and aggregates telemetry.
 pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
@@ -63,14 +84,19 @@ pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig)
     let mut latencies: Vec<Duration> = Vec::with_capacity(queries.len());
     for batch in queries.chunks(batch_size) {
         let (answers, stats) = engine.serve_batch(batch);
+        if report.batches == 0 {
+            report.epochs.0 = stats.epoch;
+        }
+        report.epochs.1 = stats.epoch;
         report.batches += 1;
         report.unique += stats.unique;
         report.cache_hits += stats.cache_hits;
+        report.stale_hits += stats.stale_hits;
         report.total_ops = report.total_ops.saturating_add(stats.total_ops);
         report.shortcuts_used += stats.shortcuts_used;
         for a in &answers {
             match a {
-                Ok(ans) => latencies.push(ans.service_time),
+                Ok(served) => latencies.push(served.latency()),
                 Err(_) => report.errors += 1,
             }
         }

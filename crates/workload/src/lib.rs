@@ -7,7 +7,8 @@
 //!   producing long Steiner trees);
 //! * **uniform** — variables sampled uniformly at random;
 //! * **drift** — the λ-mixtures used by the robustness experiments
-//!   (Figures 8–9).
+//!   (Figures 8–9), plus streaming λ-schedules (piecewise/linear drift over
+//!   a served query stream) for the re-materialization lifecycle.
 //!
 //! Queries are plain [`peanut_pgm::Scope`]s; consumers aggregate them into a
 //! `peanut_core::Workload` with empirical frequencies.
@@ -16,6 +17,6 @@ pub mod drift;
 pub mod evidence;
 pub mod gen;
 
-pub use drift::mix;
+pub use drift::{drifting_queries, mix, DriftSchedule, DriftStream};
 pub use evidence::{with_evidence, ConditionedQuery};
 pub use gen::{skewed_queries, uniform_queries, QuerySpec};

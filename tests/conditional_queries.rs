@@ -122,6 +122,7 @@ fn evidence_inside_shortcut_scope() {
             shortcut: s,
         }],
         overlapping: false,
+        epoch: 0,
     };
     let online = OnlineEngine::new(&engine, &mat);
 
