@@ -15,7 +15,7 @@
 //! `query_serving`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use peanut_bench::harness::worker_sweep;
+use peanut_bench::harness::{is_quick, worker_sweep};
 use peanut_core::{OfflineContext, Peanut, PeanutConfig, Workload};
 use peanut_junction::{build_junction_tree, QueryEngine};
 use peanut_pgm::{fixtures, BayesianNetwork, Scope};
@@ -28,10 +28,19 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-const N_QUERIES: usize = 4096;
 const BATCH: usize = 128;
 const DRIFT_AT: usize = 512;
 const BUDGET: u64 = 4096;
+
+/// Stream length (`--quick` / `PEANUT_QUICK=1` shrinks it — together with
+/// a smaller observation window — so the CI bench-smoke job stays fast).
+fn n_queries() -> usize {
+    if is_quick() {
+        2048
+    } else {
+        4096
+    }
+}
 /// Inter-batch arrival pacing of the live run: the drift study models a
 /// server draining waves of traffic, not a tight replay loop — the gap is
 /// what lets the background controller observe, re-select and publish
@@ -70,7 +79,7 @@ fn setup() -> Setup {
         after: 0.0,
         at: DRIFT_AT,
     };
-    let stream: Vec<Query> = drifting_queries(&deep, &shallow, &schedule, N_QUERIES, 77)
+    let stream: Vec<Query> = drifting_queries(&deep, &shallow, &schedule, n_queries(), 77)
         .into_iter()
         .map(Query::Marginal)
         .collect();
@@ -83,7 +92,9 @@ fn setup() -> Setup {
     }
 }
 
-fn trained_engine<'t>(setup: &'t Setup) -> (QueryEngine<'t>, peanut_core::Materialization, Workload) {
+fn trained_engine<'t>(
+    setup: &'t Setup,
+) -> (QueryEngine<'t>, peanut_core::Materialization, Workload) {
     let engine = QueryEngine::numeric(&setup.tree, &setup.bn).expect("calibrates");
     let train_w = Workload::from_queries(setup.deep.iter().cloned());
     let ctx = OfflineContext::new(&setup.tree, &train_w).expect("context");
@@ -98,7 +109,10 @@ fn trained_engine<'t>(setup: &'t Setup) -> (QueryEngine<'t>, peanut_core::Materi
 
 fn lifecycle_cfg() -> LifecycleConfig {
     LifecycleConfig {
-        min_window: 256,
+        // the ring (3 windows by default) must fill with drifted windows
+        // inside the post-drift tail, so the quick stream uses a smaller
+        // observation window
+        min_window: if is_quick() { 128 } else { 256 },
         ..LifecycleConfig::new(BUDGET)
     }
 }
@@ -156,7 +170,10 @@ fn bench_drift_serving(c: &mut Criterion) {
 
     let errors: usize = per_batch.iter().map(|b| b.3).sum();
     assert_eq!(errors, 0, "serving must be uninterrupted across the swap");
-    assert!(swaps >= 1, "drift must trigger an automatic re-materialization");
+    assert!(
+        swaps >= 1,
+        "drift must trigger an automatic re-materialization"
+    );
 
     // drifted regime only, split by the epoch each batch was served under
     let drift_batches = &per_batch[DRIFT_AT / BATCH..];
@@ -184,7 +201,11 @@ fn bench_drift_serving(c: &mut Criterion) {
         },
     );
     let drift_tail = &setup.stream[DRIFT_AT..];
-    let stale_report = replay(&stale_engine, drift_tail, &ReplayConfig { batch_size: BATCH });
+    let stale_report = replay(
+        &stale_engine,
+        drift_tail,
+        &ReplayConfig { batch_size: BATCH },
+    );
     assert_eq!(stale_report.errors, 0);
     let stale_cost = stale_report.mean_ops_per_computed();
 
@@ -231,18 +252,15 @@ fn bench_drift_serving(c: &mut Criterion) {
         );
         // pre-drifted steady state: what the server does after convergence
         steady.publish(rematerialized(&setup, &steady));
-        g.bench_function(
-            format!("drifted_tail_steady_w{}", steady.workers()),
-            |b| {
-                b.iter(|| {
-                    black_box(replay(
-                        &steady,
-                        &setup.stream[DRIFT_AT..],
-                        &ReplayConfig { batch_size: BATCH },
-                    ))
-                })
-            },
-        );
+        g.bench_function(format!("drifted_tail_steady_w{}", steady.workers()), |b| {
+            b.iter(|| {
+                black_box(replay(
+                    &steady,
+                    &setup.stream[DRIFT_AT..],
+                    &ReplayConfig { batch_size: BATCH },
+                ))
+            })
+        });
     }
     g.finish();
 }

@@ -1,0 +1,297 @@
+//! Multi-tenant sharded serving benchmark: N Bayesian networks behind one
+//! endpoint, Zipf-skewed per-tenant arrival rates, one shared worker pool.
+//!
+//! Besides criterion timings, the bench prints and asserts the fleet
+//! acceptance numbers:
+//!
+//! * serving a recurring mixed arrival stream through the
+//!   [`ShardedServingEngine`] beats `N` isolated per-tenant engines run
+//!   sequentially (each arrival dispatched alone to its tenant's engine)
+//!   by ≥ 1.3× throughput;
+//! * the [`FleetController`] reallocates the global materialization budget
+//!   toward a tenant whose traffic share doubles mid-run, and the total
+//!   allocation never exceeds the global budget;
+//! * zero batch errors throughout.
+//!
+//! `PEANUT_WORKERS=1,2,4` sweeps the shared pool, same flag as the other
+//! serving benches; `--quick` / `PEANUT_QUICK=1` shrinks the run for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peanut_bench::harness::{is_quick, worker_sweep};
+use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workload};
+use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine};
+use peanut_pgm::{fixtures, BayesianNetwork, Scope};
+use peanut_serving::{
+    replay_mixed, FleetConfig, FleetController, FleetRebalance, Query, ReplayConfig, ServingConfig,
+    ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
+};
+use peanut_workload::{tenant_queries, zipf_weights, TenantTraffic};
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: usize = 128;
+/// Per-tenant training budget for the throughput study.
+const TENANT_BUDGET: u64 = 1024;
+/// Global budget the fleet controller splits across tenants. Shortcut
+/// tables on these binary chains are small (a few entries each), so a
+/// small budget is genuinely contended: the fleet's combined appetite is
+/// several times larger, and the knapsack must choose whom to serve.
+const GLOBAL_BUDGET: u64 = 64;
+
+fn n_tenants() -> usize {
+    if is_quick() {
+        4
+    } else {
+        6
+    }
+}
+
+fn n_arrivals() -> usize {
+    if is_quick() {
+        2048
+    } else {
+        4096
+    }
+}
+
+/// Passes over the recurring arrival stream (first pass cold, the rest
+/// steady-state — a server drains the same hot query pools wave after
+/// wave).
+const PASSES: usize = 3;
+
+/// Long-range pairs over a band of a tenant's chain: a per-tenant query
+/// pool whose shortcuts are useless for every other tenant.
+fn band_pool(lo: u32, hi: u32) -> Vec<Scope> {
+    [5u32, 7]
+        .into_iter()
+        .flat_map(|span| (lo..hi - span).map(move |a| Scope::from_indices(&[a, a + span])))
+        .collect()
+}
+
+struct Setup {
+    bns: Vec<BayesianNetwork>,
+    trees: Vec<JunctionTree>,
+    pools: Vec<Vec<Scope>>,
+}
+
+fn setup() -> Setup {
+    // distinct models per tenant (different CPT seeds); equal sizes, so
+    // the budget study measures traffic shares, not structural advantage
+    let bns: Vec<BayesianNetwork> = (0..n_tenants())
+        .map(|t| fixtures::chain(24, 2, 13 + 4 * t as u64))
+        .collect();
+    let trees: Vec<JunctionTree> = bns
+        .iter()
+        .map(|bn| build_junction_tree(bn).expect("tree"))
+        .collect();
+    let pools: Vec<Vec<Scope>> = bns
+        .iter()
+        .map(|bn| band_pool(0, bn.n_vars() as u32))
+        .collect();
+    Setup { bns, trees, pools }
+}
+
+fn trained_mat(tree: &JunctionTree, engine: &QueryEngine<'_>, pool: &[Scope]) -> Materialization {
+    let w = Workload::from_queries(pool.iter().cloned());
+    let ctx = OfflineContext::new(tree, &w).expect("context");
+    Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(TENANT_BUDGET),
+        engine.numeric_state().expect("numeric"),
+    )
+    .expect("materializes")
+    .0
+}
+
+/// The fleet arrival stream: per-tenant steady pools, Zipf-skewed shares.
+fn arrival_stream(setup: &Setup, weights: &[f64], n: usize, seed: u64) -> Vec<(TenantId, Query)> {
+    let tenants: Vec<TenantTraffic> = setup
+        .pools
+        .iter()
+        .zip(weights)
+        .map(|(pool, &w)| TenantTraffic::steady(w, pool.clone()))
+        .collect();
+    tenant_queries(&tenants, n, seed)
+        .into_iter()
+        .map(|(t, q)| (TenantId(t as u32), Query::Marginal(q)))
+        .collect()
+}
+
+fn sharded_engine<'t>(setup: &'t Setup, workers: usize, trained: bool) -> ShardedServingEngine<'t> {
+    let mut sharded = ShardedServingEngine::new(ShardConfig {
+        workers,
+        ..ShardConfig::default()
+    });
+    for (t, (tree, bn)) in setup.trees.iter().zip(&setup.bns).enumerate() {
+        let engine = QueryEngine::numeric(tree, bn).expect("calibrates");
+        let mat = if trained {
+            trained_mat(tree, &engine, &setup.pools[t])
+        } else {
+            Materialization::default()
+        };
+        sharded
+            .register(TenantId(t as u32), engine, mat)
+            .expect("fresh id");
+    }
+    sharded
+}
+
+/// The baseline deployment: one isolated engine per tenant, every arrival
+/// of the mixed stream dispatched alone (an isolated engine never sees a
+/// mixed wave, so there is nothing to batch across) — engines persist
+/// across passes, caches warm exactly like the sharded engine's.
+fn isolated_engines<'t>(setup: &'t Setup, workers: usize) -> Vec<ServingEngine<'t>> {
+    setup
+        .trees
+        .iter()
+        .zip(&setup.bns)
+        .enumerate()
+        .map(|(t, (tree, bn))| {
+            let engine = QueryEngine::numeric(tree, bn).expect("calibrates");
+            let mat = trained_mat(tree, &engine, &setup.pools[t]);
+            ServingEngine::new(
+                engine,
+                mat,
+                ServingConfig {
+                    workers,
+                    ..ServingConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_multi_tenant_serving(c: &mut Criterion) {
+    let setup = setup();
+    let workers = *worker_sweep().first().expect("non-empty sweep");
+    let weights = zipf_weights(n_tenants(), 1.0);
+    let stream = arrival_stream(&setup, &weights, n_arrivals(), 99);
+
+    // --- acceptance: shared pool vs N isolated engines, sequentially ---
+    let sharded = sharded_engine(&setup, workers, true);
+    let t0 = Instant::now();
+    let mut mixed_errors = 0;
+    for _ in 0..PASSES {
+        let report = replay_mixed(&sharded, &stream, &ReplayConfig { batch_size: BATCH });
+        mixed_errors += report.errors;
+    }
+    let mixed_wall = t0.elapsed();
+    assert_eq!(mixed_errors, 0, "sharded serving must be error-free");
+    let mixed_qps = (PASSES * stream.len()) as f64 / mixed_wall.as_secs_f64();
+
+    let isolated = isolated_engines(&setup, workers);
+    let t0 = Instant::now();
+    let mut isolated_errors = 0;
+    for _ in 0..PASSES {
+        for (tid, q) in &stream {
+            let (answers, _) = isolated[tid.0 as usize].serve_batch(std::slice::from_ref(q));
+            isolated_errors += answers.iter().filter(|a| a.is_err()).count();
+        }
+    }
+    let isolated_wall = t0.elapsed();
+    assert_eq!(isolated_errors, 0);
+    let isolated_qps = (PASSES * stream.len()) as f64 / isolated_wall.as_secs_f64();
+
+    let speedup = mixed_qps / isolated_qps;
+    println!(
+        "multi_tenant_serving/shared_pool_speedup           {speedup:.2}x  \
+         (isolated sequential {isolated_qps:.0} q/s vs sharded {mixed_qps:.0} q/s, \
+         {} tenants, {} workers, {} arrivals x {PASSES} passes)",
+        n_tenants(),
+        sharded.workers(),
+        stream.len(),
+    );
+    assert!(
+        speedup >= 1.3,
+        "shared-pool mixed-batch serving must beat sequential isolated engines ≥1.3x \
+         (got {speedup:.2}x: {mixed_qps:.0} vs {isolated_qps:.0} q/s)"
+    );
+
+    // --- acceptance: the global budget follows a traffic spike ---
+    let fleet = sharded_engine(&setup, workers, false);
+    let mut ctl = FleetController::new(
+        &fleet,
+        FleetConfig {
+            min_window: 512,
+            ..FleetConfig::new(GLOBAL_BUDGET)
+        },
+    );
+    let spike_tenant = n_tenants() - 1; // the coldest tenant of the Zipf fleet
+    let serve_phase = |weights: &[f64], seed: u64| {
+        let phase = arrival_stream(&setup, weights, 1024, seed);
+        let report = replay_mixed(&fleet, &phase, &ReplayConfig { batch_size: BATCH });
+        assert_eq!(report.errors, 0, "fleet serving must be error-free");
+    };
+    serve_phase(&weights, 7);
+    let r1 = ctl
+        .tick()
+        .expect("fleet tick")
+        .expect("first window must rebalance")
+        .clone();
+
+    // the cold tenant's traffic spikes: its share roughly quadruples
+    let mut spiked = weights.clone();
+    spiked[spike_tenant] *= 8.0;
+    serve_phase(&spiked, 8);
+    let r2 = ctl
+        .tick()
+        .expect("fleet tick")
+        .expect("share shift must rebalance")
+        .clone();
+
+    let alloc = |r: &FleetRebalance, t: usize| {
+        r.allocations
+            .iter()
+            .find(|a| a.tenant == TenantId(t as u32))
+            .map(|a| (a.share, a.budget_used))
+            .unwrap_or((0.0, 0))
+    };
+    let (share_before, budget_before) = alloc(&r1, spike_tenant);
+    let (share_after, budget_after) = alloc(&r2, spike_tenant);
+    println!(
+        "multi_tenant_serving/budget_reallocation           tenant#{spike_tenant} share \
+         {:.0}% -> {:.0}%, allocation {budget_before} -> {budget_after} entries \
+         (fleet total {} -> {} of {GLOBAL_BUDGET} budget)",
+        100.0 * share_before,
+        100.0 * share_after,
+        r1.total_size,
+        r2.total_size,
+    );
+    for r in [&r1, &r2] {
+        assert!(
+            r.total_size <= GLOBAL_BUDGET,
+            "fleet allocation must respect the global budget"
+        );
+    }
+    assert!(
+        share_after > 2.0 * share_before,
+        "test premise: the spike must double the tenant's share \
+         ({share_before:.2} -> {share_after:.2})"
+    );
+    assert!(
+        budget_after > budget_before,
+        "the fleet controller must shift budget toward the spiking tenant \
+         ({budget_before} -> {budget_after} entries)"
+    );
+
+    // --- criterion timings: steady mixed serving per worker count ---
+    let mut g = c.benchmark_group("multi_tenant_serving");
+    for workers in worker_sweep() {
+        let steady = sharded_engine(&setup, workers, true);
+        // warm the caches once: steady state is the recurring stream
+        replay_mixed(&steady, &stream, &ReplayConfig { batch_size: BATCH });
+        g.bench_function(format!("mixed_stream_steady_w{}", steady.workers()), |b| {
+            b.iter(|| {
+                black_box(replay_mixed(
+                    &steady,
+                    &stream,
+                    &ReplayConfig { batch_size: BATCH },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multi_tenant_serving);
+criterion_main!(benches);

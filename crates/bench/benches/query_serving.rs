@@ -9,7 +9,7 @@
 //! pool on multi-core hosts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use peanut_bench::harness::worker_sweep;
+use peanut_bench::harness::{is_quick, worker_sweep};
 use peanut_core::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Workload};
 use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree};
 use peanut_pgm::{fixtures, BayesianNetwork, Scratch};
@@ -20,9 +20,25 @@ use peanut_workload::QuerySpec;
 use std::hint::black_box;
 use std::time::Instant;
 
-const N_QUERIES: usize = 512;
-const POOL: usize = 96;
 const BATCH: usize = 128;
+
+/// Stream length (`--quick` / `PEANUT_QUICK=1` shrinks it so the CI
+/// bench-smoke job finishes in minutes).
+fn n_queries() -> usize {
+    if is_quick() {
+        256
+    } else {
+        512
+    }
+}
+
+fn pool_size() -> usize {
+    if is_quick() {
+        48
+    } else {
+        96
+    }
+}
 
 struct Setup {
     bn: BayesianNetwork,
@@ -42,10 +58,10 @@ fn queries_for(tree: &JunctionTree) -> Vec<Query> {
             min_vars: 1,
             max_vars: 4,
         },
-        pool_size: POOL,
+        pool_size: pool_size(),
         ..WorkloadMix::default()
     };
-    workload_queries(tree, &rooted, N_QUERIES, &mix, 99)
+    workload_queries(tree, &rooted, n_queries(), &mix, 99)
 }
 
 fn materialized_engine<'t>(
@@ -98,7 +114,7 @@ fn bench_query_serving(c: &mut Criterion) {
     let online = OnlineEngine::new(&engine, &mat);
 
     let mut g = c.benchmark_group("query_serving");
-    g.bench_function("single_thread_loop_512q", |b| {
+    g.bench_function(format!("single_thread_loop_{}q", queries.len()), |b| {
         b.iter(|| black_box(single_thread_loop(&online, &queries)))
     });
 
@@ -116,8 +132,20 @@ fn bench_query_serving(c: &mut Criterion) {
             },
         );
         g.bench_function(
-            format!("batched_serving_512q_steady_w{}", serving.workers()),
-            |b| b.iter(|| black_box(replay(&serving, &queries, &ReplayConfig { batch_size: BATCH }))),
+            format!(
+                "batched_serving_{}q_steady_w{}",
+                queries.len(),
+                serving.workers()
+            ),
+            |b| {
+                b.iter(|| {
+                    black_box(replay(
+                        &serving,
+                        &queries,
+                        &ReplayConfig { batch_size: BATCH },
+                    ))
+                })
+            },
         );
     }
     g.finish();
@@ -127,8 +155,8 @@ fn bench_query_serving(c: &mut Criterion) {
     let t = Instant::now();
     let answered = single_thread_loop(&online, &queries);
     let loop_time = t.elapsed();
-    assert_eq!(answered, N_QUERIES);
-    let loop_qps = N_QUERIES as f64 / loop_time.as_secs_f64();
+    assert_eq!(answered, queries.len());
+    let loop_qps = queries.len() as f64 / loop_time.as_secs_f64();
     for workers in worker_sweep() {
         let cold = ServingEngine::from_shared(
             engine.clone(),

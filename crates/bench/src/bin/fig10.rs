@@ -17,10 +17,7 @@ fn main() {
         let test = p.skewed(n_test, 77);
         let budget = p.b_t().saturating_mul(10);
         println!("{}:", p.spec.name);
-        println!(
-            "    {:>6} {:>14} {:>14}",
-            "N_q", "PEANUT %", "PEANUT+ %"
-        );
+        println!("    {:>6} {:>14} {:>14}", "N_q", "PEANUT %", "PEANUT+ %");
         for &nq in sizes {
             let train = p.skewed(nq, 76);
             let (pea, _) = run_offline(&p, &train, budget, 6.0, Variant::Peanut);

@@ -13,7 +13,15 @@ fn main() {
     let targets: Vec<u64> = if is_quick() {
         vec![100, 10_000, 1_000_000]
     } else {
-        vec![100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+        vec![
+            100,
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+        ]
     };
     println!("Figure 4: actual vs target budget for PEANUT at three eps levels");
     for name in ["Andes", "Hailfinder", "PathFinder"] {

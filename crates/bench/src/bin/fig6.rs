@@ -2,9 +2,7 @@
 //! the query, for INDSEP, PEANUT and PEANUT+ (skewed workload; per query
 //! the maximum savings over the considered budgets, as in the paper).
 
-use peanut_bench::harness::{
-    indsep_blocks, run_indsep, run_offline, skewed_counts, Prepared,
-};
+use peanut_bench::harness::{indsep_blocks, run_indsep, run_offline, skewed_counts, Prepared};
 use peanut_core::{Materialization, OnlineEngine, Variant};
 use peanut_junction::{QueryEngine, RootedTree, SteinerTree};
 use std::collections::BTreeMap;
@@ -57,13 +55,27 @@ fn main() {
         let peanut_mats: Vec<Materialization> = [0.1f64, 10.0, 10_000.0]
             .iter()
             .map(|&m| {
-                run_offline(&p, &train, ((p.b_t() as f64) * m).max(1.0) as u64, 1.2, Variant::Peanut).0
+                run_offline(
+                    &p,
+                    &train,
+                    ((p.b_t() as f64) * m).max(1.0) as u64,
+                    1.2,
+                    Variant::Peanut,
+                )
+                .0
             })
             .collect();
         let plus_mats: Vec<Materialization> = [0.1f64, 10.0, 10_000.0]
             .iter()
             .map(|&m| {
-                run_offline(&p, &train, ((p.b_t() as f64) * m).max(1.0) as u64, 1.2, Variant::PeanutPlus).0
+                run_offline(
+                    &p,
+                    &train,
+                    ((p.b_t() as f64) * m).max(1.0) as u64,
+                    1.2,
+                    Variant::PeanutPlus,
+                )
+                .0
             })
             .collect();
 
@@ -74,10 +86,7 @@ fn main() {
             ("PEANUT+", &plus_mats),
         ] {
             let s = series(&p, mats, &test);
-            let row: Vec<String> = s
-                .iter()
-                .map(|(d, avg)| format!("d={d}:{avg:.1}"))
-                .collect();
+            let row: Vec<String> = s.iter().map(|(d, avg)| format!("d={d}:{avg:.1}")).collect();
             println!("    {label:<8} {}", row.join("  "));
         }
     }

@@ -12,8 +12,20 @@ fn main() {
     let results = Path::new("results");
     fs::create_dir_all(results).expect("create results dir");
     let bins = [
-        "table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "ablation", "pivot_study",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "ablation",
+        "pivot_study",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe")
@@ -28,10 +40,7 @@ fn main() {
         }
         let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
         if !out.status.success() {
-            eprintln!(
-                "{bin} FAILED: {}",
-                String::from_utf8_lossy(&out.stderr)
-            );
+            eprintln!("{bin} FAILED: {}", String::from_utf8_lossy(&out.stderr));
         }
         let path = results.join(format!("{bin}.txt"));
         fs::write(&path, &out.stdout).expect("write result");

@@ -23,8 +23,17 @@ fn main() {
     println!("Table 4: materialization phase — disk space (MB) and time (seconds)");
     println!(
         "{:<12} | {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "dataset", "VE-5 MB", "JT MB", "INDSEP MB", "PEANUT MB", "PNUT+ MB", "VE-5 s", "JT s",
-        "INDSEP s", "PEANUT s", "PNUT+ s"
+        "dataset",
+        "VE-5 MB",
+        "JT MB",
+        "INDSEP MB",
+        "PEANUT MB",
+        "PNUT+ MB",
+        "VE-5 s",
+        "JT s",
+        "INDSEP s",
+        "PEANUT s",
+        "PNUT+ s"
     );
     for p in Prepared::all() {
         let train = p.uniform(n_q, 21);
@@ -47,7 +56,10 @@ fn main() {
             let t0 = Instant::now();
             match NumericState::initialize(&p.tree, &p.bn) {
                 Ok(mut ns) => match ns.calibrate(&p.tree, &rooted) {
-                    Ok(()) => (format!("{:.3}", mb(jt_entries)), format!("{:.2}", t0.elapsed().as_secs_f64())),
+                    Ok(()) => (
+                        format!("{:.3}", mb(jt_entries)),
+                        format!("{:.2}", t0.elapsed().as_secs_f64()),
+                    ),
                     Err(_) => ("NA".into(), "NA".into()),
                 },
                 Err(_) => ("NA".into(), "NA".into()),

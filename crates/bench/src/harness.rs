@@ -103,7 +103,11 @@ pub fn worker_sweep() -> Vec<usize> {
             // the sweep to a different study than the one requested
             // (split always yields ≥1 token, and empty tokens fail to
             // parse, so the Ok list is never empty)
-            match s.split(',').map(|t| t.trim().parse()).collect::<Result<Vec<usize>, _>>() {
+            match s
+                .split(',')
+                .map(|t| t.trim().parse())
+                .collect::<Result<Vec<usize>, _>>()
+            {
                 Ok(v) => v,
                 Err(_) => {
                     eprintln!(
@@ -192,7 +196,9 @@ pub fn drifted(
 
 /// The INDSEP block-size candidates of §5.1.
 pub fn indsep_blocks() -> Vec<Size> {
-    vec![10, 20, 50, 100, 150, 500, 1000, 5_000, 50_000, 500_000, 5_000_000]
+    vec![
+        10, 20, 50, 100, 150, 500, 1000, 5_000, 50_000, 500_000, 5_000_000,
+    ]
 }
 
 /// Mean of a sample.

@@ -143,7 +143,9 @@ fn reconstruct(
     let rooted = ctx.rooted();
     match choice[v][ci] {
         NodeChoice::Children => {
-            let Some(comb) = &child_combines[v] else { return };
+            let Some(comb) = &child_combines[v] else {
+                return;
+            };
             for (c, ci_c) in comb.backtrack(false, ci, rooted.children(v)) {
                 reconstruct(
                     ctx,
@@ -223,7 +225,9 @@ mod tests {
     #[test]
     fn estimated_cost_within_budget() {
         let bn = fixtures::chain(10, 2, 1);
-        let queries: Vec<Scope> = (0..8u32).map(|a| Scope::from_indices(&[a, a + 2])).collect();
+        let queries: Vec<Scope> = (0..8u32)
+            .map(|a| Scope::from_indices(&[a, a + 2]))
+            .collect();
         for k in [4u64, 8, 16, 32] {
             let (res, _) = run(&bn, queries.clone(), k);
             let est: u64 = res.shortcuts.iter().map(|s| s.dp_cost).sum();

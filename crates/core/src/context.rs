@@ -312,16 +312,8 @@ mod tests {
         // change the total when each query's B(S, q) is equal
         let b_skew = ctx_skew.benefit(&s);
         let b_flat = ctx_flat.benefit(&s);
-        let qi1 = ctx_flat
-            .queries()
-            .iter()
-            .find(|qi| qi.scope == q1)
-            .unwrap();
-        let qi2 = ctx_flat
-            .queries()
-            .iter()
-            .find(|qi| qi.scope == q2)
-            .unwrap();
+        let qi1 = ctx_flat.queries().iter().find(|qi| qi.scope == q1).unwrap();
+        let qi2 = ctx_flat.queries().iter().find(|qi| qi.scope == q2).unwrap();
         let b1 = ctx_flat.benefit_for_query(&s, qi1);
         let b2 = ctx_flat.benefit_for_query(&s, qi2);
         assert!((b_flat - (0.5 * b1 + 0.5 * b2)).abs() < 1e-9);

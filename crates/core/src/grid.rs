@@ -174,7 +174,7 @@ mod tests {
         assert_eq!(g.value(g.combine(i2, i4).unwrap()), 8);
         let i64 = g.round_up(64).unwrap();
         assert_eq!(g.combine(i64, i64), None); // 128 > 100
-        // 64 + 2 = 66 → 100
+                                               // 64 + 2 = 66 → 100
         assert_eq!(g.value(g.combine(i64, i2).unwrap()), 100);
     }
 
@@ -188,7 +188,7 @@ mod tests {
         assert_eq!(g.value(g.combine_mul(0, i8).unwrap()), 8);
         let i512 = g.round_up(512).unwrap();
         assert_eq!(g.combine_mul(i512, i4), None); // 2048 > 1000
-        // 512 * 1 = 512 fine
+                                                   // 512 * 1 = 512 fine
         let i1 = g.round_up(1).unwrap();
         assert_eq!(g.value(g.combine_mul(i512, i1).unwrap()), 512);
     }

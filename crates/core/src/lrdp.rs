@@ -315,7 +315,13 @@ impl Combine {
             let mut pf = vec![CombPtr::Skip; m];
             let mut pr: Vec<CombPtr> = req
                 .iter()
-                .map(|v| if v.is_finite() { CombPtr::Skip } else { CombPtr::Dead })
+                .map(|v| {
+                    if v.is_finite() {
+                        CombPtr::Skip
+                    } else {
+                        CombPtr::Dead
+                    }
+                })
                 .collect();
             for prev_ci in 0..m {
                 if !free[prev_ci].is_finite() {
@@ -369,7 +375,12 @@ impl Combine {
 
     /// Recovers the taken children (with their budget allocations) for the
     /// final state at grid index `ci` in the `req` (or `free`) table.
-    pub(crate) fn backtrack(&self, want_req: bool, mut ci: usize, kids: &[usize]) -> Vec<(usize, usize)> {
+    pub(crate) fn backtrack(
+        &self,
+        want_req: bool,
+        mut ci: usize,
+        kids: &[usize],
+    ) -> Vec<(usize, usize)> {
         let mut taken = Vec::new();
         let mut in_req = want_req;
         let mut k = kids.len();
@@ -446,8 +457,7 @@ impl<'c, 't> PathState<'c, 't> {
             if let Some(p) = parent_on_path {
                 if qi.steiner.contains(p) {
                     // p becomes (or stops being) an internal path node
-                    let off_path_children =
-                        qi.steiner_children(p) - u32::from(in_q_u);
+                    let off_path_children = qi.steiner_children(p) - u32::from(in_q_u);
                     if off_path_children > 0 {
                         self.cnt_b[k] = self.cnt_b[k].wrapping_add_signed(sign as i32);
                     }
@@ -512,8 +522,8 @@ impl<'c, 't> PathState<'c, 't> {
             if qi.single_node || self.cnt_i[k] == 0 {
                 continue;
             }
-            let cond_b = self.cnt_b[k] > 0
-                || (qi.steiner.contains(top) && qi.steiner_children(top) > 0);
+            let cond_b =
+                self.cnt_b[k] > 0 || (qi.steiner.contains(top) && qi.steiner_children(top) > 0);
             if !cond_b {
                 continue;
             }
@@ -541,9 +551,7 @@ mod tests {
     use peanut_junction::build_junction_tree;
     use peanut_pgm::{fixtures, Scope};
 
-    fn chain_setup(
-        n: usize,
-    ) -> (peanut_pgm::BayesianNetwork, peanut_junction::JunctionTree) {
+    fn chain_setup(n: usize) -> (peanut_pgm::BayesianNetwork, peanut_junction::JunctionTree) {
         let bn = fixtures::chain(n, 2, 7);
         let tree = build_junction_tree(&bn).unwrap();
         (bn, tree)
@@ -597,7 +605,9 @@ mod tests {
         // finds nothing with positive benefit at any root
         let bn = fixtures::chain(8, 2, 4);
         let tree = build_junction_tree(&bn).unwrap();
-        let queries: Vec<Scope> = (0..7u32).map(|a| Scope::from_indices(&[a, a + 1])).collect();
+        let queries: Vec<Scope> = (0..7u32)
+            .map(|a| Scope::from_indices(&[a, a + 1]))
+            .collect();
         let w = Workload::from_queries(queries);
         let ctx = OfflineContext::new(&tree, &w).unwrap();
         let grid = BudgetGrid::exact(64);
@@ -659,8 +669,7 @@ mod tests {
                 let brute = exhaustive_antichains(&ctx, r_s, &grid);
                 for (ci, &bf) in brute.iter().enumerate() {
                     let dp = rt.dp_value[ci];
-                    let close = (dp.is_infinite() && bf.is_infinite())
-                        || (dp - bf).abs() < 1e-6;
+                    let close = (dp.is_infinite() && bf.is_infinite()) || (dp - bf).abs() < 1e-6;
                     assert!(
                         close,
                         "{bn_name} root {r_s} budget {}: dp={dp} brute={bf}",
@@ -698,7 +707,10 @@ mod tests {
         let k = nodes.len();
         assert!(k <= 16, "test trees must stay small");
         'subsets: for mask in 1u32..(1 << k) {
-            let chosen: Vec<usize> = (0..k).filter(|i| mask >> i & 1 == 1).map(|i| nodes[i]).collect();
+            let chosen: Vec<usize> = (0..k)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| nodes[i])
+                .collect();
             for (a_i, &a) in chosen.iter().enumerate() {
                 for &b in &chosen[a_i + 1..] {
                     if rooted.is_ancestor(a, b) || rooted.is_ancestor(b, a) {
@@ -710,7 +722,9 @@ mod tests {
             // grid-rounded additive cost, mirroring the DP's rounding
             let mut idx = 0usize;
             for u in &chosen {
-                let Some(cu) = grid.round_up(cost[u]) else { continue 'subsets };
+                let Some(cu) = grid.round_up(cost[u]) else {
+                    continue 'subsets;
+                };
                 match grid.combine_mul(idx, cu) {
                     Some(t) => idx = t,
                     None => continue 'subsets,

@@ -165,8 +165,10 @@ impl<'e, 't> OnlineEngine<'e, 't> {
                     .collect();
                 // resolve conflicts between overlapping useful shortcuts
                 let chosen: Vec<usize> = if self.mat.overlapping {
-                    let weights: Vec<f64> =
-                        useful.iter().map(|&i| self.mat.shortcuts[i].ratio).collect();
+                    let weights: Vec<f64> = useful
+                        .iter()
+                        .map(|&i| self.mat.shortcuts[i].ratio)
+                        .collect();
                     let adj: Vec<Vec<usize>> = useful
                         .iter()
                         .map(|&i| {
@@ -183,7 +185,10 @@ impl<'e, 't> OnlineEngine<'e, 't> {
                                 .collect()
                         })
                         .collect();
-                    gwmin(&weights, &adj).into_iter().map(|k| useful[k]).collect()
+                    gwmin(&weights, &adj)
+                        .into_iter()
+                        .map(|k| useful[k])
+                        .collect()
                 } else {
                     useful
                 };
@@ -367,7 +372,9 @@ mod tests {
         let egh = tree
             .cliques()
             .iter()
-            .position(|c| c.len() == 3 && c.contains(d.var("g").unwrap()) && c.contains(d.var("h").unwrap()))
+            .position(|c| {
+                c.len() == 3 && c.contains(d.var("g").unwrap()) && c.contains(d.var("h").unwrap())
+            })
             .unwrap();
         let s = Shortcut::from_nodes(&tree, &rooted, vec![egh]).unwrap();
         let (pot, _) = s.materialize(&tree, &rooted, &ns).unwrap();
@@ -455,7 +462,10 @@ mod tests {
             let q = Scope::from_indices(&pair);
             assert_eq!(online.cost(&q).unwrap().ops, engine.cost(&q).unwrap().ops);
         }
-        let _ = OfflineContext::new(&tree, &Workload::from_queries([Scope::from_indices(&[0, 7])]))
-            .unwrap();
+        let _ = OfflineContext::new(
+            &tree,
+            &Workload::from_queries([Scope::from_indices(&[0, 7])]),
+        )
+        .unwrap();
     }
 }

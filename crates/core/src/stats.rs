@@ -92,8 +92,10 @@ impl WorkloadStats {
         self.queries.fetch_add(n, Ordering::Relaxed);
         if cost.shortcuts_used > 0 {
             self.shortcut_queries.fetch_add(n, Ordering::Relaxed);
-            self.shortcuts_used
-                .fetch_add((cost.shortcuts_used as u64).saturating_mul(n), Ordering::Relaxed);
+            self.shortcuts_used.fetch_add(
+                (cost.shortcuts_used as u64).saturating_mul(n),
+                Ordering::Relaxed,
+            );
         }
         self.observed_ops
             .fetch_add(cost.ops.saturating_mul(n), Ordering::Relaxed);

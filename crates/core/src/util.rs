@@ -69,10 +69,7 @@ impl BitSet {
 
     /// True when `self ∩ other ≠ ∅`.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Number of members of `self ∩ other`.

@@ -2,7 +2,10 @@
 
 use peanut_core::budp::budp;
 use peanut_core::lrdp::lrdp_all;
-use peanut_core::{BudgetGrid, Materialization, MaterializedShortcut, OfflineContext, OnlineEngine, Peanut, PeanutConfig, Shortcut, Workload};
+use peanut_core::{
+    BudgetGrid, Materialization, MaterializedShortcut, OfflineContext, OnlineEngine, Peanut,
+    PeanutConfig, Shortcut, Workload,
+};
 use peanut_junction::{build_junction_tree, QueryEngine, RootedTree};
 use peanut_pgm::generate::{generate_network, DagConfig};
 use peanut_pgm::{Scope, Var};

@@ -237,7 +237,9 @@ mod tests {
     #[test]
     fn all_build_and_match_structural_stats() {
         for spec in all_datasets() {
-            let bn = spec.build().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let bn = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(bn.n_vars(), spec.paper.nodes, "{} nodes", spec.name);
             assert_eq!(bn.n_edges(), spec.paper.edges, "{} edges", spec.name);
             assert!(

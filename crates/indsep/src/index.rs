@@ -248,7 +248,10 @@ mod tests {
         let q = Scope::from_indices(&[0, 23]);
         let base = online.baseline_cost(&q).unwrap().ops;
         let with = online.cost(&q).unwrap().ops;
-        assert!(with < base, "INDSEP should prune the long chain: {with} vs {base}");
+        assert!(
+            with < base,
+            "INDSEP should prune the long chain: {with} vs {base}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod tests {
         let mut seps: Vec<String> = (0..t.edges().len())
             .map(|e| {
                 let sc = t.separator(e);
-                sc.iter().map(|v| d.name(v).to_string()).collect::<Vec<_>>().join("")
+                sc.iter()
+                    .map(|v| d.name(v).to_string())
+                    .collect::<Vec<_>>()
+                    .join("")
             })
             .collect();
         seps.sort();

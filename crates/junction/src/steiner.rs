@@ -122,13 +122,7 @@ impl SteinerTree {
         self.nodes
             .iter()
             .copied()
-            .filter(|&u| {
-                u != self.root
-                    && rooted
-                        .children(u)
-                        .iter()
-                        .all(|&c| !self.contains(c))
-            })
+            .filter(|&u| u != self.root && rooted.children(u).iter().all(|&c| !self.contains(c)))
             .collect()
     }
 
@@ -140,7 +134,8 @@ impl SteinerTree {
         if self.nodes.len() <= 1 {
             return 0;
         }
-        let mut height: std::collections::HashMap<CliqueId, usize> = std::collections::HashMap::new();
+        let mut height: std::collections::HashMap<CliqueId, usize> =
+            std::collections::HashMap::new();
         let mut best = 0usize;
         // process nodes deepest-first so children are done before parents
         let mut by_depth = self.nodes.clone();
@@ -233,7 +228,10 @@ mod tests {
         assert_eq!(st.root(), clique_named(&tree, d, &["b", "c"]));
         // In our tree egh hangs off ef (valid MST tie-break), so the Steiner
         // tree is the path bc–ce–ef–egh–gil and gil is its only leaf.
-        assert_eq!(st.leaves(&rooted), vec![clique_named(&tree, d, &["g", "i", "l"])]);
+        assert_eq!(
+            st.leaves(&rooted),
+            vec![clique_named(&tree, d, &["g", "i", "l"])]
+        );
     }
 
     #[test]

@@ -186,7 +186,11 @@ mod tests {
 
     #[test]
     fn families_covered_by_some_clique() {
-        for bn in [fixtures::figure1(), fixtures::asia(), fixtures::chain(8, 2, 5)] {
+        for bn in [
+            fixtures::figure1(),
+            fixtures::asia(),
+            fixtures::chain(8, 2, 5),
+        ] {
             let (_, t) = tri_of(&bn);
             for v in bn.domain().all_vars() {
                 let fam = bn.family(v);

@@ -30,6 +30,10 @@ pub enum PgmError {
     InfeasibleGenerator(String),
     /// A value assignment was out of range for the variable's cardinality.
     ValueOutOfRange { var: Var, value: u32, card: u32 },
+    /// A serving request named a tenant no shard is registered for.
+    UnknownTenant(u32),
+    /// A tenant id was registered twice with a sharded engine.
+    DuplicateTenant(u32),
 }
 
 impl fmt::Display for PgmError {
@@ -59,8 +63,13 @@ impl fmt::Display for PgmError {
             PgmError::EmptyNetwork => write!(f, "network has no variables"),
             PgmError::InfeasibleGenerator(msg) => write!(f, "infeasible generator config: {msg}"),
             PgmError::ValueOutOfRange { var, value, card } => {
-                write!(f, "value {value} out of range for {var} with cardinality {card}")
+                write!(
+                    f,
+                    "value {value} out of range for {var} with cardinality {card}"
+                )
             }
+            PgmError::UnknownTenant(t) => write!(f, "no shard registered for tenant {t}"),
+            PgmError::DuplicateTenant(t) => write!(f, "tenant {t} is already registered"),
         }
     }
 }

@@ -74,8 +74,10 @@ pub fn asia() -> BayesianNetwork {
     let dysp = b.var("dyspnoea", 2);
     b.cpt(visit, &[], &[&[0.99, 0.01]]).unwrap();
     b.cpt(smoke, &[], &[&[0.5, 0.5]]).unwrap();
-    b.cpt(tb, &[visit], &[&[0.99, 0.01], &[0.95, 0.05]]).unwrap();
-    b.cpt(lung, &[smoke], &[&[0.99, 0.01], &[0.9, 0.1]]).unwrap();
+    b.cpt(tb, &[visit], &[&[0.99, 0.01], &[0.95, 0.05]])
+        .unwrap();
+    b.cpt(lung, &[smoke], &[&[0.99, 0.01], &[0.9, 0.1]])
+        .unwrap();
     b.cpt(bronc, &[smoke], &[&[0.7, 0.3], &[0.4, 0.6]]).unwrap();
     b.cpt(
         either,
@@ -119,7 +121,11 @@ pub fn binary_tree(n: usize, seed: u64) -> BayesianNetwork {
     let mut b = NetworkBuilder::new();
     let vars: Vec<Var> = (0..n).map(|i| b.var(&format!("t{i}"), 2)).collect();
     for (i, &v) in vars.iter().enumerate() {
-        let parents: Vec<Var> = if i == 0 { vec![] } else { vec![vars[(i - 1) / 2]] };
+        let parents: Vec<Var> = if i == 0 {
+            vec![]
+        } else {
+            vec![vars[(i - 1) / 2]]
+        };
         let t = random_cpt(b.domain(), v, &parents, &mut rng).unwrap();
         b.cpt_potential(v, &parents, t).unwrap();
     }

@@ -27,7 +27,11 @@ use crate::Result;
 use std::io::{BufRead, Write};
 
 /// Serializes a network to the text format.
-pub fn write_network<W: Write>(bn: &BayesianNetwork, name: &str, out: &mut W) -> std::io::Result<()> {
+pub fn write_network<W: Write>(
+    bn: &BayesianNetwork,
+    name: &str,
+    out: &mut W,
+) -> std::io::Result<()> {
     writeln!(out, "network {name}")?;
     let d = bn.domain();
     for v in d.all_vars() {
@@ -118,7 +122,9 @@ pub fn read_network<R: BufRead>(input: &mut R) -> Result<BayesianNetwork> {
             break;
         }
         let Some(rest) = line.strip_prefix("cpt ") else {
-            return Err(PgmError::UnknownName(format!("expected 'cpt', got {line:?}")));
+            return Err(PgmError::UnknownName(format!(
+                "expected 'cpt', got {line:?}"
+            )));
         };
         let (child_name, parent_part) = rest
             .split_once('|')
@@ -221,9 +227,9 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         for text in [
-            "",                                        // empty
-            "nonsense",                                // bad header
-            "network t\nvariable a two\nend",          // bad cardinality
+            "",                                               // empty
+            "nonsense",                                       // bad header
+            "network t\nvariable a two\nend",                 // bad cardinality
             "network t\nvariable a 2\ncpt a |\n0.5 0.6\nend", // unnormalized
             "network t\nvariable a 2\ncpt b |\n1 0\nend",     // unknown var
             "network t\nvariable a 2\ncpt a |\nend",          // missing row

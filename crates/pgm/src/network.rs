@@ -83,9 +83,9 @@ impl BayesianNetwork {
             .all_vars()
             .map(|v| {
                 let child = (self.domain.card(v) as u64).saturating_sub(1);
-                self.parents[v.index()]
-                    .iter()
-                    .fold(child, |acc, &p| acc.saturating_mul(self.domain.card(p) as u64))
+                self.parents[v.index()].iter().fold(child, |acc, &p| {
+                    acc.saturating_mul(self.domain.card(p) as u64)
+                })
             })
             .fold(0u64, u64::saturating_add)
     }
@@ -101,7 +101,10 @@ impl BayesianNetwork {
                 children[p.index()].push(Var(c as u32));
             }
         }
-        let mut stack: Vec<Var> = (0..n as u32).map(Var).filter(|v| indeg[v.index()] == 0).collect();
+        let mut stack: Vec<Var> = (0..n as u32)
+            .map(Var)
+            .filter(|v| indeg[v.index()] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = stack.pop() {
             order.push(v);
@@ -124,7 +127,11 @@ impl BayesianNetwork {
             let summed = self.cpts[v.index()].sum_out(&Scope::singleton(v))?;
             for (row, &s) in summed.values().iter().enumerate() {
                 if (s - 1.0).abs() > 1e-6 {
-                    return Err(PgmError::UnnormalizedCpt { var: v, row, sum: s });
+                    return Err(PgmError::UnnormalizedCpt {
+                        var: v,
+                        row,
+                        sum: s,
+                    });
                 }
             }
         }

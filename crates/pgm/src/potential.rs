@@ -425,10 +425,7 @@ impl Potential {
 
     /// [`restrict`](Self::restrict) with caller-provided scratch.
     pub fn restrict_in(&self, var: Var, value: u32, scratch: &mut Scratch) -> Result<Potential> {
-        let axis = self
-            .scope
-            .position(var)
-            .ok_or(PgmError::UnknownVar(var))?;
+        let axis = self.scope.position(var).ok_or(PgmError::UnknownVar(var))?;
         let card = self.cards[axis];
         if value >= card {
             return Err(PgmError::ValueOutOfRange { var, value, card });
@@ -641,9 +638,8 @@ impl Walk {
                 continue; // unit axes contribute nothing to iteration
             }
             let mergeable = !gcards.is_empty()
-                && (0..k).all(|op| {
-                    *gsteps[op].last().expect("group open") == op_steps[op][ax] * card
-                });
+                && (0..k)
+                    .all(|op| *gsteps[op].last().expect("group open") == op_steps[op][ax] * card);
             if mergeable {
                 *gcards.last_mut().expect("group open") *= card;
                 for op in 0..k {
@@ -659,7 +655,10 @@ impl Walk {
         match gcards.pop() {
             Some(inner) => Walk {
                 inner_len: inner as usize,
-                inner_steps: gsteps.iter_mut().map(|s| s.pop().expect("aligned")).collect(),
+                inner_steps: gsteps
+                    .iter_mut()
+                    .map(|s| s.pop().expect("aligned"))
+                    .collect(),
                 outer_cards: gcards,
                 outer_steps: gsteps,
             },

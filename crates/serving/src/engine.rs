@@ -1,8 +1,8 @@
 //! The batched serving engine.
 //!
 //! A [`ServingEngine`] wraps one calibrated
-//! [`QueryEngine`](peanut_junction::QueryEngine) plus an **epoch-versioned,
-//! hot-swappable** [`Materialization`](peanut_core::Materialization) and
+//! [`QueryEngine`] plus an **epoch-versioned,
+//! hot-swappable** [`Materialization`] and
 //! answers *batches* of queries:
 //!
 //! 1. duplicate queries inside a batch are coalesced and computed once
@@ -191,19 +191,19 @@ impl Default for ServingConfig {
 /// was dropped or replaced by a newer epoch) is skipped, never evicting a
 /// fresher entry by key collision.
 #[derive(Default)]
-struct AnswerCache {
+pub(crate) struct AnswerCache {
     map: HashMap<Query, Arc<Answer>>,
     order: VecDeque<(Query, u64)>,
 }
 
-enum CacheLookup {
+pub(crate) enum CacheLookup {
     Hit(Arc<Answer>),
     StaleDropped,
     Miss,
 }
 
 impl AnswerCache {
-    fn lookup(&mut self, q: &Query, epoch: u64) -> CacheLookup {
+    pub(crate) fn lookup(&mut self, q: &Query, epoch: u64) -> CacheLookup {
         match self.map.get(q) {
             Some(hit) if hit.epoch == epoch => CacheLookup::Hit(Arc::clone(hit)),
             Some(hit) if hit.epoch < epoch => {
@@ -233,7 +233,7 @@ impl AnswerCache {
         true
     }
 
-    fn insert(&mut self, capacity: usize, q: Query, a: Arc<Answer>) {
+    pub(crate) fn insert(&mut self, capacity: usize, q: Query, a: Arc<Answer>) {
         if capacity == 0 {
             return;
         }
@@ -347,6 +347,32 @@ impl<'t> ServingEngine<'t> {
         std::mem::replace(&mut state.stats, Arc::new(WorkloadStats::new()))
     }
 
+    /// Epoch snapshot for a batch: the served materialization and its
+    /// observation accumulator, taken atomically. The sharded engine takes
+    /// per-shard snapshots up front so a whole mixed batch is served under
+    /// one epoch per tenant.
+    pub(crate) fn epoch_snapshot(&self) -> (Arc<Materialization>, Arc<WorkloadStats>) {
+        let state = self.state.read().expect("epoch lock");
+        (Arc::clone(&state.mat), Arc::clone(&state.stats))
+    }
+
+    /// Runs `f` under this engine's answer-cache lock (one lock scope per
+    /// shard per mixed batch). Only Arc clones should happen inside.
+    pub(crate) fn with_cache<R>(&self, f: impl FnOnce(&mut AnswerCache) -> R) -> R {
+        f(&mut self.cache.lock().expect("cache lock"))
+    }
+
+    /// The configured answer-cache capacity (`0` = caching disabled).
+    pub(crate) fn cache_capacity(&self) -> usize {
+        self.cfg.cache_capacity
+    }
+
+    /// The shared query engine, by Arc — what a mixed-batch worker borrows
+    /// to build a per-shard [`OnlineEngine`].
+    pub(crate) fn engine_arc(&self) -> &Arc<QueryEngine<'t>> {
+        &self.engine
+    }
+
     /// The worker count a batch will actually use (before capping by batch
     /// size).
     pub fn workers(&self) -> usize {
@@ -440,34 +466,33 @@ impl<'t> ServingEngine<'t> {
         } else {
             let next = AtomicUsize::new(0);
             let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..n_workers)
-                        .map(|_| {
-                            s.spawn(|| {
-                                let online =
-                                    OnlineEngine::with_stats(&self.engine, &mat, &stats);
-                                let mut scratch = Scratch::new();
-                                let mut out = Vec::new();
-                                loop {
-                                    let w = next.fetch_add(1, Ordering::Relaxed);
-                                    if w >= work.len() {
-                                        break;
-                                    }
-                                    let i = work[w];
-                                    out.push((
-                                        i,
-                                        answer_one(&online, uniques[i], &mut scratch, epoch)
-                                            .map(Arc::new),
-                                    ));
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let online = OnlineEngine::with_stats(&self.engine, &mat, &stats);
+                            let mut scratch = Scratch::new();
+                            let mut out = Vec::new();
+                            loop {
+                                let w = next.fetch_add(1, Ordering::Relaxed);
+                                if w >= work.len() {
+                                    break;
                                 }
-                                out
-                            })
+                                let i = work[w];
+                                out.push((
+                                    i,
+                                    answer_one(&online, uniques[i], &mut scratch, epoch)
+                                        .map(Arc::new),
+                                ));
+                            }
+                            out
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("serving worker panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("serving worker panicked"))
+                    .collect()
+            });
             for (i, r) in worker_outs.into_iter().flatten() {
                 unique_results[i] = Some(r);
             }
@@ -516,20 +541,22 @@ impl<'t> ServingEngine<'t> {
         // answer (errors are cloned; they carry no tables)
         let answers = assign
             .into_iter()
-            .map(|u| match unique_results[u].as_ref().expect("all uniques computed") {
-                Ok(a) => Ok(Served {
-                    answer: Arc::clone(a),
-                    from_cache: from_cache[u],
-                }),
-                Err(e) => Err(e.clone()),
-            })
+            .map(
+                |u| match unique_results[u].as_ref().expect("all uniques computed") {
+                    Ok(a) => Ok(Served {
+                        answer: Arc::clone(a),
+                        from_cache: from_cache[u],
+                    }),
+                    Err(e) => Err(e.clone()),
+                },
+            )
             .collect();
         bstats.wall = start.elapsed();
         (answers, bstats)
     }
 }
 
-fn answer_one(
+pub(crate) fn answer_one(
     online: &OnlineEngine<'_, '_>,
     q: &Query,
     scratch: &mut Scratch,

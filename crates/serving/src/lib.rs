@@ -12,19 +12,35 @@
 //!   worker runs the shortcut-aware online engine on the stride-walk kernel
 //!   path with its own [`Scratch`](peanut_pgm::Scratch), so steady-state
 //!   serving performs no transient allocation.
-//! * [`replay`] — a workload-replay driver: streams
+//! * [`shard`] — multi-tenant sharded serving: a
+//!   [`ShardedServingEngine`] registry of
+//!   tenants (each a calibrated tree with its own epoch-versioned
+//!   materialization, stats and answer cache) that fans mixed
+//!   `(TenantId, Query)` batches across one shared worker pool, with
+//!   per-tenant dedup and fully isolated epoch state.
+//! * [`replay`](mod@replay) — a workload-replay driver: streams
 //!   `peanut_workload` query mixes through an engine batch by batch and
-//!   reports throughput and latency percentiles.
+//!   reports throughput and latency percentiles; [`replay_mixed`] does the
+//!   same for multi-tenant arrival streams.
 //! * [`lifecycle`] — the epoch lifecycle: a
-//!   [`RematerializationController`](lifecycle::RematerializationController)
-//!   watches the observed benefit of the served epoch, re-runs the offline
-//!   selection on the observed distribution when the workload drifts, and
-//!   hot-publishes the next epoch without pausing serving.
+//!   [`RematerializationController`]
+//!   watches the observed benefit of the served epoch across a ring of
+//!   observation windows, re-runs the offline selection on the observed
+//!   distribution when the workload drifts, and hot-publishes the next
+//!   epoch without pausing serving. A
+//!   [`FleetController`] lifts the loop to the
+//!   sharded engine, splitting one global budget across tenants by
+//!   observed benefit (greedy knapsack over candidate shortcut sets).
 
 pub mod engine;
 pub mod lifecycle;
 pub mod replay;
+pub mod shard;
 
 pub use engine::{Answer, BatchStats, Query, Served, ServingConfig, ServingEngine};
-pub use lifecycle::{expected_savings, LifecycleConfig, RematerializationController, SwapEvent};
-pub use replay::{replay, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};
+pub use lifecycle::{
+    expected_savings, FleetConfig, FleetController, FleetRebalance, LifecycleConfig,
+    RematerializationController, SwapEvent, TenantAllocation,
+};
+pub use replay::{replay, replay_mixed, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};
+pub use shard::{MixedBatchStats, ShardConfig, ShardedServingEngine, TenantId};

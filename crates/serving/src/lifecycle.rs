@@ -7,46 +7,69 @@
 //! loop at serving time:
 //!
 //! 1. it watches the current epoch's [`WorkloadStats`] (fed by the
-//!    serving workers' [`OnlineEngine`]s) and compares the *observed*
-//!    benefit against the epoch's *reference* benefit — the savings the
-//!    selection promised on the distribution it was trained on;
-//! 2. when the observed benefit decays past a configurable fraction of the
+//!    serving workers' [`OnlineEngine`]s) across a small **ring of
+//!    observation windows**, comparing the *observed* benefit against the
+//!    epoch's *reference* benefit — the savings the selection promised on
+//!    the distribution it was trained on. A swap needs both horizons to
+//!    decay: the most recent window (short horizon) *and* the aggregate of
+//!    the whole ring (long horizon), so a one-window traffic blip never
+//!    triggers a re-selection;
+//! 2. when the benefit decays past a configurable fraction of the
 //!    reference ([`LifecycleConfig::decay_threshold`]), it re-runs the
 //!    offline selection (PEANUT / PEANUT+) on the **observed** query
-//!    distribution — on the controller's thread, while serving keeps
-//!    draining batches;
+//!    distribution accumulated over the ring — on the controller's thread,
+//!    while serving keeps draining batches;
 //! 3. if the new artifact's expected benefit (recomputed with the cost
 //!    model on the observed distribution) beats what the stale epoch is
 //!    delivering, it [`publish`](ServingEngine::publish)es the new epoch.
 //!    The swap is a pointer exchange: no serving pause, no cache flush —
 //!    stale cache entries die lazily by their epoch tag.
 //!
-//! Everything the controller decides is a deterministic function of the
-//! recorded arrivals and its configuration, so a replay of the same drift
-//! schedule with the same seeds and the same `tick()` cadence produces the
-//! same swap points and the same selected shortcut sets.
+//! A [`FleetController`] lifts the same loop to a
+//! [`ShardedServingEngine`]: it ticks *all* tenants at once and splits one
+//! **global** materialization budget across them by observed benefit — a
+//! greedy knapsack over the per-tenant candidate shortcut sets, each
+//! candidate priced with the cost model ([`expected_ops`]) on that
+//! tenant's observed distribution and weighted by the tenant's share of
+//! fleet traffic. When a tenant's traffic spikes, its candidates' weighted
+//! benefit grows and the knapsack shifts budget toward it on the next
+//! rebalance.
+//!
+//! Everything both controllers decide is a deterministic function of the
+//! recorded arrivals and their configuration, so a replay of the same
+//! drift schedule with the same seeds and the same `tick()` cadence
+//! produces the same swap points and the same selected shortcut sets.
 //!
 //! [`OnlineEngine`]: peanut_core::OnlineEngine
 
 use crate::engine::ServingEngine;
+use crate::shard::{ShardedServingEngine, TenantId};
 use peanut_core::{
-    Materialization, OfflineContext, OnlineEngine, Peanut, PeanutConfig, Variant, Workload,
+    Materialization, OfflineContext, OnlineEngine, Peanut, PeanutConfig, StatsSnapshot, Variant,
+    Workload, WorkloadStats,
 };
 use peanut_junction::cost::expected_ops;
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Scope, Size};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Drift-detection and re-selection knobs.
 #[derive(Clone, Debug)]
 pub struct LifecycleConfig {
-    /// Arrivals an observation window must hold before a decision is
-    /// taken. The controller rolls the window after every decision
-    /// (publish *or* decline), so detection always judges the most recent
-    /// `min_window`-or-more arrivals — a forever-cumulative average would
+    /// Arrivals an observation window must hold before it is closed and
+    /// pushed into the ring. Detection always judges the most recent
+    /// `min_window`-or-more arrivals (short horizon) against the ring
+    /// aggregate (long horizon) — a forever-cumulative average would
     /// dilute a drift signal with pre-drift history.
     pub min_window: u64,
+    /// Closed windows the controller keeps (short- vs long-horizon
+    /// comparison). A swap requires the ring to be full and *both* the
+    /// latest window and the ring aggregate to be decayed, so a single
+    /// anomalous window cannot trigger a re-selection. Clamped to ≥ 1.
+    pub window_ring: usize,
     /// Re-materialize when `observed_savings < decay_threshold ×
     /// reference_savings` — i.e. the epoch delivers less than this
     /// fraction of the benefit it was selected for.
@@ -58,7 +81,8 @@ pub struct LifecycleConfig {
     pub min_reference_savings: f64,
     /// When the current epoch has an *empty* materialization, attempt a
     /// first selection from observed traffic once the window fills
-    /// (cold-start bootstrap).
+    /// (cold-start bootstrap). Bootstrap does not wait for the ring to
+    /// fill — there is no healthy history to protect.
     pub bootstrap: bool,
     /// Space budget `K` for re-selection (table entries).
     pub budget: Size,
@@ -72,10 +96,11 @@ pub struct LifecycleConfig {
 
 impl LifecycleConfig {
     /// Sensible defaults around a budget: PEANUT+ at the paper's ε = 1.2,
-    /// window 512, trigger at half the promised benefit.
+    /// window 512 with a ring of 3, trigger at half the promised benefit.
     pub fn new(budget: Size) -> Self {
         LifecycleConfig {
             min_window: 512,
+            window_ring: 3,
             decay_threshold: 0.5,
             min_reference_savings: 0.01,
             bootstrap: true,
@@ -92,9 +117,9 @@ impl LifecycleConfig {
 pub struct SwapEvent {
     /// The epoch that was published.
     pub epoch: u64,
-    /// Arrivals in the observation window that triggered the decision.
+    /// Arrivals across the ring of windows that informed the decision.
     pub at_arrivals: u64,
-    /// Observed savings of the retired epoch over its window.
+    /// Observed savings of the retired epoch over the ring (long horizon).
     pub observed_savings: f64,
     /// Reference savings the retired epoch was selected for.
     pub reference_savings: f64,
@@ -119,14 +144,32 @@ pub fn expected_savings(
     mat: &Materialization,
     entries: &[(Scope, f64)],
 ) -> f64 {
-    let online = OnlineEngine::new(engine, mat);
-    let with = expected_ops(entries, |q| online.cost(q).ok().map(|c| c.ops));
-    let base = expected_ops(entries, |q| online.baseline_cost(q).ok().map(|c| c.ops));
+    let with = mean_query_ops(engine, mat, entries);
+    let base = baseline_query_ops(engine, entries);
     if base > 0.0 {
         1.0 - with / base
     } else {
         0.0
     }
+}
+
+/// Probability-weighted mean operation count of `entries` answered through
+/// `mat` (symbolic cost model).
+fn mean_query_ops(
+    engine: &QueryEngine<'_>,
+    mat: &Materialization,
+    entries: &[(Scope, f64)],
+) -> f64 {
+    let online = OnlineEngine::new(engine, mat);
+    expected_ops(entries, |q| online.cost(q).ok().map(|c| c.ops))
+}
+
+/// Probability-weighted mean operation count of `entries` on the plain
+/// (shortcut-free) junction tree.
+fn baseline_query_ops(engine: &QueryEngine<'_>, entries: &[(Scope, f64)]) -> f64 {
+    let none = Materialization::default();
+    let online = OnlineEngine::new(engine, &none);
+    expected_ops(entries, |q| online.baseline_cost(q).ok().map(|c| c.ops))
 }
 
 fn workload_entries(w: &Workload) -> Vec<(Scope, f64)> {
@@ -136,12 +179,40 @@ fn workload_entries(w: &Workload) -> Vec<(Scope, f64)> {
         .collect()
 }
 
+/// Runs the offline selection on an observed workload, numeric when the
+/// engine is calibrated, symbolic otherwise.
+fn reselect(
+    engine: &QueryEngine<'_>,
+    observed: &Workload,
+    budget: Size,
+    epsilon: f64,
+    variant: Variant,
+    threads: usize,
+) -> Result<Materialization, PgmError> {
+    let ctx = OfflineContext::new(engine.tree(), observed)?;
+    let pcfg = PeanutConfig {
+        budget,
+        epsilon,
+        threads: threads.max(1),
+        variant,
+    };
+    Ok(match engine.numeric_state() {
+        Some(ns) => Peanut::offline_numeric(&ctx, &pcfg, ns)?.0,
+        None => Peanut::offline(&ctx, &pcfg),
+    })
+}
+
 /// Watches a [`ServingEngine`]'s observed benefit and hot-swaps the
 /// materialization when the workload drifts.
 pub struct RematerializationController<'s, 't> {
     serving: &'s ServingEngine<'t>,
     cfg: LifecycleConfig,
     reference_savings: f64,
+    /// The last `window_ring` closed observation windows, oldest first.
+    /// Each is a retired accumulator (in-flight stragglers may still top
+    /// one up right after it is retired; the ring only needs window-scale
+    /// accuracy).
+    ring: VecDeque<Arc<WorkloadStats>>,
     swaps: Vec<SwapEvent>,
     /// Observation windows closed so far (decisions taken, swaps or not).
     windows: u64,
@@ -157,11 +228,7 @@ impl<'s, 't> RematerializationController<'s, 't> {
     /// Wraps a serving engine. `training` is the workload the *current*
     /// materialization was selected on; its expected savings become the
     /// reference the observed benefit is compared against.
-    pub fn new(
-        serving: &'s ServingEngine<'t>,
-        training: &Workload,
-        cfg: LifecycleConfig,
-    ) -> Self {
+    pub fn new(serving: &'s ServingEngine<'t>, training: &Workload, cfg: LifecycleConfig) -> Self {
         let reference_savings = expected_savings(
             serving.engine(),
             &serving.materialization(),
@@ -171,6 +238,7 @@ impl<'s, 't> RematerializationController<'s, 't> {
             serving,
             cfg,
             reference_savings,
+            ring: VecDeque::new(),
             swaps: Vec::new(),
             windows: 0,
             declined: 0,
@@ -193,34 +261,84 @@ impl<'s, 't> RematerializationController<'s, 't> {
         self.windows
     }
 
-    /// One decision round: inspect the current epoch's observations, and
-    /// if drift (or a cold-start) warrants it, re-run the offline
-    /// selection on the observed distribution and publish the next epoch.
-    /// Returns the swap event when a swap happened.
+    /// Aggregate counters over the ring of closed windows (long horizon).
+    fn ring_snapshot(&self) -> StatsSnapshot {
+        let mut agg = StatsSnapshot::default();
+        for w in &self.ring {
+            let s = w.snapshot();
+            agg.queries += s.queries;
+            agg.shortcut_queries += s.shortcut_queries;
+            agg.shortcuts_used += s.shortcuts_used;
+            agg.observed_ops = agg.observed_ops.saturating_add(s.observed_ops);
+            agg.baseline_ops = agg.baseline_ops.saturating_add(s.baseline_ops);
+        }
+        agg
+    }
+
+    /// The observed workload accumulated over the whole ring: per-scope
+    /// arrival counts of every closed window, merged — the distribution a
+    /// re-selection trains on. Deterministic (sorted by scope).
+    fn ring_workload(&self) -> Workload {
+        let mut counts: HashMap<Scope, u64> = HashMap::new();
+        for w in &self.ring {
+            for (scope, n) in w.scope_counts() {
+                *counts.entry(scope).or_insert(0) += n;
+            }
+        }
+        Workload::from_weighted(counts.into_iter().map(|(s, c)| (s, c as f64)))
+    }
+
+    /// One decision round: when the current observation window has filled,
+    /// close it into the ring and compare the short- and long-horizon
+    /// observed benefit against the reference. If both horizons are
+    /// decayed (or an empty materialization cold-starts), re-run the
+    /// offline selection on the ring's observed distribution and publish
+    /// the next epoch. Returns the swap event when a swap happened.
     ///
     /// Deterministic: the decision depends only on the recorded arrivals
     /// and the configuration, never on wall-clock time.
     pub fn tick(&mut self) -> Result<Option<SwapEvent>, PgmError> {
-        let stats = self.serving.stats();
-        let snap = stats.snapshot();
+        let snap = self.serving.stats().snapshot();
         if snap.queries < self.cfg.min_window {
             return Ok(None);
         }
-        // a decision closes the window either way: detection must judge
-        // recent traffic, not a forever average diluted by old regimes
+        // the window closes either way: detection must judge recent
+        // traffic, not a forever average diluted by old regimes
         self.windows += 1;
-        let observed = snap.observed_savings();
-        let decayed = self.reference_savings > self.cfg.min_reference_savings
-            && observed < self.cfg.decay_threshold * self.reference_savings;
+        let retired = self.serving.reset_stats();
+        self.ring.push_back(retired);
+        let ring_len = self.cfg.window_ring.max(1);
+        while self.ring.len() > ring_len {
+            self.ring.pop_front();
+        }
+
+        let short = self
+            .ring
+            .back()
+            .expect("just pushed")
+            .snapshot()
+            .observed_savings();
+        let long_snap = self.ring_snapshot();
+        let long = long_snap.observed_savings();
+        let has_reference = self.reference_savings > self.cfg.min_reference_savings;
+        let short_decayed =
+            has_reference && short < self.cfg.decay_threshold * self.reference_savings;
+        // both horizons must agree, and the ring must be full: a single
+        // anomalous window inside otherwise-healthy traffic changes the
+        // aggregate too little to trip the long horizon
+        let decayed = short_decayed
+            && self.ring.len() == ring_len
+            && long < self.cfg.decay_threshold * self.reference_savings;
         let cold_start = self.cfg.bootstrap
             && self.serving.materialization().is_empty()
             && self.reference_savings <= self.cfg.min_reference_savings;
         if !decayed && !cold_start {
-            // a healthy window clears any decline backoff: if traffic
-            // shifts again, the next decay deserves a fresh attempt
-            self.declined = 0;
-            self.backoff = 0;
-            self.serving.reset_stats();
+            if !short_decayed {
+                // a healthy window clears any decline backoff: if traffic
+                // shifts again, the next decay deserves a fresh attempt
+                self.declined = 0;
+                self.backoff = 0;
+            }
             return Ok(None);
         }
         if self.backoff > 0 {
@@ -228,30 +346,26 @@ impl<'s, 't> RematerializationController<'s, 't> {
             // like this; sit this window out instead of re-running the
             // offline DP on what is almost surely the same distribution
             self.backoff -= 1;
-            self.serving.reset_stats();
             return Ok(None);
         }
 
-        // Re-select on the observed distribution — off the serving path:
-        // batches keep draining on other threads while the DP runs here.
-        let observed_workload = stats.observed_workload();
+        // Re-select on the distribution observed across the ring — off the
+        // serving path: batches keep draining on other threads while the
+        // DP runs here.
+        let observed_workload = self.ring_workload();
         if observed_workload.is_empty() {
-            self.serving.reset_stats();
             return Ok(None);
         }
         let engine = self.serving.engine();
-        let ctx = OfflineContext::new(engine.tree(), &observed_workload)?;
-        let pcfg = PeanutConfig {
-            budget: self.cfg.budget,
-            epsilon: self.cfg.epsilon,
-            threads: self.cfg.threads.max(1),
-            variant: self.cfg.variant,
-        };
         let t0 = Instant::now();
-        let mat = match engine.numeric_state() {
-            Some(ns) => Peanut::offline_numeric(&ctx, &pcfg, ns)?.0,
-            None => Peanut::offline(&ctx, &pcfg),
-        };
+        let mat = reselect(
+            engine,
+            &observed_workload,
+            self.cfg.budget,
+            self.cfg.epsilon,
+            self.cfg.variant,
+            self.cfg.threads,
+        )?;
         let selection = t0.elapsed();
 
         // Publish only when the candidate's expected benefit on the
@@ -259,16 +373,15 @@ impl<'s, 't> RematerializationController<'s, 't> {
         // is still delivering.
         let entries = workload_entries(&observed_workload);
         let new_reference = expected_savings(engine, &mat, &entries);
-        if new_reference <= self.cfg.min_reference_savings || new_reference <= observed {
+        if new_reference <= self.cfg.min_reference_savings || new_reference <= long {
             self.declined += 1;
             self.backoff = self.declined.min(16);
-            self.serving.reset_stats();
             return Ok(None);
         }
         let event = SwapEvent {
             epoch: 0, // stamped below
-            at_arrivals: snap.queries,
-            observed_savings: observed,
+            at_arrivals: long_snap.queries,
+            observed_savings: long,
             reference_savings: self.reference_savings,
             new_reference_savings: new_reference,
             distinct_scopes: observed_workload.len(),
@@ -281,6 +394,9 @@ impl<'s, 't> RematerializationController<'s, 't> {
         self.reference_savings = new_reference;
         self.declined = 0;
         self.backoff = 0;
+        // pre-swap windows describe the retired epoch; the new epoch's
+        // drift detection must start from its own observations
+        self.ring.clear();
         self.swaps.push(event.clone());
         Ok(Some(event))
     }
@@ -298,10 +414,394 @@ impl<'s, 't> RematerializationController<'s, 't> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet-level lifecycle: one global budget across all tenants
+// ---------------------------------------------------------------------------
+
+/// Knobs of the fleet-level budget controller.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Fleet-wide arrivals (summed over tenants) an observation window
+    /// must hold before a rebalance decision is taken.
+    pub min_window: u64,
+    /// The **global** space budget `K` (table entries) split across all
+    /// tenants by the greedy knapsack.
+    pub budget: Size,
+    /// Budget-grid parameter ε of §4.4 for the per-tenant candidate DPs.
+    pub epsilon: f64,
+    /// PEANUT (disjoint) or PEANUT+ (overlapping) candidate selection.
+    pub variant: Variant,
+    /// Worker threads for each tenant's offline DP fan-out.
+    pub threads: usize,
+    /// Per-tenant expected savings below this floor are treated as "no
+    /// benefit" (the tenant keeps an empty allocation).
+    pub min_savings: f64,
+    /// Rebalance when any tenant's observed savings drop below this
+    /// fraction of the savings its current allocation promised.
+    pub decay_threshold: f64,
+    /// Rebalance when the tenants' traffic shares move by at least this
+    /// much (L1 distance between consecutive share vectors) — the signal
+    /// that follows a tenant's traffic spike.
+    pub share_drift: f64,
+}
+
+impl FleetConfig {
+    /// Defaults around a global budget: PEANUT+ at ε = 1.2, fleet window
+    /// 1024, rebalance on a 25% share shift or half-lost benefit.
+    pub fn new(budget: Size) -> Self {
+        FleetConfig {
+            min_window: 1024,
+            budget,
+            epsilon: 1.2,
+            variant: Variant::PeanutPlus,
+            threads: 1,
+            min_savings: 0.01,
+            decay_threshold: 0.5,
+            share_drift: 0.25,
+        }
+    }
+}
+
+/// One tenant's share of a fleet rebalance.
+#[derive(Clone, Debug)]
+pub struct TenantAllocation {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Its share of fleet arrivals in the deciding window.
+    pub share: f64,
+    /// Shortcut potentials allocated to it.
+    pub shortcuts: usize,
+    /// Table entries of its allocation (its slice of the global budget).
+    pub budget_used: Size,
+    /// Expected savings of the allocation on the tenant's observed
+    /// distribution (the tenant's new reference).
+    pub expected_savings: f64,
+    /// The epoch published for this tenant, when its materialization
+    /// actually changed (`None` = the allocation was already being served).
+    pub published: Option<u64>,
+}
+
+/// One fleet rebalance: the global budget re-split across tenants.
+#[derive(Clone, Debug)]
+pub struct FleetRebalance {
+    /// Fleet arrivals in the window that triggered the decision.
+    pub at_arrivals: u64,
+    /// Total table entries materialized fleet-wide (≤ the global budget):
+    /// the fresh allocations of this rebalance plus the standing
+    /// allocations of tenants that saw no traffic this window.
+    pub total_size: Size,
+    /// Per-tenant outcome, in registry (id) order.
+    pub allocations: Vec<TenantAllocation>,
+    /// Wall-clock time of candidate generation + knapsack (off the
+    /// serving path).
+    pub selection: Duration,
+}
+
+/// Ticks every tenant of a [`ShardedServingEngine`] and splits a global
+/// materialization budget across them by observed benefit.
+pub struct FleetController<'s, 't> {
+    sharded: &'s ShardedServingEngine<'t>,
+    cfg: FleetConfig,
+    /// Traffic shares at the last rebalance, in registry order.
+    last_shares: Option<Vec<(TenantId, f64)>>,
+    /// Expected savings each tenant's current allocation promised.
+    references: HashMap<TenantId, f64>,
+    rebalances: Vec<FleetRebalance>,
+}
+
+impl<'s, 't> FleetController<'s, 't> {
+    /// Wraps a sharded engine. Tenants' current materializations are
+    /// treated as unreferenced (first filled window always rebalances),
+    /// which doubles as the fleet's cold start.
+    pub fn new(sharded: &'s ShardedServingEngine<'t>, cfg: FleetConfig) -> Self {
+        FleetController {
+            sharded,
+            cfg,
+            last_shares: None,
+            references: HashMap::new(),
+            rebalances: Vec::new(),
+        }
+    }
+
+    /// Every rebalance taken so far.
+    pub fn rebalances(&self) -> &[FleetRebalance] {
+        &self.rebalances
+    }
+
+    /// One fleet decision round. When the fleet-wide window has filled,
+    /// decide whether a rebalance is warranted (first window, a traffic
+    /// share shift ≥ [`FleetConfig::share_drift`], or a tenant's observed
+    /// benefit decaying); if so, generate per-tenant candidate shortcut
+    /// sets at the full global budget, split the budget with a greedy
+    /// knapsack on benefit-per-entry (weighted by traffic share), and
+    /// publish every tenant whose allocation changed. Rolls every tenant's
+    /// observation window after any decision.
+    ///
+    /// Deterministic: tenants are visited in registry order and every
+    /// decision depends only on recorded arrivals and configuration.
+    pub fn tick(&mut self) -> Result<Option<&FleetRebalance>, PgmError> {
+        // fleet snapshot, registry order
+        let mut tenants: Vec<(TenantId, &ServingEngine<'t>, StatsSnapshot)> = Vec::new();
+        let mut total: u64 = 0;
+        for (id, eng) in self.sharded.tenants() {
+            let snap = eng.stats().snapshot();
+            total += snap.queries;
+            tenants.push((id, eng, snap));
+        }
+        if total < self.cfg.min_window.max(1) {
+            return Ok(None);
+        }
+        let shares: Vec<(TenantId, f64)> = tenants
+            .iter()
+            .map(|(id, _, s)| (*id, s.queries as f64 / total as f64))
+            .collect();
+
+        let share_shift = match &self.last_shares {
+            None => true,
+            Some(prev) => {
+                let l1: f64 = prev
+                    .iter()
+                    .zip(&shares)
+                    .map(|((_, a), (_, b))| (a - b).abs())
+                    .sum();
+                l1 >= self.cfg.share_drift
+            }
+        };
+        let decayed = tenants.iter().any(|(id, _, s)| {
+            let reference = self.references.get(id).copied().unwrap_or(0.0);
+            s.queries > 0
+                && reference > self.cfg.min_savings
+                && s.observed_savings() < self.cfg.decay_threshold * reference
+        });
+        // cold start = traffic on a tenant the controller has never
+        // allocated for; a tenant whose last allocation came out *empty*
+        // (sub-floor benefit, recorded in `references`) is not cold —
+        // re-running the fleet DP every window for unhelpable traffic
+        // would be pure churn
+        let cold = tenants.iter().any(|(id, eng, s)| {
+            s.queries > 0 && eng.materialization().is_empty() && !self.references.contains_key(id)
+        });
+        if !share_shift && !decayed && !cold {
+            self.roll_windows();
+            return Ok(None);
+        }
+
+        // --- per-tenant candidates at the full global budget ---
+        struct Candidate<'a, 'tt> {
+            tenant: TenantId,
+            engine: &'a ServingEngine<'tt>,
+            share: f64,
+            entries: Vec<(Scope, f64)>,
+            pool: Vec<peanut_core::MaterializedShortcut>,
+            overlapping: bool,
+            selected: Vec<usize>,
+            /// Mean per-query ops of the currently selected subset.
+            current_ops: f64,
+            base_ops: f64,
+        }
+        let t0 = Instant::now();
+        let mut candidates: Vec<Candidate<'_, 't>> = Vec::new();
+        for ((id, eng, snap), (_, share)) in tenants.iter().zip(&shares) {
+            if snap.queries == 0 {
+                continue;
+            }
+            let observed = eng.stats().observed_workload();
+            if observed.is_empty() {
+                continue;
+            }
+            let cand_mat = reselect(
+                eng.engine(),
+                &observed,
+                self.cfg.budget,
+                self.cfg.epsilon,
+                self.cfg.variant,
+                self.cfg.threads,
+            )?;
+            let entries = workload_entries(&observed);
+            let base_ops = baseline_query_ops(eng.engine(), &entries);
+            let none = Materialization::default();
+            let current_ops = mean_query_ops(eng.engine(), &none, &entries);
+            candidates.push(Candidate {
+                tenant: *id,
+                engine: eng,
+                share: *share,
+                entries,
+                pool: cand_mat.shortcuts,
+                overlapping: cand_mat.overlapping,
+                selected: Vec::new(),
+                current_ops,
+                base_ops,
+            });
+        }
+
+        // Tenants that saw no traffic this window keep serving whatever
+        // they were last allocated; that standing allocation is charged
+        // against the global budget up front, so the knapsack only spends
+        // what is actually free fleet-wide.
+        let rebalanced: std::collections::HashSet<TenantId> =
+            candidates.iter().map(|c| c.tenant).collect();
+        let reserved: Size = self
+            .sharded
+            .tenants()
+            .filter(|(id, _)| !rebalanced.contains(id))
+            .fold(0u64, |a, (_, eng)| {
+                a.saturating_add(eng.materialization().total_size())
+            });
+
+        // Pricing a trial subset only needs the symbolic cost model, so
+        // trials carry no dense tables (the knapsack would otherwise deep-
+        // clone every already-selected potential per evaluation).
+        let price = |c: &Candidate<'_, 't>, si: usize| -> (f64, f64) {
+            let trial = Materialization {
+                shortcuts: c
+                    .selected
+                    .iter()
+                    .chain(std::iter::once(&si))
+                    .map(|&i| {
+                        let s = &c.pool[i];
+                        peanut_core::MaterializedShortcut {
+                            shortcut: s.shortcut.clone(),
+                            potential: None,
+                            benefit: s.benefit,
+                            ratio: s.ratio,
+                        }
+                    })
+                    .collect(),
+                overlapping: c.overlapping,
+                epoch: 0,
+            };
+            let ops = mean_query_ops(c.engine.engine(), &trial, &c.entries);
+            // ops saved per fleet arrival
+            (c.share * (c.current_ops - ops), ops)
+        };
+
+        // --- greedy knapsack: best weighted benefit per table entry ---
+        // Adding a shortcut to tenant T only changes T's marginal deltas,
+        // so cached (delta, ops) pairs are re-priced per round only for
+        // the tenant that was just extended.
+        let mut used: Size = reserved;
+        let mut deltas: Vec<Vec<Option<(f64, f64)>>> = candidates
+            .iter()
+            .map(|c| (0..c.pool.len()).map(|si| Some(price(c, si))).collect())
+            .collect();
+        loop {
+            // (candidate idx, shortcut idx, ratio, new mean ops)
+            let mut best: Option<(usize, usize, f64, f64)> = None;
+            for (ci, c) in candidates.iter().enumerate() {
+                for (si, s) in c.pool.iter().enumerate() {
+                    if c.selected.contains(&si) {
+                        continue;
+                    }
+                    let size = s.shortcut.size();
+                    if size == 0 || used.saturating_add(size) > self.cfg.budget {
+                        continue;
+                    }
+                    let (delta, ops) = deltas[ci][si].expect("unselected pairs stay priced");
+                    if delta <= 0.0 {
+                        continue;
+                    }
+                    let ratio = delta / size as f64;
+                    if best.is_none_or(|(_, _, r, _)| ratio > r) {
+                        best = Some((ci, si, ratio, ops));
+                    }
+                }
+            }
+            let Some((ci, si, _, ops)) = best else { break };
+            used = used.saturating_add(candidates[ci].pool[si].shortcut.size());
+            candidates[ci].selected.push(si);
+            candidates[ci].current_ops = ops;
+            deltas[ci][si] = None;
+            let extended = &candidates[ci];
+            for (other, slot) in deltas[ci].iter_mut().enumerate() {
+                if slot.is_some() {
+                    *slot = Some(price(extended, other));
+                }
+            }
+        }
+
+        // --- build, publish-if-changed, record ---
+        let mut allocations = Vec::with_capacity(candidates.len());
+        for c in &candidates {
+            let mut savings = if c.base_ops > 0.0 {
+                1.0 - c.current_ops / c.base_ops
+            } else {
+                0.0
+            };
+            let mut shortcuts: Vec<peanut_core::MaterializedShortcut> =
+                c.selected.iter().map(|&i| c.pool[i].clone()).collect();
+            if savings <= self.cfg.min_savings && !shortcuts.is_empty() {
+                // sub-floor benefit is "no benefit": the tenant keeps an
+                // empty allocation and its entries return to the pool
+                // (spendable at the *next* rebalance)
+                used = used.saturating_sub(
+                    shortcuts
+                        .iter()
+                        .fold(0u64, |a, s| a.saturating_add(s.shortcut.size())),
+                );
+                shortcuts.clear();
+                savings = 0.0;
+            }
+            // keep the online phase's invariant: decreasing ratio order
+            shortcuts.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("finite ratios"));
+            let mat = Materialization {
+                shortcuts,
+                overlapping: c.overlapping,
+                epoch: 0,
+            };
+            let current = c.engine.materialization();
+            let published = if fingerprint(&mat) == fingerprint(&current) {
+                None
+            } else {
+                Some(c.engine.publish(mat.clone()))
+            };
+            self.references.insert(c.tenant, savings);
+            allocations.push(TenantAllocation {
+                tenant: c.tenant,
+                share: c.share,
+                shortcuts: mat.len(),
+                budget_used: mat.total_size(),
+                expected_savings: savings,
+                published,
+            });
+        }
+        let rebalance = FleetRebalance {
+            at_arrivals: total,
+            total_size: used,
+            allocations,
+            selection: t0.elapsed(),
+        };
+        self.last_shares = Some(shares);
+        self.roll_windows();
+        self.rebalances.push(rebalance);
+        Ok(self.rebalances.last())
+    }
+
+    /// Starts a fresh observation window on every tenant.
+    fn roll_windows(&self) {
+        for (_, eng) in self.sharded.tenants() {
+            eng.reset_stats();
+        }
+    }
+}
+
+/// Order-insensitive identity of a materialization: the node sets and
+/// sizes of its shortcuts. Used to skip republishing an unchanged
+/// allocation (which would only churn the tenant's answer cache).
+fn fingerprint(mat: &Materialization) -> Vec<(Vec<usize>, Size)> {
+    let mut fp: Vec<(Vec<usize>, Size)> = mat
+        .shortcuts
+        .iter()
+        .map(|s| (s.shortcut.nodes().to_vec(), s.shortcut.size()))
+        .collect();
+    fp.sort();
+    fp
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{Query, ServingConfig};
+    use crate::shard::ShardConfig;
     use peanut_junction::build_junction_tree;
     use peanut_pgm::fixtures;
 
@@ -345,24 +845,25 @@ mod tests {
             &train_w,
             LifecycleConfig {
                 min_window: 32,
+                window_ring: 2,
                 ..LifecycleConfig::new(512)
             },
         );
         assert!(ctl.reference_savings() > 0.0);
 
         // serve the training regime: no swap
-        for _ in 0..4 {
+        for _ in 0..16 {
             serving.serve_batch(&train);
             assert!(ctl.tick().unwrap().is_none(), "no drift yet");
         }
         assert_eq!(serving.epoch(), 0);
 
         // full drift to shallow pairs the training shortcuts don't cover;
-        // the decision window must fill with drifted arrivals (a declined
-        // decision waits another min_window arrivals), so drive plenty
+        // the ring must fill with decayed windows before the controller
+        // reacts, so drive plenty
         let drifted: Vec<Query> = pair_queries(0, 10, 5);
         let mut swapped = None;
-        for _ in 0..30 {
+        for _ in 0..40 {
             serving.serve_batch(&drifted);
             if let Some(ev) = ctl.tick().unwrap() {
                 swapped = Some(ev);
@@ -383,14 +884,14 @@ mod tests {
             "post-swap savings must improve on the stale epoch"
         );
         // and the controller settles: same traffic, no further swap
-        for _ in 0..4 {
+        for _ in 0..8 {
             serving.serve_batch(&drifted);
             assert!(ctl.tick().unwrap().is_none(), "stable after the swap");
         }
     }
 
     /// An engine started without any materialization bootstraps one from
-    /// observed traffic.
+    /// observed traffic — without waiting for the ring to fill.
     #[test]
     fn controller_bootstraps_cold_start() {
         let bn = fixtures::chain(16, 2, 13);
@@ -414,14 +915,20 @@ mod tests {
         );
         let traffic = pair_queries(0, 16, 6);
         let mut swapped = false;
+        let mut batches = 0;
         for _ in 0..6 {
             serving.serve_batch(&traffic);
+            batches += 1;
             if ctl.tick().unwrap().is_some() {
                 swapped = true;
                 break;
             }
         }
         assert!(swapped, "cold start must materialize from observations");
+        assert!(
+            batches <= 2,
+            "bootstrap must not wait for the ring: took {batches} batches"
+        );
         assert!(!serving.materialization().is_empty());
         assert_eq!(serving.epoch(), 1);
     }
@@ -449,6 +956,7 @@ mod tests {
             &train_w,
             LifecycleConfig {
                 min_window: 8,
+                window_ring: 2,
                 ..LifecycleConfig::new(512)
             },
         );
@@ -463,7 +971,11 @@ mod tests {
         }
         assert!(ctl.swaps().is_empty());
         assert_eq!(serving.epoch(), 0);
-        assert!(ctl.windows() >= 10, "windows must keep closing: {}", ctl.windows());
+        assert!(
+            ctl.windows() >= 10,
+            "windows must keep closing: {}",
+            ctl.windows()
+        );
     }
 
     /// A window of traffic the current epoch already serves well must not
@@ -498,5 +1010,298 @@ mod tests {
         }
         assert_eq!(serving.epoch(), 0);
         assert!(ctl.swaps().is_empty());
+    }
+
+    /// The ring satellite: a *one-window* traffic blip inside otherwise
+    /// healthy traffic must not trigger a swap — the long horizon holds —
+    /// while the same blip sustained across the ring does.
+    #[test]
+    fn one_window_blip_does_not_swap() {
+        let bn = fixtures::chain(20, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let train: Vec<Query> = pair_queries(10, 20, 5);
+        let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
+        let ctx = OfflineContext::new(&tree, &train_w).unwrap();
+        let (mat, _) = Peanut::offline_numeric(
+            &ctx,
+            &PeanutConfig::plus(512).with_epsilon(1.0),
+            engine.numeric_state().unwrap(),
+        )
+        .unwrap();
+        assert!(!mat.is_empty(), "test premise");
+        let serving = ServingEngine::new(
+            engine,
+            mat,
+            ServingConfig {
+                workers: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let mut ctl = RematerializationController::new(
+            &serving,
+            &train_w,
+            LifecycleConfig {
+                min_window: 8,
+                window_ring: 3,
+                ..LifecycleConfig::new(512)
+            },
+        );
+        // one batch = one observation window (5 queries < 2×min_window)
+        let blip: Vec<Query> = pair_queries(0, 10, 5)
+            .into_iter()
+            .flat_map(|q| [q.clone(), q])
+            .collect();
+        let healthy: Vec<Query> = train.iter().flat_map(|q| [q.clone(), q.clone()]).collect();
+
+        // healthy history fills the ring
+        for _ in 0..4 {
+            serving.serve_batch(&healthy);
+            assert!(ctl.tick().unwrap().is_none());
+        }
+        assert!(ctl.windows() >= 3, "ring must be full of healthy windows");
+        // exactly one decayed window (the blip)…
+        serving.serve_batch(&blip);
+        assert!(
+            ctl.tick().unwrap().is_none(),
+            "a one-window blip must not swap"
+        );
+        // …then traffic recovers: still no swap, ever
+        for _ in 0..6 {
+            serving.serve_batch(&healthy);
+            assert!(ctl.tick().unwrap().is_none());
+        }
+        assert_eq!(serving.epoch(), 0, "blip must not have published");
+        assert!(ctl.swaps().is_empty());
+
+        // control: the same traffic *sustained* does swap once the ring
+        // fills with decayed windows
+        let mut swapped = false;
+        for _ in 0..10 {
+            serving.serve_batch(&blip);
+            if ctl.tick().unwrap().is_some() {
+                swapped = true;
+                break;
+            }
+        }
+        assert!(swapped, "sustained drift must still swap");
+        assert_eq!(serving.epoch(), 1);
+    }
+
+    /// Fleet controller: the global budget follows traffic shares — when a
+    /// tenant's share of fleet arrivals doubles, its allocation grows on
+    /// the next rebalance (and the total stays within the global budget).
+    #[test]
+    fn fleet_budget_follows_traffic_spike() {
+        let bn_a = fixtures::chain(18, 2, 13);
+        let bn_b = fixtures::chain(18, 2, 29);
+        let tree_a = build_junction_tree(&bn_a).unwrap();
+        let tree_b = build_junction_tree(&bn_b).unwrap();
+        let mut sharded = ShardedServingEngine::new(ShardConfig {
+            workers: 1,
+            ..ShardConfig::default()
+        });
+        sharded
+            .register(
+                TenantId(0),
+                QueryEngine::numeric(&tree_a, &bn_a).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+        sharded
+            .register(
+                TenantId(1),
+                QueryEngine::numeric(&tree_b, &bn_b).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+
+        let global_budget = 192;
+        let mut ctl = FleetController::new(
+            &sharded,
+            FleetConfig {
+                min_window: 64,
+                ..FleetConfig::new(global_budget)
+            },
+        );
+
+        let pool_a = pair_queries(0, 18, 7);
+        let pool_b = pair_queries(0, 18, 7);
+        let serve_mix = |a_arrivals: usize, b_arrivals: usize| {
+            let mut batch: Vec<(TenantId, Query)> = Vec::new();
+            for i in 0..a_arrivals {
+                batch.push((TenantId(0), pool_a[i % pool_a.len()].clone()));
+            }
+            for i in 0..b_arrivals {
+                batch.push((TenantId(1), pool_b[i % pool_b.len()].clone()));
+            }
+            let (answers, _) = sharded.serve_mixed(&batch);
+            assert!(answers.iter().all(Result::is_ok));
+        };
+
+        // phase 1: tenant 0 dominates (75% of traffic)
+        serve_mix(60, 20);
+        let r1 = ctl
+            .tick()
+            .unwrap()
+            .expect("first window rebalances")
+            .clone();
+        assert!(r1.total_size <= global_budget);
+        let alloc = |r: &FleetRebalance, t: u32| {
+            r.allocations
+                .iter()
+                .find(|a| a.tenant == TenantId(t))
+                .map(|a| a.budget_used)
+                .unwrap_or(0)
+        };
+        let t1_before = alloc(&r1, 1);
+
+        // phase 2: tenant 1 spikes to 75% — its share more than doubles
+        serve_mix(20, 60);
+        let r2 = ctl.tick().unwrap().expect("share shift rebalances").clone();
+        assert!(r2.total_size <= global_budget);
+        let t1_after = alloc(&r2, 1);
+        assert!(
+            t1_after > t1_before,
+            "spiking tenant must gain budget: {t1_before} -> {t1_after}"
+        );
+        assert!(
+            alloc(&r2, 0) < alloc(&r1, 0),
+            "the cooling tenant must cede budget"
+        );
+        // published epochs moved the spiking tenant forward
+        assert!(sharded.tenant(TenantId(1)).unwrap().epoch() >= 1);
+    }
+
+    /// A tenant that goes idle keeps serving its standing allocation;
+    /// the next rebalance must charge that allocation against the global
+    /// budget, so the fleet-wide materialized size never exceeds it.
+    #[test]
+    fn fleet_reserves_idle_tenants_allocation() {
+        let bn_a = fixtures::chain(18, 2, 13);
+        let bn_b = fixtures::chain(18, 2, 29);
+        let tree_a = build_junction_tree(&bn_a).unwrap();
+        let tree_b = build_junction_tree(&bn_b).unwrap();
+        let mut sharded = ShardedServingEngine::new(ShardConfig {
+            workers: 1,
+            ..ShardConfig::default()
+        });
+        sharded
+            .register(
+                TenantId(0),
+                QueryEngine::numeric(&tree_a, &bn_a).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+        sharded
+            .register(
+                TenantId(1),
+                QueryEngine::numeric(&tree_b, &bn_b).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+        let global_budget = 48;
+        let mut ctl = FleetController::new(
+            &sharded,
+            FleetConfig {
+                min_window: 32,
+                ..FleetConfig::new(global_budget)
+            },
+        );
+        let pool = pair_queries(0, 18, 7);
+        let serve = |a: usize, b: usize| {
+            let mut batch: Vec<(TenantId, Query)> = Vec::new();
+            for i in 0..a {
+                batch.push((TenantId(0), pool[i % pool.len()].clone()));
+            }
+            for i in 0..b {
+                batch.push((TenantId(1), pool[i % pool.len()].clone()));
+            }
+            sharded.serve_mixed(&batch);
+        };
+        let fleet_size = |sharded: &ShardedServingEngine<'_>| -> u64 {
+            sharded
+                .tenants()
+                .map(|(_, e)| e.materialization().total_size())
+                .sum()
+        };
+
+        // window 1: both tenants active, both allocated
+        serve(40, 40);
+        ctl.tick().unwrap().expect("first window rebalances");
+        let idle_alloc = sharded
+            .tenant(TenantId(1))
+            .unwrap()
+            .materialization()
+            .total_size();
+        assert!(idle_alloc > 0, "test premise: tenant 1 got an allocation");
+        assert!(fleet_size(&sharded) <= global_budget);
+
+        // window 2: tenant 1 goes fully idle; the share shift rebalances
+        // tenant 0 only — tenant 1's standing allocation is reserved
+        serve(80, 0);
+        let r2 = ctl.tick().unwrap().expect("share shift rebalances").clone();
+        assert!(
+            r2.allocations.iter().all(|a| a.tenant == TenantId(0)),
+            "only the active tenant is re-allocated"
+        );
+        assert!(r2.total_size <= global_budget);
+        assert!(
+            fleet_size(&sharded) <= global_budget,
+            "idle tenant's standing allocation must count against the budget: \
+             fleet {} > budget {global_budget}",
+            fleet_size(&sharded)
+        );
+        assert_eq!(
+            sharded
+                .tenant(TenantId(1))
+                .unwrap()
+                .materialization()
+                .total_size(),
+            idle_alloc,
+            "the idle tenant's allocation must be untouched"
+        );
+    }
+
+    /// A steady fleet (shares stable, no decay) must not rebalance again.
+    #[test]
+    fn fleet_holds_when_stable() {
+        let bn = fixtures::chain(16, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let mut sharded = ShardedServingEngine::new(ShardConfig {
+            workers: 1,
+            ..ShardConfig::default()
+        });
+        sharded
+            .register(
+                TenantId(0),
+                QueryEngine::numeric(&tree, &bn).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+        let mut ctl = FleetController::new(
+            &sharded,
+            FleetConfig {
+                min_window: 32,
+                ..FleetConfig::new(512)
+            },
+        );
+        let pool = pair_queries(0, 16, 6);
+        let batch: Vec<(TenantId, Query)> = pool.iter().map(|q| (TenantId(0), q.clone())).collect();
+        for _ in 0..4 {
+            sharded.serve_mixed(&batch);
+        }
+        assert!(ctl.tick().unwrap().is_some(), "cold start rebalances");
+        let epoch_after_first = sharded.tenant(TenantId(0)).unwrap().epoch();
+        for _ in 0..8 {
+            sharded.serve_mixed(&batch);
+            let _ = ctl.tick().unwrap();
+        }
+        assert_eq!(
+            sharded.tenant(TenantId(0)).unwrap().epoch(),
+            epoch_after_first,
+            "stable traffic must not republish"
+        );
+        assert_eq!(ctl.rebalances().len(), 1);
     }
 }

@@ -1,8 +1,11 @@
 //! Workload replay: stream a query mix through a [`ServingEngine`] batch by
 //! batch and measure what a load test would — throughput, latency
-//! percentiles, operation counts, shortcut hit rates.
+//! percentiles, operation counts, shortcut hit rates. [`replay_mixed`]
+//! drives a multi-tenant arrival stream through a
+//! [`ShardedServingEngine`] the same way.
 
 use crate::engine::{Query, ServingEngine};
+use crate::shard::{ShardedServingEngine, TenantId};
 use peanut_junction::{JunctionTree, RootedTree};
 use peanut_workload::{skewed_queries, uniform_queries, with_evidence, QuerySpec};
 use rand::rngs::StdRng;
@@ -101,6 +104,55 @@ pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig)
             }
         }
     }
+    report.wall = start.elapsed();
+    if report.wall.as_secs_f64() > 0.0 {
+        report.throughput_qps = report.queries as f64 / report.wall.as_secs_f64();
+    }
+    latencies.sort_unstable();
+    report.latency_p50 = percentile(&latencies, 0.50);
+    report.latency_p95 = percentile(&latencies, 0.95);
+    report.latency_p99 = percentile(&latencies, 0.99);
+    report
+}
+
+/// Streams a multi-tenant arrival stream through a sharded engine in
+/// mixed batches (the buffer a fleet endpoint drains at once) and
+/// aggregates fleet-level telemetry. `epochs` reports the min/max epoch
+/// observed across all tenants and batches.
+pub fn replay_mixed(
+    engine: &ShardedServingEngine<'_>,
+    arrivals: &[(TenantId, Query)],
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    let batch_size = cfg.batch_size.max(1);
+    let start = Instant::now();
+    let mut report = ReplayReport {
+        queries: arrivals.len(),
+        ..ReplayReport::default()
+    };
+    let mut epochs: Option<(u64, u64)> = None;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(arrivals.len());
+    for batch in arrivals.chunks(batch_size) {
+        let (answers, stats) = engine.serve_mixed(batch);
+        report.batches += 1;
+        report.unique += stats.unique;
+        report.cache_hits += stats.cache_hits;
+        report.stale_hits += stats.stale_hits;
+        report.total_ops = report.total_ops.saturating_add(stats.total_ops);
+        report.shortcuts_used += stats.shortcuts_used;
+        for (_, b) in &stats.per_tenant {
+            let (lo, hi) = epochs.get_or_insert((b.epoch, b.epoch));
+            *lo = (*lo).min(b.epoch);
+            *hi = (*hi).max(b.epoch);
+        }
+        for a in &answers {
+            match a {
+                Ok(served) => latencies.push(served.latency()),
+                Err(_) => report.errors += 1,
+            }
+        }
+    }
+    report.epochs = epochs.unwrap_or_default();
     report.wall = start.elapsed();
     if report.wall.as_secs_f64() > 0.0 {
         report.throughput_qps = report.queries as f64 / report.wall.as_secs_f64();
@@ -224,6 +276,52 @@ mod tests {
         assert!(report.latency_p50 <= report.latency_p95);
         assert!(report.latency_p95 <= report.latency_p99);
         assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn replay_mixed_aggregates_across_tenants() {
+        use crate::shard::{ShardConfig, ShardedServingEngine, TenantId};
+        let bn_a = fixtures::chain(10, 2, 7);
+        let bn_b = fixtures::chain(12, 2, 9);
+        let tree_a = build_junction_tree(&bn_a).unwrap();
+        let tree_b = build_junction_tree(&bn_b).unwrap();
+        let mut sharded = ShardedServingEngine::new(ShardConfig::default());
+        sharded
+            .register(
+                TenantId(0),
+                QueryEngine::numeric(&tree_a, &bn_a).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+        sharded
+            .register(
+                TenantId(1),
+                QueryEngine::numeric(&tree_b, &bn_b).unwrap(),
+                Materialization::default(),
+            )
+            .unwrap();
+        let rooted_a = RootedTree::new(&tree_a);
+        let mix = WorkloadMix {
+            pool_size: 12,
+            evidence_fraction: 0.0,
+            ..WorkloadMix::default()
+        };
+        let arrivals: Vec<(TenantId, Query)> = workload_queries(&tree_a, &rooted_a, 60, &mix, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| (TenantId((i % 2) as u32), q))
+            .collect();
+        let report = replay_mixed(&sharded, &arrivals, &ReplayConfig { batch_size: 20 });
+        assert_eq!(report.queries, 60);
+        assert_eq!(report.batches, 3);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.epochs, (0, 0));
+        assert!(report.unique <= 60);
+        assert!(report.total_ops > 0);
+        // a second pass over the same stream is served from the caches
+        let warm = replay_mixed(&sharded, &arrivals, &ReplayConfig { batch_size: 20 });
+        assert_eq!(warm.cache_hits, warm.unique);
+        assert_eq!(warm.total_ops, 0);
     }
 
     #[test]

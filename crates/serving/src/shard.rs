@@ -1,0 +1,593 @@
+//! Multi-tenant sharded serving: one engine, many trees, shared workers.
+//!
+//! A [`ShardedServingEngine`] is a registry of tenants — each a calibrated
+//! [`QueryEngine`] with its own
+//! epoch-versioned [`Materialization`],
+//! per-epoch [`WorkloadStats`](peanut_core::WorkloadStats) accumulator and
+//! answer cache (the per-tree epoch state of the lifecycle layer, made the
+//! unit of sharding) — behind **one** worker pool.
+//!
+//! [`serve_mixed`](ShardedServingEngine::serve_mixed) accepts a batch of
+//! `(TenantId, Query)` arrivals, the traffic shape a fleet endpoint drains:
+//!
+//! 1. arrivals are routed to their shard and deduplicated **per tenant**
+//!    (two tenants asking the same `Scope` are different computations over
+//!    different models — answers never cross shards);
+//! 2. each shard's unique queries probe that shard's epoch-tagged answer
+//!    cache (one lock scope per shard, stale entries drop lazily exactly as
+//!    in single-tenant serving);
+//! 3. the remaining work items of *all* shards are flattened into one list
+//!    and claimed work-stealing-style by the shared pool — a worker serves
+//!    whatever tenant's query comes next, reusing one
+//!    [`Scratch`] across tenants, so a traffic spike
+//!    on one tenant soaks up the whole pool instead of its private slice.
+//!
+//! Per-tenant epoch state stays fully isolated: a
+//! [`publish`](crate::ServingEngine::publish) on one tenant bumps only that
+//! tenant's epoch and invalidates only that tenant's cache entries.
+
+use crate::engine::{
+    answer_one, Answer, AnswerCache, BatchStats, CacheLookup, Query, Served, ServingConfig,
+    ServingEngine,
+};
+use peanut_core::{Materialization, OnlineEngine};
+use peanut_junction::QueryEngine;
+use peanut_pgm::{PgmError, Scratch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies one tenant (one model) of a sharded engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Fleet-level serving knobs. Per-tenant engines inherit `dedup` and
+/// `cache_capacity`; the worker pool is shared and sized here.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Shared worker threads per mixed batch; `0` means one per core.
+    pub workers: usize,
+    /// Coalesce duplicate queries within a batch, per tenant.
+    pub dedup: bool,
+    /// Per-tenant answer-cache capacity (`0` disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        let d = ServingConfig::default();
+        ShardConfig {
+            workers: d.workers,
+            dedup: d.dedup,
+            cache_capacity: d.cache_capacity,
+        }
+    }
+}
+
+/// Fleet-level telemetry of one mixed batch.
+#[derive(Clone, Debug, Default)]
+pub struct MixedBatchStats {
+    /// Arrivals submitted.
+    pub arrivals: usize,
+    /// Arrivals rejected because their tenant is not registered.
+    pub unknown_tenant: usize,
+    /// Unique `(tenant, query)` computations after per-tenant coalescing.
+    pub unique: usize,
+    /// Unique queries served from a shard's answer cache.
+    pub cache_hits: usize,
+    /// Cache entries found stale (older epoch) and lazily dropped.
+    pub stale_hits: usize,
+    /// Summed operation count over freshly computed queries, all shards.
+    pub total_ops: u64,
+    /// Summed shortcut uses over freshly computed queries, all shards.
+    pub shortcuts_used: usize,
+    /// Wall-clock time of the whole mixed batch.
+    pub wall: Duration,
+    /// Per-tenant breakdown (only tenants with arrivals in this batch),
+    /// in registry order. `wall` on the entries is the whole batch's.
+    pub per_tenant: Vec<(TenantId, BatchStats)>,
+}
+
+struct TenantShard<'t> {
+    id: TenantId,
+    serving: ServingEngine<'t>,
+}
+
+/// A registry of per-tenant serving engines sharing one worker pool.
+pub struct ShardedServingEngine<'t> {
+    shards: Vec<TenantShard<'t>>,
+    index: HashMap<TenantId, usize>,
+    cfg: ShardConfig,
+}
+
+impl<'t> ShardedServingEngine<'t> {
+    /// An empty registry.
+    pub fn new(cfg: ShardConfig) -> Self {
+        ShardedServingEngine {
+            shards: Vec::new(),
+            index: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Registers a tenant: a calibrated engine plus its initial
+    /// materialization. Fails when the id is already taken. The tenant's
+    /// private engine is configured with one worker — batch fan-out belongs
+    /// to the shared pool, not the shard.
+    pub fn register(
+        &mut self,
+        id: TenantId,
+        engine: QueryEngine<'t>,
+        mat: Materialization,
+    ) -> Result<(), PgmError> {
+        if self.index.contains_key(&id) {
+            return Err(PgmError::DuplicateTenant(id.0));
+        }
+        let serving = ServingEngine::new(
+            engine,
+            mat,
+            ServingConfig {
+                workers: 1,
+                dedup: self.cfg.dedup,
+                cache_capacity: self.cfg.cache_capacity,
+            },
+        );
+        // keep the registry sorted by id so every fleet-level iteration
+        // (controller ticks, telemetry) is deterministic
+        let at = self.shards.partition_point(|s| s.id < id);
+        self.shards.insert(at, TenantShard { id, serving });
+        self.index.clear();
+        for (i, s) in self.shards.iter().enumerate() {
+            self.index.insert(s.id, i);
+        }
+        Ok(())
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The per-tenant serving engine (epoch state, stats, cache — and
+    /// [`publish`](ServingEngine::publish) for tenant-local swaps).
+    pub fn tenant(&self, id: TenantId) -> Option<&ServingEngine<'t>> {
+        self.index.get(&id).map(|&i| &self.shards[i].serving)
+    }
+
+    /// All tenants with their engines, in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &ServingEngine<'t>)> {
+        self.shards.iter().map(|s| (s.id, &s.serving))
+    }
+
+    /// The worker count a mixed batch will actually use (before capping by
+    /// the amount of fresh work).
+    pub fn workers(&self) -> usize {
+        if self.cfg.workers > 0 {
+            self.cfg.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Answers a mixed batch of `(tenant, query)` arrivals. Results come
+    /// back in submission order. Duplicates coalesce *within* a tenant
+    /// only; every shard keeps its own cache and epoch. All shards' fresh
+    /// work is served by one shared pool.
+    #[allow(clippy::type_complexity)]
+    pub fn serve_mixed(
+        &self,
+        batch: &[(TenantId, Query)],
+    ) -> (Vec<Result<Served, PgmError>>, MixedBatchStats) {
+        let start = Instant::now();
+        let mut mstats = MixedBatchStats {
+            arrivals: batch.len(),
+            ..MixedBatchStats::default()
+        };
+        if batch.is_empty() {
+            return (Vec::new(), mstats);
+        }
+
+        // --- route arrivals to shards, deduplicating per tenant ---
+        // assign[i] = Some((shard slot, unique index within shard))
+        let n_shards = self.shards.len();
+        let mut uniques: Vec<Vec<&Query>> = vec![Vec::new(); n_shards];
+        let mut first_of: Vec<HashMap<&Query, usize>> = vec![HashMap::new(); n_shards];
+        let mut assign: Vec<Option<(usize, usize)>> = Vec::with_capacity(batch.len());
+        for (tid, q) in batch {
+            let Some(&slot) = self.index.get(tid) else {
+                mstats.unknown_tenant += 1;
+                assign.push(None);
+                continue;
+            };
+            let u = if self.cfg.dedup {
+                *first_of[slot].entry(q).or_insert_with(|| {
+                    uniques[slot].push(q);
+                    uniques[slot].len() - 1
+                })
+            } else {
+                uniques[slot].push(q);
+                uniques[slot].len() - 1
+            };
+            assign.push(Some((slot, u)));
+        }
+
+        // --- per-shard epoch snapshots + cache probes ---
+        struct ShardRun<'a, 't> {
+            serving: &'a ServingEngine<'t>,
+            mat: Arc<Materialization>,
+            stats: Arc<peanut_core::WorkloadStats>,
+            epoch: u64,
+            results: Vec<Option<Result<Arc<Answer>, PgmError>>>,
+            from_cache: Vec<bool>,
+            bstats: BatchStats,
+        }
+        let mut runs: Vec<Option<ShardRun<'_, 't>>> = Vec::with_capacity(n_shards);
+        let mut work: Vec<(usize, usize)> = Vec::new(); // (shard slot, unique idx)
+        for (slot, shard) in self.shards.iter().enumerate() {
+            if uniques[slot].is_empty() {
+                runs.push(None);
+                continue;
+            }
+            let (mat, stats) = shard.serving.epoch_snapshot();
+            let epoch = mat.epoch;
+            let n = uniques[slot].len();
+            let mut results: Vec<Option<Result<Arc<Answer>, PgmError>>> = Vec::new();
+            results.resize_with(n, || None);
+            let mut from_cache = vec![false; n];
+            let mut bstats = BatchStats {
+                unique: n,
+                epoch,
+                ..BatchStats::default()
+            };
+            if shard.serving.cache_capacity() > 0 {
+                shard.serving.with_cache(|cache: &mut AnswerCache| {
+                    for (u, q) in uniques[slot].iter().enumerate() {
+                        match cache.lookup(q, epoch) {
+                            CacheLookup::Hit(hit) => {
+                                results[u] = Some(Ok(hit));
+                                from_cache[u] = true;
+                                bstats.cache_hits += 1;
+                            }
+                            CacheLookup::StaleDropped => {
+                                bstats.stale_hits += 1;
+                                work.push((slot, u));
+                            }
+                            CacheLookup::Miss => work.push((slot, u)),
+                        }
+                    }
+                });
+            } else {
+                work.extend((0..n).map(|u| (slot, u)));
+            }
+            runs.push(Some(ShardRun {
+                serving: &shard.serving,
+                mat,
+                stats,
+                epoch,
+                results,
+                from_cache,
+                bstats,
+            }));
+        }
+
+        // --- shared-pool fan-out over all shards' fresh work ---
+        type WorkerOut = Vec<(usize, usize, Result<Arc<Answer>, PgmError>)>;
+        let n_workers = self.workers().min(work.len()).max(1);
+        let compute = |slot: usize, u: usize, scratch: &mut Scratch| {
+            let run = runs[slot].as_ref().expect("worked shard has a run");
+            let online = OnlineEngine::with_stats(run.serving.engine_arc(), &run.mat, &run.stats);
+            answer_one(&online, uniques[slot][u], scratch, run.epoch).map(Arc::new)
+        };
+        if work.len() <= 1 || n_workers == 1 {
+            // in-thread fast path: no spawn overhead for small/warm batches
+            let mut scratch = Scratch::new();
+            let computed: WorkerOut = work
+                .iter()
+                .map(|&(slot, u)| (slot, u, compute(slot, u, &mut scratch)))
+                .collect();
+            for (slot, u, r) in computed {
+                runs[slot].as_mut().expect("run").results[u] = Some(r);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut scratch = Scratch::new();
+                            let mut out: WorkerOut = Vec::new();
+                            loop {
+                                let w = next.fetch_add(1, Ordering::Relaxed);
+                                if w >= work.len() {
+                                    break;
+                                }
+                                let (slot, u) = work[w];
+                                out.push((slot, u, compute(slot, u, &mut scratch)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded serving worker panicked"))
+                    .collect()
+            });
+            for (slot, u, r) in worker_outs.into_iter().flatten() {
+                runs[slot].as_mut().expect("run").results[u] = Some(r);
+            }
+        }
+
+        // --- per-shard admission, telemetry and arrival accounting ---
+        let mut uses: Vec<Vec<u64>> = uniques.iter().map(|u| vec![0u64; u.len()]).collect();
+        for a in assign.iter().flatten() {
+            uses[a.0][a.1] += 1;
+        }
+        for (slot, run) in runs.iter_mut().enumerate() {
+            let Some(run) = run else { continue };
+            let fresh: Vec<(Query, Arc<Answer>)> = (0..uniques[slot].len())
+                .filter(|&u| !run.from_cache[u])
+                .filter_map(|u| match &run.results[u] {
+                    Some(Ok(a)) => Some(((*uniques[slot][u]).clone(), Arc::clone(a))),
+                    _ => None,
+                })
+                .collect();
+            let capacity = run.serving.cache_capacity();
+            if capacity > 0 && !fresh.is_empty() {
+                run.serving.with_cache(|cache: &mut AnswerCache| {
+                    for (q, a) in fresh {
+                        cache.insert(capacity, q, a);
+                    }
+                });
+            }
+            for (u, q) in uniques[slot].iter().enumerate() {
+                if let Some(Ok(a)) = &run.results[u] {
+                    if !run.from_cache[u] {
+                        run.bstats.total_ops = run.bstats.total_ops.saturating_add(a.cost.ops);
+                        run.bstats.shortcuts_used += a.cost.shortcuts_used;
+                    }
+                    // fresh computations recorded themselves once via the
+                    // worker's OnlineEngine; duplicates and cache hits top
+                    // up so this epoch's stats weigh arrivals
+                    let extra = if run.from_cache[u] {
+                        uses[slot][u]
+                    } else {
+                        uses[slot][u] - 1
+                    };
+                    if extra > 0 {
+                        run.stats
+                            .record_n(&q.stat_scope(), &a.cost, a.baseline_ops, extra);
+                    }
+                }
+            }
+            run.bstats.queries = uses[slot].iter().map(|&n| n as usize).sum();
+        }
+
+        // --- fan back out in arrival order ---
+        let answers: Vec<Result<Served, PgmError>> = batch
+            .iter()
+            .zip(&assign)
+            .map(|((tid, _), a)| match a {
+                None => Err(PgmError::UnknownTenant(tid.0)),
+                Some((slot, u)) => {
+                    let run = runs[*slot].as_ref().expect("run");
+                    match run.results[*u].as_ref().expect("all uniques computed") {
+                        Ok(ans) => Ok(Served {
+                            answer: Arc::clone(ans),
+                            from_cache: run.from_cache[*u],
+                        }),
+                        Err(e) => Err(e.clone()),
+                    }
+                }
+            })
+            .collect();
+
+        mstats.wall = start.elapsed();
+        for (slot, run) in runs.into_iter().enumerate() {
+            let Some(mut run) = run else { continue };
+            run.bstats.wall = mstats.wall;
+            mstats.unique += run.bstats.unique;
+            mstats.cache_hits += run.bstats.cache_hits;
+            mstats.stale_hits += run.bstats.stale_hits;
+            mstats.total_ops = mstats.total_ops.saturating_add(run.bstats.total_ops);
+            mstats.shortcuts_used += run.bstats.shortcuts_used;
+            mstats.per_tenant.push((self.shards[slot].id, run.bstats));
+        }
+        (answers, mstats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peanut_junction::build_junction_tree;
+    use peanut_pgm::{fixtures, joint, Scope};
+
+    fn two_tenant_engine<'a>(
+        trees: &'a [peanut_junction::JunctionTree],
+        bns: &'a [peanut_pgm::BayesianNetwork],
+        cfg: ShardConfig,
+    ) -> ShardedServingEngine<'a> {
+        let mut sharded = ShardedServingEngine::new(cfg);
+        for (i, (tree, bn)) in trees.iter().zip(bns).enumerate() {
+            let engine = QueryEngine::numeric(tree, bn).unwrap();
+            sharded
+                .register(TenantId(i as u32), engine, Materialization::default())
+                .unwrap();
+        }
+        sharded
+    }
+
+    fn fixtures_pair() -> (
+        Vec<peanut_pgm::BayesianNetwork>,
+        Vec<peanut_junction::JunctionTree>,
+    ) {
+        let bns = vec![fixtures::figure1(), fixtures::sprinkler()];
+        let trees = bns
+            .iter()
+            .map(|bn| build_junction_tree(bn).unwrap())
+            .collect();
+        (bns, trees)
+    }
+
+    #[test]
+    fn mixed_batch_routes_to_the_right_model() {
+        let (bns, trees) = fixtures_pair();
+        let sharded = two_tenant_engine(
+            &trees,
+            &bns,
+            ShardConfig {
+                workers: 3,
+                ..ShardConfig::default()
+            },
+        );
+        // the same scope asked of both tenants must answer from each
+        // tenant's own model
+        let s = Scope::from_indices(&[0, 2]);
+        let batch = vec![
+            (TenantId(0), Query::Marginal(s.clone())),
+            (TenantId(1), Query::Marginal(s.clone())),
+            (TenantId(0), Query::Marginal(s.clone())),
+        ];
+        let (answers, stats) = sharded.serve_mixed(&batch);
+        assert_eq!(stats.arrivals, 3);
+        assert_eq!(stats.unique, 2, "dedup is per tenant, never across");
+        assert_eq!(stats.per_tenant.len(), 2);
+        for (i, bn) in bns.iter().enumerate() {
+            let want = joint::marginal(bn, &s).unwrap();
+            let got = answers[i].as_ref().unwrap();
+            assert!(got.potential.max_abs_diff(&want).unwrap() < 1e-9);
+        }
+        // arrivals 0 and 2 are the same tenant's duplicate: shared Arc
+        let (a0, a2) = (answers[0].as_ref().unwrap(), answers[2].as_ref().unwrap());
+        assert!(Arc::ptr_eq(&a0.answer, &a2.answer));
+        // different tenants must never share an answer
+        let a1 = answers[1].as_ref().unwrap();
+        assert!(!Arc::ptr_eq(&a0.answer, &a1.answer));
+    }
+
+    #[test]
+    fn unknown_tenant_errors_per_arrival() {
+        let (bns, trees) = fixtures_pair();
+        let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default());
+        let batch = vec![
+            (TenantId(0), Query::Marginal(Scope::from_indices(&[0]))),
+            (TenantId(9), Query::Marginal(Scope::from_indices(&[0]))),
+        ];
+        let (answers, stats) = sharded.serve_mixed(&batch);
+        assert!(answers[0].is_ok());
+        assert_eq!(
+            answers[1].as_ref().unwrap_err(),
+            &PgmError::UnknownTenant(9)
+        );
+        assert_eq!(stats.unknown_tenant, 1);
+        assert_eq!(stats.unique, 1);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let (bns, trees) = fixtures_pair();
+        let mut sharded = ShardedServingEngine::new(ShardConfig::default());
+        let e1 = QueryEngine::numeric(&trees[0], &bns[0]).unwrap();
+        let e2 = QueryEngine::numeric(&trees[0], &bns[0]).unwrap();
+        sharded
+            .register(TenantId(7), e1, Materialization::default())
+            .unwrap();
+        assert_eq!(
+            sharded.register(TenantId(7), e2, Materialization::default()),
+            Err(PgmError::DuplicateTenant(7))
+        );
+        assert_eq!(sharded.len(), 1);
+    }
+
+    #[test]
+    fn per_tenant_caches_are_isolated_across_publish() {
+        let (bns, trees) = fixtures_pair();
+        let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default());
+        let batch: Vec<(TenantId, Query)> = (0..2u32)
+            .flat_map(|t| {
+                vec![
+                    (TenantId(t), Query::Marginal(Scope::from_indices(&[0, 1]))),
+                    (TenantId(t), Query::Marginal(Scope::from_indices(&[2]))),
+                ]
+            })
+            .collect();
+        let (first, _) = sharded.serve_mixed(&batch);
+        // swap tenant 0 only
+        let epoch = sharded
+            .tenant(TenantId(0))
+            .unwrap()
+            .publish(Materialization::default());
+        assert_eq!(epoch, 1);
+        assert_eq!(sharded.tenant(TenantId(1)).unwrap().epoch(), 0);
+
+        let (second, stats) = sharded.serve_mixed(&batch);
+        let by_tenant: HashMap<TenantId, BatchStats> = stats.per_tenant.iter().cloned().collect();
+        // tenant 0: all stale, recomputed under epoch 1
+        let t0 = &by_tenant[&TenantId(0)];
+        assert_eq!(t0.cache_hits, 0);
+        assert_eq!(t0.stale_hits, t0.unique);
+        // tenant 1: untouched, fully cached, zero-copy
+        let t1 = &by_tenant[&TenantId(1)];
+        assert_eq!(t1.cache_hits, t1.unique);
+        for (i, (tid, _)) in batch.iter().enumerate() {
+            let (a, b) = (first[i].as_ref().unwrap(), second[i].as_ref().unwrap());
+            if *tid == TenantId(1) {
+                assert!(Arc::ptr_eq(&a.answer, &b.answer), "tenant 1 must stay warm");
+                assert_eq!(b.epoch, 0);
+            } else {
+                assert!(!b.from_cache);
+                assert_eq!(b.epoch, 1);
+                assert_eq!(a.potential.values(), b.potential.values());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_registry_are_fine() {
+        let sharded = ShardedServingEngine::new(ShardConfig::default());
+        assert!(sharded.is_empty());
+        let (answers, stats) = sharded.serve_mixed(&[]);
+        assert!(answers.is_empty());
+        assert_eq!(stats.arrivals, 0);
+        let (answers, stats) =
+            sharded.serve_mixed(&[(TenantId(0), Query::Marginal(Scope::from_indices(&[0])))]);
+        assert_eq!(
+            answers[0].as_ref().unwrap_err(),
+            &PgmError::UnknownTenant(0)
+        );
+        assert_eq!(stats.unknown_tenant, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_per_tenant() {
+        let (bns, trees) = fixtures_pair();
+        let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default());
+        let q = Query::Marginal(Scope::from_indices(&[0, 1]));
+        let batch = vec![
+            (TenantId(0), q.clone()),
+            (TenantId(0), q.clone()),
+            (TenantId(1), q.clone()),
+        ];
+        sharded.serve_mixed(&batch);
+        sharded.serve_mixed(&batch); // warm pass: cache hits still count
+        let s0 = sharded.tenant(TenantId(0)).unwrap().stats().snapshot();
+        let s1 = sharded.tenant(TenantId(1)).unwrap().stats().snapshot();
+        assert_eq!(s0.queries, 4, "tenant 0 saw 2 arrivals per batch");
+        assert_eq!(s1.queries, 2, "tenant 1 saw 1 arrival per batch");
+    }
+}

@@ -64,7 +64,11 @@ fn train_mat(
     .0
 }
 
-fn check_against_ve(bn: &BayesianNetwork, batch: &[Query], answers: &[Result<peanut_serving::Served, peanut_pgm::PgmError>]) {
+fn check_against_ve(
+    bn: &BayesianNetwork,
+    batch: &[Query],
+    answers: &[Result<peanut_serving::Served, peanut_pgm::PgmError>],
+) {
     for (q, a) in batch.iter().zip(answers) {
         let a = a.as_ref().expect("batch query must succeed");
         let want = match q {

@@ -1,0 +1,247 @@
+//! Tenant-isolation guarantees of the sharded serving engine:
+//!
+//! * answers from a mixed-tenant batch are **byte-identical** to each
+//!   tenant served alone on a single-threaded engine, and match a
+//!   single-threaded VE oracle within 1e-9 — on random networks and
+//!   random evidence-bearing batches;
+//! * one tenant's epoch swap never invalidates another tenant's cache
+//!   entries (and never changes its answers).
+
+use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workload};
+use peanut_junction::{build_junction_tree, QueryEngine};
+use peanut_pgm::generate::{generate_network, DagConfig};
+use peanut_pgm::{fixtures, BayesianNetwork, Potential, Scope, Var};
+use peanut_serving::{
+    Query, ServingConfig, ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
+};
+use peanut_ve::ve_answer;
+use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
+use proptest::prelude::*;
+
+/// Oracle: `P(targets | evidence)` via single-threaded VE.
+fn ve_conditional(bn: &BayesianNetwork, targets: &Scope, evidence: &[(Var, u32)]) -> Potential {
+    let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+    let q = targets.union(&ev_scope);
+    let (mut joint, _) = ve_answer(bn, &q).unwrap();
+    for &(v, val) in evidence {
+        joint = joint.restrict(v, val).unwrap();
+    }
+    joint.normalize();
+    joint
+}
+
+fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+    let spec = QuerySpec {
+        min_vars: 1,
+        max_vars: 4,
+    };
+    let scopes = uniform_queries(bn.domain(), n, spec, seed);
+    with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d)
+        .into_iter()
+        .map(|(t, e)| Query::conditioned(t, e))
+        .collect()
+}
+
+fn train_mat(
+    tree: &peanut_junction::JunctionTree,
+    engine: &QueryEngine<'_>,
+    batch: &[Query],
+    budget: u64,
+) -> Materialization {
+    let train: Vec<Scope> = batch.iter().map(|q| q.stat_scope()).collect();
+    if train.is_empty() || budget == 0 {
+        return Materialization::default();
+    }
+    let ctx = OfflineContext::new(tree, &Workload::from_queries(train)).unwrap();
+    Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(budget).with_epsilon(1.0),
+        engine.numeric_state().unwrap(),
+    )
+    .unwrap()
+    .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Interleave per-tenant batches (with evidence queries and shared
+    /// worker fan-out) and check every arrival against (a) the same tenant
+    /// served alone on a single-threaded engine — byte-identical — and
+    /// (b) a VE oracle on that tenant's model — within 1e-9.
+    #[test]
+    fn mixed_batch_matches_each_tenant_alone(seed in 0u64..1_000, n in 5usize..9) {
+        let cfg_a = DagConfig {
+            n_nodes: n,
+            n_edges: n - 1 + n / 3,
+            max_in_degree: 3,
+            window: 3,
+            cardinalities: vec![2, 3],
+        };
+        let cfg_b = DagConfig { n_nodes: n + 2, ..cfg_a.clone() };
+        let Ok(bn_a) = generate_network(&cfg_a, seed) else { return Ok(()) };
+        let Ok(bn_b) = generate_network(&cfg_b, seed ^ 0xb) else { return Ok(()) };
+        let bns = [bn_a, bn_b];
+        let trees = [
+            build_junction_tree(&bns[0]).unwrap(),
+            build_junction_tree(&bns[1]).unwrap(),
+        ];
+
+        // per-tenant batches over each tenant's own model, with evidence
+        let batches: Vec<Vec<Query>> = bns
+            .iter()
+            .enumerate()
+            .map(|(i, bn)| random_batch(bn, 12, seed ^ (i as u64) << 8))
+            .collect();
+
+        // sharded engine with materialized shortcuts and shared workers
+        let mut sharded = ShardedServingEngine::new(ShardConfig {
+            workers: 4,
+            ..ShardConfig::default()
+        });
+        for (i, (tree, bn)) in trees.iter().zip(&bns).enumerate() {
+            let engine = QueryEngine::numeric(tree, bn).unwrap();
+            let mat = train_mat(tree, &engine, &batches[i], 128);
+            sharded.register(TenantId(i as u32), engine, mat).unwrap();
+        }
+
+        // interleave the two tenants' arrivals round-robin
+        let mixed: Vec<(TenantId, Query)> = batches[0]
+            .iter()
+            .zip(&batches[1])
+            .flat_map(|(a, b)| {
+                [(TenantId(0), a.clone()), (TenantId(1), b.clone())]
+            })
+            .collect();
+        let (served, stats) = sharded.serve_mixed(&mixed);
+        prop_assert_eq!(stats.arrivals, mixed.len());
+
+        // (a) byte-identical to each tenant served alone, single-threaded
+        for (i, (tree, bn)) in trees.iter().zip(&bns).enumerate() {
+            let engine = QueryEngine::numeric(tree, bn).unwrap();
+            let mat = train_mat(tree, &engine, &batches[i], 128);
+            let alone = ServingEngine::new(
+                engine,
+                mat,
+                ServingConfig {
+                    workers: 1,
+                    ..ServingConfig::default()
+                },
+            );
+            let (alone_answers, _) = alone.serve_batch(&batches[i]);
+            let mixed_answers = served
+                .iter()
+                .zip(&mixed)
+                .filter(|(_, (tid, _))| *tid == TenantId(i as u32))
+                .map(|(a, _)| a);
+            for (m, a) in mixed_answers.zip(&alone_answers) {
+                let (m, a) = (m.as_ref().unwrap(), a.as_ref().unwrap());
+                prop_assert_eq!(m.potential.scope(), a.potential.scope());
+                let m_bits: Vec<u64> = m.potential.values().iter().map(|v| v.to_bits()).collect();
+                let a_bits: Vec<u64> = a.potential.values().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    m_bits, a_bits,
+                    "mixed-batch serving must be byte-identical to serving the tenant alone"
+                );
+            }
+        }
+
+        // (b) against the VE oracle on the owning tenant's model
+        for ((tid, q), a) in mixed.iter().zip(&served) {
+            let bn = &bns[tid.0 as usize];
+            let a = a.as_ref().unwrap();
+            let want = match q {
+                Query::Marginal(s) => ve_answer(bn, s).unwrap().0,
+                Query::Conditional { targets, evidence } => ve_conditional(bn, targets, evidence),
+            };
+            prop_assert!(
+                a.potential.max_abs_diff(&want).unwrap() < 1e-9,
+                "tenant {} diverged from its own model's VE on {:?}",
+                tid,
+                q
+            );
+        }
+    }
+}
+
+/// One tenant's epoch swap must not invalidate (or change) another
+/// tenant's cache entries: after tenant A publishes, tenant B's repeats
+/// are still served zero-copy from B's cache at B's old epoch.
+#[test]
+fn epoch_swap_is_tenant_local() {
+    let bns = [fixtures::figure1(), fixtures::sprinkler()];
+    let trees = [
+        build_junction_tree(&bns[0]).unwrap(),
+        build_junction_tree(&bns[1]).unwrap(),
+    ];
+    let mut sharded = ShardedServingEngine::new(ShardConfig {
+        workers: 2,
+        ..ShardConfig::default()
+    });
+    for (i, (tree, bn)) in trees.iter().zip(&bns).enumerate() {
+        let engine = QueryEngine::numeric(tree, bn).unwrap();
+        sharded
+            .register(TenantId(i as u32), engine, Materialization::default())
+            .unwrap();
+    }
+    let mixed: Vec<(TenantId, Query)> = (0..2u32)
+        .flat_map(|t| {
+            (0..3u32).map(move |v| {
+                (
+                    TenantId(t),
+                    Query::Marginal(Scope::from_indices(&[v, v + 1])),
+                )
+            })
+        })
+        .collect();
+    let (first, _) = sharded.serve_mixed(&mixed);
+
+    // tenant 0 swaps epochs twice; tenant 1 is never touched
+    let tree = &trees[0];
+    let engine = QueryEngine::numeric(tree, &bns[0]).unwrap();
+    let mat = train_mat(
+        tree,
+        &engine,
+        &mixed
+            .iter()
+            .filter(|(t, _)| *t == TenantId(0))
+            .map(|(_, q)| q.clone())
+            .collect::<Vec<_>>(),
+        256,
+    );
+    sharded.tenant(TenantId(0)).unwrap().publish(mat);
+    sharded
+        .tenant(TenantId(0))
+        .unwrap()
+        .publish(Materialization::default());
+    assert_eq!(sharded.tenant(TenantId(0)).unwrap().epoch(), 2);
+    assert_eq!(sharded.tenant(TenantId(1)).unwrap().epoch(), 0);
+
+    let (second, stats) = sharded.serve_mixed(&mixed);
+    for ((tid, _), (a, b)) in mixed.iter().zip(first.iter().zip(&second)) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        if *tid == TenantId(1) {
+            // B's entries survived both of A's swaps: zero-copy, old epoch
+            assert!(
+                std::sync::Arc::ptr_eq(&a.answer, &b.answer),
+                "tenant 1's cache entry must survive tenant 0's swaps"
+            );
+            assert!(b.from_cache);
+            assert_eq!(b.epoch, 0);
+        } else {
+            // A recomputes under its new epoch, same (materialization-
+            // independent) distribution
+            assert!(!b.from_cache);
+            assert_eq!(b.epoch, 2);
+            assert!(a.potential.max_abs_diff(&b.potential).unwrap() < 1e-12);
+        }
+    }
+    let t1 = stats
+        .per_tenant
+        .iter()
+        .find(|(t, _)| *t == TenantId(1))
+        .map(|(_, b)| b)
+        .unwrap();
+    assert_eq!(t1.cache_hits, t1.unique, "tenant 1 must stay fully cached");
+    assert_eq!(t1.stale_hits, 0);
+}

@@ -13,11 +13,7 @@ use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
 use proptest::prelude::*;
 
 /// Oracle: `P(targets | evidence)` via single-threaded VE.
-fn ve_conditional(
-    bn: &BayesianNetwork,
-    targets: &Scope,
-    evidence: &[(Var, u32)],
-) -> Potential {
+fn ve_conditional(bn: &BayesianNetwork, targets: &Scope, evidence: &[(Var, u32)]) -> Potential {
     let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
     let q = targets.union(&ev_scope);
     let (mut joint, _) = ve_answer(bn, &q).unwrap();

@@ -116,7 +116,9 @@ pub fn ve_answer(bn: &BayesianNetwork, query: &Scope) -> Result<(Potential, Size
         let refs: Vec<&Potential> = with_x.iter().collect();
         let product = Potential::product_many_in(&refs, &mut scratch)?;
         ops = ops.saturating_add(ops_of(product.scope(), refs.len(), domain));
-        factors.push(product.marginalize_in(&product.scope().minus(&Scope::singleton(x)), &mut scratch)?);
+        factors.push(
+            product.marginalize_in(&product.scope().minus(&Scope::singleton(x)), &mut scratch)?,
+        );
         scratch.recycle(product);
         for spent in with_x {
             scratch.recycle(spent);

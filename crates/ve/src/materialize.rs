@@ -79,7 +79,9 @@ impl VeN {
                 potential: None,
             });
         }
-        VeN { materialized: chosen }
+        VeN {
+            materialized: chosen,
+        }
     }
 
     /// Fills in the dense tables for the chosen marginals.

@@ -94,9 +94,10 @@ mod tests {
     #[test]
     fn zero_fraction_passes_through() {
         let bn = fixtures::chain(12, 3, 5);
-        for (orig, (targets, evidence)) in scopes()
-            .iter()
-            .zip(with_evidence(bn.domain(), &scopes(), 0.0, 3))
+        for (orig, (targets, evidence)) in
+            scopes()
+                .iter()
+                .zip(with_evidence(bn.domain(), &scopes(), 0.0, 3))
         {
             assert_eq!(&targets, orig);
             assert!(evidence.is_empty());

@@ -79,7 +79,12 @@ pub fn skewed_queries(
 }
 
 /// The paper's **uniform** workload: variables sampled uniformly.
-pub fn uniform_queries(domain: &Domain, n_queries: usize, spec: QuerySpec, seed: u64) -> Vec<Scope> {
+pub fn uniform_queries(
+    domain: &Domain,
+    n_queries: usize,
+    spec: QuerySpec,
+    seed: u64,
+) -> Vec<Scope> {
     let mut rng = StdRng::seed_from_u64(seed);
     let weights = vec![1.0; domain.len()];
     (0..n_queries)

@@ -8,7 +8,10 @@
 //! * **uniform** — variables sampled uniformly at random;
 //! * **drift** — the λ-mixtures used by the robustness experiments
 //!   (Figures 8–9), plus streaming λ-schedules (piecewise/linear drift over
-//!   a served query stream) for the re-materialization lifecycle.
+//!   a served query stream) for the re-materialization lifecycle;
+//! * **tenants** — multi-tenant fleet traffic: interleaved per-tenant
+//!   streams with Zipf-skewed arrival rates and independent per-tenant
+//!   drift schedules, the input of the sharded serving layer.
 //!
 //! Queries are plain [`peanut_pgm::Scope`]s; consumers aggregate them into a
 //! `peanut_core::Workload` with empirical frequencies.
@@ -16,7 +19,9 @@
 pub mod drift;
 pub mod evidence;
 pub mod gen;
+pub mod tenants;
 
 pub use drift::{drifting_queries, mix, DriftSchedule, DriftStream};
 pub use evidence::{with_evidence, ConditionedQuery};
 pub use gen::{skewed_queries, uniform_queries, QuerySpec};
+pub use tenants::{tenant_queries, zipf_weights, TenantStream, TenantTraffic};

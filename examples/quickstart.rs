@@ -25,7 +25,11 @@ fn main() {
     // 2. its junction tree (Figure 1(b)), rooted at the clique {b, c}
     let mut tree = build_junction_tree(&bn).expect("junction tree");
     let bc = Scope::from_iter([d.var("b").unwrap(), d.var("c").unwrap()]);
-    let pivot = tree.cliques().iter().position(|c| *c == bc).expect("bc clique");
+    let pivot = tree
+        .cliques()
+        .iter()
+        .position(|c| *c == bc)
+        .expect("bc clique");
     tree.set_pivot(pivot);
     println!(
         "junction tree: {} cliques, treewidth {}, diameter {}",

@@ -87,8 +87,8 @@ fn conditionals_through_materialization() {
 /// joint.
 #[test]
 fn evidence_inside_shortcut_scope() {
-    use peanut::materialize::{MaterializedShortcut, Shortcut};
     use peanut::junction::{NumericState, RootedTree};
+    use peanut::materialize::{MaterializedShortcut, Shortcut};
 
     let bn = fixtures::figure1();
     let mut tree = build_junction_tree(&bn).unwrap();
@@ -185,5 +185,8 @@ fn impossible_evidence_yields_zero_table() {
     ];
     let (got, _) = engine.conditional(&targets, &evidence).unwrap();
     assert!(got.values().iter().all(|v| v.is_finite()));
-    assert!(got.sum().abs() < 1e-12, "all-zero table for impossible evidence");
+    assert!(
+        got.sum().abs() < 1e-12,
+        "all-zero table for impossible evidence"
+    );
 }

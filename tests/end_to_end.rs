@@ -3,9 +3,7 @@
 //! methods, in both numeric and symbolic modes.
 
 use peanut::junction::{build_junction_tree, QueryEngine, RootedTree};
-use peanut::materialize::{
-    OfflineContext, OnlineEngine, Peanut, PeanutConfig, Variant, Workload,
-};
+use peanut::materialize::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Variant, Workload};
 use peanut::pgm::{fixtures, joint, Scope};
 use peanut::workload::{skewed_queries, uniform_queries, QuerySpec};
 
@@ -117,7 +115,9 @@ fn ve_and_jt_agree() {
     let bn = fixtures::asia();
     let tree = build_junction_tree(&bn).unwrap();
     let engine = QueryEngine::numeric(&tree, &bn).unwrap();
-    let queries: Vec<Scope> = (0..7u32).map(|a| Scope::from_indices(&[a, a + 1])).collect();
+    let queries: Vec<Scope> = (0..7u32)
+        .map(|a| Scope::from_indices(&[a, a + 1]))
+        .collect();
     let weighted: Vec<(Scope, f64)> = queries.iter().map(|q| (q.clone(), 1.0)).collect();
     let mut ven = peanut::ve::VeN::select(&bn, &weighted, 3);
     ven.materialize_numeric(&bn).unwrap();

@@ -24,7 +24,10 @@ fn methods_for(
     let w = Workload::from_queries(train);
     let ctx = OfflineContext::new(&tree, &w).unwrap();
     let mut mats = Vec::new();
-    for (name, variant) in [("PEANUT", Variant::Peanut), ("PEANUT+", Variant::PeanutPlus)] {
+    for (name, variant) in [
+        ("PEANUT", Variant::Peanut),
+        ("PEANUT+", Variant::PeanutPlus),
+    ] {
         let cfg = PeanutConfig {
             budget,
             epsilon: 1.2,

@@ -30,12 +30,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark named `name` parameterized by `parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// A benchmark identified by its parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -56,7 +60,8 @@ impl Bencher {
         }
         let per_iter = warm_start.elapsed() / warm_iters.max(1);
         // Batch size targeting ~10 batches inside the measurement window.
-        let batch = (MEASURE.as_nanos() / 10 / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+        let batch =
+            (MEASURE.as_nanos() / 10 / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
         let measure_start = Instant::now();
         while measure_start.elapsed() < MEASURE {
             let t = Instant::now();
@@ -90,11 +95,18 @@ pub struct BenchmarkGroup {
 
 impl BenchmarkGroup {
     /// Runs `routine` as a benchmark identified by `id` with `input`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: Vec::new() };
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         routine(&mut b, input);
         report(&format!("{}/{}", self.name, id.id), &b);
         self
@@ -105,7 +117,9 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::new() };
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         routine(&mut b);
         report(&format!("{}/{}", self.name, id.into()), &b);
         self
@@ -135,7 +149,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::new() };
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         routine(&mut b);
         report(&id.into(), &b);
         self
@@ -169,7 +185,9 @@ mod tests {
 
     #[test]
     fn bencher_records_samples() {
-        let mut b = Bencher { samples: Vec::new() };
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         b.iter(|| std::hint::black_box(1 + 1));
         assert!(!b.samples.is_empty());
         assert!(b.mean() > Duration::ZERO);

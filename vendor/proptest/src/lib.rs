@@ -129,7 +129,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`vec()`]: an exact length or a half-open
     /// range of lengths.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
@@ -146,23 +146,32 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec-length range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec-length range");
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
     /// Strategy for `Vec<S::Value>` with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
@@ -218,7 +227,9 @@ pub mod test_runner {
         /// Builds the generator from a `u64` seed.
         pub fn seed_from_u64(seed: u64) -> Self {
             use rand::SeedableRng as _;
-            TestRng { inner: rand::rngs::StdRng::seed_from_u64(seed) }
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(seed),
+            }
         }
 
         /// Returns the next 64 uniformly distributed bits.
@@ -245,13 +256,19 @@ pub mod test_runner {
     impl ProptestConfig {
         /// A config running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..ProptestConfig::default() }
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256, rng_seed: 0x5EED_CAFE_F00D_BEEF }
+            ProptestConfig {
+                cases: 256,
+                rng_seed: 0x5EED_CAFE_F00D_BEEF,
+            }
         }
     }
 
@@ -392,7 +409,10 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             left != right,
             "assertion failed: `{:?}` == `{:?}` ({} == {})",
-            left, right, stringify!($left), stringify!($right)
+            left,
+            right,
+            stringify!($left),
+            stringify!($right)
         );
     }};
 }
@@ -499,8 +519,7 @@ mod tests {
 
     #[test]
     fn rejections_do_not_consume_cases() {
-        let mut runner =
-            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(32));
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(32));
         let mut executed = 0u32;
         runner.run(&(crate::bool::ANY,), |(flag,)| {
             if !flag {
@@ -515,8 +534,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest: case 0")]
     fn failures_panic_with_case_info() {
-        let mut runner =
-            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
         runner.run(&(0u64..10,), |(_x,)| {
             Err(crate::test_runner::TestCaseError::fail("boom"))
         });
