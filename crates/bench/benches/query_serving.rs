@@ -7,20 +7,34 @@
 //! throughput): the batched path must win through in-batch coalescing and
 //! scratch reuse even on one core, and additionally through the worker
 //! pool on multi-core hosts.
+//!
+//! A second acceptance study measures the *persistent* worker pool against
+//! the scoped spawn-per-batch baseline on small hot batches (100 waves of
+//! 8 fresh queries): at 2 workers the parked pool must deliver ≥ 1.2× the
+//! scoped throughput — the spawn-latency shave the pool exists for. The
+//! ratio metrics land in `results/bench_query_serving.json` for the CI
+//! regression guard (`bench_check`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use peanut_bench::harness::{is_quick, worker_sweep};
+use peanut_bench::harness::{is_quick, worker_sweep, BenchSummary};
 use peanut_core::{OfflineContext, OnlineEngine, Peanut, PeanutConfig, Workload};
 use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree};
+use peanut_pgm::Scope;
 use peanut_pgm::{fixtures, BayesianNetwork, Scratch};
 use peanut_serving::{
-    replay, workload_queries, Query, ReplayConfig, ServingConfig, ServingEngine, WorkloadMix,
+    replay, workload_queries, Query, ReplayConfig, ServingConfig, ServingEngine, SpawnMode,
+    WorkloadMix,
 };
 use peanut_workload::QuerySpec;
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const BATCH: usize = 128;
+/// The small-hot-batch study: this many waves…
+const HOT_WAVES: usize = 100;
+/// …of this many fresh queries each (well under `BATCH`: the regime where
+/// per-batch thread spawning dominates).
+const HOT_BATCH: usize = 8;
 
 /// Stream length (`--quick` / `PEANUT_QUICK=1` shrinks it so the CI
 /// bench-smoke job finishes in minutes).
@@ -152,6 +166,7 @@ fn bench_query_serving(c: &mut Criterion) {
 
     // explicit acceptance measurement, cache-cold: a fresh engine drains
     // the full stream once vs the same stream through the per-query loop
+    let mut summary = BenchSummary::new("query_serving");
     let t = Instant::now();
     let answered = single_thread_loop(&online, &queries);
     let loop_time = t.elapsed();
@@ -168,12 +183,13 @@ fn bench_query_serving(c: &mut Criterion) {
         );
         let report = replay(&cold, &queries, &ReplayConfig { batch_size: BATCH });
         assert_eq!(report.errors, 0);
+        let speedup = report.throughput_qps / loop_qps;
         println!(
             "query_serving/serving_speedup_cold_w{:<2}             {:.2}x  \
              (loop {:.0} q/s vs batched {:.0} q/s, {} workers, {} computed of {} queries, \
              p50 {:?} p99 {:?})",
             cold.workers(),
-            report.throughput_qps / loop_qps,
+            speedup,
             loop_qps,
             report.throughput_qps,
             cold.workers(),
@@ -182,6 +198,81 @@ fn bench_query_serving(c: &mut Criterion) {
             report.latency_p50,
             report.latency_p99,
         );
+        summary.push(
+            &format!("serving_speedup_cold_w{}", cold.workers()),
+            speedup,
+        );
+    }
+
+    // --- small-hot-batch acceptance: persistent pool vs scoped spawn ---
+    // a server draining many small waves pays the per-batch thread spawn
+    // in the scoped design on every single wave; the parked pool pays it
+    // once. Caching is disabled so every wave carries fresh work, and the
+    // queries are cheap adjacent-pair marginals — the regime where spawn
+    // latency, not compute, dominates the wall clock.
+    let hot_batch: Vec<Query> = (0..HOT_BATCH as u32)
+        .map(|a| Query::Marginal(Scope::from_indices(&[a, a + 1])))
+        .collect();
+    for workers in worker_sweep() {
+        let hot_engine = |spawn: SpawnMode| {
+            ServingEngine::from_shared(
+                engine.clone(),
+                mat.clone(),
+                ServingConfig {
+                    workers,
+                    cache_capacity: 0,
+                    spawn,
+                    ..ServingConfig::default()
+                },
+            )
+        };
+        let drive = |serving: &ServingEngine<'_>| -> Duration {
+            serving.warm_pool();
+            serving.serve_batch(&hot_batch); // warmup wave for both modes
+            let t = Instant::now();
+            for _ in 0..HOT_WAVES {
+                let (answers, _) = serving.serve_batch(&hot_batch);
+                assert!(
+                    answers.iter().all(Result::is_ok),
+                    "hot waves must be error-free"
+                );
+            }
+            t.elapsed()
+        };
+        let persistent = hot_engine(SpawnMode::Persistent);
+        if persistent.workers() <= 1 {
+            println!(
+                "query_serving/pool_vs_scoped_hot_w1              skipped  \
+                 (1 worker serves in-thread; nothing to spawn or park)"
+            );
+            continue;
+        }
+        let scoped_wall = drive(&hot_engine(SpawnMode::Scoped));
+        let pool_wall = drive(&persistent);
+        let ratio = scoped_wall.as_secs_f64() / pool_wall.as_secs_f64();
+        let n_workers = persistent.workers();
+        let stats = persistent.pool_stats().expect("pool spawned");
+        println!(
+            "query_serving/pool_vs_scoped_hot_w{:<2}              {ratio:.2}x  \
+             ({HOT_WAVES} waves of {HOT_BATCH} queries: scoped {scoped_wall:.2?} vs \
+             pool {pool_wall:.2?}; {} spawns amortized over {} tasks vs {} scoped spawns)",
+            n_workers,
+            stats.workers,
+            stats.tasks,
+            n_workers * (HOT_WAVES + 1),
+        );
+        summary.push(&format!("pool_vs_scoped_hot_w{n_workers}"), ratio);
+        if n_workers == 2 {
+            assert!(
+                ratio >= 1.2,
+                "the persistent pool must beat scoped spawning ≥1.2x on small \
+                 hot batches at 2 workers (got {ratio:.2}x)"
+            );
+        }
+    }
+    match summary.write() {
+        Ok(path) => println!("query_serving/summary written to {}", path.display()),
+        Err(e) => eprintln!("query_serving/summary NOT written: {e}"),
     }
 }
 

@@ -1,0 +1,132 @@
+//! CI bench-regression guard.
+//!
+//! The serving benches write their ratio metrics (the same numbers they
+//! assert on) to `results/bench_<name>.json`. This binary compares the
+//! latest run against the committed floors in
+//! `results/bench_baseline.json` and exits non-zero when a metric is
+//! missing or has regressed below its floor — so a change that quietly
+//! erodes a proven speedup fails `bench-smoke` instead of landing.
+//!
+//! The floors are *ratios* (pool vs scoped, batched vs loop, post-swap vs
+//! stale, shared vs isolated), not absolute throughputs, so the guard is
+//! machine-independent. Run the benches first, quick mode with
+//! `PEANUT_WORKERS=2` (what `bench-smoke` does):
+//!
+//! ```text
+//! PEANUT_QUICK=1 PEANUT_WORKERS=2 cargo bench --bench query_serving \
+//!   --bench drift_serving --bench multi_tenant_serving
+//! cargo run -p peanut-bench --bin bench_check
+//! ```
+
+use peanut_bench::harness::{read_metrics, results_dir};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let dir = results_dir();
+    let baseline_path = dir.join("bench_baseline.json");
+    let baseline = match read_metrics(&baseline_path) {
+        Ok(b) if !b.is_empty() => b,
+        Ok(_) => {
+            eprintln!("bench_check: {} has no floors", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench_check: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // gather every bench summary next to the baseline
+    let mut measured: HashMap<String, f64> = HashMap::new();
+    let mut summaries = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_check: cannot list {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("bench_") || !name.ends_with(".json") || name == "bench_baseline.json"
+        {
+            continue;
+        }
+        match read_metrics(&path) {
+            Ok(metrics) => {
+                summaries += 1;
+                // a stale summary from an old run satisfies its floors
+                // without anything having been re-measured; warn so a
+                // local "all floors hold" is not false confidence (CI
+                // writes every summary fresh in the same job)
+                let age = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok());
+                if let Some(age) = age.filter(|a| *a > Duration::from_secs(3600)) {
+                    eprintln!(
+                        "bench_check: warning: {name} is {}h old — re-run its \
+                         bench for a fresh measurement",
+                        age.as_secs() / 3600
+                    );
+                }
+                measured.extend(metrics);
+            }
+            Err(e) => {
+                eprintln!("bench_check: skipping {}: {e}", path.display());
+            }
+        }
+    }
+    if summaries == 0 {
+        eprintln!(
+            "bench_check: no bench_*.json summaries in {} — run the serving \
+             benches (quick mode, PEANUT_WORKERS=2) first",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "bench_check: {summaries} summaries vs {}",
+        baseline_path.display()
+    );
+    println!("{:<48} {:>9} {:>9}  status", "metric", "floor", "measured");
+    let mut failures = 0usize;
+    for (key, floor) in &baseline {
+        match measured.get(key) {
+            Some(&value) if value >= *floor => {
+                println!("{key:<48} {floor:>8.2}x {value:>8.2}x  ok");
+            }
+            Some(&value) => {
+                println!("{key:<48} {floor:>8.2}x {value:>8.2}x  REGRESSED");
+                failures += 1;
+            }
+            None => {
+                println!("{key:<48} {floor:>8.2}x {:>9}  MISSING", "-");
+                failures += 1;
+            }
+        }
+    }
+    // measured-but-unfloored metrics are informational, never failures
+    // (worker sweeps emit per-count variants only some runs produce)
+    let mut extra: Vec<(&String, &f64)> = measured
+        .iter()
+        .filter(|(k, _)| baseline.iter().all(|(b, _)| b != *k))
+        .collect();
+    extra.sort_by_key(|&(k, _)| k);
+    for (key, value) in extra {
+        println!("{key:<48} {:>9} {value:>8.2}x  (no floor)", "-");
+    }
+    if failures > 0 {
+        eprintln!("bench_check: {failures} metric(s) regressed or missing");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: all floors hold");
+    ExitCode::SUCCESS
+}

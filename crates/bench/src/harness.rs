@@ -9,6 +9,8 @@ use peanut_indsep::build_index;
 use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree};
 use peanut_pgm::{BayesianNetwork, Scope, Size};
 use peanut_workload::{mix, skewed_queries, uniform_queries, QuerySpec};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// A dataset instantiated and ready for experiments.
@@ -120,6 +122,102 @@ pub fn worker_sweep() -> Vec<usize> {
         }
         Err(_) => vec![0],
     }
+}
+
+/// The directory bench artifacts (`.txt` logs, `.json` summaries) land
+/// in. Overridable via `PEANUT_RESULTS_DIR`; defaults to the workspace's
+/// `results/` regardless of the process working directory (cargo runs
+/// benches from the package root, binaries from the caller's cwd).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("PEANUT_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the workspace root")
+        .join("results")
+}
+
+/// A machine-readable summary of one bench run: the ratio metrics the
+/// bench also asserts on, written as flat JSON
+/// (`results/bench_<name>.json`) so the CI regression guard
+/// (`bench_check`) can compare them against committed floors without a
+/// serde dependency.
+pub struct BenchSummary {
+    bench: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchSummary {
+    /// A summary for the bench called `bench` (keys are namespaced as
+    /// `<bench>.<metric>`).
+    pub fn new(bench: &str) -> Self {
+        BenchSummary {
+            bench: bench.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one metric.
+    pub fn push(&mut self, metric: &str, value: f64) {
+        self.metrics
+            .push((format!("{}.{metric}", self.bench), value));
+    }
+
+    /// Writes `results/bench_<name>.json`, creating the directory if
+    /// needed, and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_to(&results_dir())
+    }
+
+    /// Like [`write`](Self::write) into an explicit directory.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("bench_{}.json", self.bench));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{{")?;
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            writeln!(f, "  \"{k}\": {v:.6}{comma}")?;
+        }
+        writeln!(f, "}}")?;
+        Ok(path)
+    }
+}
+
+/// Parses a flat `{"key": number, ...}` JSON file as written by
+/// [`BenchSummary::write`] (and by hand for the committed baseline).
+/// Deliberately minimal: objects of string→number pairs only.
+pub fn read_metrics(path: &Path) -> std::io::Result<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| bad(format!("{}: not a JSON object", path.display())))?;
+    let mut out = Vec::new();
+    for pair in inner.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| bad(format!("{}: malformed pair {pair:?}", path.display())))?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| bad(format!("{}: unquoted key {k:?}", path.display())))?;
+        let value: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("{}: non-numeric value {v:?}", path.display())))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
 }
 
 /// Builds a PEANUT/PEANUT+ materialization, returning it with the offline
@@ -273,6 +371,39 @@ mod tests {
         if std::env::var("PEANUT_WORKERS").is_err() {
             assert_eq!(worker_sweep(), vec![0]);
         }
+    }
+
+    #[test]
+    fn bench_summary_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("peanut-summary-{}", std::process::id()));
+        let mut s = BenchSummary::new("demo");
+        s.push("speedup", 1.5);
+        s.push("floor", 0.25);
+        let path = s.write_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "bench_demo.json");
+        let metrics = read_metrics(&path).unwrap();
+        assert_eq!(
+            metrics,
+            vec![
+                ("demo.speedup".to_string(), 1.5),
+                ("demo.floor".to_string(), 0.25),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_metrics_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("peanut-badjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(read_metrics(&path).is_err());
+        std::fs::write(&path, "{\"k\": \"string\"}").unwrap();
+        assert!(read_metrics(&path).is_err());
+        std::fs::write(&path, "{}").unwrap();
+        assert_eq!(read_metrics(&path).unwrap(), vec![]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

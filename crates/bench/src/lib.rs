@@ -18,5 +18,10 @@
 //! | `fig8`   | Figure 8 — robustness to drift (skewed-trained) |
 //! | `fig9`   | Figure 9 — robustness to drift (uniform-trained) |
 //! | `fig10`  | Figure 10 — impact of the query-log size |
+//!
+//! Beyond the paper, `bench_check` is the CI bench-regression guard: it
+//! compares the ratio metrics the serving benches write to
+//! `results/bench_*.json` against the committed floors in
+//! `results/bench_baseline.json` and fails on any regression.
 
 pub mod harness;

@@ -27,6 +27,7 @@
 
 pub mod budp;
 pub mod context;
+pub mod exec;
 pub mod grid;
 pub mod gwmin;
 pub mod lrdp;
@@ -39,6 +40,7 @@ pub mod util;
 pub mod workload;
 
 pub use context::OfflineContext;
+pub use exec::{Executor, ScopedExecutor, SequentialExecutor};
 pub use grid::BudgetGrid;
 pub use online::{Materialization, MaterializedShortcut, OnlineEngine, TracedAnswer};
 pub use peanut::{Peanut, PeanutConfig, Variant};

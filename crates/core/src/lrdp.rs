@@ -34,10 +34,12 @@
 //!   cut).
 
 use crate::context::OfflineContext;
+use crate::exec::{Executor, ScopedExecutor};
 use crate::grid::BudgetGrid;
 use crate::shortcut::Shortcut;
 use peanut_pgm::{Size, Var};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A reconstructed SOSP solution.
 #[derive(Clone, Debug)]
@@ -68,25 +70,37 @@ pub struct RootTables {
 }
 
 /// Runs LRDP for every clique as `r_S`, optionally fanning out across
-/// threads (the roots are independent).
+/// threads (the roots are independent). Spawn-per-call; see
+/// [`lrdp_all_on`] for running on an externally owned executor (e.g. the
+/// serving tier's persistent worker pool).
 pub fn lrdp_all(ctx: &OfflineContext, grid: &BudgetGrid, threads: usize) -> Vec<RootTables> {
+    lrdp_all_on(ctx, grid, &ScopedExecutor::new(threads))
+}
+
+/// Runs LRDP for every clique as `r_S` on the given [`Executor`]. Tiny
+/// trees skip the fan-out entirely — the DP per root is cheaper than any
+/// dispatch. Output is deterministic (sorted by root) regardless of task
+/// completion order.
+pub fn lrdp_all_on(
+    ctx: &OfflineContext,
+    grid: &BudgetGrid,
+    exec: &dyn Executor,
+) -> Vec<RootTables> {
     let n = ctx.tree().n_cliques();
-    if threads <= 1 || n < 4 {
+    if n < 4 {
         return (0..n).map(|r| lrdp(ctx, r, grid)).collect();
     }
-    let mut out: Vec<Option<RootTables>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            s.spawn(move || {
-                for (off, item) in slot.iter_mut().enumerate() {
-                    *item = Some(lrdp(ctx, start + off, grid));
-                }
-            });
-        }
+    // each task owns slot `r`: no result lock, and the output is already
+    // in root order — no reassembly sort
+    let slots: Vec<OnceLock<RootTables>> = (0..n).map(|_| OnceLock::new()).collect();
+    exec.run_tasks(n, &|r| {
+        let tables = lrdp(ctx, r, grid);
+        assert!(slots[r].set(tables).is_ok(), "executor runs each root once");
     });
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("executor ran every root"))
+        .collect()
 }
 
 /// Runs LRDP rooted at `r_s` over the given budget grid.

@@ -4,12 +4,15 @@
 
 use crate::budp::budp;
 use crate::context::OfflineContext;
+use crate::exec::{Executor, ScopedExecutor};
 use crate::grid::BudgetGrid;
-use crate::lrdp::{lrdp_all, ShortcutSolution};
+use crate::lrdp::{lrdp_all_on, ShortcutSolution};
 use crate::online::{Materialization, MaterializedShortcut};
 use crate::plus::greedy_pack;
 use peanut_junction::NumericState;
 use peanut_pgm::{PgmError, Size};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 /// Which packing strategy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,8 +90,20 @@ impl Peanut {
     /// datasets whose calibration is infeasible, and for all cost-only
     /// experiments).
     pub fn offline(ctx: &OfflineContext, cfg: &PeanutConfig) -> Materialization {
+        Self::offline_with(ctx, cfg, &ScopedExecutor::new(cfg.threads))
+    }
+
+    /// Like [`offline`](Self::offline), but fans the per-root LRDP out on
+    /// the given [`Executor`] instead of spawning `cfg.threads` scoped
+    /// threads — the serving tier passes its persistent worker pool here so
+    /// a lifecycle re-selection reuses already-parked workers.
+    pub fn offline_with(
+        ctx: &OfflineContext,
+        cfg: &PeanutConfig,
+        exec: &dyn Executor,
+    ) -> Materialization {
         let grid = cfg.grid();
-        let roots = lrdp_all(ctx, &grid, cfg.threads);
+        let roots = lrdp_all_on(ctx, &grid, exec);
         let chosen: Vec<ShortcutSolution> = match cfg.variant {
             Variant::PeanutPlus => greedy_pack(ctx, &roots, cfg.budget),
             Variant::Peanut => {
@@ -121,11 +136,54 @@ impl Peanut {
         cfg: &PeanutConfig,
         numeric: &NumericState,
     ) -> Result<(Materialization, Size), PgmError> {
-        let mut mat = Self::offline(ctx, cfg);
+        Self::offline_numeric_with(ctx, cfg, numeric, &ScopedExecutor::new(cfg.threads))
+    }
+
+    /// Like [`offline_numeric`](Self::offline_numeric), but both the
+    /// per-root LRDP fan-out *and* the numeric materialization of the
+    /// chosen tables (independent per shortcut) run on the given
+    /// [`Executor`].
+    pub fn offline_numeric_with(
+        ctx: &OfflineContext,
+        cfg: &PeanutConfig,
+        numeric: &NumericState,
+        exec: &dyn Executor,
+    ) -> Result<(Materialization, Size), PgmError> {
+        let mut mat = Self::offline_with(ctx, cfg, exec);
+        type Built = Result<(peanut_pgm::Potential, Size), PgmError>;
+        // each task owns slot `i` (no result lock, no reassembly sort);
+        // after the first failure remaining tasks skip their builds, so a
+        // sequential executor short-circuits like the pre-executor code
+        // and a parallel one wastes at most the in-flight tables
+        let slots: Vec<OnceLock<Built>> =
+            (0..mat.shortcuts.len()).map(|_| OnceLock::new()).collect();
+        let failed = AtomicBool::new(false);
+        {
+            let shortcuts = &mat.shortcuts;
+            exec.run_tasks(shortcuts.len(), &|i| {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let r = shortcuts[i]
+                    .shortcut
+                    .materialize(ctx.tree(), ctx.rooted(), numeric);
+                if r.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                assert!(slots[i].set(r).is_ok(), "executor runs each build once");
+            });
+        }
+        let mut built: Vec<Option<Built>> = slots.into_iter().map(OnceLock::into_inner).collect();
+        if let Some(err_at) = built.iter().position(|r| matches!(r, Some(Err(_)))) {
+            let Some(Err(e)) = built.swap_remove(err_at) else {
+                unreachable!("position matched an Err")
+            };
+            return Err(e);
+        }
         let mut ops: Size = 0;
-        for ms in &mut mat.shortcuts {
-            let (pot, cost) = ms.shortcut.materialize(ctx.tree(), ctx.rooted(), numeric)?;
-            ms.potential = Some(pot);
+        for (i, r) in built.into_iter().enumerate() {
+            let (pot, cost) = r.expect("no failure ⇒ every build ran")?;
+            mat.shortcuts[i].potential = Some(pot);
             ops = ops.saturating_add(cost);
         }
         Ok((mat, ops))

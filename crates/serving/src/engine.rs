@@ -7,10 +7,13 @@
 //!
 //! 1. duplicate queries inside a batch are coalesced and computed once
 //!    (workloads sample pools with replacement, so real batches repeat);
-//! 2. the unique queries are claimed work-stealing-style by a pool of
-//!    `workers` scoped threads;
+//! 2. the unique queries are claimed work-stealing-style by `workers`
+//!    **persistent** pool threads ([`WorkerPool`]), parked between batches
+//!    — or by scoped per-batch threads under [`SpawnMode::Scoped`], the
+//!    spawn-latency baseline;
 //! 3. every worker owns a [`Scratch`], so all intermediate tables of a
-//!    query are recycled into the next one.
+//!    query are recycled into the next one — and with the persistent pool
+//!    the scratches survive across batches too.
 //!
 //! Answers come back in batch order as [`Served`] handles around
 //! `Arc<Answer>` — the warm path (cross-batch cache hits, in-batch
@@ -31,6 +34,8 @@
 //!
 //! [`publish`]: ServingEngine::publish
 
+use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
+use peanut_core::exec::Executor;
 use peanut_core::{Materialization, OnlineEngine, WorkloadStats};
 use peanut_junction::cost::QueryCost;
 use peanut_junction::QueryEngine;
@@ -38,7 +43,7 @@ use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size, Var};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// One query as submitted by a client.
@@ -163,7 +168,7 @@ pub struct BatchStats {
 /// Serving knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServingConfig {
-    /// Worker threads per batch; `0` means one per available core.
+    /// Worker threads; `0` means one per available core.
     pub workers: usize,
     /// Coalesce duplicate queries within a batch (on by default).
     pub dedup: bool,
@@ -172,6 +177,9 @@ pub struct ServingConfig {
     /// distributions over a finite query pool, so repeated queries dominate
     /// steady-state traffic.
     pub cache_capacity: usize,
+    /// How batches fan out: a persistent parked [`WorkerPool`] (default)
+    /// or scoped threads spawned per batch (the spawn-latency baseline).
+    pub spawn: SpawnMode,
 }
 
 impl Default for ServingConfig {
@@ -180,6 +188,7 @@ impl Default for ServingConfig {
             workers: 0,
             dedup: true,
             cache_capacity: 4096,
+            spawn: SpawnMode::Persistent,
         }
     }
 }
@@ -271,6 +280,10 @@ pub struct ServingEngine<'t> {
     state: RwLock<EpochState>,
     cfg: ServingConfig,
     cache: Mutex<AnswerCache>,
+    /// Persistent workers, spawned lazily on the first batch that fans
+    /// out (or injected via [`with_pool`](Self::with_pool)). Engines that
+    /// only ever serve sequentially never spawn a thread.
+    pool: PoolCell,
 }
 
 impl<'t> ServingEngine<'t> {
@@ -295,7 +308,53 @@ impl<'t> ServingEngine<'t> {
             }),
             cfg,
             cache: Mutex::new(AnswerCache::default()),
+            pool: PoolCell::new(),
         }
+    }
+
+    /// Like [`new`](Self::new), but serving on an externally owned
+    /// [`WorkerPool`] instead of spawning a private one — several engines
+    /// can park on the same workers.
+    pub fn with_pool(
+        engine: QueryEngine<'t>,
+        mat: Materialization,
+        cfg: ServingConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        let serving = Self::new(engine, mat, cfg);
+        serving
+            .pool
+            .set(pool)
+            .ok()
+            .expect("fresh engine has no pool");
+        serving
+    }
+
+    /// The engine's persistent worker pool, spawning it on first use
+    /// (sized by [`workers`](Self::workers)).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool.get_or_spawn(self.workers())
+    }
+
+    /// Pool telemetry, if the pool has been spawned (an engine that has
+    /// only served sequentially has none).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.stats()
+    }
+
+    /// Pre-spawns the worker pool so the first fanned-out batch does not
+    /// pay thread-spawn latency in-band. A no-op for engines that would
+    /// never fan out (one worker, or scoped spawning).
+    pub fn warm_pool(&self) {
+        self.pool.warm(self.cfg.spawn, self.workers());
+    }
+
+    /// Executor for off-path offline work (lifecycle re-selection): the
+    /// persistent pool when this engine fans out, a scoped `threads`-wide
+    /// fan-out otherwise (sequential when 1).
+    pub(crate) fn offline_exec(&self, threads: usize) -> Box<dyn Executor + '_> {
+        self.pool
+            .offline_exec(self.cfg.spawn, self.workers(), threads)
     }
 
     /// The wrapped query engine.
@@ -456,14 +515,34 @@ impl<'t> ServingEngine<'t> {
         type WorkerOut = Vec<(usize, Result<Arc<Answer>, PgmError>)>;
         let n_workers = self.workers().min(work.len()).max(1);
         if work.len() <= 1 || n_workers == 1 {
-            // in-thread fast path: no spawn overhead for small batches
+            // in-thread fast path: no fan-out overhead for small batches
             let online = OnlineEngine::with_stats(&self.engine, &mat, &stats);
             let mut scratch = Scratch::new();
             for &i in &work {
                 unique_results[i] =
                     Some(answer_one(&online, uniques[i], &mut scratch, epoch).map(Arc::new));
             }
+        } else if self.cfg.spawn == SpawnMode::Persistent {
+            // persistent pool: parked workers are woken for the wave;
+            // their scratches persist across batches. run_wave re-raises a
+            // task panic here after the wave drains, so a poisoned batch
+            // never poisons the pool. Each task owns slot `w`, so results
+            // land lock-free instead of contending on one mutex.
+            let slots: Vec<OnceLock<Result<Arc<Answer>, PgmError>>> =
+                (0..work.len()).map(|_| OnceLock::new()).collect();
+            self.pool().run_wave(work.len(), &|w, scratch| {
+                let i = work[w];
+                let online = OnlineEngine::with_stats(&self.engine, &mat, &stats);
+                let r = answer_one(&online, uniques[i], scratch, epoch).map(Arc::new);
+                assert!(slots[w].set(r).is_ok(), "wave claims each index once");
+            });
+            for (w, slot) in slots.into_iter().enumerate() {
+                let r = slot.into_inner().expect("completed wave ran every task");
+                unique_results[work[w]] = Some(r);
+            }
         } else {
+            // scoped baseline: spawn-per-batch threads (kept for the
+            // spawn-amortization study and as a differential reference)
             let next = AtomicUsize::new(0);
             let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..n_workers)
@@ -651,6 +730,7 @@ mod tests {
                 workers: 1,
                 dedup: false,
                 cache_capacity: 0,
+                ..ServingConfig::default()
             },
         );
         let q = Query::Marginal(Scope::from_indices(&[0, 3]));

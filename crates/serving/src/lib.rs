@@ -12,6 +12,13 @@
 //!   worker runs the shortcut-aware online engine on the stride-walk kernel
 //!   path with its own [`Scratch`](peanut_pgm::Scratch), so steady-state
 //!   serving performs no transient allocation.
+//! * [`pool`] — the concurrency backbone: a persistent [`WorkerPool`] of
+//!   long-lived workers, spawned once per engine (or shared across a
+//!   sharded engine's shards), parked between waves on a condvar-fronted
+//!   work queue, with per-task panic isolation and join-on-drop shutdown.
+//!   It doubles as the [`Executor`](peanut_core::Executor) the lifecycle's
+//!   off-path re-selections run on, and surfaces [`PoolStats`]
+//!   (spawn-amortization telemetry) for the benches.
 //! * [`shard`] — multi-tenant sharded serving: a
 //!   [`ShardedServingEngine`] registry of
 //!   tenants (each a calibrated tree with its own epoch-versioned
@@ -34,6 +41,7 @@
 
 pub mod engine;
 pub mod lifecycle;
+pub mod pool;
 pub mod replay;
 pub mod shard;
 
@@ -42,5 +50,6 @@ pub use lifecycle::{
     expected_savings, FleetConfig, FleetController, FleetRebalance, LifecycleConfig,
     RematerializationController, SwapEvent, TenantAllocation,
 };
+pub use pool::{PoolStats, SpawnMode, WorkerPool};
 pub use replay::{replay, replay_mixed, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};
 pub use shard::{MixedBatchStats, ShardConfig, ShardedServingEngine, TenantId};

@@ -44,6 +44,7 @@
 
 use crate::engine::ServingEngine;
 use crate::shard::{ShardedServingEngine, TenantId};
+use peanut_core::exec::Executor;
 use peanut_core::{
     Materialization, OfflineContext, OnlineEngine, Peanut, PeanutConfig, StatsSnapshot, Variant,
     Workload, WorkloadStats,
@@ -90,7 +91,10 @@ pub struct LifecycleConfig {
     pub epsilon: f64,
     /// PEANUT (disjoint) or PEANUT+ (overlapping) re-selection.
     pub variant: Variant,
-    /// Worker threads for the offline DP fan-out.
+    /// Worker threads for the offline DP fan-out **when the serving
+    /// engine has no pool to reuse** (it serves sequentially). An engine
+    /// that fans out lends its persistent [`WorkerPool`](crate::WorkerPool)
+    /// to the re-selection instead, and this knob is ignored.
     pub threads: usize,
 }
 
@@ -180,25 +184,28 @@ fn workload_entries(w: &Workload) -> Vec<(Scope, f64)> {
 }
 
 /// Runs the offline selection on an observed workload, numeric when the
-/// engine is calibrated, symbolic otherwise.
+/// engine is calibrated, symbolic otherwise. The LRDP fan-out and the
+/// numeric table builds run on `exec` — the serving tier's persistent
+/// worker pool when the engine fans out, so a re-selection reuses parked
+/// workers instead of spawning its own.
 fn reselect(
     engine: &QueryEngine<'_>,
     observed: &Workload,
     budget: Size,
     epsilon: f64,
     variant: Variant,
-    threads: usize,
+    exec: &dyn Executor,
 ) -> Result<Materialization, PgmError> {
     let ctx = OfflineContext::new(engine.tree(), observed)?;
     let pcfg = PeanutConfig {
         budget,
         epsilon,
-        threads: threads.max(1),
+        threads: 1,
         variant,
     };
     Ok(match engine.numeric_state() {
-        Some(ns) => Peanut::offline_numeric(&ctx, &pcfg, ns)?.0,
-        None => Peanut::offline(&ctx, &pcfg),
+        Some(ns) => Peanut::offline_numeric_with(&ctx, &pcfg, ns, exec)?.0,
+        None => Peanut::offline_with(&ctx, &pcfg, exec),
     })
 }
 
@@ -357,6 +364,7 @@ impl<'s, 't> RematerializationController<'s, 't> {
             return Ok(None);
         }
         let engine = self.serving.engine();
+        let exec = self.serving.offline_exec(self.cfg.threads);
         let t0 = Instant::now();
         let mat = reselect(
             engine,
@@ -364,7 +372,7 @@ impl<'s, 't> RematerializationController<'s, 't> {
             self.cfg.budget,
             self.cfg.epsilon,
             self.cfg.variant,
-            self.cfg.threads,
+            exec.as_ref(),
         )?;
         let selection = t0.elapsed();
 
@@ -431,8 +439,16 @@ pub struct FleetConfig {
     pub epsilon: f64,
     /// PEANUT (disjoint) or PEANUT+ (overlapping) candidate selection.
     pub variant: Variant,
-    /// Worker threads for each tenant's offline DP fan-out.
+    /// Worker threads for each tenant's offline DP fan-out when the
+    /// sharded engine has no pool to reuse (see
+    /// [`LifecycleConfig::threads`]).
     pub threads: usize,
+    /// Cache each tenant's full-budget candidate shortcut set between
+    /// rebalances, keyed on the fingerprint of its observed distribution
+    /// (on by default). A tenant whose window replays the same query mix
+    /// — at any traffic volume — skips its offline DP entirely; only
+    /// tenants whose distribution actually moved recompute.
+    pub cache_candidates: bool,
     /// Per-tenant expected savings below this floor are treated as "no
     /// benefit" (the tenant keeps an empty allocation).
     pub min_savings: f64,
@@ -455,6 +471,7 @@ impl FleetConfig {
             epsilon: 1.2,
             variant: Variant::PeanutPlus,
             threads: 1,
+            cache_candidates: true,
             min_savings: 0.01,
             decay_threshold: 0.5,
             share_drift: 0.25,
@@ -506,7 +523,45 @@ pub struct FleetController<'s, 't> {
     last_shares: Option<Vec<(TenantId, f64)>>,
     /// Expected savings each tenant's current allocation promised.
     references: HashMap<TenantId, f64>,
+    /// Per-tenant full-budget candidate pools from earlier rebalances,
+    /// keyed on the observed-distribution fingerprint they were generated
+    /// for ([`FleetConfig::cache_candidates`]).
+    candidates_cache: HashMap<TenantId, CachedCandidates>,
+    /// Tenant re-selections skipped thanks to the candidate cache.
+    cache_hits: u64,
     rebalances: Vec<FleetRebalance>,
+}
+
+/// One tenant's cached candidate pool (see
+/// [`FleetConfig::cache_candidates`]).
+struct CachedCandidates {
+    fingerprint: Vec<(Scope, u64)>,
+    /// Shared with the rebalance that generated it — a cache hit must not
+    /// deep-clone every materialized table just to read the pool.
+    pool: Arc<Vec<peanut_core::MaterializedShortcut>>,
+    overlapping: bool,
+}
+
+/// Canonical fingerprint of an observed distribution: the sorted scope
+/// histogram with counts reduced by their GCD, so windows carrying the
+/// same query *mix* at different traffic volumes fingerprint identically
+/// (the DP's selection depends only on the distribution, never the
+/// volume).
+fn distribution_fingerprint(mut counts: Vec<(Scope, u64)>) -> Vec<(Scope, u64)> {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let g = counts.iter().fold(0u64, |g, &(_, c)| gcd(g, c));
+    if g > 1 {
+        for c in &mut counts {
+            c.1 /= g;
+        }
+    }
+    counts
 }
 
 impl<'s, 't> FleetController<'s, 't> {
@@ -519,6 +574,8 @@ impl<'s, 't> FleetController<'s, 't> {
             cfg,
             last_shares: None,
             references: HashMap::new(),
+            candidates_cache: HashMap::new(),
+            cache_hits: 0,
             rebalances: Vec::new(),
         }
     }
@@ -526,6 +583,12 @@ impl<'s, 't> FleetController<'s, 't> {
     /// Every rebalance taken so far.
     pub fn rebalances(&self) -> &[FleetRebalance] {
         &self.rebalances
+    }
+
+    /// Tenant re-selections skipped because the tenant's observed
+    /// distribution fingerprint matched a cached candidate pool.
+    pub fn candidate_cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// One fleet decision round. When the fleet-wide window has filled,
@@ -592,31 +655,68 @@ impl<'s, 't> FleetController<'s, 't> {
             engine: &'a ServingEngine<'tt>,
             share: f64,
             entries: Vec<(Scope, f64)>,
-            pool: Vec<peanut_core::MaterializedShortcut>,
+            pool: Arc<Vec<peanut_core::MaterializedShortcut>>,
             overlapping: bool,
             selected: Vec<usize>,
             /// Mean per-query ops of the currently selected subset.
             current_ops: f64,
             base_ops: f64,
         }
+        let exec = self.sharded.offline_exec(self.cfg.threads);
         let t0 = Instant::now();
         let mut candidates: Vec<Candidate<'_, 't>> = Vec::new();
         for ((id, eng, snap), (_, share)) in tenants.iter().zip(&shares) {
             if snap.queries == 0 {
                 continue;
             }
-            let observed = eng.stats().observed_workload();
+            // one snapshot feeds both the training workload and the cache
+            // key: queries landing mid-tick must not key the cached pool to
+            // a newer distribution than the one it was generated from
+            let counts = eng.stats().scope_counts();
+            let observed =
+                Workload::from_weighted(counts.iter().map(|(s, c)| (s.clone(), *c as f64)));
             if observed.is_empty() {
                 continue;
             }
-            let cand_mat = reselect(
-                eng.engine(),
-                &observed,
-                self.cfg.budget,
-                self.cfg.epsilon,
-                self.cfg.variant,
-                self.cfg.threads,
-            )?;
+            // candidate generation is the expensive half of a rebalance
+            // (one full-budget offline DP per tenant); a tenant whose
+            // observed distribution is unchanged since its pool was last
+            // generated reuses it verbatim
+            let fingerprint = distribution_fingerprint(counts);
+            let cached = self.cfg.cache_candidates.then(|| {
+                self.candidates_cache
+                    .get(id)
+                    .filter(|c| c.fingerprint == fingerprint)
+            });
+            let (pool, overlapping) = match cached.flatten() {
+                Some(hit) => {
+                    self.cache_hits += 1;
+                    (Arc::clone(&hit.pool), hit.overlapping)
+                }
+                None => {
+                    let cand_mat = reselect(
+                        eng.engine(),
+                        &observed,
+                        self.cfg.budget,
+                        self.cfg.epsilon,
+                        self.cfg.variant,
+                        exec.as_ref(),
+                    )?;
+                    let overlapping = cand_mat.overlapping;
+                    let pool = Arc::new(cand_mat.shortcuts);
+                    if self.cfg.cache_candidates {
+                        self.candidates_cache.insert(
+                            *id,
+                            CachedCandidates {
+                                fingerprint,
+                                pool: Arc::clone(&pool),
+                                overlapping,
+                            },
+                        );
+                    }
+                    (pool, overlapping)
+                }
+            };
             let entries = workload_entries(&observed);
             let base_ops = baseline_query_ops(eng.engine(), &entries);
             let none = Materialization::default();
@@ -626,8 +726,8 @@ impl<'s, 't> FleetController<'s, 't> {
                 engine: eng,
                 share: *share,
                 entries,
-                pool: cand_mat.shortcuts,
-                overlapping: cand_mat.overlapping,
+                pool,
+                overlapping,
                 selected: Vec::new(),
                 current_ops,
                 base_ops,
@@ -1261,6 +1361,90 @@ mod tests {
             idle_alloc,
             "the idle tenant's allocation must be untouched"
         );
+    }
+
+    /// The candidate cache is a pure optimization: a fleet driven through
+    /// identical traffic must produce byte-identical rebalances with and
+    /// without it — and the cached run must actually skip re-selections.
+    #[test]
+    fn fleet_candidate_cache_preserves_rebalance_output() {
+        let bn_a = fixtures::chain(18, 2, 13);
+        let bn_b = fixtures::chain(18, 2, 29);
+        let tree_a = build_junction_tree(&bn_a).unwrap();
+        let tree_b = build_junction_tree(&bn_b).unwrap();
+        let build_fleet = || {
+            let mut sharded = ShardedServingEngine::new(ShardConfig {
+                workers: 1,
+                ..ShardConfig::default()
+            });
+            sharded
+                .register(
+                    TenantId(0),
+                    QueryEngine::numeric(&tree_a, &bn_a).unwrap(),
+                    Materialization::default(),
+                )
+                .unwrap();
+            sharded
+                .register(
+                    TenantId(1),
+                    QueryEngine::numeric(&tree_b, &bn_b).unwrap(),
+                    Materialization::default(),
+                )
+                .unwrap();
+            sharded
+        };
+        let cached_fleet = build_fleet();
+        let plain_fleet = build_fleet();
+        let cfg = |cache: bool| FleetConfig {
+            min_window: 32,
+            cache_candidates: cache,
+            ..FleetConfig::new(192)
+        };
+        let mut cached_ctl = FleetController::new(&cached_fleet, cfg(true));
+        let mut plain_ctl = FleetController::new(&plain_fleet, cfg(false));
+
+        // each phase serves whole multiples of the pool, so every window
+        // observes the *same per-tenant distribution* at shifted volumes:
+        // the share shift forces a rebalance, the distribution fingerprint
+        // stays put, and the cached controller must skip both re-selections
+        let pool = pair_queries(0, 18, 7);
+        let serve = |fleet: &ShardedServingEngine<'_>, a_rounds: usize, b_rounds: usize| {
+            let mut batch: Vec<(TenantId, Query)> = Vec::new();
+            for _ in 0..a_rounds {
+                batch.extend(pool.iter().map(|q| (TenantId(0), q.clone())));
+            }
+            for _ in 0..b_rounds {
+                batch.extend(pool.iter().map(|q| (TenantId(1), q.clone())));
+            }
+            let (answers, _) = fleet.serve_mixed(&batch);
+            assert!(answers.iter().all(Result::is_ok));
+        };
+        for (a_rounds, b_rounds) in [(4, 2), (2, 4)] {
+            serve(&cached_fleet, a_rounds, b_rounds);
+            serve(&plain_fleet, a_rounds, b_rounds);
+            let with = cached_ctl.tick().unwrap().expect("rebalance").clone();
+            let without = plain_ctl.tick().unwrap().expect("rebalance").clone();
+            assert_eq!(with.at_arrivals, without.at_arrivals);
+            assert_eq!(with.total_size, without.total_size);
+            assert_eq!(with.allocations.len(), without.allocations.len());
+            for (a, b) in with.allocations.iter().zip(&without.allocations) {
+                assert_eq!(a.tenant, b.tenant);
+                assert_eq!(a.share, b.share);
+                assert_eq!(a.shortcuts, b.shortcuts, "same selected sets");
+                assert_eq!(a.budget_used, b.budget_used);
+                assert_eq!(a.expected_savings, b.expected_savings);
+                assert_eq!(a.published, b.published);
+            }
+        }
+        // the second rebalance re-used both tenants' cached pools…
+        assert_eq!(cached_ctl.candidate_cache_hits(), 2);
+        assert_eq!(plain_ctl.candidate_cache_hits(), 0);
+        // …and the served artifacts are identical shortcut-for-shortcut
+        for t in 0..2u32 {
+            let a = cached_fleet.tenant(TenantId(t)).unwrap().materialization();
+            let b = plain_fleet.tenant(TenantId(t)).unwrap().materialization();
+            assert_eq!(fingerprint(&a), fingerprint(&b));
+        }
     }
 
     /// A steady fleet (shares stable, no decay) must not rebalance again.

@@ -1,0 +1,494 @@
+//! The persistent worker pool: long-lived workers, parked between waves.
+//!
+//! The first serving tier spawned a fresh set of scoped threads per batch.
+//! That is correct and simple, but a server draining *small hot batches* —
+//! a few queries per wave, thousands of waves per second — pays the thread
+//! spawn/join latency on every single wave. A [`WorkerPool`] moves that
+//! cost to construction time:
+//!
+//! * `workers` OS threads are spawned **once** (per engine, or shared
+//!   across the shards of a sharded engine) and live until the pool drops;
+//! * between waves the workers are **parked** on a condvar — zero CPU,
+//!   woken in microseconds instead of re-spawned in tens of them;
+//! * a wave ([`run_wave`](WorkerPool::run_wave)) is a batch of independent
+//!   index-identified tasks pushed onto a `Mutex<VecDeque>` work queue;
+//!   workers claim task indices from the front wave work-stealing-style
+//!   (an atomic cursor, no per-task queue nodes);
+//! * each worker owns a [`Scratch`] that persists across tasks *and*
+//!   waves, so steady-state serving performs no transient allocation —
+//!   strictly better than the scoped design, whose scratches died with
+//!   their threads at every batch boundary;
+//! * a panicking task is **isolated**: the worker catches the unwind,
+//!   replaces its scratch, and keeps serving; the panic is re-raised on
+//!   the *submitting* thread once the wave completes, so the pool is never
+//!   poisoned and subsequent waves are unaffected;
+//! * dropping the pool signals shutdown and joins every worker.
+//!
+//! [`PoolStats`] exposes the telemetry the benches assert on: tasks run,
+//! waves served, park/unpark counts, and the spawn amortization that is
+//! the whole point (`workers` spawns total, vs `workers × waves` for the
+//! scoped design).
+//!
+//! The pool also implements [`Executor`], so the
+//! lifecycle controller's off-path re-materialization (LRDP fan-out +
+//! numeric table builds) runs on the same parked workers instead of
+//! spawning its own.
+//!
+//! # Caveat
+//!
+//! [`run_wave`](WorkerPool::run_wave) blocks the submitting thread until
+//! the wave completes and must **not** be called from inside a pool task
+//! (a 1-worker pool would deadlock waiting for itself). Serving tasks
+//! never submit waves, and the lifecycle controllers submit only from
+//! their own tick threads.
+
+use peanut_core::exec::{Executor, ScopedExecutor, SequentialExecutor};
+use peanut_pgm::Scratch;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// How a batch fans its fresh work out across workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// One persistent [`WorkerPool`] per engine, spawned lazily on the
+    /// first multi-task batch and parked between waves (the default).
+    #[default]
+    Persistent,
+    /// Scoped threads spawned per batch — the pre-pool design, kept as the
+    /// spawn-latency baseline the benches measure against.
+    Scoped,
+}
+
+/// A point-in-time snapshot of a pool's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned — once, at construction. This is the whole
+    /// spawn bill; the scoped design pays `workers` per wave instead.
+    pub workers: usize,
+    /// Waves submitted via [`WorkerPool::run_wave`].
+    pub waves: u64,
+    /// Tasks executed across all waves.
+    pub tasks: u64,
+    /// Times a worker parked (blocked on the work condvar).
+    pub parks: u64,
+    /// Times a parked worker was woken.
+    pub unparks: u64,
+    /// Tasks that panicked (isolated; re-raised on the submitter).
+    pub panics: u64,
+}
+
+impl PoolStats {
+    /// Tasks served per thread spawn — the spawn-amortization figure. The
+    /// scoped baseline is pinned at (roughly) `tasks / (waves × workers)`;
+    /// a persistent pool's grows without bound as the engine stays up.
+    pub fn tasks_per_spawn(&self) -> f64 {
+        self.tasks as f64 / self.workers.max(1) as f64
+    }
+}
+
+/// The lazily spawned pool slot shared by [`ServingEngine`] and
+/// [`ShardedServingEngine`]: one place for the spawn-on-first-use,
+/// warm-up, and offline-executor-selection rules, so the two engines
+/// cannot drift apart.
+///
+/// [`ServingEngine`]: crate::engine::ServingEngine
+/// [`ShardedServingEngine`]: crate::shard::ShardedServingEngine
+#[derive(Default)]
+pub(crate) struct PoolCell {
+    cell: OnceLock<Arc<WorkerPool>>,
+}
+
+impl PoolCell {
+    pub(crate) fn new() -> Self {
+        PoolCell::default()
+    }
+
+    /// Installs an externally owned pool; fails if one is already set.
+    pub(crate) fn set(&self, pool: Arc<WorkerPool>) -> Result<(), Arc<WorkerPool>> {
+        self.cell.set(pool)
+    }
+
+    /// The pool, spawning `workers` threads on first use.
+    pub(crate) fn get_or_spawn(&self, workers: usize) -> &Arc<WorkerPool> {
+        self.cell.get_or_init(|| Arc::new(WorkerPool::new(workers)))
+    }
+
+    /// Telemetry, if the pool has been spawned.
+    pub(crate) fn stats(&self) -> Option<PoolStats> {
+        self.cell.get().map(|p| p.stats())
+    }
+
+    /// Whether batches fan out onto a persistent pool at all.
+    pub(crate) fn fans_out(spawn: SpawnMode, workers: usize) -> bool {
+        spawn == SpawnMode::Persistent && workers > 1
+    }
+
+    /// Pre-spawns the pool so the first fanned-out batch does not pay
+    /// thread-spawn latency in-band. A no-op when batches never fan out.
+    pub(crate) fn warm(&self, spawn: SpawnMode, workers: usize) {
+        if Self::fans_out(spawn, workers) {
+            self.get_or_spawn(workers);
+        }
+    }
+
+    /// Executor for off-path offline work (lifecycle/fleet re-selection):
+    /// the persistent pool when batches fan out, a scoped `threads`-wide
+    /// fan-out otherwise (sequential when 1).
+    pub(crate) fn offline_exec(
+        &self,
+        spawn: SpawnMode,
+        workers: usize,
+        threads: usize,
+    ) -> Box<dyn Executor + '_> {
+        if Self::fans_out(spawn, workers) {
+            Box::new(self.get_or_spawn(workers).as_ref())
+        } else if threads > 1 {
+            Box::new(ScopedExecutor::new(threads))
+        } else {
+            Box::new(SequentialExecutor)
+        }
+    }
+}
+
+/// Lifetime-erased pointer to a wave's task closure. A raw pointer (not a
+/// transmuted `&'static`) because the `Wave` can stay reachable — front of
+/// the queue, or in a worker's `Arc` clone — after `run_wave` returns and
+/// the closure is destroyed; a retained reference would then be dangling,
+/// a retained raw pointer is merely unused.
+struct TaskPtr(*const (dyn Fn(usize, &mut Scratch) + Sync));
+
+// SAFETY: the pointee is `Sync` (callable from many threads through a
+// shared reference), and `run_wave` guarantees it stays alive for every
+// dereference (see `Wave::task`).
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One submitted wave: an erased task closure plus claim/completion state.
+struct Wave {
+    /// The task body. SAFETY: only dereferenced for claimed indices
+    /// `< total`, and `run_wave` does not return before every claimed
+    /// index has completed — so the pointee outlives every dereference.
+    task: TaskPtr,
+    total: usize,
+    next: AtomicUsize,
+    done: Mutex<usize>,
+    complete: Condvar,
+    panics: AtomicUsize,
+    first_panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+struct Queue {
+    waves: VecDeque<Arc<Wave>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    waves: AtomicU64,
+    tasks: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// A fixed-size pool of persistent, parked worker threads. See the module
+/// docs for the design.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (clamped to ≥ 1) threads, immediately parked.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                waves: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            waves: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("peanut-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// The number of persistent workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            waves: self.shared.waves.load(Ordering::Relaxed),
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            unparks: self.shared.unparks.load(Ordering::Relaxed),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `task(i, scratch)` for every `i in 0..total` on the pool's
+    /// workers and blocks until all of them have completed. Each worker
+    /// passes its own long-lived [`Scratch`]. Concurrent waves (from other
+    /// threads) queue FIFO.
+    ///
+    /// If any task panicked, the first panic payload is re-raised here —
+    /// on the submitting thread — *after* the wave has fully completed;
+    /// the workers themselves survive and keep serving later waves.
+    ///
+    /// Must not be called from inside a pool task (see the module docs).
+    pub fn run_wave(&self, total: usize, task: &(dyn Fn(usize, &mut Scratch) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        // SAFETY: lifetime-erasing `&'a dyn …` to `*const dyn … + 'static`
+        // — same fat-pointer layout; an `as` cast cannot rewrite the trait
+        // object's lifetime bound. Dereference safety is argued at
+        // `Wave::task`.
+        let task: *const (dyn Fn(usize, &mut Scratch) + Sync) =
+            unsafe { std::mem::transmute(task) };
+        let wave = Arc::new(Wave {
+            task: TaskPtr(task),
+            total,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            complete: Condvar::new(),
+            panics: AtomicUsize::new(0),
+            first_panic: Mutex::new(None),
+        });
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue lock");
+            q.waves.push_back(Arc::clone(&wave));
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.waves.fetch_add(1, Ordering::Relaxed);
+
+        let mut done = wave.done.lock().expect("wave done lock");
+        while *done < total {
+            done = wave.complete.wait(done).expect("wave done lock");
+        }
+        drop(done);
+        if wave.panics.load(Ordering::Relaxed) > 0 {
+            let payload = wave
+                .first_panic
+                .lock()
+                .expect("wave panic lock")
+                .take()
+                .unwrap_or_else(|| Box::new("pool task panicked"));
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue lock");
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.handles.lock().expect("pool handles lock").drain(..) {
+            h.join().expect("pool worker joined");
+        }
+    }
+}
+
+/// The serving pool doubles as the offline phase's executor, so a
+/// lifecycle re-materialization (LRDP roots, numeric table builds) reuses
+/// the already-parked serving workers.
+impl Executor for WorkerPool {
+    fn run_tasks(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_wave(total, &|i, _scratch| task(i));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = Scratch::new();
+    loop {
+        // take (a handle on) the front wave, or park until one arrives
+        let wave = {
+            let mut q = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(w) = q.waves.front() {
+                    break Arc::clone(w);
+                }
+                shared.parks.fetch_add(1, Ordering::Relaxed);
+                q = shared.work_ready.wait(q).expect("pool queue lock");
+                shared.unparks.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+
+        // claim and run tasks until the wave is exhausted
+        loop {
+            let i = wave.next.fetch_add(1, Ordering::Relaxed);
+            if i >= wave.total {
+                break;
+            }
+            shared.tasks.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `i < total`, so the submitting `run_wave` has not
+            // observed `done == total` yet and the pointee is still alive.
+            let task = unsafe { &*wave.task.0 };
+            if catch_unwind(AssertUnwindSafe(|| task(i, &mut scratch)))
+                .map_err(|payload| {
+                    wave.panics.fetch_add(1, Ordering::Relaxed);
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                    let mut first = wave.first_panic.lock().expect("wave panic lock");
+                    first.get_or_insert(payload);
+                })
+                .is_err()
+            {
+                // the scratch may hold a half-recycled buffer from the
+                // unwound task; replace it rather than reason about it
+                scratch = Scratch::new();
+            }
+            let mut done = wave.done.lock().expect("wave done lock");
+            *done += 1;
+            if *done == wave.total {
+                wave.complete.notify_all();
+            }
+        }
+
+        // the wave is exhausted: pop it so later waves reach the front
+        // (first exhausted-finder wins; ptr_eq keeps a racing pop from
+        // removing a *newer* wave)
+        let mut q = shared.queue.lock().expect("pool queue lock");
+        if q.waves.front().is_some_and(|w| Arc::ptr_eq(w, &wave)) {
+            q.waves.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn wave_runs_every_task_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_wave(hits.len(), &|i, _s| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.waves, 1);
+        assert_eq!(stats.tasks, 64);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn workers_park_between_waves() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..5 {
+            pool.run_wave(8, &|_i, _s| {});
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.waves, 5);
+        assert_eq!(stats.tasks, 40);
+        assert!(
+            stats.parks >= stats.waves,
+            "workers must park between waves: {stats:?}"
+        );
+        assert_eq!(stats.tasks_per_spawn(), 20.0);
+    }
+
+    #[test]
+    fn panicking_task_does_not_poison_the_pool() {
+        let pool = WorkerPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_wave(8, &|i, _s| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+            });
+        }));
+        assert!(err.is_err(), "the submitter must see the panic");
+        assert_eq!(pool.stats().panics, 1);
+        // the pool keeps serving: all workers survived the unwind
+        let hits = AtomicUsize::new(0);
+        pool.run_wave(16, &|_i, _s| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(4);
+        pool.run_wave(4, &|_i, _s| {});
+        let alive = Arc::downgrade(&pool.shared);
+        drop(pool);
+        // every worker held an Arc<Shared>; none left ⇒ all joined
+        assert!(
+            alive.upgrade().is_none(),
+            "drop must join every worker thread"
+        );
+    }
+
+    #[test]
+    fn concurrent_waves_from_many_threads() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        pool.run_wave(7, &|_i, _s| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 10 * 7);
+        assert_eq!(pool.stats().tasks, 4 * 10 * 7);
+    }
+
+    #[test]
+    fn executor_impl_covers_every_index() {
+        let pool = WorkerPool::new(2);
+        let out = Mutex::new(Vec::new());
+        Executor::run_tasks(&pool, 19, &|i| out.lock().unwrap().push(i));
+        let mut v = out.into_inner().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, (0..19).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_wave_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.run_wave(0, &|_i, _s| unreachable!("no tasks"));
+        assert_eq!(pool.stats().waves, 0);
+    }
+}

@@ -3,6 +3,11 @@
 //! percentiles, operation counts, shortcut hit rates. [`replay_mixed`]
 //! drives a multi-tenant arrival stream through a
 //! [`ShardedServingEngine`] the same way.
+//!
+//! Both drivers pre-warm the engine's persistent worker pool before the
+//! timed run, so the one-time thread spawn is charged to setup (as it
+//! would be in a real server's boot) rather than to the first batch's
+//! latency.
 
 use crate::engine::{Query, ServingEngine};
 use crate::shard::{ShardedServingEngine, TenantId};
@@ -79,6 +84,7 @@ impl ReplayReport {
 /// Streams `queries` through `engine` in batches and aggregates telemetry.
 pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
+    engine.warm_pool();
     let start = Instant::now();
     let mut report = ReplayReport {
         queries: queries.len(),
@@ -125,6 +131,7 @@ pub fn replay_mixed(
     cfg: &ReplayConfig,
 ) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
+    engine.warm_pool();
     let start = Instant::now();
     let mut report = ReplayReport {
         queries: arrivals.len(),

@@ -30,12 +30,14 @@ use crate::engine::{
     answer_one, Answer, AnswerCache, BatchStats, CacheLookup, Query, Served, ServingConfig,
     ServingEngine,
 };
+use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
+use peanut_core::exec::Executor;
 use peanut_core::{Materialization, OnlineEngine};
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Scratch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Identifies one tenant (one model) of a sharded engine.
@@ -52,12 +54,15 @@ impl std::fmt::Display for TenantId {
 /// `cache_capacity`; the worker pool is shared and sized here.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardConfig {
-    /// Shared worker threads per mixed batch; `0` means one per core.
+    /// Shared worker threads; `0` means one per core.
     pub workers: usize,
     /// Coalesce duplicate queries within a batch, per tenant.
     pub dedup: bool,
     /// Per-tenant answer-cache capacity (`0` disables caching).
     pub cache_capacity: usize,
+    /// How mixed batches fan out: one persistent [`WorkerPool`] shared by
+    /// every shard (default) or scoped per-batch threads.
+    pub spawn: SpawnMode,
 }
 
 impl Default for ShardConfig {
@@ -67,6 +72,7 @@ impl Default for ShardConfig {
             workers: d.workers,
             dedup: d.dedup,
             cache_capacity: d.cache_capacity,
+            spawn: d.spawn,
         }
     }
 }
@@ -105,6 +111,9 @@ pub struct ShardedServingEngine<'t> {
     shards: Vec<TenantShard<'t>>,
     index: HashMap<TenantId, usize>,
     cfg: ShardConfig,
+    /// The **one** persistent pool every shard's fresh work fans out on,
+    /// spawned lazily on the first mixed batch that needs it.
+    pool: PoolCell,
 }
 
 impl<'t> ShardedServingEngine<'t> {
@@ -114,7 +123,34 @@ impl<'t> ShardedServingEngine<'t> {
             shards: Vec::new(),
             index: HashMap::new(),
             cfg,
+            pool: PoolCell::new(),
         }
+    }
+
+    /// The fleet's shared persistent worker pool, spawning it on first
+    /// use (sized by [`workers`](Self::workers)).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool.get_or_spawn(self.workers())
+    }
+
+    /// Shared-pool telemetry, if the pool has been spawned.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.stats()
+    }
+
+    /// Pre-spawns the shared pool so the first fanned-out mixed batch
+    /// does not pay thread-spawn latency in-band. A no-op when mixed
+    /// batches would never fan out.
+    pub fn warm_pool(&self) {
+        self.pool.warm(self.cfg.spawn, self.workers());
+    }
+
+    /// Executor for off-path fleet work (candidate re-selection): the
+    /// shared pool when mixed batches fan out, a scoped `threads`-wide
+    /// fan-out otherwise (sequential when 1).
+    pub(crate) fn offline_exec(&self, threads: usize) -> Box<dyn Executor + '_> {
+        self.pool
+            .offline_exec(self.cfg.spawn, self.workers(), threads)
     }
 
     /// Registers a tenant: a calibrated engine plus its initial
@@ -137,6 +173,7 @@ impl<'t> ShardedServingEngine<'t> {
                 workers: 1,
                 dedup: self.cfg.dedup,
                 cache_capacity: self.cfg.cache_capacity,
+                spawn: self.cfg.spawn,
             },
         );
         // keep the registry sorted by id so every fleet-level iteration
@@ -293,13 +330,30 @@ impl<'t> ShardedServingEngine<'t> {
             answer_one(&online, uniques[slot][u], scratch, run.epoch).map(Arc::new)
         };
         if work.len() <= 1 || n_workers == 1 {
-            // in-thread fast path: no spawn overhead for small/warm batches
+            // in-thread fast path: no fan-out overhead for small/warm batches
             let mut scratch = Scratch::new();
             let computed: WorkerOut = work
                 .iter()
                 .map(|&(slot, u)| (slot, u, compute(slot, u, &mut scratch)))
                 .collect();
             for (slot, u, r) in computed {
+                runs[slot].as_mut().expect("run").results[u] = Some(r);
+            }
+        } else if self.cfg.spawn == SpawnMode::Persistent {
+            // the shared persistent pool serves whatever tenant's query
+            // comes next; worker scratches persist across batches and
+            // tenants alike. Each task owns slot `w`, so results land
+            // lock-free instead of contending on one mutex.
+            let out: Vec<OnceLock<Result<Arc<Answer>, PgmError>>> =
+                (0..work.len()).map(|_| OnceLock::new()).collect();
+            self.pool().run_wave(work.len(), &|w, scratch| {
+                let (slot, u) = work[w];
+                let r = compute(slot, u, scratch);
+                assert!(out[w].set(r).is_ok(), "wave claims each index once");
+            });
+            for (w, cell) in out.into_iter().enumerate() {
+                let (slot, u) = work[w];
+                let r = cell.into_inner().expect("completed wave ran every task");
                 runs[slot].as_mut().expect("run").results[u] = Some(r);
             }
         } else {

@@ -1,0 +1,191 @@
+//! Pool lifecycle coverage: the persistent worker pool must survive task
+//! panics (subsequent batches still answer correctly vs the VE oracle),
+//! join every worker on drop, and — regardless of spawn mode or worker
+//! count — produce byte-identical answers to the sequential path.
+
+use peanut_core::Materialization;
+use peanut_junction::{build_junction_tree, QueryEngine};
+use peanut_pgm::{fixtures, BayesianNetwork, Scope};
+use peanut_serving::{Query, ServingConfig, ServingEngine, SpawnMode, WorkerPool};
+use peanut_ve::ve_answer;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn batch(bn: &BayesianNetwork) -> Vec<Query> {
+    let n = bn.domain().len() as u32;
+    (0..n)
+        .flat_map(|a| {
+            ((a + 1)..n.min(a + 3)).map(move |b| Query::Marginal(Scope::from_indices(&[a, b])))
+        })
+        .collect()
+}
+
+/// A panicking wave on a pool shared with a serving engine must not
+/// poison the pool: the next batches answer correctly vs the VE oracle.
+#[test]
+fn worker_panic_does_not_poison_the_pool() {
+    let bn = fixtures::figure1();
+    let tree = build_junction_tree(&bn).unwrap();
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let pool = Arc::new(WorkerPool::new(2));
+    let serving = ServingEngine::with_pool(
+        engine,
+        Materialization::default(),
+        ServingConfig {
+            workers: 2,
+            cache_capacity: 0, // every batch must recompute through the pool
+            ..ServingConfig::default()
+        },
+        Arc::clone(&pool),
+    );
+
+    // a wave with a panicking task: the submitter sees the panic…
+    let blown = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_wave(4, &|i, _scratch| {
+            if i == 2 {
+                panic!("injected task panic");
+            }
+        });
+    }));
+    assert!(blown.is_err(), "the submitting thread must see the panic");
+    assert_eq!(pool.stats().panics, 1);
+
+    // …and the pool keeps serving whole batches, correct vs the oracle
+    let queries = batch(&bn);
+    for _ in 0..3 {
+        let (answers, stats) = serving.serve_batch(&queries);
+        assert_eq!(stats.queries, queries.len());
+        for (q, a) in queries.iter().zip(&answers) {
+            let a = a.as_ref().expect("served after panic");
+            let Query::Marginal(scope) = q else {
+                unreachable!()
+            };
+            let (mut want, _) = ve_answer(&bn, scope).unwrap();
+            want.normalize();
+            assert!(a.potential.max_abs_diff(&want).unwrap() < 1e-9);
+        }
+    }
+    assert!(pool.stats().tasks > 4, "post-panic waves must have run");
+}
+
+/// Dropping an engine (and its pool handle) joins every worker: no
+/// thread keeps a reference to the pool's shared state alive.
+#[test]
+fn drop_joins_all_workers() {
+    let bn = fixtures::sprinkler();
+    let tree = build_junction_tree(&bn).unwrap();
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let pool = Arc::new(WorkerPool::new(3));
+    let weak = Arc::downgrade(&pool);
+    let serving = ServingEngine::with_pool(
+        engine,
+        Materialization::default(),
+        ServingConfig {
+            workers: 3,
+            cache_capacity: 0,
+            ..ServingConfig::default()
+        },
+        pool,
+    );
+    let queries = batch(&bn);
+    let (answers, _) = serving.serve_batch(&queries);
+    assert!(answers.iter().all(Result::is_ok));
+    drop(serving);
+    // the engine held the last Arc<WorkerPool>; its drop joined the
+    // workers, so nothing can be holding the pool anymore
+    assert!(weak.upgrade().is_none(), "drop must join all workers");
+}
+
+/// One worker, two persistent workers, and the scoped baseline must all
+/// produce byte-identical answers — the fan-out is a scheduling decision,
+/// never a numeric one.
+#[test]
+fn pool_answers_are_byte_identical_to_sequential() {
+    let bn = fixtures::chain(14, 2, 13);
+    let tree = build_junction_tree(&bn).unwrap();
+    let queries = batch(&bn);
+    let serve = |workers: usize, spawn: SpawnMode| -> Vec<Vec<f64>> {
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig {
+                workers,
+                cache_capacity: 0,
+                spawn,
+                ..ServingConfig::default()
+            },
+        );
+        let (answers, _) = serving.serve_batch(&queries);
+        answers
+            .into_iter()
+            .map(|a| a.expect("served").potential.values().to_vec())
+            .collect()
+    };
+    let sequential = serve(1, SpawnMode::Persistent);
+    let pooled = serve(2, SpawnMode::Persistent);
+    let scoped = serve(2, SpawnMode::Scoped);
+    assert_eq!(
+        sequential, pooled,
+        "a fanned-out pool must be byte-identical to the sequential path"
+    );
+    assert_eq!(
+        sequential, scoped,
+        "the scoped baseline must be byte-identical to the sequential path"
+    );
+}
+
+/// A 1-worker configuration never spawns a pool at all: the sequential
+/// fast path answers in the calling thread.
+#[test]
+fn one_worker_engine_spawns_no_pool() {
+    let bn = fixtures::sprinkler();
+    let tree = build_junction_tree(&bn).unwrap();
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let serving = ServingEngine::new(
+        engine,
+        Materialization::default(),
+        ServingConfig {
+            workers: 1,
+            ..ServingConfig::default()
+        },
+    );
+    serving.warm_pool(); // no-op for 1 worker
+    let (answers, _) = serving.serve_batch(&batch(&bn));
+    assert!(answers.iter().all(Result::is_ok));
+    assert!(
+        serving.pool_stats().is_none(),
+        "sequential serving must not spawn workers"
+    );
+}
+
+/// The pool amortizes its spawns: repeated batches reuse the same parked
+/// workers, and the stats surface shows it.
+#[test]
+fn pool_spawns_once_across_batches() {
+    let bn = fixtures::chain(12, 2, 7);
+    let tree = build_junction_tree(&bn).unwrap();
+    let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+    let serving = ServingEngine::new(
+        engine,
+        Materialization::default(),
+        ServingConfig {
+            workers: 2,
+            cache_capacity: 0,
+            ..ServingConfig::default()
+        },
+    );
+    let queries = batch(&bn);
+    for _ in 0..5 {
+        let (answers, _) = serving.serve_batch(&queries);
+        assert!(answers.iter().all(Result::is_ok));
+    }
+    let stats = serving.pool_stats().expect("pool spawned");
+    assert_eq!(stats.workers, 2, "spawned once, sized by the config");
+    assert_eq!(stats.waves, 5, "one wave per batch");
+    assert_eq!(stats.tasks, 5 * queries.len() as u64);
+    assert!(
+        stats.tasks_per_spawn() >= queries.len() as f64,
+        "spawn amortization must grow with uptime: {stats:?}"
+    );
+}
