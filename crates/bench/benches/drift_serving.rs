@@ -143,6 +143,8 @@ fn drive_with_lifecycle(
             ));
             std::thread::sleep(BATCH_GAP);
         }
+        // ordering: advisory stop flag — the join on the next line is the
+        // real barrier; the controller only needs to notice it eventually.
         stop.store(true, Ordering::Relaxed);
         let swaps = ctl_handle.join().expect("controller thread");
         (per_batch, swaps)

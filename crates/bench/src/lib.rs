@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut-bench
 //!
 //! The reproduction harness: one binary per paper table/figure (see

@@ -1,0 +1,78 @@
+//! Mutation test: prove the checker actually catches ordering bugs.
+//!
+//! The `mutation-lost-wakeup` feature re-introduces a classic lost-wakeup
+//! bug into `WorkerPool::run_wave`: the `work_ready` notification is moved
+//! *before* the queue push instead of after it. A parked worker can then
+//! wake on the early notify, find the queue still empty, re-park — and the
+//! push that follows wakes nobody. Root blocks forever on the wave's
+//! completion condvar, the worker forever on `work_ready`: deadlock.
+//!
+//! Exposing it needs one adversarial preemption — away from the
+//! submitter in the window between the early notify and the push, so the
+//! worker parks on the still-empty queue and the push wakes nobody. A
+//! preemption bound of 1 must find it, and a bound of 0 (pure
+//! run-to-block cooperative scheduling, what an unlucky `cargo test` run
+//! usually exercises) must NOT: the bug the mutation plants genuinely
+//! needs the checker, not a lucky schedule.
+
+#![cfg(feature = "mutation-lost-wakeup")]
+
+use interleave::FailureKind;
+use peanut_check::{explore, explore_random, pool_counting_wave, replay_seed, Config, Outcome};
+
+#[test]
+fn bounded_exploration_catches_the_lost_wakeup_as_deadlock() {
+    let body = || pool_counting_wave(1, 1);
+
+    // cooperative run-to-block scheduling never lines the race up…
+    explore(&Config::with_preemption_bound(0), body).assert_pass();
+
+    // …one adversarial preemption does: the checker must find the deadlock
+    let caught = explore(&Config::with_preemption_bound(1), body);
+    let failure = caught.assert_fail();
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{}", failure.message);
+    assert!(
+        failure.message.contains("Cond"),
+        "both threads must be blocked on condvars: {}",
+        failure.message
+    );
+    println!(
+        "mutation caught after {} schedules: {}",
+        failure.schedules, failure.message
+    );
+
+    // the recorded plan replays to the identical failure
+    let replayed = interleave::replay_plan(&Config::with_preemption_bound(1), &failure.plan, body);
+    let Outcome::Fail(again) = replayed else {
+        panic!("recorded plan must reproduce the deadlock");
+    };
+    assert_eq!(again.kind, FailureKind::Deadlock);
+    assert_eq!(
+        again.message, failure.message,
+        "replay must be bit-identical"
+    );
+}
+
+#[test]
+fn random_exploration_finds_it_and_replays_by_seed() {
+    let body = || pool_counting_wave(1, 1);
+
+    let caught = explore_random(&Config::default(), 5_000, 0xfeed_beef, body);
+    let failure = caught.assert_fail();
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{}", failure.message);
+    let seed = failure.seed.expect("random failures carry their sub-seed");
+    println!(
+        "random mode caught the mutation at seed {seed:#x} after {} schedules",
+        failure.schedules
+    );
+
+    // the reported seed alone reproduces the identical failure
+    let Outcome::Fail(again) = replay_seed(&Config::default(), seed, body) else {
+        panic!("seed {seed:#x} must reproduce the deadlock");
+    };
+    assert_eq!(again.kind, FailureKind::Deadlock);
+    assert_eq!(
+        again.message, failure.message,
+        "seed replay must be bit-identical"
+    );
+}

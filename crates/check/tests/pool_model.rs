@@ -1,0 +1,141 @@
+//! Model checking the worker pool protocol.
+//!
+//! Every test here drives the *production* `WorkerPool` — not a model of
+//! it — through the vendored `interleave` scheduler, enumerating thread
+//! interleavings up to a preemption bound (CHESS-style: context switches
+//! away from a blocked thread are always free, so the bound only caps
+//! adversarial preemptions; every schedule a correct protocol must
+//! survive at that bound is covered, completely).
+//!
+//! Schedule counts are asserted as floors (the space must not silently
+//! collapse) and printed so CI logs report how many interleavings each
+//! protocol survived. Determinism of those counts is itself asserted by
+//! the `interleave` self-tests.
+
+#![cfg(not(feature = "mutation-lost-wakeup"))]
+
+use peanut_check::{explore, explore_random, Config};
+use peanut_core::sync::atomic::{AtomicUsize, Ordering};
+use peanut_core::sync::{thread, Arc};
+use peanut_serving::WorkerPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn single_worker_single_task_protocol_is_exhaustive_at_bound_3() {
+    let out = explore(&Config::with_preemption_bound(3), || {
+        peanut_check::pool_counting_wave(1, 1);
+    });
+    let report = out.assert_pass();
+    assert!(
+        report.complete,
+        "the bounded space must be fully enumerated"
+    );
+    assert!(
+        report.schedules > 50,
+        "suspiciously small interleaving space: {}",
+        report.schedules
+    );
+    println!(
+        "pool 1w/1t bound=3: {} interleavings, longest trail {} decisions",
+        report.schedules, report.max_decisions
+    );
+}
+
+#[test]
+fn single_worker_two_tasks_protocol_survives_bound_2() {
+    let out = explore(&Config::with_preemption_bound(2), || {
+        peanut_check::pool_counting_wave(1, 2);
+    });
+    let report = out.assert_pass();
+    assert!(report.complete);
+    println!(
+        "pool 1w/2t bound=2: {} interleavings, longest trail {} decisions",
+        report.schedules, report.max_decisions
+    );
+}
+
+#[test]
+fn two_workers_two_tasks_protocol_survives_bound_1() {
+    // two workers racing to claim two task indices: the atomic-cursor
+    // claim, the done-counter completion, and the lazy queue pop all
+    // interleave here
+    let out = explore(&Config::with_preemption_bound(1), || {
+        peanut_check::pool_counting_wave(2, 2);
+    });
+    let report = out.assert_pass();
+    assert!(report.complete);
+    println!(
+        "pool 2w/2t bound=1: {} interleavings, longest trail {} decisions",
+        report.schedules, report.max_decisions
+    );
+}
+
+#[test]
+fn panic_reraise_reaches_the_submitter_under_every_interleaving() {
+    let out = explore(&Config::with_preemption_bound(2), || {
+        let pool = WorkerPool::new(1);
+        let blown = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_wave(2, &|i, _scratch| {
+                if i == 0 {
+                    panic!("injected model panic");
+                }
+            });
+        }));
+        assert!(blown.is_err(), "submitter must see the re-raised panic");
+        assert_eq!(pool.stats().panics, 1);
+        // the worker survived the unwind and still serves
+        pool.run_wave(1, &|_i, _scratch| {});
+        assert_eq!(pool.stats().waves, 2);
+    });
+    let report = out.assert_pass();
+    assert!(report.complete);
+    println!(
+        "pool panic-reraise bound=2: {} interleavings",
+        report.schedules
+    );
+}
+
+#[test]
+fn concurrent_submitters_drain_every_queued_wave_before_drop() {
+    // a second submitting thread races waves into a single-worker queue;
+    // both submitters must return (waves drained) before join-on-drop —
+    // the model-checked version of drop-while-queue-nonempty
+    let out = explore(&Config::with_preemption_bound(1), || {
+        let pool = Arc::new(WorkerPool::new(1));
+        // ordering: model runs are sequentially consistent — every Relaxed
+        // access below is a plain counter the scheduler serializes anyway.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (p2, r2) = (Arc::clone(&pool), Arc::clone(&ran));
+        let submitter = thread::spawn(move || {
+            p2.run_wave(1, &|_i, _scratch| {
+                r2.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        pool.run_wave(1, &|_i, _scratch| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        submitter.join().unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "both waves must drain");
+        let stats = pool.stats();
+        assert_eq!(stats.waves, 2);
+        drop(pool); // last Arc: join-on-drop under every interleaving
+    });
+    let report = out.assert_pass();
+    assert!(report.complete);
+    println!(
+        "pool 2 submitters bound=1: {} interleavings",
+        report.schedules
+    );
+}
+
+#[test]
+fn random_sampling_covers_larger_configurations() {
+    // configurations too big to enumerate get seeded random sampling;
+    // any failure would report a replayable seed
+    let out = explore_random(&Config::default(), 300, 0x9e37_79b9_7f4a_7c15, || {
+        peanut_check::pool_counting_wave(3, 5);
+    });
+    let report = out.assert_pass();
+    assert_eq!(report.schedules, 300);
+    println!("pool 3w/5t random: {} sampled schedules", report.schedules);
+}

@@ -11,7 +11,8 @@
 //!   so a lifecycle re-materialization reuses the already-parked serving
 //!   workers instead of spawning a fresh set per re-selection.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::thread;
 
 /// Runs a batch of independent, index-identified tasks.
 pub trait Executor: Sync {
@@ -65,9 +66,13 @@ impl Executor for ScopedExecutor {
             return SequentialExecutor.run_tasks(total, task);
         }
         let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        thread::scope(|s| {
             for _ in 0..n {
                 s.spawn(|| loop {
+                    // ordering: pure work-claiming counter — each index must
+                    // be handed out once, but no other memory is published
+                    // through it (the scope join is the barrier), so Relaxed
+                    // suffices.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
@@ -82,12 +87,12 @@ impl Executor for ScopedExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    use crate::sync::Mutex;
 
     fn collect(exec: &dyn Executor, total: usize) -> Vec<usize> {
         let out = Mutex::new(Vec::new());
-        exec.run_tasks(total, &|i| out.lock().unwrap().push(i));
-        let mut v = out.into_inner().unwrap();
+        exec.run_tasks(total, &|i| out.lock().push(i));
+        let mut v = out.into_inner();
         v.sort_unstable();
         v
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut-core
 //!
 //! The paper's contribution: **workload-aware materialization of junction
@@ -23,7 +24,11 @@
 //! * [`peanut`] — the assembled PEANUT / PEANUT+ methods;
 //! * [`stats`] — runtime workload observation (per-scope arrivals, shortcut
 //!   hit rates, observed vs training benefit) feeding the epoch-versioned
-//!   serving lifecycle.
+//!   serving lifecycle;
+//! * [`sync`] — the synchronization facade every concurrent component
+//!   imports its primitives from: std-backed normally, swapped for the
+//!   vendored `interleave` model-checking shims under the `model-check`
+//!   feature.
 
 pub mod budp;
 pub mod context;
@@ -36,6 +41,7 @@ pub mod peanut;
 pub mod plus;
 pub mod shortcut;
 pub mod stats;
+pub mod sync;
 pub mod util;
 pub mod workload;
 

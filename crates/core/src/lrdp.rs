@@ -37,9 +37,9 @@ use crate::context::OfflineContext;
 use crate::exec::{Executor, ScopedExecutor};
 use crate::grid::BudgetGrid;
 use crate::shortcut::Shortcut;
+use crate::sync::OnceLock;
 use peanut_pgm::{Size, Var};
 use std::collections::HashMap;
-use std::sync::OnceLock;
 
 /// A reconstructed SOSP solution.
 #[derive(Clone, Debug)]

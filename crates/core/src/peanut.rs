@@ -9,10 +9,10 @@ use crate::grid::BudgetGrid;
 use crate::lrdp::{lrdp_all_on, ShortcutSolution};
 use crate::online::{Materialization, MaterializedShortcut};
 use crate::plus::greedy_pack;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::OnceLock;
 use peanut_junction::NumericState;
 use peanut_pgm::{PgmError, Size};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
 
 /// Which packing strategy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -161,6 +161,9 @@ impl Peanut {
         {
             let shortcuts = &mat.shortcuts;
             exec.run_tasks(shortcuts.len(), &|i| {
+                // ordering: advisory short-circuit, both flag accesses below —
+                // a stale read just builds one more table; correctness never
+                // depends on seeing the flag, so Relaxed is enough.
                 if failed.load(Ordering::Relaxed) {
                     return;
                 }

@@ -15,12 +15,16 @@
 //! short mutex per recorded query; the accumulator is shared across serving
 //! workers behind an `Arc`.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use crate::workload::Workload;
 use peanut_junction::cost::QueryCost;
 use peanut_pgm::{Scope, Size};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+// ordering: every atomic below is an independent monotone counter; readers
+// only need window-scale accuracy (see `StatsSnapshot`), and the per-scope
+// histogram is separately mutex-protected, so all accesses are Relaxed.
 
 /// Concurrent accumulator of per-epoch serving observations.
 #[derive(Debug, Default)]
@@ -101,7 +105,7 @@ impl WorkloadStats {
             .fetch_add(cost.ops.saturating_mul(n), Ordering::Relaxed);
         self.baseline_ops
             .fetch_add(baseline_ops.saturating_mul(n), Ordering::Relaxed);
-        let mut scopes = self.scopes.lock().expect("stats lock");
+        let mut scopes = self.scopes.lock();
         *scopes.entry(scope.clone()).or_insert(0) += n;
     }
 
@@ -118,20 +122,20 @@ impl WorkloadStats {
 
     /// Number of distinct scopes recorded so far.
     pub fn distinct_scopes(&self) -> usize {
-        self.scopes.lock().expect("stats lock").len()
+        self.scopes.lock().len()
     }
 
     /// The *observed* workload: the recorded scope frequencies as an
     /// empirical distribution (Def. 3.3), ready to retrain the offline
     /// selection against. Deterministic: entries come out sorted by scope.
     pub fn observed_workload(&self) -> Workload {
-        let scopes = self.scopes.lock().expect("stats lock");
+        let scopes = self.scopes.lock();
         Workload::from_weighted(scopes.iter().map(|(s, &c)| (s.clone(), c as f64)))
     }
 
     /// The raw `(scope, arrivals)` histogram, sorted by scope.
     pub fn scope_counts(&self) -> Vec<(Scope, u64)> {
-        let scopes = self.scopes.lock().expect("stats lock");
+        let scopes = self.scopes.lock();
         let mut v: Vec<(Scope, u64)> = scopes.iter().map(|(s, &c)| (s.clone(), c)).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut-junction
 //!
 //! Junction-tree substrate for the PEANUT reproduction: everything between a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut-pgm
 //!
 //! Discrete probabilistic-graphical-model substrate for the PEANUT

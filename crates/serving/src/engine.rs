@@ -36,14 +36,15 @@
 
 use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
 use peanut_core::exec::Executor;
+use peanut_core::sync::atomic::{AtomicUsize, Ordering};
+use peanut_core::sync::{thread, Arc, Mutex, OnceLock, RwLock};
 use peanut_core::{Materialization, OnlineEngine, WorkloadStats};
 use peanut_junction::cost::QueryCost;
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size, Var};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::panic::resume_unwind;
 use std::time::{Duration, Instant};
 
 /// One query as submitted by a client.
@@ -322,11 +323,7 @@ impl<'t> ServingEngine<'t> {
         pool: Arc<WorkerPool>,
     ) -> Self {
         let serving = Self::new(engine, mat, cfg);
-        serving
-            .pool
-            .set(pool)
-            .ok()
-            .expect("fresh engine has no pool");
+        assert!(serving.pool.set(pool).is_ok(), "fresh engine has no pool");
         serving
     }
 
@@ -364,19 +361,19 @@ impl<'t> ServingEngine<'t> {
 
     /// Snapshot of the currently served materialization.
     pub fn materialization(&self) -> Arc<Materialization> {
-        Arc::clone(&self.state.read().expect("epoch lock").mat)
+        Arc::clone(&self.state.read().mat)
     }
 
     /// The epoch currently being served.
     pub fn epoch(&self) -> u64 {
-        self.state.read().expect("epoch lock").mat.epoch
+        self.state.read().mat.epoch
     }
 
     /// The current epoch's observation accumulator (per-scope arrivals,
     /// shortcut hit rates, observed vs baseline cost). Reset on every
     /// [`publish`](Self::publish).
     pub fn stats(&self) -> Arc<WorkloadStats> {
-        Arc::clone(&self.state.read().expect("epoch lock").stats)
+        Arc::clone(&self.state.read().stats)
     }
 
     /// Atomically publishes a new materialization as the next epoch and
@@ -385,7 +382,7 @@ impl<'t> ServingEngine<'t> {
     /// the old epoch, and later lookups drop those entries lazily. The
     /// observation accumulator starts fresh for the new epoch.
     pub fn publish(&self, mat: Materialization) -> u64 {
-        let mut state = self.state.write().expect("epoch lock");
+        let mut state = self.state.write();
         let epoch = state.mat.epoch + 1;
         *state = EpochState {
             mat: Arc::new(mat.with_epoch(epoch)),
@@ -402,7 +399,7 @@ impl<'t> ServingEngine<'t> {
     /// (Batches already in flight keep recording into the retired window;
     /// the next window only misses those stragglers.)
     pub fn reset_stats(&self) -> Arc<WorkloadStats> {
-        let mut state = self.state.write().expect("epoch lock");
+        let mut state = self.state.write();
         std::mem::replace(&mut state.stats, Arc::new(WorkloadStats::new()))
     }
 
@@ -411,14 +408,14 @@ impl<'t> ServingEngine<'t> {
     /// per-shard snapshots up front so a whole mixed batch is served under
     /// one epoch per tenant.
     pub(crate) fn epoch_snapshot(&self) -> (Arc<Materialization>, Arc<WorkloadStats>) {
-        let state = self.state.read().expect("epoch lock");
+        let state = self.state.read();
         (Arc::clone(&state.mat), Arc::clone(&state.stats))
     }
 
     /// Runs `f` under this engine's answer-cache lock (one lock scope per
     /// shard per mixed batch). Only Arc clones should happen inside.
     pub(crate) fn with_cache<R>(&self, f: impl FnOnce(&mut AnswerCache) -> R) -> R {
-        f(&mut self.cache.lock().expect("cache lock"))
+        f(&mut self.cache.lock())
     }
 
     /// The configured answer-cache capacity (`0` = caching disabled).
@@ -438,7 +435,7 @@ impl<'t> ServingEngine<'t> {
         if self.cfg.workers > 0 {
             self.cfg.workers
         } else {
-            std::thread::available_parallelism()
+            thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
@@ -451,10 +448,7 @@ impl<'t> ServingEngine<'t> {
     pub fn serve_batch(&self, batch: &[Query]) -> (Vec<Result<Served, PgmError>>, BatchStats) {
         let start = Instant::now();
         // epoch snapshot: the materialization and its stats accumulator
-        let (mat, stats) = {
-            let state = self.state.read().expect("epoch lock");
-            (Arc::clone(&state.mat), Arc::clone(&state.stats))
-        };
+        let (mat, stats) = self.epoch_snapshot();
         let epoch = mat.epoch;
         let mut bstats = BatchStats {
             queries: batch.len(),
@@ -493,7 +487,7 @@ impl<'t> ServingEngine<'t> {
         // happen under the lock.
         let mut work: Vec<usize> = Vec::with_capacity(uniques.len());
         if self.cfg.cache_capacity > 0 {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock();
             for (i, q) in uniques.iter().enumerate() {
                 match cache.lookup(q, epoch) {
                     CacheLookup::Hit(hit) => {
@@ -537,6 +531,9 @@ impl<'t> ServingEngine<'t> {
                 assert!(slots[w].set(r).is_ok(), "wave claims each index once");
             });
             for (w, slot) in slots.into_iter().enumerate() {
+                // lint:allow(hot_panic) — protocol invariant: run_wave does
+                // not return before every claimed index has completed, and
+                // the model-check suite drives exactly that protocol.
                 let r = slot.into_inner().expect("completed wave ran every task");
                 unique_results[work[w]] = Some(r);
             }
@@ -544,7 +541,7 @@ impl<'t> ServingEngine<'t> {
             // scoped baseline: spawn-per-batch threads (kept for the
             // spawn-amortization study and as a differential reference)
             let next = AtomicUsize::new(0);
-            let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
+            let worker_outs: Vec<WorkerOut> = thread::scope(|s| {
                 let handles: Vec<_> = (0..n_workers)
                     .map(|_| {
                         s.spawn(|| {
@@ -552,6 +549,8 @@ impl<'t> ServingEngine<'t> {
                             let mut scratch = Scratch::new();
                             let mut out = Vec::new();
                             loop {
+                                // ordering: work-claiming counter only; the
+                                // scope join publishes the results.
                                 let w = next.fetch_add(1, Ordering::Relaxed);
                                 if w >= work.len() {
                                     break;
@@ -569,7 +568,10 @@ impl<'t> ServingEngine<'t> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("serving worker panicked"))
+                    // a worker panic (task panics are not confined on the
+                    // scoped baseline) re-raises on the submitting thread,
+                    // matching the pool path's semantics
+                    .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
                     .collect()
             });
             for (i, r) in worker_outs.into_iter().flatten() {
@@ -586,7 +588,7 @@ impl<'t> ServingEngine<'t> {
                     _ => None,
                 })
                 .collect();
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock();
             for (q, a) in fresh {
                 cache.insert(self.cfg.cache_capacity, q, a);
             }
@@ -621,6 +623,8 @@ impl<'t> ServingEngine<'t> {
         let answers = assign
             .into_iter()
             .map(
+                // lint:allow(hot_panic) — invariant: every unique index is
+                // either a cache hit or a member of `work`, both filled above.
                 |u| match unique_results[u].as_ref().expect("all uniques computed") {
                     Ok(a) => Ok(Served {
                         answer: Arc::clone(a),
@@ -802,7 +806,7 @@ mod tests {
             .map(|i| Query::Marginal(Scope::from_indices(&[i])))
             .collect();
         serving.serve_batch(&qs);
-        let cached = serving.cache.lock().unwrap().map.len();
+        let cached = serving.cache.lock().map.len();
         assert!(cached <= 2, "capacity bound violated: {cached}");
     }
 
@@ -854,7 +858,7 @@ mod tests {
             serving.publish(Materialization::default());
         }
         serving.serve_batch(&batch);
-        let order_len = serving.cache.lock().unwrap().order.len();
+        let order_len = serving.cache.lock().order.len();
         assert!(
             order_len <= 8,
             "eviction queue must stay bounded by capacity, got {order_len}"

@@ -45,6 +45,8 @@
 use crate::engine::ServingEngine;
 use crate::shard::{ShardedServingEngine, TenantId};
 use peanut_core::exec::Executor;
+use peanut_core::sync::atomic::{AtomicBool, Ordering};
+use peanut_core::sync::{thread, Arc};
 use peanut_core::{
     Materialization, OfflineContext, OnlineEngine, Peanut, PeanutConfig, StatsSnapshot, Variant,
     Workload, WorkloadStats,
@@ -53,8 +55,6 @@ use peanut_junction::cost::expected_ops;
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Scope, Size};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Drift-detection and re-selection knobs.
@@ -414,9 +414,11 @@ impl<'s, 't> RematerializationController<'s, 't> {
     /// Returns the swaps published during the run.
     pub fn run(&mut self, stop: &AtomicBool, poll: Duration) -> Result<usize, PgmError> {
         let before = self.swaps.len();
+        // ordering: advisory stop flag polled once per tick; a one-tick-
+        // late observation is inherent to polling, so Relaxed suffices.
         while !stop.load(Ordering::Relaxed) {
             self.tick()?;
-            std::thread::sleep(poll);
+            thread::sleep(poll);
         }
         Ok(self.swaps.len() - before)
     }

@@ -43,13 +43,13 @@
 //! their own tick threads.
 
 use peanut_core::exec::{Executor, ScopedExecutor, SequentialExecutor};
+use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use peanut_core::sync::thread::{self, JoinHandle};
+use peanut_core::sync::{Arc, Condvar, Mutex, OnceLock};
 use peanut_pgm::Scratch;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
 
 /// How a batch fans its fresh work out across workers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -223,9 +223,11 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("peanut-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint:allow(hot_panic) — construction-time only; a
+                    // failed OS spawn leaves no pool to serve with.
                     .expect("spawn pool worker")
             })
             .collect();
@@ -243,6 +245,9 @@ impl WorkerPool {
 
     /// Snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
+        // ordering: all five are independent telemetry counters; the
+        // snapshot is advisory (benches and tests assert window-scale
+        // totals after joins), so Relaxed loads suffice.
         PoolStats {
             workers: self.workers,
             waves: self.shared.waves.load(Ordering::Relaxed),
@@ -267,12 +272,24 @@ impl WorkerPool {
         if total == 0 {
             return;
         }
-        // SAFETY: lifetime-erasing `&'a dyn …` to `*const dyn … + 'static`
-        // — same fat-pointer layout; an `as` cast cannot rewrite the trait
-        // object's lifetime bound. Dereference safety is argued at
-        // `Wave::task`.
-        let task: *const (dyn Fn(usize, &mut Scratch) + Sync) =
-            unsafe { std::mem::transmute(task) };
+        // Lifetime erasure with both sides of the cast spelled out, so the
+        // only thing this transmute can do is extend the trait object's
+        // lifetime bound (`&'a dyn` and `*const dyn + 'static` share the
+        // same fat-pointer layout; rustc rejects a plain `as` cast here
+        // precisely because it refuses to extend trait-object lifetimes).
+        // The invariant that makes the erased `'a` sound — every
+        // dereference happens before `run_wave` returns — is stated at
+        // `Wave::task` and discharged by the completion wait below.
+        //
+        // SAFETY: reference-to-pointer of the identical pointee type;
+        // only the lifetime bound changes, and `Wave::task` keeps every
+        // dereference inside `'a`.
+        let task = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, &mut Scratch) + Sync),
+                *const (dyn Fn(usize, &mut Scratch) + Sync + 'static),
+            >(task)
+        };
         let wave = Arc::new(Wave {
             task: TaskPtr(task),
             total,
@@ -282,23 +299,33 @@ impl WorkerPool {
             panics: AtomicUsize::new(0),
             first_panic: Mutex::new(None),
         });
+        // Seeded concurrency mutation (see the feature docs in
+        // Cargo.toml): notifying *before* the enqueue lets a parked worker
+        // wake, re-check a still-empty queue and re-park, after which the
+        // push below is never signalled — the lost wakeup the model
+        // checker's mutation test must catch as a deadlock.
+        #[cfg(feature = "mutation-lost-wakeup")]
+        self.shared.work_ready.notify_all();
         {
-            let mut q = self.shared.queue.lock().expect("pool queue lock");
+            let mut q = self.shared.queue.lock();
             q.waves.push_back(Arc::clone(&wave));
         }
+        #[cfg(not(feature = "mutation-lost-wakeup"))]
         self.shared.work_ready.notify_all();
+        // ordering: telemetry counter, read only by `stats()` snapshots.
         self.shared.waves.fetch_add(1, Ordering::Relaxed);
 
-        let mut done = wave.done.lock().expect("wave done lock");
+        let mut done = wave.done.lock();
         while *done < total {
-            done = wave.complete.wait(done).expect("wave done lock");
+            done = wave.complete.wait(done);
         }
         drop(done);
+        // ordering: the `done` mutex above synchronizes the wave's
+        // completion; this flag only routes control flow afterwards.
         if wave.panics.load(Ordering::Relaxed) > 0 {
             let payload = wave
                 .first_panic
                 .lock()
-                .expect("wave panic lock")
                 .take()
                 .unwrap_or_else(|| Box::new("pool task panicked"));
             resume_unwind(payload);
@@ -309,11 +336,13 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("pool queue lock");
+            let mut q = self.shared.queue.lock();
             q.shutdown = true;
         }
         self.shared.work_ready.notify_all();
-        for h in self.handles.lock().expect("pool handles lock").drain(..) {
+        for h in self.handles.lock().drain(..) {
+            // lint:allow(hot_panic) — shutdown only, and unreachable: the
+            // worker loop confines task panics with `catch_unwind`.
             h.join().expect("pool worker joined");
         }
     }
@@ -333,7 +362,7 @@ fn worker_loop(shared: &Shared) {
     loop {
         // take (a handle on) the front wave, or park until one arrives
         let wave = {
-            let mut q = shared.queue.lock().expect("pool queue lock");
+            let mut q = shared.queue.lock();
             loop {
                 if q.shutdown {
                     return;
@@ -341,27 +370,35 @@ fn worker_loop(shared: &Shared) {
                 if let Some(w) = q.waves.front() {
                     break Arc::clone(w);
                 }
+                // ordering: park/unpark are telemetry counters guarded by
+                // the queue mutex anyway; Relaxed is plenty.
                 shared.parks.fetch_add(1, Ordering::Relaxed);
-                q = shared.work_ready.wait(q).expect("pool queue lock");
+                q = shared.work_ready.wait(q);
                 shared.unparks.fetch_add(1, Ordering::Relaxed);
             }
         };
 
         // claim and run tasks until the wave is exhausted
         loop {
+            // ordering: pure work-claiming counter — uniqueness of the
+            // handed-out index is all that matters; the task's results are
+            // published through the `done` mutex, not through this atomic.
             let i = wave.next.fetch_add(1, Ordering::Relaxed);
             if i >= wave.total {
                 break;
             }
+            // ordering: telemetry counter, read only by `stats()`.
             shared.tasks.fetch_add(1, Ordering::Relaxed);
             // SAFETY: `i < total`, so the submitting `run_wave` has not
             // observed `done == total` yet and the pointee is still alive.
             let task = unsafe { &*wave.task.0 };
             if catch_unwind(AssertUnwindSafe(|| task(i, &mut scratch)))
                 .map_err(|payload| {
+                    // ordering: both flags are re-read only after the wave
+                    // completes (synchronized by the `done` mutex below).
                     wave.panics.fetch_add(1, Ordering::Relaxed);
                     shared.panics.fetch_add(1, Ordering::Relaxed);
-                    let mut first = wave.first_panic.lock().expect("wave panic lock");
+                    let mut first = wave.first_panic.lock();
                     first.get_or_insert(payload);
                 })
                 .is_err()
@@ -370,7 +407,7 @@ fn worker_loop(shared: &Shared) {
                 // unwound task; replace it rather than reason about it
                 scratch = Scratch::new();
             }
-            let mut done = wave.done.lock().expect("wave done lock");
+            let mut done = wave.done.lock();
             *done += 1;
             if *done == wave.total {
                 wave.complete.notify_all();
@@ -380,7 +417,7 @@ fn worker_loop(shared: &Shared) {
         // the wave is exhausted: pop it so later waves reach the front
         // (first exhausted-finder wins; ptr_eq keeps a racing pop from
         // removing a *newer* wave)
-        let mut q = shared.queue.lock().expect("pool queue lock");
+        let mut q = shared.queue.lock();
         if q.waves.front().is_some_and(|w| Arc::ptr_eq(w, &wave)) {
             q.waves.pop_front();
         }
@@ -390,7 +427,7 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use peanut_core::sync::atomic::AtomicUsize;
 
     #[test]
     fn wave_runs_every_task_once() {
@@ -460,7 +497,7 @@ mod tests {
     fn concurrent_waves_from_many_threads() {
         let pool = WorkerPool::new(3);
         let total = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..10 {
@@ -479,8 +516,8 @@ mod tests {
     fn executor_impl_covers_every_index() {
         let pool = WorkerPool::new(2);
         let out = Mutex::new(Vec::new());
-        Executor::run_tasks(&pool, 19, &|i| out.lock().unwrap().push(i));
-        let mut v = out.into_inner().unwrap();
+        Executor::run_tasks(&pool, 19, &|i| out.lock().push(i));
+        let mut v = out.into_inner();
         v.sort_unstable();
         assert_eq!(v, (0..19).collect::<Vec<_>>());
     }

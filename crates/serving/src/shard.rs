@@ -32,12 +32,13 @@ use crate::engine::{
 };
 use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
 use peanut_core::exec::Executor;
+use peanut_core::sync::atomic::{AtomicUsize, Ordering};
+use peanut_core::sync::{thread, Arc, OnceLock};
 use peanut_core::{Materialization, OnlineEngine};
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Scratch};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::panic::resume_unwind;
 use std::time::{Duration, Instant};
 
 /// Identifies one tenant (one model) of a sharded engine.
@@ -214,7 +215,7 @@ impl<'t> ShardedServingEngine<'t> {
         if self.cfg.workers > 0 {
             self.cfg.workers
         } else {
-            std::thread::available_parallelism()
+            thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
@@ -325,6 +326,8 @@ impl<'t> ShardedServingEngine<'t> {
         type WorkerOut = Vec<(usize, usize, Result<Arc<Answer>, PgmError>)>;
         let n_workers = self.workers().min(work.len()).max(1);
         let compute = |slot: usize, u: usize, scratch: &mut Scratch| {
+            // lint:allow(hot_panic) — invariant: `work` only lists shards
+            // that were given a run above.
             let run = runs[slot].as_ref().expect("worked shard has a run");
             let online = OnlineEngine::with_stats(run.serving.engine_arc(), &run.mat, &run.stats);
             answer_one(&online, uniques[slot][u], scratch, run.epoch).map(Arc::new)
@@ -337,6 +340,7 @@ impl<'t> ShardedServingEngine<'t> {
                 .map(|&(slot, u)| (slot, u, compute(slot, u, &mut scratch)))
                 .collect();
             for (slot, u, r) in computed {
+                // lint:allow(hot_panic) — same invariant as `compute`.
                 runs[slot].as_mut().expect("run").results[u] = Some(r);
             }
         } else if self.cfg.spawn == SpawnMode::Persistent {
@@ -353,18 +357,22 @@ impl<'t> ShardedServingEngine<'t> {
             });
             for (w, cell) in out.into_iter().enumerate() {
                 let (slot, u) = work[w];
+                // lint:allow(hot_panic) — protocol invariant: run_wave does
+                // not return before every claimed index has completed.
                 let r = cell.into_inner().expect("completed wave ran every task");
                 runs[slot].as_mut().expect("run").results[u] = Some(r);
             }
         } else {
             let next = AtomicUsize::new(0);
-            let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
+            let worker_outs: Vec<WorkerOut> = thread::scope(|s| {
                 let handles: Vec<_> = (0..n_workers)
                     .map(|_| {
                         s.spawn(|| {
                             let mut scratch = Scratch::new();
                             let mut out: WorkerOut = Vec::new();
                             loop {
+                                // ordering: work-claiming counter only; the
+                                // scope join publishes the results.
                                 let w = next.fetch_add(1, Ordering::Relaxed);
                                 if w >= work.len() {
                                     break;
@@ -378,10 +386,13 @@ impl<'t> ShardedServingEngine<'t> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("sharded serving worker panicked"))
+                    // re-raise a worker panic on the submitting thread,
+                    // matching the pool path's semantics
+                    .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
                     .collect()
             });
             for (slot, u, r) in worker_outs.into_iter().flatten() {
+                // lint:allow(hot_panic) — same invariant as `compute`.
                 runs[slot].as_mut().expect("run").results[u] = Some(r);
             }
         }
@@ -438,6 +449,8 @@ impl<'t> ShardedServingEngine<'t> {
             .map(|((tid, _), a)| match a {
                 None => Err(PgmError::UnknownTenant(tid.0)),
                 Some((slot, u)) => {
+                    // lint:allow(hot_panic) — invariants: assigned arrivals
+                    // have runs, and every unique is a hit or in `work`.
                     let run = runs[*slot].as_ref().expect("run");
                     match run.results[*u].as_ref().expect("all uniques computed") {
                         Ok(ans) => Ok(Served {

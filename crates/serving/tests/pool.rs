@@ -159,6 +159,89 @@ fn one_worker_engine_spawns_no_pool() {
     );
 }
 
+/// Dropping the pool while submitted waves are still queued behind the
+/// running one must drain them, not abandon them: `Drop` only flips the
+/// shutdown flag, and workers re-check it *before* looking for waves —
+/// but every submitter is still parked inside `run_wave`, which must
+/// return (wave complete) before the submitting thread can release its
+/// handle. This drives that exact ordering from many submitters.
+#[test]
+fn drop_with_queued_waves_completes_them_first() {
+    use peanut_core::sync::atomic::{AtomicUsize, Ordering};
+    // one worker ⇒ waves genuinely queue; the counter is test-only
+    // (ordering: wave completion inside `run_wave` is the real barrier
+    // for every Relaxed access below)
+    let pool = WorkerPool::new(1);
+    let ran = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // several submitters race their waves into the single-worker queue;
+        // each run_wave blocks until its own wave fully completes
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    pool.run_wave(5, &|_i, _s| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    // all submitters returned ⇒ every queued wave drained before drop
+    assert_eq!(ran.load(Ordering::Relaxed), 4 * 3 * 5);
+    let stats = pool.stats();
+    drop(pool);
+    assert_eq!(stats.waves, 12);
+    assert_eq!(stats.tasks, 60);
+}
+
+/// A panic in the *last* task of a wave exercises the completion edge:
+/// the panicking worker itself must still count the task done, wake the
+/// submitter, and hand over the payload — there is no later task to
+/// limp home on.
+#[test]
+fn panic_in_last_task_of_wave_still_completes_and_reraises() {
+    let pool = WorkerPool::new(2);
+    for total in [1usize, 2, 7] {
+        let blown = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_wave(total, &|i, _scratch| {
+                if i == total - 1 {
+                    panic!("last task of {total} exploded");
+                }
+            });
+        }));
+        let payload = blown.expect_err("the submitter must see the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains(&format!("last task of {total}")),
+            "payload must be the task's own: {msg:?}"
+        );
+    }
+    assert_eq!(pool.stats().panics, 3);
+    // the pool survives all three edge panics
+    pool.run_wave(4, &|_i, _s| {});
+    assert_eq!(pool.stats().waves, 4);
+}
+
+/// Zero-task waves — directly and through the `Executor` impl — are
+/// no-ops that neither wake a worker nor count a wave.
+#[test]
+fn zero_task_waves_are_no_ops_even_via_executor() {
+    use peanut_core::Executor;
+    let pool = WorkerPool::new(2);
+    pool.run_wave(0, &|_i, _s| unreachable!("no tasks to run"));
+    Executor::run_tasks(&pool, 0, &|_i| unreachable!("no tasks to run"));
+    let stats = pool.stats();
+    assert_eq!(stats.waves, 0, "empty waves must not count");
+    assert_eq!(stats.tasks, 0);
+    assert_eq!(stats.unparks, 0, "no worker may be woken for nothing");
+    // and the pool still serves real waves afterwards
+    pool.run_wave(3, &|_i, _s| {});
+    assert_eq!(pool.stats().tasks, 3);
+}
+
 /// The pool amortizes its spawns: repeated batches reuse the same parked
 /// workers, and the stats surface shows it.
 #[test]

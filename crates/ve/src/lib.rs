@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut-ve
 //!
 //! Variable elimination and the **VE-n** baseline: workload-aware

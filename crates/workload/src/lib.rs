@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut-workload
 //!
 //! Query-workload generation following the paper's §5.1:

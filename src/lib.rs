@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # peanut
 //!
 //! Umbrella crate of the PEANUT reproduction (*Workload-Aware

@@ -1,0 +1,136 @@
+//! Instrumented atomics: every access is a decision point under a model
+//! run, and a plain `std` atomic operation otherwise.
+//!
+//! The model executes one thread at a time under sequential consistency,
+//! so the `Ordering` argument is forwarded to the inner atomic but adds no
+//! extra behaviors to explore — weak-memory effects are the Miri/TSan
+//! jobs' coverage, not this crate's (see the crate docs).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched;
+
+fn op_point() {
+    if let Some(ctx) = sched::current() {
+        ctx.op_point();
+    }
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl std::fmt::Debug for $name {
+            // No `op_point()`: formatting is diagnostics, not protocol.
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $ty) -> Self {
+                Self { inner: <$std>::new(value) }
+            }
+
+            /// Atomic load (a model decision point).
+            pub fn load(&self, order: Ordering) -> $ty {
+                op_point();
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a model decision point).
+            pub fn store(&self, value: $ty, order: Ordering) {
+                op_point();
+                self.inner.store(value, order);
+            }
+
+            /// Atomic fetch-add (a model decision point).
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                op_point();
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Atomic fetch-sub (a model decision point).
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                op_point();
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Atomic swap (a model decision point).
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                op_point();
+                self.inner.swap(value, order)
+            }
+
+            /// Atomic compare-exchange (a model decision point).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                op_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Instrumented `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+int_atomic!(
+    /// Instrumented `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+/// Instrumented `AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl std::fmt::Debug for AtomicBool {
+    // No `op_point()`: formatting is diagnostics, not protocol.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Atomic load (a model decision point).
+    pub fn load(&self, order: Ordering) -> bool {
+        op_point();
+        self.inner.load(order)
+    }
+
+    /// Atomic store (a model decision point).
+    pub fn store(&self, value: bool, order: Ordering) {
+        op_point();
+        self.inner.store(value, order);
+    }
+
+    /// Atomic swap (a model decision point).
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        op_point();
+        self.inner.swap(value, order)
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic interleaving explorer for hand-rolled concurrency.
+//!
+//! The build environment is offline, so this is a vendored, self-contained
+//! stand-in for a [loom](https://crates.io/crates/loom)-style model checker,
+//! scoped to exactly what the PEANUT serving stack needs verified: the
+//! worker pool's submit/park/claim/panic/join protocol and the epoch-swap
+//! path, built from `Mutex` + `Condvar` + `RwLock` + atomics + `spawn`.
+//!
+//! # How it works
+//!
+//! A *model run* ([`explore`], [`explore_random`], [`replay_plan`],
+//! [`replay_seed`]) executes a closure many times. Inside the closure, the
+//! shim types in [`sync`], [`atomic`] and [`thread`] are **controlled**: a
+//! scheduler lets exactly one thread run at a time, and every instrumented
+//! operation (lock, unlock, condvar wait/notify, atomic access, spawn,
+//! join) is a *decision point* where the scheduler chooses which runnable
+//! thread proceeds. Enumerating those choices enumerates interleavings.
+//!
+//! * [`explore`] — depth-first, **exhaustive up to a preemption bound**
+//!   (CHESS-style): schedules that preempt a still-runnable thread more
+//!   than `preemption_bound` times are pruned; with
+//!   [`Config::exhaustive`] the bound is lifted and the full interleaving
+//!   space of the closure is enumerated. Every completed exploration
+//!   reports how many schedules it ran.
+//! * [`explore_random`] — seeded random schedules; each iteration derives
+//!   its own sub-seed, and a failure reports the exact sub-seed so
+//!   [`replay_seed`] re-runs the *identical* schedule.
+//! * A failing schedule is also reported as a decision plan
+//!   ([`Failure::plan`]) replayable with [`replay_plan`], independent of
+//!   how it was found.
+//!
+//! Detected failures: panics in controlled threads (assertion failures),
+//! **deadlocks** (no runnable thread while some are blocked — e.g. a lost
+//! wakeup), livelocks (step-limit exhaustion), and replay divergence.
+//!
+//! # What it does *not* model
+//!
+//! The scheduler is sequentially consistent: it explores *interleavings*,
+//! not weak-memory reorderings, and `Ordering` arguments are accepted but
+//! not weakened. Relaxed-ordering and data-race bugs are covered by the
+//! Miri and ThreadSanitizer CI jobs instead; this crate covers protocol
+//! bugs (lost wakeups, missed completions, double claims, join leaks),
+//! which survive even under SC. Condvar waits never wake spuriously
+//! (callers must be `while`-loop correct anyway), and `notify_one` wakes
+//! the longest-waiting thread deterministically.
+//!
+//! # Rules for model bodies
+//!
+//! * Construct everything — threads, pools, locks — *inside* the closure;
+//!   a controlled thread must never share a shim object with an
+//!   uncontrolled one.
+//! * The closure must be deterministic given the schedule (no time, no
+//!   ambient randomness), or replay diverges.
+//! * On a detected failure the run's threads are frozen mid-protocol and
+//!   intentionally leaked (they may hold borrows that unwinding would
+//!   invalidate); a failure is terminal for the process's exploration.
+
+#![forbid(unsafe_code)]
+
+pub mod atomic;
+mod rng;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{
+    explore, explore_random, replay_plan, replay_seed, Config, Failure, FailureKind, Outcome,
+    Report,
+};

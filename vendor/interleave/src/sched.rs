@@ -1,0 +1,859 @@
+//! The scheduler: one controlled thread runs at a time; every instrumented
+//! operation asks the scheduler who runs next, and the explorer enumerates
+//! those answers.
+//!
+//! Controlled threads are real OS threads parked on per-thread condvars;
+//! "only one runs" is a property the scheduler enforces, not an assumption.
+//! All bookkeeping (lock owners, condvar wait sets, thread statuses, the
+//! decision trail) lives in one `State` behind one std mutex, so every
+//! transition — release a lock *and* wake its waiters *and* pick the next
+//! thread — is atomic with respect to the model.
+
+use crate::rng::{derive_seed, SplitMix64};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of times a schedule may preempt a still-runnable
+    /// thread (`None` = unbounded, i.e. truly exhaustive). Switches away
+    /// from a *blocked* or finished thread are always free, so every
+    /// schedule a correct program needs is reachable at any bound; the
+    /// bound only caps adversarial preemption depth (CHESS-style).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on schedules explored; hitting it yields `complete: false`.
+    pub max_schedules: u64,
+    /// Per-schedule cap on decision points — exceeding it is reported as a
+    /// livelock.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_schedules: 500_000,
+            max_steps: 200_000,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with the given preemption bound.
+    pub fn with_preemption_bound(bound: usize) -> Self {
+        Config {
+            preemption_bound: Some(bound),
+            ..Config::default()
+        }
+    }
+
+    /// No preemption bound: enumerate the complete interleaving space.
+    /// Feasible only for small protocols — schedule counts grow
+    /// factorially with decision points.
+    pub fn exhaustive() -> Self {
+        Config {
+            preemption_bound: None,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a schedule failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A controlled thread panicked outside any `catch_unwind` (assertion
+    /// failures in the model body land here).
+    Panic,
+    /// No thread was runnable while at least one was blocked — a lost
+    /// wakeup, missed unlock, or circular wait.
+    Deadlock,
+    /// The step limit was exhausted (livelock or unbounded spinning).
+    StepLimit,
+    /// A replayed plan diverged from the recorded decision structure —
+    /// the model body is not deterministic under the schedule.
+    Nondeterminism,
+}
+
+/// A failing schedule, replayable two ways: by decision `plan`
+/// ([`replay_plan`]) or — when found by [`explore_random`] — by `seed`
+/// ([`replay_seed`]).
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Schedules executed up to and including the failing one.
+    pub schedules: u64,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, blocked-thread list, …).
+    pub message: String,
+    /// The failing schedule as the sequence of decision indices taken.
+    pub plan: Vec<usize>,
+    /// The exact sub-seed of the failing iteration, when the schedule came
+    /// from [`explore_random`].
+    pub seed: Option<u64>,
+}
+
+/// A completed exploration with no failure found.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Interleavings executed.
+    pub schedules: u64,
+    /// Whether the bounded space was fully enumerated (`false` when
+    /// `max_schedules` stopped the search, and always `false` for random
+    /// exploration, which samples rather than enumerates).
+    pub complete: bool,
+    /// Length of the longest decision trail seen.
+    pub max_decisions: usize,
+}
+
+/// The result of a model run.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// No schedule failed.
+    Pass(Report),
+    /// A failing schedule was found.
+    Fail(Failure),
+}
+
+impl Outcome {
+    /// The report, panicking with the failure's message and replay plan if
+    /// any schedule failed.
+    #[track_caller]
+    pub fn assert_pass(&self) -> &Report {
+        match self {
+            Outcome::Pass(r) => r,
+            Outcome::Fail(f) => panic!(
+                "model check failed after {} schedule(s): {:?}: {}\nreplay plan: {:?}{}",
+                f.schedules,
+                f.kind,
+                f.message,
+                f.plan,
+                f.seed
+                    .map(|s| format!("\nreplay seed: {s}"))
+                    .unwrap_or_default()
+            ),
+        }
+    }
+
+    /// The failure, panicking if every schedule passed.
+    #[track_caller]
+    pub fn assert_fail(&self) -> &Failure {
+        match self {
+            Outcome::Fail(f) => f,
+            Outcome::Pass(r) => panic!(
+                "model check unexpectedly passed ({} schedule(s), complete: {})",
+                r.schedules, r.complete
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scheduler internals
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockOn {
+    /// Waiting to acquire the lock (mutex or rwlock) with this id.
+    Lock(usize),
+    /// In the wait set of the condvar with this id.
+    Cond(usize),
+    /// Waiting for the thread with this tid to finish.
+    Join(usize),
+}
+
+struct Th {
+    status: Status,
+    cv: Arc<Condvar>,
+}
+
+/// One scheduling decision: which runnable thread ran, out of which
+/// options, and whether taking a non-default option would preempt.
+#[derive(Clone, Debug)]
+struct Decision {
+    /// Candidate tids in canonical order: the previously active thread
+    /// first when still runnable, then the rest ascending.
+    options: Vec<usize>,
+    /// Index into `options` actually taken.
+    chosen: usize,
+    /// Whether the previously active thread was still runnable (so any
+    /// other choice is a preemption).
+    prev_runnable: bool,
+    /// Preemptions accumulated before this decision.
+    preemptions_before: usize,
+}
+
+#[derive(Default)]
+struct LockSt {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct RwSt {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+enum Strategy {
+    /// Follow `plan`, then take option 0 (run-to-block) — the DFS leaf.
+    Planned,
+    /// Choose every decision from a seeded stream.
+    Random(SplitMix64),
+}
+
+#[derive(Clone, Debug)]
+enum RunEnd {
+    Complete,
+    Fail { kind: FailureKind, message: String },
+}
+
+struct State {
+    threads: Vec<Th>,
+    active: usize,
+    /// Set when the run is over (completed or failed): no further
+    /// scheduling happens and parked threads stay parked.
+    frozen: bool,
+    outcome: Option<RunEnd>,
+    steps: usize,
+    decisions: Vec<Decision>,
+    plan: Vec<usize>,
+    cursor: usize,
+    strategy: Strategy,
+    preemptions: usize,
+    max_steps: usize,
+    locks: HashMap<usize, LockSt>,
+    rwlocks: HashMap<usize, RwSt>,
+    conds: HashMap<usize, Vec<usize>>,
+}
+
+pub(crate) struct Sched {
+    state: Mutex<State>,
+    /// Signalled when `outcome` is set; the explorer waits on it.
+    driver: Condvar,
+}
+
+fn lock_state(sched: &Sched) -> MutexGuard<'_, State> {
+    // A controlled thread can only poison this mutex by panicking inside
+    // the scheduler itself; the state stays structurally valid, and the
+    // explorer surfaces the panic as a failure.
+    sched.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Sched {
+    /// Picks who runs next. `prev` is the thread that hit the decision
+    /// point; its status has already been updated by the caller.
+    fn pick_next(&self, st: &mut State, prev: usize) {
+        if st.frozen {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            self.fail(
+                st,
+                FailureKind::StepLimit,
+                format!("exceeded {} decision points in one schedule", st.max_steps),
+            );
+            return;
+        }
+        let mut options: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if options.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.outcome = Some(RunEnd::Complete);
+                st.frozen = true;
+                self.driver.notify_all();
+            } else {
+                // Raw ids are addresses (unstable across runs); intern
+                // them in tid order so replayed failures format byte-for-
+                // byte identically to the original run.
+                let mut interned: Vec<usize> = Vec::new();
+                let mut small = |raw: usize| match interned.iter().position(|&r| r == raw) {
+                    Some(i) => i,
+                    None => {
+                        interned.push(raw);
+                        interned.len() - 1
+                    }
+                };
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match &t.status {
+                        Status::Blocked(b) => Some(format!(
+                            "t{i} on {}",
+                            match *b {
+                                BlockOn::Lock(id) => format!("Lock(#{})", small(id)),
+                                BlockOn::Cond(id) => format!("Cond(#{})", small(id)),
+                                BlockOn::Join(tid) => format!("Join(t{tid})"),
+                            }
+                        )),
+                        _ => None,
+                    })
+                    .collect();
+                self.fail(
+                    st,
+                    FailureKind::Deadlock,
+                    format!(
+                        "deadlock: no runnable thread; blocked: [{}]",
+                        blocked.join(", ")
+                    ),
+                );
+            }
+            return;
+        }
+        let prev_runnable = st.threads[prev].status == Status::Runnable;
+        if prev_runnable {
+            options.retain(|&t| t != prev);
+            options.insert(0, prev);
+        }
+        let chosen = if st.cursor < st.plan.len() {
+            let c = st.plan[st.cursor];
+            if c >= options.len() {
+                let msg = format!(
+                    "replay diverged at decision {}: plan chose option {} of {}",
+                    st.cursor,
+                    c,
+                    options.len()
+                );
+                self.fail(st, FailureKind::Nondeterminism, msg);
+                return;
+            }
+            c
+        } else {
+            match &mut st.strategy {
+                Strategy::Planned => 0,
+                Strategy::Random(rng) => (rng.next_u64() % options.len() as u64) as usize,
+            }
+        };
+        st.decisions.push(Decision {
+            options: options.clone(),
+            chosen,
+            prev_runnable,
+            preemptions_before: st.preemptions,
+        });
+        if prev_runnable && options[chosen] != prev {
+            st.preemptions += 1;
+        }
+        st.cursor += 1;
+        let next = options[chosen];
+        st.active = next;
+        if next != prev {
+            st.threads[next].cv.notify_all();
+        }
+    }
+
+    fn fail(&self, st: &mut State, kind: FailureKind, message: String) {
+        if st.outcome.is_none() {
+            st.outcome = Some(RunEnd::Fail { kind, message });
+        }
+        st.frozen = true;
+        self.driver.notify_all();
+    }
+
+    /// Parks until it is `me`'s turn. On a frozen run this never returns:
+    /// the thread stays parked forever and is leaked with the run.
+    fn wait_turn<'a>(&'a self, mut st: MutexGuard<'a, State>, me: usize) -> MutexGuard<'a, State> {
+        let cv = Arc::clone(&st.threads[me].cv);
+        while st.frozen || st.active != me || st.threads[me].status != Status::Runnable {
+            st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st
+    }
+
+    /// A decision point where `me` stays runnable: the scheduler may keep
+    /// running `me` (free) or preempt to another runnable thread.
+    fn yield_turn<'a>(&'a self, mut st: MutexGuard<'a, State>, me: usize) -> MutexGuard<'a, State> {
+        self.pick_next(&mut st, me);
+        if !st.frozen && st.active == me && st.threads[me].status == Status::Runnable {
+            return st;
+        }
+        self.wait_turn(st, me)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-thread context (TLS)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The controlled-thread handle the shims act through: present in TLS only
+/// on threads that belong to an in-progress model run. Absent ⇒ the shims
+/// pass straight through to `std`.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Sched>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Installs a controlled-thread context in TLS (child trampoline).
+pub(crate) fn install(ctx: Ctx) {
+    set_ctx(Some(ctx));
+}
+
+/// Clears the TLS context (thread leaving its model run).
+pub(crate) fn uninstall() {
+    set_ctx(None);
+}
+
+impl Ctx {
+    /// A plain decision point (atomic access, notify, spawn, …).
+    pub(crate) fn op_point(&self) {
+        let st = lock_state(&self.sched);
+        drop(self.sched.yield_turn(st, self.tid));
+    }
+
+    /// Model-acquires the mutex with id `id`, blocking (in model time)
+    /// while another thread owns it.
+    pub(crate) fn lock_acquire(&self, id: usize) {
+        let me = self.tid;
+        let st = lock_state(&self.sched);
+        let mut st = self.sched.yield_turn(st, me);
+        loop {
+            let entry = st.locks.entry(id).or_default();
+            if entry.owner.is_none() {
+                entry.owner = Some(me);
+                return;
+            }
+            entry.waiters.push(me);
+            st.threads[me].status = Status::Blocked(BlockOn::Lock(id));
+            self.sched.pick_next(&mut st, me);
+            st = self.sched.wait_turn(st, me);
+        }
+    }
+
+    /// Model-releases the mutex `id`, waking its waiters to re-contend.
+    pub(crate) fn lock_release(&self, id: usize) {
+        let me = self.tid;
+        let mut st = lock_state(&self.sched);
+        let entry = st.locks.entry(id).or_default();
+        debug_assert_eq!(entry.owner, Some(me), "release of a lock not held");
+        entry.owner = None;
+        let woken: Vec<usize> = entry.waiters.drain(..).collect();
+        for w in woken {
+            st.threads[w].status = Status::Runnable;
+        }
+        drop(self.sched.yield_turn(st, me));
+    }
+
+    /// Condvar wait: atomically releases mutex `lock_id`, enters the wait
+    /// set of `cond_id`, and — once notified — re-acquires the mutex.
+    pub(crate) fn cond_wait(&self, cond_id: usize, lock_id: usize) {
+        let me = self.tid;
+        let mut st = lock_state(&self.sched);
+        let entry = st.locks.entry(lock_id).or_default();
+        debug_assert_eq!(entry.owner, Some(me), "condvar wait without the lock");
+        entry.owner = None;
+        let woken: Vec<usize> = entry.waiters.drain(..).collect();
+        for w in woken {
+            st.threads[w].status = Status::Runnable;
+        }
+        st.conds.entry(cond_id).or_default().push(me);
+        st.threads[me].status = Status::Blocked(BlockOn::Cond(cond_id));
+        self.sched.pick_next(&mut st, me);
+        st = self.sched.wait_turn(st, me);
+        // Notified: re-acquire the mutex before returning to the caller.
+        loop {
+            let entry = st.locks.entry(lock_id).or_default();
+            if entry.owner.is_none() {
+                entry.owner = Some(me);
+                return;
+            }
+            entry.waiters.push(me);
+            st.threads[me].status = Status::Blocked(BlockOn::Lock(lock_id));
+            self.sched.pick_next(&mut st, me);
+            st = self.sched.wait_turn(st, me);
+        }
+    }
+
+    /// Condvar notify: wakes all waiters (or the longest-waiting one);
+    /// they re-contend for their mutex when scheduled.
+    pub(crate) fn cond_notify(&self, cond_id: usize, all: bool) {
+        let me = self.tid;
+        let mut st = lock_state(&self.sched);
+        let waiters = st.conds.entry(cond_id).or_default();
+        let woken: Vec<usize> = if all {
+            std::mem::take(waiters)
+        } else if waiters.is_empty() {
+            Vec::new()
+        } else {
+            vec![waiters.remove(0)]
+        };
+        for w in woken {
+            st.threads[w].status = Status::Runnable;
+        }
+        drop(self.sched.yield_turn(st, me));
+    }
+
+    /// Model-acquires rwlock `id` for reading or writing.
+    pub(crate) fn rw_acquire(&self, id: usize, write: bool) {
+        let me = self.tid;
+        let st = lock_state(&self.sched);
+        let mut st = self.sched.yield_turn(st, me);
+        loop {
+            let entry = st.rwlocks.entry(id).or_default();
+            let free = if write {
+                entry.writer.is_none() && entry.readers.is_empty()
+            } else {
+                entry.writer.is_none()
+            };
+            if free {
+                if write {
+                    entry.writer = Some(me);
+                } else {
+                    entry.readers.push(me);
+                }
+                return;
+            }
+            entry.waiters.push(me);
+            st.threads[me].status = Status::Blocked(BlockOn::Lock(id));
+            self.sched.pick_next(&mut st, me);
+            st = self.sched.wait_turn(st, me);
+        }
+    }
+
+    /// Model-releases rwlock `id`.
+    pub(crate) fn rw_release(&self, id: usize, write: bool) {
+        let me = self.tid;
+        let mut st = lock_state(&self.sched);
+        let entry = st.rwlocks.entry(id).or_default();
+        if write {
+            debug_assert_eq!(entry.writer, Some(me), "write-release without the lock");
+            entry.writer = None;
+        } else {
+            let pos = entry.readers.iter().position(|&r| r == me);
+            debug_assert!(pos.is_some(), "read-release without the lock");
+            if let Some(p) = pos {
+                entry.readers.swap_remove(p);
+            }
+        }
+        let woken: Vec<usize> = entry.waiters.drain(..).collect();
+        for w in woken {
+            st.threads[w].status = Status::Runnable;
+        }
+        drop(self.sched.yield_turn(st, me));
+    }
+
+    /// Registers a child thread (runnable, not yet started). No decision
+    /// point: the caller spawns the OS thread first, *then* yields, so the
+    /// scheduler can never pick a thread whose OS body does not exist yet.
+    pub(crate) fn register_child(&self) -> usize {
+        let mut st = lock_state(&self.sched);
+        let tid = st.threads.len();
+        st.threads.push(Th {
+            status: Status::Runnable,
+            cv: Arc::new(Condvar::new()),
+        });
+        tid
+    }
+
+    /// First park of a child thread: waits until the scheduler picks it.
+    pub(crate) fn wait_first(&self) {
+        let st = lock_state(&self.sched);
+        drop(self.sched.wait_turn(st, self.tid));
+    }
+
+    /// Blocks (in model time) until thread `target` finishes.
+    pub(crate) fn join(&self, target: usize) {
+        let me = self.tid;
+        let st = lock_state(&self.sched);
+        let mut st = self.sched.yield_turn(st, me);
+        if st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::Blocked(BlockOn::Join(target));
+            self.sched.pick_next(&mut st, me);
+            st = self.sched.wait_turn(st, me);
+        }
+        debug_assert_eq!(st.threads[target].status, Status::Finished);
+    }
+
+    /// Marks this thread finished (or the run failed, if it panicked),
+    /// wakes joiners, and schedules the next thread. The OS thread exits
+    /// right after.
+    pub(crate) fn finish(&self, panic_msg: Option<String>) {
+        let me = self.tid;
+        let mut st = lock_state(&self.sched);
+        if let Some(msg) = panic_msg {
+            self.sched.fail(
+                &mut st,
+                FailureKind::Panic,
+                format!("thread t{me} panicked: {msg}"),
+            );
+            return;
+        }
+        st.threads[me].status = Status::Finished;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked(BlockOn::Join(me)) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.sched.pick_next(&mut st, me);
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// single-run driver
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+    decisions: Vec<Decision>,
+    end: RunEnd,
+}
+
+fn run_once(
+    cfg: &Config,
+    plan: Vec<usize>,
+    strategy: Strategy,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> RunResult {
+    let sched = Arc::new(Sched {
+        state: Mutex::new(State {
+            threads: vec![Th {
+                status: Status::Runnable,
+                cv: Arc::new(Condvar::new()),
+            }],
+            active: 0,
+            frozen: false,
+            outcome: None,
+            steps: 0,
+            decisions: Vec::new(),
+            plan,
+            cursor: 0,
+            strategy,
+            preemptions: 0,
+            max_steps: cfg.max_steps,
+            locks: HashMap::new(),
+            rwlocks: HashMap::new(),
+            conds: HashMap::new(),
+        }),
+        driver: Condvar::new(),
+    });
+    let b = Arc::clone(body);
+    let s = Arc::clone(&sched);
+    let root = std::thread::Builder::new()
+        .name("interleave-root".to_string())
+        .spawn(move || {
+            let ctx = Ctx {
+                sched: Arc::clone(&s),
+                tid: 0,
+            };
+            set_ctx(Some(ctx.clone()));
+            let r = catch_unwind(AssertUnwindSafe(|| b()));
+            ctx.finish(r.as_ref().err().map(|p| panic_message(p.as_ref())));
+            set_ctx(None);
+        })
+        .expect("spawn interleave root thread");
+
+    let end;
+    let decisions;
+    {
+        let mut st = lock_state(&sched);
+        while st.outcome.is_none() {
+            st = sched
+                .driver
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        end = st.outcome.clone().unwrap_or(RunEnd::Complete);
+        decisions = std::mem::take(&mut st.decisions);
+    }
+    match end {
+        RunEnd::Complete => {
+            // Every controlled thread has exited (children are joined by
+            // the model body; the root just finished).
+            let _ = root.join();
+        }
+        RunEnd::Fail { .. } => {
+            // Frozen threads stay parked mid-protocol; detach and leak
+            // them deliberately (see the crate docs).
+            drop(root);
+        }
+    }
+    RunResult { decisions, end }
+}
+
+fn plan_of(decisions: &[Decision]) -> Vec<usize> {
+    decisions.iter().map(|d| d.chosen).collect()
+}
+
+// ---------------------------------------------------------------------------
+// explorers
+// ---------------------------------------------------------------------------
+
+/// Depth-first exhaustive exploration (up to `cfg.preemption_bound`).
+/// Runs `body` once per schedule; returns the first failure, or a
+/// [`Report`] with the number of interleavings enumerated.
+pub fn explore<F>(cfg: &Config, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut plan: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    let mut max_decisions = 0usize;
+    loop {
+        let run = run_once(cfg, plan.clone(), Strategy::Planned, &body);
+        schedules += 1;
+        max_decisions = max_decisions.max(run.decisions.len());
+        if let RunEnd::Fail { kind, message } = run.end {
+            return Outcome::Fail(Failure {
+                schedules,
+                kind,
+                message,
+                plan: plan_of(&run.decisions),
+                seed: None,
+            });
+        }
+        if schedules >= cfg.max_schedules {
+            return Outcome::Pass(Report {
+                schedules,
+                complete: false,
+                max_decisions,
+            });
+        }
+        // Backtrack: deepest decision with an untried option affordable
+        // under the preemption bound.
+        let mut ds = run.decisions;
+        let next_plan = loop {
+            let Some(d) = ds.pop() else { break None };
+            let next = d.chosen + 1;
+            if next < d.options.len() {
+                let cost = usize::from(d.prev_runnable);
+                let affordable = cfg
+                    .preemption_bound
+                    .is_none_or(|b| d.preemptions_before + cost <= b);
+                if affordable {
+                    let mut p = plan_of(&ds);
+                    p.push(next);
+                    break Some(p);
+                }
+            }
+        };
+        match next_plan {
+            Some(p) => plan = p,
+            None => {
+                return Outcome::Pass(Report {
+                    schedules,
+                    complete: true,
+                    max_decisions,
+                })
+            }
+        }
+    }
+}
+
+/// Random exploration: `iterations` schedules, each driven by a sub-seed
+/// derived from `seed`. A failure reports the exact sub-seed for
+/// [`replay_seed`].
+pub fn explore_random<F>(cfg: &Config, iterations: u64, seed: u64, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut max_decisions = 0usize;
+    for i in 0..iterations {
+        let sub = derive_seed(seed, i);
+        let run = run_once(
+            cfg,
+            Vec::new(),
+            Strategy::Random(SplitMix64::new(sub)),
+            &body,
+        );
+        max_decisions = max_decisions.max(run.decisions.len());
+        if let RunEnd::Fail { kind, message } = run.end {
+            return Outcome::Fail(Failure {
+                schedules: i + 1,
+                kind,
+                message,
+                plan: plan_of(&run.decisions),
+                seed: Some(sub),
+            });
+        }
+    }
+    Outcome::Pass(Report {
+        schedules: iterations,
+        complete: false,
+        max_decisions,
+    })
+}
+
+/// Re-runs the single schedule identified by `seed` (as reported in
+/// [`Failure::seed`]). Deterministic: the same seed replays the same
+/// decisions, byte for byte.
+pub fn replay_seed<F>(cfg: &Config, seed: u64, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let run = run_once(
+        cfg,
+        Vec::new(),
+        Strategy::Random(SplitMix64::new(seed)),
+        &body,
+    );
+    finish_single(run, Some(seed))
+}
+
+/// Re-runs the single schedule described by a decision `plan` (as reported
+/// in [`Failure::plan`]).
+pub fn replay_plan<F>(cfg: &Config, plan: &[usize], body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let run = run_once(cfg, plan.to_vec(), Strategy::Planned, &body);
+    finish_single(run, None)
+}
+
+fn finish_single(run: RunResult, seed: Option<u64>) -> Outcome {
+    match run.end {
+        RunEnd::Complete => Outcome::Pass(Report {
+            schedules: 1,
+            complete: false,
+            max_decisions: run.decisions.len(),
+        }),
+        RunEnd::Fail { kind, message } => Outcome::Fail(Failure {
+            schedules: 1,
+            kind,
+            message,
+            plan: plan_of(&run.decisions),
+            seed,
+        }),
+    }
+}

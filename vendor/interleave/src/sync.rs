@@ -1,0 +1,338 @@
+//! Instrumented `Mutex`, `Condvar` and `RwLock`.
+//!
+//! The API is deliberately **non-poisoning** (`lock()` returns the guard
+//! directly): the serving stack's protocols contain panics at the task
+//! boundary and never rely on poisoning, and a poison-free signature keeps
+//! `unwrap`/`expect` off the hot paths. Outside a model run the shims
+//! delegate to `std` (recovering poisoned locks via
+//! `PoisonError::into_inner`); inside one, a model-level gate decides who
+//! may hold the lock, and the inner `std` lock is then taken uncontended —
+//! it still provides the *memory* synchronization, while the scheduler
+//! provides (and explores) the *blocking* behavior.
+//!
+//! Identity: the model keys its bookkeeping on the address of the inner
+//! `std` primitive. A lock or condvar must therefore not be moved while
+//! any model thread holds or waits on it — guaranteed by borrow rules for
+//! holders, and by the `Arc`-shared usage pattern for condvar waiters.
+
+use crate::sched;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Instrumented mutual-exclusion lock (non-poisoning API).
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases (and, in a model, wakes waiters) on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn id(&self) -> usize {
+        std::ptr::from_ref(&self.inner) as usize
+    }
+
+    /// Acquires the lock, blocking (in model time, under a model run)
+    /// until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match sched::current() {
+            Some(ctx) => {
+                ctx.lock_acquire(self.id());
+                let inner = self
+                    .inner
+                    .try_lock()
+                    .expect("interleave model gate granted a std-locked mutex");
+                MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    model: true,
+                }
+            }
+            None => MutexGuard {
+                mutex: self,
+                inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                model: false,
+            },
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    // Opaque on purpose: peeking at the value would need the lock, and
+    // formatting must never become a model decision point.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            if self.model {
+                if let Some(ctx) = sched::current() {
+                    ctx.lock_release(self.mutex.id());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Instrumented condition variable. Model waits never wake spuriously;
+/// `notify_one` deterministically wakes the longest-waiting thread.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        std::ptr::from_ref(&self.inner) as usize
+    }
+
+    /// Atomically releases the guard's mutex and waits for a notification,
+    /// re-acquiring the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        let mut g = guard;
+        let std_guard = g.inner.take().expect("guard holds the lock");
+        let was_model = g.model;
+        g.model = false; // neutered: the model release happens in cond_wait
+        drop(g);
+        match sched::current() {
+            Some(ctx) if was_model => {
+                drop(std_guard);
+                ctx.cond_wait(self.id(), mutex.id());
+                let inner = mutex
+                    .inner
+                    .try_lock()
+                    .expect("interleave model gate granted a std-locked mutex");
+                MutexGuard {
+                    mutex,
+                    inner: Some(inner),
+                    model: true,
+                }
+            }
+            _ => MutexGuard {
+                mutex,
+                inner: Some(
+                    self.inner
+                        .wait(std_guard)
+                        .unwrap_or_else(PoisonError::into_inner),
+                ),
+                model: false,
+            },
+        }
+    }
+
+    /// Wakes all current waiters.
+    pub fn notify_all(&self) {
+        match sched::current() {
+            Some(ctx) => ctx.cond_notify(self.id(), true),
+            None => self.inner.notify_all(),
+        }
+    }
+
+    /// Wakes one waiter (in a model: the longest-waiting one).
+    pub fn notify_one(&self) {
+        match sched::current() {
+            Some(ctx) => ctx.cond_notify(self.id(), false),
+            None => self.inner.notify_one(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Instrumented reader-writer lock (non-poisoning API).
+#[derive(Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    fn id(&self) -> usize {
+        std::ptr::from_ref(&self.inner) as usize
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match sched::current() {
+            Some(ctx) => {
+                ctx.rw_acquire(self.id(), false);
+                let inner = self
+                    .inner
+                    .try_read()
+                    .expect("interleave model gate granted a write-locked rwlock");
+                RwLockReadGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: true,
+                }
+            }
+            None => RwLockReadGuard {
+                lock: self,
+                inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+                model: false,
+            },
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match sched::current() {
+            Some(ctx) => {
+                ctx.rw_acquire(self.id(), true);
+                let inner = self
+                    .inner
+                    .try_write()
+                    .expect("interleave model gate granted a held rwlock");
+                RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: true,
+                }
+            }
+            None => RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+                model: false,
+            },
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            if self.model {
+                if let Some(ctx) = sched::current() {
+                    ctx.rw_release(self.lock.id(), false);
+                }
+            }
+        }
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            if self.model {
+                if let Some(ctx) = sched::current() {
+                    ctx.rw_release(self.lock.id(), true);
+                }
+            }
+        }
+    }
+}

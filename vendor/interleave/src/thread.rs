@@ -1,0 +1,139 @@
+//! Instrumented thread spawn/join.
+//!
+//! Under a model run, `spawn` registers a controlled thread with the
+//! scheduler: the OS thread is created immediately but parks until the
+//! scheduler picks it, and `JoinHandle::join` blocks in *model* time (a
+//! decision point) before reaping the OS thread. Outside a model run both
+//! delegate to `std`.
+//!
+//! `scope` (and scoped spawns) are re-exported from `std` **without**
+//! instrumentation: scoped threads are join-before-return by construction,
+//! and the protocols this crate exists to check (the persistent worker
+//! pool) do not use them. Do not spawn scoped threads inside a model body
+//! and have them touch model-shared state.
+
+pub use std::thread::{available_parallelism, scope, sleep, yield_now, Scope, ScopedJoinHandle};
+
+use crate::sched::{self, panic_message, Ctx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of joining a thread, as in `std`.
+pub type Result<T> = std::thread::Result<T>;
+
+/// Thread factory mirroring `std::thread::Builder` (name only).
+#[derive(Debug, Default)]
+pub struct Builder {
+    inner: Option<String>,
+}
+
+/// Handle to spawn a thread with.
+impl Builder {
+    /// Creates a new builder.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Names the thread-to-be.
+    pub fn name(mut self, name: String) -> Self {
+        self.inner = Some(name);
+        self
+    }
+
+    /// Spawns the thread — controlled when called from inside a model run,
+    /// a plain `std` thread otherwise.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.inner {
+            builder = builder.name(name);
+        }
+        match sched::current() {
+            Some(ctx) => {
+                let tid = ctx.register_child();
+                let slot: Arc<Mutex<Option<Result<T>>>> = Arc::new(Mutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let child = Ctx {
+                    sched: Arc::clone(&ctx.sched),
+                    tid,
+                };
+                let os = builder.spawn(move || {
+                    sched::install(child.clone());
+                    child.wait_first();
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    let panic_msg = r.as_ref().err().map(|p| panic_message(p.as_ref()));
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    child.finish(panic_msg);
+                    sched::uninstall();
+                })?;
+                // Decision point only now that the OS thread exists: the
+                // scheduler may pick the child before the spawner resumes.
+                ctx.op_point();
+                Ok(JoinHandle(Imp::Model {
+                    ctx,
+                    tid,
+                    os: Some(os),
+                    slot,
+                }))
+            }
+            None => Ok(JoinHandle(Imp::Std(builder.spawn(f)?))),
+        }
+    }
+}
+
+/// Spawns an (optionally controlled) thread; see [`Builder::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        ctx: Ctx,
+        tid: usize,
+        os: Option<std::thread::JoinHandle<()>>,
+        slot: Arc<Mutex<Option<Result<T>>>>,
+    },
+}
+
+/// Owned permission to join a thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` with
+    /// the panic payload if it panicked — model threads that panic also
+    /// fail the whole schedule first).
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Imp::Std(h) => h.join(),
+            Imp::Model {
+                ctx,
+                tid,
+                mut os,
+                slot,
+            } => {
+                let joiner = sched::current()
+                    .expect("a model JoinHandle must be joined from inside its model run");
+                debug_assert!(
+                    Arc::ptr_eq(&joiner.sched, &ctx.sched),
+                    "join across model runs"
+                );
+                joiner.join(tid);
+                if let Some(h) = os.take() {
+                    let _ = h.join();
+                }
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("a finished model thread has stored its result")
+            }
+        }
+    }
+}

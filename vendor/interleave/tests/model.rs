@@ -1,0 +1,206 @@
+//! Self-tests of the interleaving explorer on toy protocols with *known*
+//! verdicts: the checker must pass correct code, find the planted bug in
+//! racy code, and replay any failure deterministically.
+
+use interleave::atomic::{AtomicUsize, Ordering};
+use interleave::sync::{Condvar, Mutex, RwLock};
+use interleave::{explore, explore_random, replay_plan, replay_seed, Config, FailureKind, Outcome};
+use std::sync::Arc;
+
+/// Two threads doing load-then-store increments lose updates under some
+/// interleaving; the exhaustive explorer must find one.
+fn racy_counter() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c2 = Arc::clone(&counter);
+    let t = interleave::thread::spawn(move || {
+        // ordering: SeqCst — the model is SC regardless; the bug is the
+        // non-atomic read-modify-write, not the ordering.
+        let v = c2.load(Ordering::SeqCst);
+        c2.store(v + 1, Ordering::SeqCst);
+    });
+    let v = counter.load(Ordering::SeqCst);
+    counter.store(v + 1, Ordering::SeqCst);
+    t.join().unwrap();
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+/// The fetch_add fix admits no failing interleaving.
+fn correct_counter() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c2 = Arc::clone(&counter);
+    let t = interleave::thread::spawn(move || {
+        c2.fetch_add(1, Ordering::SeqCst);
+    });
+    counter.fetch_add(1, Ordering::SeqCst);
+    t.join().unwrap();
+    assert_eq!(counter.load(Ordering::SeqCst), 2);
+}
+
+/// Classic lost wakeup: the flag is set but nobody notifies, so a waiter
+/// that got to `wait` first sleeps forever — a deadlock under the
+/// schedules where the waiter checks before the setter runs.
+fn lost_wakeup() {
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let t = interleave::thread::spawn(move || {
+        let mut flag = p2.0.lock();
+        *flag = true;
+        // BUG: no notify.
+    });
+    let (flag, cv) = (&pair.0, &pair.1);
+    let mut g = flag.lock();
+    while !*g {
+        g = cv.wait(g);
+    }
+    drop(g);
+    t.join().unwrap();
+}
+
+#[test]
+fn exhaustive_passes_correct_counter_and_counts_schedules() {
+    let r1 = explore(&Config::exhaustive(), correct_counter);
+    let rep = r1.assert_pass();
+    assert!(rep.complete, "small protocol must be fully enumerated");
+    assert!(rep.schedules > 1, "must explore more than one interleaving");
+    // Determinism: the same exploration re-runs to the same count.
+    let r2 = explore(&Config::exhaustive(), correct_counter);
+    assert_eq!(rep.schedules, r2.assert_pass().schedules);
+}
+
+#[test]
+fn exhaustive_finds_lost_update() {
+    let out = explore(&Config::exhaustive(), racy_counter);
+    let f = out.assert_fail();
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("lost update"), "got: {}", f.message);
+    // The reported plan replays the same failure.
+    let again = replay_plan(&Config::exhaustive(), &f.plan, racy_counter);
+    let f2 = again.assert_fail();
+    assert_eq!(f2.kind, FailureKind::Panic);
+    assert_eq!(f2.message, f.message);
+}
+
+#[test]
+fn preemption_bound_one_still_finds_lost_update() {
+    // One preemption (break the second RMW between load and store) is
+    // enough, so the CHESS-style bound does not hide the bug.
+    let out = explore(&Config::with_preemption_bound(1), racy_counter);
+    assert_eq!(out.assert_fail().kind, FailureKind::Panic);
+}
+
+#[test]
+fn deadlock_detection_catches_lost_wakeup() {
+    let out = explore(&Config::exhaustive(), lost_wakeup);
+    let f = out.assert_fail();
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    assert!(f.message.contains("deadlock"), "got: {}", f.message);
+}
+
+#[test]
+fn random_exploration_reports_a_replayable_seed() {
+    let out = explore_random(&Config::default(), 500, 0xC0FFEE, lost_wakeup);
+    let f = out.assert_fail().clone();
+    let seed = f.seed.expect("random failures carry their sub-seed");
+    // Seeded replay reproduces the identical schedule: same kind, same
+    // message, same decision trail.
+    let again = replay_seed(&Config::default(), seed, lost_wakeup);
+    let f2 = again.assert_fail();
+    assert_eq!(f2.kind, f.kind);
+    assert_eq!(f2.message, f.message);
+    assert_eq!(f2.plan, f.plan);
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    // A plain (non-atomic) counter under the model mutex: correct under
+    // every interleaving, proving the model lock actually excludes.
+    let body = || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&counter);
+        let t = interleave::thread::spawn(move || {
+            let mut g = c2.lock();
+            *g += 1;
+        });
+        {
+            let mut g = counter.lock();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*counter.lock(), 2);
+    };
+    let rep = explore(&Config::exhaustive(), body);
+    assert!(rep.assert_pass().complete);
+}
+
+#[test]
+fn condvar_handshake_completes_under_all_interleavings() {
+    let body = || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = interleave::thread::spawn(move || {
+            let mut flag = p2.0.lock();
+            *flag = true;
+            p2.1.notify_all();
+        });
+        let mut g = pair.0.lock();
+        while !*g {
+            g = pair.1.wait(g);
+        }
+        drop(g);
+        t.join().unwrap();
+    };
+    let rep = explore(&Config::exhaustive(), body);
+    assert!(rep.assert_pass().complete);
+}
+
+#[test]
+fn rwlock_readers_never_see_torn_writes() {
+    let body = || {
+        // The writer keeps (a, b) congruent (b == 2a); a reader observing
+        // anything else saw a torn update.
+        let cell = Arc::new(RwLock::new((1u64, 2u64)));
+        let c2 = Arc::clone(&cell);
+        let w = interleave::thread::spawn(move || {
+            let mut g = c2.write();
+            g.0 = 5;
+            g.1 = 10;
+        });
+        {
+            let g = cell.read();
+            assert_eq!(g.1, 2 * g.0, "torn read: {:?}", *g);
+        }
+        w.join().unwrap();
+    };
+    let rep = explore(&Config::exhaustive(), body);
+    assert!(rep.assert_pass().complete);
+}
+
+#[test]
+fn shims_pass_through_outside_a_model() {
+    // No model run installed: the same types behave as std primitives.
+    let m = Mutex::new(3u32);
+    {
+        let mut g = m.lock();
+        *g += 1;
+    }
+    assert_eq!(*m.lock(), 4);
+    let rw = RwLock::new(7u32);
+    assert_eq!(*rw.read(), 7);
+    *rw.write() = 8;
+    assert_eq!(rw.into_inner(), 8);
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    let t = interleave::thread::spawn(|| 42u8);
+    assert_eq!(t.join().unwrap(), 42);
+}
+
+#[test]
+fn outcome_accessors_expose_counts() {
+    match explore(&Config::exhaustive(), correct_counter) {
+        Outcome::Pass(rep) => {
+            assert!(rep.schedules >= 2);
+            assert!(rep.max_decisions > 0);
+        }
+        Outcome::Fail(f) => panic!("unexpected failure: {}", f.message),
+    }
+}
