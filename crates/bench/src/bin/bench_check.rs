@@ -4,8 +4,10 @@
 //! assert on) to `results/bench_<name>.json`. This binary compares the
 //! latest run against the committed floors in
 //! `results/bench_baseline.json` and exits non-zero when a metric is
-//! missing or has regressed below its floor — so a change that quietly
-//! erodes a proven speedup fails `bench-smoke` instead of landing.
+//! missing, has regressed below its floor, or when a floor key names a
+//! metric no current bench emits (an orphan left behind by a rename) — so
+//! a change that quietly erodes a proven speedup, or quietly disconnects
+//! its guard, fails `bench-smoke` instead of landing.
 //!
 //! The floors are *ratios* (pool vs scoped, batched vs loop, post-swap vs
 //! stale, shared vs isolated), not absolute throughputs, so the guard is
@@ -18,7 +20,7 @@
 //! cargo run -p peanut-bench --bin bench_check
 //! ```
 
-use peanut_bench::harness::{read_metrics, results_dir};
+use peanut_bench::harness::{is_known_metric, read_metrics, results_dir};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -99,6 +101,19 @@ fn main() -> ExitCode {
     println!("{:<48} {:>9} {:>9}  status", "metric", "floor", "measured");
     let mut failures = 0usize;
     for (key, floor) in &baseline {
+        // a floor whose metric no current bench emits is a leftover from a
+        // rename: a stale summary could satisfy it forever (or it would sit
+        // MISSING with no bench able to fix it) — fail loudly either way
+        if !is_known_metric(key) {
+            println!("{key:<48} {floor:>8.2}x {:>9}  ORPHANED", "-");
+            eprintln!(
+                "bench_check: floor `{key}` names a metric no current bench \
+                 emits — update the floor key or the registry \
+                 (harness::is_known_metric)"
+            );
+            failures += 1;
+            continue;
+        }
         match measured.get(key) {
             Some(&value) if value >= *floor => {
                 println!("{key:<48} {floor:>8.2}x {value:>8.2}x  ok");

@@ -65,7 +65,26 @@ impl Prepared {
 /// `--quick` mode (env `PEANUT_QUICK=1` or argv flag): smaller query counts
 /// so the whole suite runs in CI time.
 pub fn is_quick() -> bool {
-    std::env::args().any(|a| a == "--quick") || std::env::var("PEANUT_QUICK").is_ok()
+    std::env::args().any(|a| a == "--quick")
+        || quick_env_enabled(std::env::var("PEANUT_QUICK").ok().as_deref())
+}
+
+/// Parses the `PEANUT_QUICK` value: unset, empty, `0`, `false`, `off` and
+/// `no` (case-insensitive) mean a full run; anything else enables quick
+/// mode. The mere *presence* of the variable must not count —
+/// `PEANUT_QUICK=0` is how a caller explicitly asks for the full stream.
+pub fn quick_env_enabled(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => {
+            let v = v.trim();
+            !(v.is_empty()
+                || v == "0"
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("no"))
+        }
+    }
 }
 
 /// Query counts for the skewed experiments: (train, test).
@@ -184,6 +203,34 @@ impl BenchSummary {
         writeln!(f, "}}")?;
         Ok(path)
     }
+}
+
+/// True when `key` is a metric some *current* bench can emit.
+///
+/// `bench_check` fails any baseline floor whose key is not in this
+/// registry: without it, renaming a metric silently orphans its floor —
+/// the old key would simply never be measured again and the guard it
+/// encoded would evaporate. Keep this list in sync with the
+/// `BenchSummary::push` calls across `crates/bench/benches/`.
+pub fn is_known_metric(key: &str) -> bool {
+    const EXACT: &[&str] = &[
+        "drift_serving.swap_improvement",
+        "multi_tenant_serving.shared_pool_speedup",
+        "potential_ops.product_speedup",
+        "potential_ops.product_many_speedup",
+        "potential_ops.marginalize_speedup",
+        "potential_ops.divide_speedup",
+    ];
+    // per-worker-count families: `<prefix><N>` for any integer N
+    const PER_WORKER: &[&str] = &[
+        "query_serving.serving_speedup_cold_w",
+        "query_serving.pool_vs_scoped_hot_w",
+    ];
+    EXACT.contains(&key)
+        || PER_WORKER.iter().any(|p| {
+            key.strip_prefix(p)
+                .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+        })
 }
 
 /// Parses a flat `{"key": number, ...}` JSON file as written by
@@ -363,6 +410,48 @@ mod tests {
         assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
         let zs = [8.0, 6.0, 4.0, 2.0];
         assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_env_parses_the_value_not_the_presence() {
+        // the regression: PEANUT_QUICK=0 (or empty) used to enable quick
+        // mode because only presence was checked
+        assert!(!quick_env_enabled(None));
+        assert!(!quick_env_enabled(Some("0")));
+        assert!(!quick_env_enabled(Some("")));
+        assert!(!quick_env_enabled(Some("  ")));
+        assert!(!quick_env_enabled(Some("false")));
+        assert!(!quick_env_enabled(Some("OFF")));
+        assert!(!quick_env_enabled(Some("no")));
+        assert!(quick_env_enabled(Some("1")));
+        assert!(quick_env_enabled(Some("true")));
+        assert!(quick_env_enabled(Some("yes")));
+    }
+
+    #[test]
+    fn known_metric_registry_matches_bench_emissions() {
+        for key in [
+            "drift_serving.swap_improvement",
+            "multi_tenant_serving.shared_pool_speedup",
+            "potential_ops.product_speedup",
+            "potential_ops.product_many_speedup",
+            "potential_ops.marginalize_speedup",
+            "potential_ops.divide_speedup",
+            "query_serving.serving_speedup_cold_w2",
+            "query_serving.pool_vs_scoped_hot_w16",
+        ] {
+            assert!(is_known_metric(key), "{key} should be known");
+        }
+        for key in [
+            "query_serving.serving_speedup_cold_w",   // no worker count
+            "query_serving.serving_speedup_cold_w2x", // trailing garbage
+            "query_serving.renamed_metric",
+            "potential_ops.restrict_speedup", // not emitted
+            "unknown_bench.anything",
+            "",
+        ] {
+            assert!(!is_known_metric(key), "{key} should be unknown");
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 pub mod budp;
 pub mod context;
 pub mod exec;
+pub mod flat;
 pub mod grid;
 pub mod gwmin;
 pub mod lrdp;
@@ -47,6 +48,7 @@ pub mod workload;
 
 pub use context::OfflineContext;
 pub use exec::{Executor, ScopedExecutor, SequentialExecutor};
+pub use flat::FlatMaterialization;
 pub use grid::BudgetGrid;
 pub use online::{Materialization, MaterializedShortcut, OnlineEngine, TracedAnswer};
 pub use peanut::{Peanut, PeanutConfig, Variant};

@@ -1,12 +1,20 @@
 //! Hugin calibration: after a collect and a distribute pass, every clique
 //! potential equals the joint marginal of its scope and every separator
 //! potential equals the joint marginal of the separator.
+//!
+//! Numeric tables live in a [`TreeArena`]: one contiguous `f64` slab with
+//! per-table spans, written in place by the span kernels. Calibrating
+//! therefore produces a single relocatable buffer — see [`crate::arena`].
 
+use crate::arena::TreeArena;
 use crate::rooted::RootedTree;
 use crate::tree::{CliqueId, EdgeId, JunctionTree};
-use peanut_pgm::{BayesianNetwork, PgmError, Potential, Scratch};
+use peanut_pgm::{
+    divide_views, mul_assign_bcast, product_onto, BayesianNetwork, PgmError, Scratch, TableRef,
+};
 
-/// Dense clique and separator potentials attached to a junction tree.
+/// Dense clique and separator potentials attached to a junction tree,
+/// stored as spans of one flat arena slab.
 ///
 /// Creation fails with [`PgmError::TableTooLarge`] when any clique exceeds
 /// the dense-materialization limit; callers then fall back to the symbolic
@@ -14,34 +22,31 @@ use peanut_pgm::{BayesianNetwork, PgmError, Potential, Scratch};
 /// uncalibrated.
 #[derive(Clone, Debug)]
 pub struct NumericState {
-    clique_pots: Vec<Potential>,
-    sep_pots: Vec<Potential>,
+    arena: TreeArena,
     calibrated: bool,
 }
 
 impl NumericState {
-    /// Initializes clique potentials as the product of their assigned CPTs
-    /// (expanded onto the full clique scope) and separator potentials as
-    /// all-ones.
+    /// Initializes clique tables as the product of their assigned CPTs
+    /// (expanded onto the full clique scope) and separator tables as
+    /// all-ones, multiplying CPTs directly into the arena spans.
     pub fn initialize(tree: &JunctionTree, bn: &BayesianNetwork) -> Result<Self, PgmError> {
         let mut scratch = Scratch::new();
-        let mut clique_pots = Vec::with_capacity(tree.n_cliques());
+        let mut arena = TreeArena::layout(tree)?;
         for u in 0..tree.n_cliques() {
-            let mut factors: Vec<&Potential> = Vec::new();
-            let ones = Potential::ones(tree.clique(u).clone(), tree.domain())?;
-            factors.push(&ones);
-            for &v in tree.assigned_factors(u) {
-                factors.push(bn.cpt(v));
-            }
-            clique_pots.push(Potential::product_many_in(&factors, &mut scratch)?);
-            scratch.recycle(ones);
+            let factors: Vec<TableRef<'_>> = tree
+                .assigned_factors(u)
+                .iter()
+                .map(|&v| bn.cpt(v).view())
+                .collect();
+            let (scope, cards, values) = arena.clique_mut(u);
+            product_onto(scope, cards, values, &factors, &mut scratch)?;
         }
-        let sep_pots = (0..tree.edges().len())
-            .map(|e| Potential::ones(tree.separator(e).clone(), tree.domain()))
-            .collect::<Result<_, _>>()?;
+        for e in 0..tree.edges().len() {
+            arena.separator_values_mut(e).fill(1.0);
+        }
         Ok(NumericState {
-            clique_pots,
-            sep_pots,
+            arena,
             calibrated: false,
         })
     }
@@ -70,6 +75,10 @@ impl NumericState {
 
     /// Hugin absorption `from → to` over edge `e`:
     /// `m = marginalize(ψ_from, sep)`, `ψ_to *= m / φ_e`, `φ_e = m`.
+    ///
+    /// `ψ_to` is updated in place in its slab span; only the message and the
+    /// update quotient are transient tables (recycled through the scratch
+    /// pool).
     fn pass_message(
         &mut self,
         tree: &JunctionTree,
@@ -78,12 +87,18 @@ impl NumericState {
         e: EdgeId,
         scratch: &mut Scratch,
     ) -> Result<(), PgmError> {
-        let m = self.clique_pots[from].marginalize_in(tree.separator(e), scratch)?;
-        let update = m.divide_in(&self.sep_pots[e], scratch)?;
-        let new_to = self.clique_pots[to].product_in(&update, scratch)?;
-        scratch.recycle(std::mem::replace(&mut self.clique_pots[to], new_to));
+        let m = self
+            .arena
+            .clique(from)
+            .marginalize_in(tree.separator(e), scratch)?;
+        let update = divide_views(m.view(), self.arena.separator(e), scratch)?;
+        let (scope, cards, values) = self.arena.clique_mut(to);
+        mul_assign_bcast(scope, cards, values, update.view(), scratch)?;
+        self.arena
+            .separator_values_mut(e)
+            .copy_from_slice(m.values());
         scratch.recycle(update);
-        scratch.recycle(std::mem::replace(&mut self.sep_pots[e], m));
+        scratch.recycle(m);
         Ok(())
     }
 
@@ -93,30 +108,133 @@ impl NumericState {
         self.calibrated
     }
 
-    /// Calibrated clique potential (the joint marginal `P(X_u)`).
+    /// The flat storage arena holding every table.
     #[inline]
-    pub fn clique_potential(&self, u: CliqueId) -> &Potential {
-        &self.clique_pots[u]
+    pub fn arena(&self) -> &TreeArena {
+        &self.arena
     }
 
-    /// Calibrated separator potential (the joint marginal of the separator).
+    /// Calibrated clique table (the joint marginal `P(X_u)`) as a borrowed
+    /// view into the arena slab.
     #[inline]
-    pub fn separator_potential(&self, e: EdgeId) -> &Potential {
-        &self.sep_pots[e]
+    pub fn clique_table(&self, u: CliqueId) -> TableRef<'_> {
+        self.arena.clique(u)
+    }
+
+    /// Calibrated separator table (the joint marginal of the separator) as
+    /// a borrowed view into the arena slab.
+    #[inline]
+    pub fn separator_table(&self, e: EdgeId) -> TableRef<'_> {
+        self.arena.separator(e)
     }
 
     /// Maximum disagreement between adjacent cliques on their separator
     /// marginal — zero (up to float error) iff calibrated.
     pub fn local_consistency_error(&self, tree: &JunctionTree) -> Result<f64, PgmError> {
+        let mut scratch = Scratch::new();
         let mut worst = 0.0f64;
         for (e, &(u, v)) in tree.edges().iter().enumerate() {
             let sep = tree.separator(e);
-            let mu = self.clique_pots[u].marginalize(sep)?;
-            let mv = self.clique_pots[v].marginalize(sep)?;
+            let mu = self.arena.clique(u).marginalize_in(sep, &mut scratch)?;
+            let mv = self.arena.clique(v).marginalize_in(sep, &mut scratch)?;
             worst = worst.max(mu.max_abs_diff(&mv)?);
-            worst = worst.max(mu.max_abs_diff(&self.sep_pots[e])?);
+            worst = worst.max(mu.max_abs_diff(&self.arena.separator(e).to_potential())?);
         }
         Ok(worst)
+    }
+}
+
+/// The pre-arena numeric state — per-node `Vec<f64>` tables driven by the
+/// legacy append-based kernels — kept as the differential baseline. The
+/// calibration differential suite runs both implementations over the same
+/// tree and asserts every table is byte-identical.
+#[cfg(any(test, feature = "legacy-kernels"))]
+pub mod legacy_state {
+    use super::*;
+    use peanut_pgm::potential::legacy as lk;
+    use peanut_pgm::Potential;
+
+    /// Per-node owned potentials, original layout and kernels.
+    #[derive(Clone, Debug)]
+    pub struct LegacyNumericState {
+        clique_pots: Vec<Potential>,
+        sep_pots: Vec<Potential>,
+    }
+
+    impl LegacyNumericState {
+        /// Original initialization: ones potential times assigned CPTs.
+        pub fn initialize(tree: &JunctionTree, bn: &BayesianNetwork) -> Result<Self, PgmError> {
+            let mut scratch = Scratch::new();
+            let mut clique_pots = Vec::with_capacity(tree.n_cliques());
+            for u in 0..tree.n_cliques() {
+                let mut factors: Vec<&Potential> = Vec::new();
+                let ones = Potential::ones(tree.clique(u).clone(), tree.domain())?;
+                factors.push(&ones);
+                for &v in tree.assigned_factors(u) {
+                    factors.push(bn.cpt(v));
+                }
+                clique_pots.push(lk::product_many_in(&factors, &mut scratch)?);
+                scratch.recycle(ones);
+            }
+            let sep_pots = (0..tree.edges().len())
+                .map(|e| Potential::ones(tree.separator(e).clone(), tree.domain()))
+                .collect::<Result<_, _>>()?;
+            Ok(LegacyNumericState {
+                clique_pots,
+                sep_pots,
+            })
+        }
+
+        /// Original Hugin passes over the owned tables.
+        pub fn calibrate(
+            &mut self,
+            tree: &JunctionTree,
+            rooted: &RootedTree,
+        ) -> Result<(), PgmError> {
+            let mut scratch = Scratch::new();
+            let order: Vec<CliqueId> = rooted.dfs_order().to_vec();
+            for &u in order.iter().rev() {
+                let Some(p) = rooted.parent(u) else { continue };
+                let e = rooted.parent_edge(u).expect("non-root has parent edge");
+                self.pass_message(tree, u, p, e, &mut scratch)?;
+            }
+            for &u in &order {
+                for &c in rooted.children(u) {
+                    let e = rooted.parent_edge(c).expect("child has parent edge");
+                    self.pass_message(tree, u, c, e, &mut scratch)?;
+                }
+            }
+            Ok(())
+        }
+
+        fn pass_message(
+            &mut self,
+            tree: &JunctionTree,
+            from: CliqueId,
+            to: CliqueId,
+            e: EdgeId,
+            scratch: &mut Scratch,
+        ) -> Result<(), PgmError> {
+            let m = lk::marginalize_in(&self.clique_pots[from], tree.separator(e), scratch)?;
+            let update = lk::divide_in(&m, &self.sep_pots[e], scratch)?;
+            let new_to = lk::product_in(&self.clique_pots[to], &update, scratch)?;
+            scratch.recycle(std::mem::replace(&mut self.clique_pots[to], new_to));
+            scratch.recycle(update);
+            scratch.recycle(std::mem::replace(&mut self.sep_pots[e], m));
+            Ok(())
+        }
+
+        /// Calibrated clique potential.
+        #[inline]
+        pub fn clique_potential(&self, u: CliqueId) -> &Potential {
+            &self.clique_pots[u]
+        }
+
+        /// Calibrated separator potential.
+        #[inline]
+        pub fn separator_potential(&self, e: EdgeId) -> &Potential {
+            &self.sep_pots[e]
+        }
     }
 }
 
@@ -154,7 +272,7 @@ mod tests {
             let (tree, _, st) = calibrated(&bn);
             for u in 0..tree.n_cliques() {
                 let oracle = joint::marginal(&bn, tree.clique(u)).unwrap();
-                let got = st.clique_potential(u);
+                let got = st.clique_table(u).to_potential();
                 assert!(
                     got.max_abs_diff(&oracle).unwrap() < 1e-9,
                     "clique {u} mismatch"
@@ -169,7 +287,8 @@ mod tests {
         let (tree, _, st) = calibrated(&bn);
         for e in 0..tree.edges().len() {
             let oracle = joint::marginal(&bn, tree.separator(e)).unwrap();
-            assert!(st.separator_potential(e).max_abs_diff(&oracle).unwrap() < 1e-9);
+            let got = st.separator_table(e).to_potential();
+            assert!(got.max_abs_diff(&oracle).unwrap() < 1e-9);
         }
     }
 
@@ -182,7 +301,8 @@ mod tests {
             let mut st = NumericState::initialize(&tree, &bn).unwrap();
             st.calibrate(&tree, &rooted).unwrap();
             let oracle = joint::marginal(&bn, tree.clique(0)).unwrap();
-            assert!(st.clique_potential(0).max_abs_diff(&oracle).unwrap() < 1e-9);
+            let got = st.clique_table(0).to_potential();
+            assert!(got.max_abs_diff(&oracle).unwrap() < 1e-9);
         }
     }
 
@@ -192,5 +312,51 @@ mod tests {
         let tree = build_junction_tree(&bn).unwrap();
         let st = NumericState::initialize(&tree, &bn).unwrap();
         assert!(!st.is_calibrated());
+    }
+
+    /// The tentpole differential: arena calibration must be **byte
+    /// identical** to the pre-arena per-node layout, end to end — after
+    /// initialization and after full calibration, on every clique and
+    /// separator table.
+    #[test]
+    fn arena_calibration_bit_identical_to_legacy() {
+        use super::legacy_state::LegacyNumericState;
+        for bn in [
+            fixtures::sprinkler(),
+            fixtures::asia(),
+            fixtures::figure1(),
+            fixtures::chain(8, 3, 4),
+            fixtures::binary_tree(15, 9),
+        ] {
+            let tree = build_junction_tree(&bn).unwrap();
+            let rooted = RootedTree::new(&tree);
+            let mut st = NumericState::initialize(&tree, &bn).unwrap();
+            let mut old = LegacyNumericState::initialize(&tree, &bn).unwrap();
+            let check = |st: &NumericState, old: &LegacyNumericState, phase: &str| {
+                for u in 0..tree.n_cliques() {
+                    let new_vals = st.clique_table(u).values();
+                    let old_vals = old.clique_potential(u).values();
+                    assert_eq!(new_vals.len(), old_vals.len());
+                    for (i, (a, b)) in new_vals.iter().zip(old_vals).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{phase}: clique {u} entry {i}: arena {a:?} vs legacy {b:?}"
+                        );
+                    }
+                }
+                for e in 0..tree.edges().len() {
+                    let new_vals = st.separator_table(e).values();
+                    let old_vals = old.separator_potential(e).values();
+                    for (a, b) in new_vals.iter().zip(old_vals) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{phase}: separator {e}");
+                    }
+                }
+            };
+            check(&st, &old, "post-init");
+            st.calibrate(&tree, &rooted).unwrap();
+            old.calibrate(&tree, &rooted).unwrap();
+            check(&st, &old, "post-calibration");
+        }
     }
 }

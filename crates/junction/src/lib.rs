@@ -22,6 +22,7 @@
 //! whose calibration is infeasible: all comparison metrics are operation
 //! counts, which depend only on scopes and cardinalities.
 
+pub mod arena;
 pub mod build;
 pub mod calibrate;
 pub mod cost;
@@ -33,6 +34,7 @@ pub mod steiner;
 pub mod tree;
 pub mod triangulate;
 
+pub use arena::TreeArena;
 pub use build::build_junction_tree;
 pub use calibrate::NumericState;
 pub use query::{QueryEngine, QueryPlan};

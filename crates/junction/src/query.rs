@@ -129,7 +129,7 @@ impl<'t> QueryEngine<'t> {
             .ok_or_else(|| PgmError::UnknownName("engine is symbolic".into()))?;
         match self.plan(query)? {
             QueryPlan::InClique(u) => {
-                let pot = ns.clique_potential(u).marginalize_in(query, scratch)?;
+                let pot = ns.clique_table(u).marginalize_in(query, scratch)?;
                 Ok((
                     pot,
                     QueryCost {

@@ -66,14 +66,14 @@ impl ReducedTree {
                 let sep_to_parent = match (numeric, is_root) {
                     (Some(ns), false) => {
                         let e = rooted.parent_edge(u).expect("non-root");
-                        Some(ns.separator_potential(e).clone())
+                        Some(ns.separator_table(e).to_potential())
                     }
                     _ => None,
                 };
                 RNode {
                     scope: tree.clique(u).clone(),
                     label: NodeLabel::Clique(u),
-                    potential: numeric.map(|ns| ns.clique_potential(u).clone()),
+                    potential: numeric.map(|ns| ns.clique_table(u).to_potential()),
                     sep_to_parent,
                     parent,
                     children: Vec::new(),

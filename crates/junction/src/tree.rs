@@ -21,8 +21,11 @@ pub struct JunctionTree {
     /// intersection.
     edges: Vec<(CliqueId, CliqueId)>,
     separators: Vec<Scope>,
-    /// `adj[u]` = list of `(neighbor, edge id)`.
-    adj: Vec<Vec<(CliqueId, EdgeId)>>,
+    /// CSR adjacency: neighbors of `u` are
+    /// `adj_flat[adj_first[u]..adj_first[u + 1]]` — one flat `(neighbor,
+    /// edge id)` array plus offsets, instead of a `Vec` per node.
+    adj_first: Vec<u32>,
+    adj_flat: Vec<(CliqueId, EdgeId)>,
     /// Factors (variables, since each variable owns one CPT) assigned to each
     /// clique.
     assigned: Vec<Vec<Var>>,
@@ -71,10 +74,22 @@ impl JunctionTree {
             .iter()
             .map(|&(i, j)| cliques[i].intersect(&cliques[j]))
             .collect();
-        let mut adj: Vec<Vec<(CliqueId, EdgeId)>> = vec![Vec::new(); n];
+        // CSR adjacency: degree count, prefix sum, then placement
+        let mut adj_first = vec![0u32; n + 1];
+        for &(i, j) in &edges {
+            adj_first[i + 1] += 1;
+            adj_first[j + 1] += 1;
+        }
+        for u in 0..n {
+            adj_first[u + 1] += adj_first[u];
+        }
+        let mut adj_flat = vec![(0, 0); 2 * edges.len()];
+        let mut cursor: Vec<u32> = adj_first[..n].to_vec();
         for (e, &(i, j)) in edges.iter().enumerate() {
-            adj[i].push((j, e));
-            adj[j].push((i, e));
+            adj_flat[cursor[i] as usize] = (j, e);
+            cursor[i] += 1;
+            adj_flat[cursor[j] as usize] = (i, e);
+            cursor[j] += 1;
         }
         let tree = JunctionTree {
             domain,
@@ -82,7 +97,8 @@ impl JunctionTree {
             cliques,
             edges,
             separators,
-            adj,
+            adj_first,
+            adj_flat,
             pivot: 0,
         };
         tree.check_running_intersection()?;
@@ -125,15 +141,19 @@ impl JunctionTree {
         &self.separators[e]
     }
 
-    /// Neighbors of a clique with the connecting edge ids.
+    /// Neighbors of a clique with the connecting edge ids (a slice of the
+    /// flat CSR adjacency array).
     #[inline]
     pub fn neighbors(&self, u: CliqueId) -> &[(CliqueId, EdgeId)] {
-        &self.adj[u]
+        &self.adj_flat[self.adj_first[u] as usize..self.adj_first[u + 1] as usize]
     }
 
     /// The edge id connecting `u` and `v`, if adjacent.
     pub fn edge_between(&self, u: CliqueId, v: CliqueId) -> Option<EdgeId> {
-        self.adj[u].iter().find(|&&(w, _)| w == v).map(|&(_, e)| e)
+        self.neighbors(u)
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
     }
 
     /// Table size `μ(u)` of a clique potential.
@@ -199,7 +219,7 @@ impl JunctionTree {
         let mut queue = std::collections::VecDeque::from([start]);
         let mut best = (start, 0);
         while let Some(u) = queue.pop_front() {
-            for &(v, _) in &self.adj[u] {
+            for &(v, _) in self.neighbors(u) {
                 if dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     if dist[v] > best.1 {
@@ -232,7 +252,7 @@ impl JunctionTree {
             seen[members[0]] = true;
             let mut count = 1;
             while let Some(u) = queue.pop_front() {
-                for &(w, _) in &self.adj[u] {
+                for &(w, _) in self.neighbors(u) {
                     if !seen[w] && in_set(w) {
                         seen[w] = true;
                         count += 1;

@@ -1,0 +1,219 @@
+//! Differential suite: arena/lane kernels vs the pre-refactor legacy
+//! kernels, asserted **bitwise** (`f64::to_bits`).
+//!
+//! The flat-arena refactor rewrote every stride-walk kernel (lane-based
+//! inner loops, preallocated destination slices, pass-based k-factor
+//! product). All of those rewrites were chosen to be bit-identical to the
+//! original append-based walks — same per-entry multiplication order, same
+//! sequential accumulation per output slot, same Hugin `0/0 = 0` cells.
+//! This module proves it against [`crate::potential::legacy`] over random
+//! scopes and cardinalities (2..=4, so inner runs routinely have
+//! non-multiple-of-4 lengths and exercise the scalar lane tails), plus the
+//! singleton/empty-scope and zero-cell edge cases.
+
+use crate::domain::Domain;
+use crate::potential::{legacy, product_onto, Potential, Scratch};
+use crate::scope::Scope;
+use crate::var::Var;
+use proptest::prelude::*;
+
+/// A domain of `n` variables with cardinalities in 2..=4 (odd cards give
+/// tail lanes).
+fn domain_strategy(n: usize) -> impl Strategy<Value = Domain> {
+    prop::collection::vec(2u32..=4, n).prop_map(|cards| {
+        let mut d = Domain::new();
+        for (i, c) in cards.into_iter().enumerate() {
+            d.add(&format!("v{i}"), c).unwrap();
+        }
+        d
+    })
+}
+
+/// A random sub-scope of an `n`-variable domain (possibly empty).
+fn scope_strategy(n: usize) -> impl Strategy<Value = Scope> {
+    prop::collection::vec(prop::bool::ANY, n).prop_map(|mask| {
+        Scope::from_iter(
+            mask.iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| Var(i as u32)),
+        )
+    })
+}
+
+/// Deterministic pseudo-random table; every 7th entry is forced to `0.0`
+/// and every 11th to `-0.0` so the divide differential hits the Hugin
+/// zero-cell convention (and its sign edge) constantly.
+fn potential_with_zeros(d: &Domain, scope: Scope, seed: u64) -> Potential {
+    let mut p = Potential::zeros(scope, d).unwrap();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for (i, v) in p.values_mut().iter_mut().enumerate() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = if i % 7 == 3 {
+            0.0
+        } else if i % 11 == 5 {
+            -0.0
+        } else {
+            0.1 + (state % 1000) as f64 / 1000.0
+        };
+    }
+    p
+}
+
+fn assert_bit_identical(got: &Potential, want: &Potential) {
+    assert_eq!(got.scope(), want.scope());
+    assert_eq!(got.cards(), want.cards());
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.values().iter().zip(want.values()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "entry {i} differs: new {g:?} vs legacy {w:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// k-factor product: new pass-based kernel vs legacy per-entry walk.
+    #[test]
+    fn product_bit_identical(
+        d in domain_strategy(6),
+        scopes in prop::collection::vec(scope_strategy(6), 1..=4),
+        seed in 0u64..10_000,
+    ) {
+        let pots: Vec<Potential> = scopes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| potential_with_zeros(&d, s, seed + i as u64))
+            .collect();
+        let refs: Vec<&Potential> = pots.iter().collect();
+        let mut s1 = Scratch::new();
+        let mut s2 = Scratch::new();
+        let got = Potential::product_many_in(&refs, &mut s1).unwrap();
+        let want = legacy::product_many_in(&refs, &mut s2).unwrap();
+        assert_bit_identical(&got, &want);
+    }
+
+    /// product_onto writes the same bits into a preallocated span (the
+    /// arena slab path).
+    #[test]
+    fn product_onto_bit_identical(
+        d in domain_strategy(6),
+        scopes in prop::collection::vec(scope_strategy(6), 1..=4),
+        seed in 0u64..10_000,
+    ) {
+        let pots: Vec<Potential> = scopes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| potential_with_zeros(&d, s, seed + i as u64))
+            .collect();
+        let refs: Vec<&Potential> = pots.iter().collect();
+        let mut s = Scratch::new();
+        let want = legacy::product_many_in(&refs, &mut s).unwrap();
+        let views: Vec<_> = pots.iter().map(|p| p.view()).collect();
+        let mut dst = vec![f64::NAN; want.len()]; // poison: every slot must be written
+        product_onto(want.scope(), want.cards(), &mut dst, &views, &mut s).unwrap();
+        for (g, w) in dst.iter().zip(want.values()) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// Marginalization: block-4 accumulator path + lane adds vs scalar walk.
+    #[test]
+    fn marginalize_bit_identical(
+        d in domain_strategy(7),
+        s in scope_strategy(7),
+        keep in scope_strategy(7),
+        seed in 0u64..10_000,
+    ) {
+        let f = potential_with_zeros(&d, s, seed);
+        let mut s1 = Scratch::new();
+        let mut s2 = Scratch::new();
+        let got = f.marginalize_in(&keep, &mut s1).unwrap();
+        let want = legacy::marginalize_in(&f, &keep, &mut s2).unwrap();
+        assert_bit_identical(&got, &want);
+    }
+
+    /// Division incl. Hugin 0/0 cells and negative zeros: num = f·g has a
+    /// zero exactly where g does, so zero-cell divides occur constantly.
+    #[test]
+    fn divide_bit_identical(
+        d in domain_strategy(6),
+        s1 in scope_strategy(6),
+        s2 in scope_strategy(6),
+        seed in 0u64..10_000,
+    ) {
+        let f = potential_with_zeros(&d, s1, seed);
+        let g = potential_with_zeros(&d, s2, seed + 3);
+        let num = f.product(&g).unwrap();
+        let mut sc1 = Scratch::new();
+        let mut sc2 = Scratch::new();
+        let got = num.divide_in(&g, &mut sc1).unwrap();
+        let want = legacy::divide_in(&num, &g, &mut sc2).unwrap();
+        assert_bit_identical(&got, &want);
+        prop_assert!(!got.values().iter().any(|v| v.is_nan()));
+    }
+
+    /// Evidence restriction slices the same bytes.
+    #[test]
+    fn restrict_bit_identical(
+        d in domain_strategy(5),
+        s in scope_strategy(5),
+        seed in 0u64..10_000,
+        which in 0usize..5,
+        val in 0u32..4,
+    ) {
+        prop_assume!(!s.is_empty());
+        let f = potential_with_zeros(&d, s.clone(), seed);
+        let v = s.vars()[which % s.len()];
+        let value = val % d.card(v);
+        let mut s1 = Scratch::new();
+        let mut s2 = Scratch::new();
+        let got = f.restrict_in(v, value, &mut s1).unwrap();
+        let want = legacy::restrict_in(&f, v, value, &mut s2).unwrap();
+        assert_bit_identical(&got, &want);
+    }
+}
+
+#[test]
+fn scalar_and_singleton_edges_bit_identical() {
+    let mut d = Domain::new();
+    d.add("a", 3).unwrap();
+    let mut s1 = Scratch::new();
+    let mut s2 = Scratch::new();
+
+    // empty factor list → scalar one
+    let got = Potential::product_many_in(&[], &mut s1).unwrap();
+    let want = legacy::product_many_in(&[], &mut s2).unwrap();
+    assert_bit_identical(&got, &want);
+
+    // scalar × scalar and scalar × singleton
+    let sc = Potential::scalar(2.5);
+    let single = Potential::new(Scope::from_indices(&[0]), vec![3], vec![0.0, -0.0, 4.0]).unwrap();
+    for pair in [[&sc, &sc], [&sc, &single], [&single, &single]] {
+        let got = Potential::product_many_in(&pair, &mut s1).unwrap();
+        let want = legacy::product_many_in(&pair, &mut s2).unwrap();
+        assert_bit_identical(&got, &want);
+    }
+
+    // marginalize a singleton to the empty scope, and a scalar to anything
+    let got = single.marginalize_in(&Scope::empty(), &mut s1).unwrap();
+    let want = legacy::marginalize_in(&single, &Scope::empty(), &mut s2).unwrap();
+    assert_bit_identical(&got, &want);
+    let got = sc
+        .marginalize_in(&Scope::from_indices(&[0]), &mut s1)
+        .unwrap();
+    let want = legacy::marginalize_in(&sc, &Scope::from_indices(&[0]), &mut s2).unwrap();
+    assert_bit_identical(&got, &want);
+
+    // scalar / scalar with the 0/0 cell
+    let z = Potential::scalar(0.0);
+    let got = z.divide_in(&Potential::scalar(0.0), &mut s1).unwrap();
+    let want = legacy::divide_in(&z, &Potential::scalar(0.0), &mut s2).unwrap();
+    assert_bit_identical(&got, &want);
+    assert_eq!(got.values()[0].to_bits(), 0.0f64.to_bits());
+}

@@ -1,0 +1,379 @@
+//! 4-wide `f64` lane primitives for the stride-walk kernels.
+//!
+//! Every helper here has two implementations with *identical bit-level
+//! semantics*: a manually unrolled form that builds on stable (the default),
+//! and a `std::simd` form behind the non-default `simd` feature (nightly
+//! only, `portable_simd`). Both process the run in 4-slot blocks with a
+//! scalar tail for lengths that are not a multiple of 4, and neither ever
+//! reorders an accumulation chain — each output slot sees exactly the
+//! per-element IEEE operation sequence the scalar kernels used, so results
+//! are bitwise identical across the three variants (legacy / unrolled /
+//! simd). The differential suites assert this with `f64::to_bits`.
+//!
+//! Division follows the Hugin convention `0 / 0 = 0`. The SIMD form must
+//! not simply divide — a 0/0 lane would produce NaN — so it divides the
+//! whole vector and then selects `+0.0` on the lanes where both numerator
+//! and denominator compare equal to zero (which, like the scalar `== 0.0`,
+//! also catches `-0.0`).
+
+#[cfg(feature = "simd")]
+use std::simd::{cmp::SimdPartialEq, f64x4, Select};
+
+/// `dst[i] = a[i] * b[i]`.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn mul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for ((d, x), y) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+        d[0] = x[0] * y[0];
+        d[1] = x[1] * y[1];
+        d[2] = x[2] * y[2];
+        d[3] = x[3] * y[3];
+    }
+    for ((d, &x), &y) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d = x * y;
+    }
+}
+
+/// `dst[i] = a[i] * b[i]`.
+#[cfg(feature = "simd")]
+pub(crate) fn mul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for ((d, x), y) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+        (f64x4::from_slice(x) * f64x4::from_slice(y)).copy_to_slice(d);
+    }
+    for ((d, &x), &y) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d = x * y;
+    }
+}
+
+/// `dst[i] = a[i] * s` (broadcast multiply).
+#[cfg(not(feature = "simd"))]
+pub(crate) fn mul_scalar(dst: &mut [f64], a: &[f64], s: f64) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    for (d, x) in (&mut dc).zip(&mut ac) {
+        d[0] = x[0] * s;
+        d[1] = x[1] * s;
+        d[2] = x[2] * s;
+        d[3] = x[3] * s;
+    }
+    for (d, &x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d = x * s;
+    }
+}
+
+/// `dst[i] = a[i] * s` (broadcast multiply).
+#[cfg(feature = "simd")]
+pub(crate) fn mul_scalar(dst: &mut [f64], a: &[f64], s: f64) {
+    debug_assert_eq!(dst.len(), a.len());
+    let sv = f64x4::splat(s);
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    for (d, x) in (&mut dc).zip(&mut ac) {
+        (f64x4::from_slice(x) * sv).copy_to_slice(d);
+    }
+    for (d, &x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d = x * s;
+    }
+}
+
+/// `dst[i] *= a[i]`.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn mul_assign(dst: &mut [f64], a: &[f64]) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    for (d, x) in (&mut dc).zip(&mut ac) {
+        d[0] *= x[0];
+        d[1] *= x[1];
+        d[2] *= x[2];
+        d[3] *= x[3];
+    }
+    for (d, &x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d *= x;
+    }
+}
+
+/// `dst[i] *= a[i]`.
+#[cfg(feature = "simd")]
+pub(crate) fn mul_assign(dst: &mut [f64], a: &[f64]) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    for (d, x) in (&mut dc).zip(&mut ac) {
+        (f64x4::from_slice(d) * f64x4::from_slice(x)).copy_to_slice(d);
+    }
+    for (d, &x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d *= x;
+    }
+}
+
+/// `dst[i] *= s`.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn mul_assign_scalar(dst: &mut [f64], s: f64) {
+    let mut dc = dst.chunks_exact_mut(4);
+    for d in &mut dc {
+        d[0] *= s;
+        d[1] *= s;
+        d[2] *= s;
+        d[3] *= s;
+    }
+    for d in dc.into_remainder() {
+        *d *= s;
+    }
+}
+
+/// `dst[i] *= s`.
+#[cfg(feature = "simd")]
+pub(crate) fn mul_assign_scalar(dst: &mut [f64], s: f64) {
+    let sv = f64x4::splat(s);
+    let mut dc = dst.chunks_exact_mut(4);
+    for d in &mut dc {
+        (f64x4::from_slice(d) * sv).copy_to_slice(d);
+    }
+    for d in dc.into_remainder() {
+        *d *= s;
+    }
+}
+
+/// `dst[i] += a[i]`.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn add_assign(dst: &mut [f64], a: &[f64]) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    for (d, x) in (&mut dc).zip(&mut ac) {
+        d[0] += x[0];
+        d[1] += x[1];
+        d[2] += x[2];
+        d[3] += x[3];
+    }
+    for (d, &x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d += x;
+    }
+}
+
+/// `dst[i] += a[i]`.
+#[cfg(feature = "simd")]
+pub(crate) fn add_assign(dst: &mut [f64], a: &[f64]) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ac = a.chunks_exact(4);
+    for (d, x) in (&mut dc).zip(&mut ac) {
+        (f64x4::from_slice(d) + f64x4::from_slice(x)).copy_to_slice(d);
+    }
+    for (d, &x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d += x;
+    }
+}
+
+/// `dst[i] = hugin(dst[i], den[i])` where `hugin(0, 0) = 0`. In-place:
+/// the divide kernel appends the numerator run (one memcpy) and divides in
+/// the slab, instead of zero-filling a buffer it would fully overwrite.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn div_assign(dst: &mut [f64], den: &[f64]) {
+    debug_assert_eq!(dst.len(), den.len());
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ec = den.chunks_exact(4);
+    for (q, d) in (&mut dc).zip(&mut ec) {
+        q[0] = hugin(q[0], d[0]);
+        q[1] = hugin(q[1], d[1]);
+        q[2] = hugin(q[2], d[2]);
+        q[3] = hugin(q[3], d[3]);
+    }
+    for (q, &d) in dc.into_remainder().iter_mut().zip(ec.remainder()) {
+        *q = hugin(*q, d);
+    }
+}
+
+/// `dst[i] = hugin(dst[i], den[i])` where `hugin(0, 0) = 0`.
+#[cfg(feature = "simd")]
+pub(crate) fn div_assign(dst: &mut [f64], den: &[f64]) {
+    debug_assert_eq!(dst.len(), den.len());
+    let zero = f64x4::splat(0.0);
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut ec = den.chunks_exact(4);
+    for (q, d) in (&mut dc).zip(&mut ec) {
+        let nv = f64x4::from_slice(q);
+        let dv = f64x4::from_slice(d);
+        // a plain nv / dv would put NaN in 0/0 lanes; mask them to +0.0
+        let both_zero = nv.simd_eq(zero) & dv.simd_eq(zero);
+        both_zero.select(zero, nv / dv).copy_to_slice(q);
+    }
+    for (q, &d) in dc.into_remainder().iter_mut().zip(ec.remainder()) {
+        *q = hugin(*q, d);
+    }
+}
+
+/// The scalar Hugin division: `0 / 0 = 0`, anything else is IEEE.
+#[inline(always)]
+pub(crate) fn hugin(n: f64, d: f64) -> f64 {
+    if d == 0.0 && n == 0.0 {
+        0.0
+    } else {
+        n / d
+    }
+}
+
+/// Strictly sequential sum of a run — the same fold `iter().sum()` performs.
+/// Never unrolled: reassociating a single accumulation chain changes bits.
+#[inline]
+pub(crate) fn seq_sum(run: &[f64]) -> f64 {
+    run.iter().sum()
+}
+
+/// Sums four consecutive equal-length runs of `block` into four independent
+/// accumulators: `out[k] = Σ_j block[k·run_len + j]`, each chain strictly
+/// sequential in `j`.
+///
+/// This is the marginalization fast path: when consecutive source runs feed
+/// consecutive target slots, four runs are processed in lock-step, which
+/// breaks the floating-point add latency chain (4 independent chains in
+/// flight) *without* reordering any single chain — each output slot still
+/// accumulates in exactly the legacy order, so the result is bit-identical.
+#[cfg(not(feature = "simd"))]
+pub(crate) fn sum_4_runs(block: &[f64], run_len: usize) -> [f64; 4] {
+    debug_assert_eq!(block.len(), 4 * run_len);
+    let (r0, rest) = block.split_at(run_len);
+    let (r1, rest) = rest.split_at(run_len);
+    let (r2, r3) = rest.split_at(run_len);
+    let mut acc = [0.0f64; 4];
+    for j in 0..run_len {
+        acc[0] += r0[j];
+        acc[1] += r1[j];
+        acc[2] += r2[j];
+        acc[3] += r3[j];
+    }
+    acc
+}
+
+/// See the stable twin: four lock-step sequential chains, one per lane.
+#[cfg(feature = "simd")]
+pub(crate) fn sum_4_runs(block: &[f64], run_len: usize) -> [f64; 4] {
+    debug_assert_eq!(block.len(), 4 * run_len);
+    let (r0, rest) = block.split_at(run_len);
+    let (r1, rest) = rest.split_at(run_len);
+    let (r2, r3) = rest.split_at(run_len);
+    let mut acc = f64x4::splat(0.0);
+    for j in 0..run_len {
+        acc += f64x4::from_array([r0[j], r1[j], r2[j], r3[j]]);
+    }
+    acc.to_array()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, salt: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+                ((x >> 11) as f64 / (1u64 << 53) as f64) + 0.001
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mul_matches_scalar_including_tails() {
+        for n in [0, 1, 3, 4, 5, 8, 13] {
+            let a = seq(n, 1);
+            let b = seq(n, 2);
+            let mut dst = vec![0.0; n];
+            mul(&mut dst, &a, &b);
+            for i in 0..n {
+                assert_eq!(dst[i].to_bits(), (a[i] * b[i]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mul_scalar_and_assign_match() {
+        for n in [1, 4, 7, 16, 21] {
+            let a = seq(n, 3);
+            let s = 1.7;
+            let mut d1 = vec![0.0; n];
+            mul_scalar(&mut d1, &a, s);
+            let mut d2 = a.clone();
+            mul_assign_scalar(&mut d2, s);
+            let mut d3 = vec![1.0; n];
+            mul_assign(&mut d3, &a);
+            for i in 0..n {
+                assert_eq!(d1[i].to_bits(), (a[i] * s).to_bits());
+                assert_eq!(d2[i].to_bits(), (a[i] * s).to_bits());
+                assert_eq!(d3[i].to_bits(), (1.0f64 * a[i]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_scalar() {
+        for n in [2, 4, 6, 11] {
+            let a = seq(n, 4);
+            let b = seq(n, 5);
+            let mut dst = b.clone();
+            add_assign(&mut dst, &a);
+            for i in 0..n {
+                assert_eq!(dst[i].to_bits(), (b[i] + a[i]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn div_zero_cells_follow_hugin_convention() {
+        // one full 4-block plus a tail, with 0/0, x/0, 0/x, -0.0/0.0 cells
+        let num = [0.0, 2.0, 0.0, 5.0, -0.0, 3.0, 0.0];
+        let den = [0.0, 0.0, 4.0, 2.5, 0.0, 3.0, 0.0];
+        let mut dst = num;
+        div_assign(&mut dst, &den);
+        assert_eq!(dst[0].to_bits(), 0.0f64.to_bits()); // 0/0 -> +0.0
+        assert!(dst[1].is_infinite()); // x/0 surfaces as inf (modelling error)
+        assert_eq!(dst[2], 0.0);
+        assert_eq!(dst[3], 2.0);
+        assert_eq!(dst[4].to_bits(), 0.0f64.to_bits()); // -0.0/0.0 -> +0.0
+        assert_eq!(dst[5], 1.0);
+        assert_eq!(dst[6].to_bits(), 0.0f64.to_bits()); // 0/0 in the tail
+                                                        // broadcast (scalar) denominators go through `hugin` directly:
+                                                        // zero and negative-zero denominators are both the 0/0 case
+        assert_eq!(hugin(0.0, 0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(hugin(-0.0, 0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(hugin(0.0, -0.0).to_bits(), 0.0f64.to_bits());
+        assert!(hugin(2.0, 0.0).is_infinite());
+        assert!(hugin(2.0, -0.0).is_infinite());
+    }
+
+    #[test]
+    fn sum_4_runs_is_bitwise_sequential_per_lane() {
+        for run_len in [1, 2, 3, 5, 9] {
+            let block = seq(4 * run_len, 6);
+            let got = sum_4_runs(&block, run_len);
+            for k in 0..4 {
+                let want: f64 = block[k * run_len..(k + 1) * run_len].iter().sum();
+                assert_eq!(got[k].to_bits(), want.to_bits(), "lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn seq_sum_matches_iter_sum() {
+        let xs = seq(17, 7);
+        assert_eq!(seq_sum(&xs).to_bits(), xs.iter().sum::<f64>().to_bits());
+    }
+}

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 #![forbid(unsafe_code)]
 //! # peanut-pgm
 //!
@@ -27,12 +28,15 @@
 //! * [`io`] — plain-text model serialization, so users can export the
 //!   synthetic datasets or import their own networks.
 
+#[cfg(test)]
+mod difftests;
 pub mod domain;
 pub mod error;
 pub mod fixtures;
 pub mod generate;
 pub mod io;
 pub mod joint;
+mod lanes;
 pub mod network;
 pub mod potential;
 pub mod sampling;
@@ -42,7 +46,10 @@ pub mod var;
 pub use domain::Domain;
 pub use error::PgmError;
 pub use network::{BayesianNetwork, NetworkBuilder};
-pub use potential::{table_size, Potential, Scratch, Size};
+pub use potential::{
+    divide_views, mul_assign_bcast, product_many_views, product_onto, table_size, Potential,
+    Scratch, Size, TableRef,
+};
 pub use scope::Scope;
 pub use var::Var;
 

@@ -9,6 +9,16 @@
 //! axes with a tight contiguous (or constant-stride) inner loop — no
 //! per-entry index recomputation, no hashing, no per-entry function calls.
 //!
+//! The kernels operate on *views* ([`TableRef`]: a scope, cardinalities and
+//! a value slice) rather than owned tables, so the same code runs over a
+//! `Potential`'s own buffer or over a span of a contiguous arena slab (the
+//! flat junction-tree layout in `peanut-junction`). The slab-writing entry
+//! points [`product_onto`] and [`mul_assign_bcast`] take a `&mut [f64]`
+//! destination directly. Inner runs with unit or broadcast strides execute
+//! as 4-wide `f64` lanes (see `crate::lanes`): manually unrolled on
+//! stable, `std::simd` under the non-default nightly-only `simd` feature,
+//! both bit-identical to the scalar walk.
+//!
 //! Every kernel also comes in an `_in` variant taking a [`Scratch`]: a
 //! caller-owned bundle of reusable odometer state and recycled value
 //! buffers. Serving workers and calibration passes thread one `Scratch`
@@ -24,6 +34,7 @@
 
 use crate::domain::Domain;
 use crate::error::PgmError;
+use crate::lanes;
 use crate::scope::Scope;
 use crate::var::Var;
 use crate::Result;
@@ -136,6 +147,16 @@ impl Potential {
         &mut self.values
     }
 
+    /// A borrowed view of this table (the form the kernels operate on).
+    #[inline]
+    pub fn view(&self) -> TableRef<'_> {
+        TableRef {
+            scope: &self.scope,
+            cards: &self.cards,
+            values: &self.values,
+        }
+    }
+
     /// Number of table entries.
     #[inline]
     pub fn len(&self) -> usize {
@@ -212,91 +233,8 @@ impl Potential {
     /// [`product_many`](Self::product_many) with caller-provided scratch
     /// buffers (odometer state + recycled value storage).
     pub fn product_many_in(factors: &[&Potential], scratch: &mut Scratch) -> Result<Potential> {
-        let mut scope = Scope::empty();
-        for f in factors {
-            scope = scope.union(&f.scope);
-        }
-        let cards = resolve_cards(&scope, factors)?;
-        let total = checked_len(&cards)?;
-        let steps: Vec<Vec<u64>> = factors
-            .iter()
-            .map(|f| steps_into(&scope, f))
-            .collect::<Result<_>>()?;
-        let walk = Walk::plan(&cards, &steps);
-        // the walk visits runs in row-major order covering every output
-        // entry exactly once, so the kernels append (no zero-fill pass)
-        let mut values = scratch.take_buf_empty(total as usize);
-
-        match factors.len() {
-            0 => values.resize(total as usize, 1.0),
-            1 => {
-                let a = &factors[0].values;
-                let sa = walk.inner_steps[0];
-                walk.for_each_run(scratch, |_, bases| {
-                    let mut oa = bases[0] as usize;
-                    if sa == 1 {
-                        values.extend_from_slice(&a[oa..oa + walk.inner_len]);
-                    } else {
-                        for _ in 0..walk.inner_len {
-                            values.push(a[oa]);
-                            oa += sa as usize;
-                        }
-                    }
-                });
-            }
-            2 => {
-                let a = &factors[0].values;
-                let b = &factors[1].values;
-                let (sa, sb) = (walk.inner_steps[0], walk.inner_steps[1]);
-                walk.for_each_run(scratch, |_, bases| {
-                    let (mut oa, mut ob) = (bases[0] as usize, bases[1] as usize);
-                    match (sa, sb) {
-                        (1, 0) => {
-                            let s = b[ob];
-                            values.extend(a[oa..oa + walk.inner_len].iter().map(|&x| x * s));
-                        }
-                        (0, 1) => {
-                            let s = a[oa];
-                            values.extend(b[ob..ob + walk.inner_len].iter().map(|&x| x * s));
-                        }
-                        (1, 1) => {
-                            values.extend(
-                                a[oa..oa + walk.inner_len]
-                                    .iter()
-                                    .zip(&b[ob..ob + walk.inner_len])
-                                    .map(|(&x, &y)| x * y),
-                            );
-                        }
-                        _ => {
-                            for _ in 0..walk.inner_len {
-                                values.push(a[oa] * b[ob]);
-                                oa += sa as usize;
-                                ob += sb as usize;
-                            }
-                        }
-                    }
-                });
-            }
-            _ => {
-                walk.for_each_run(scratch, |_, bases| {
-                    for i in 0..walk.inner_len {
-                        let mut prod = 1.0;
-                        for (f, (&base, &step)) in
-                            factors.iter().zip(bases.iter().zip(&walk.inner_steps))
-                        {
-                            prod *= f.values[(base + i as u64 * step) as usize];
-                        }
-                        values.push(prod);
-                    }
-                });
-            }
-        }
-        debug_assert_eq!(values.len() as u64, total);
-        Ok(Potential {
-            scope,
-            cards,
-            values,
-        })
+        let views: Vec<TableRef<'_>> = factors.iter().map(|f| f.view()).collect();
+        product_many_views(&views, scratch)
     }
 
     /// Pointwise product with another factor.
@@ -306,7 +244,7 @@ impl Potential {
 
     /// [`product`](Self::product) with caller-provided scratch.
     pub fn product_in(&self, other: &Potential, scratch: &mut Scratch) -> Result<Potential> {
-        Potential::product_many_in(&[self, other], scratch)
+        product_many_views(&[self.view(), other.view()], scratch)
     }
 
     /// Marginalizes (sums) the potential onto `keep ∩ scope`.
@@ -321,51 +259,7 @@ impl Potential {
     /// step is 0 collapse into a register accumulation, runs whose target
     /// step is 1 become a contiguous add.
     pub fn marginalize_in(&self, keep: &Scope, scratch: &mut Scratch) -> Result<Potential> {
-        let target_scope = self.scope.intersect(keep);
-        let positions: Vec<usize> = self
-            .scope
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| target_scope.contains(*v))
-            .map(|(i, _)| i)
-            .collect();
-        let t_cards: Vec<u32> = positions.iter().map(|&i| self.cards[i]).collect();
-        let total = checked_len(&t_cards)?;
-        let t_strides = strides_of(&t_cards);
-        // step of each source axis within the target table (0 when summed out)
-        let mut steps = vec![0u64; self.scope.len()];
-        for (t_axis, &s_axis) in positions.iter().enumerate() {
-            steps[s_axis] = t_strides[t_axis];
-        }
-        let walk = Walk::plan(&self.cards, std::slice::from_ref(&steps));
-        let mut values = scratch.take_buf(total as usize);
-        let src = &self.values;
-        let st = walk.inner_steps[0];
-        walk.for_each_run(scratch, |src_pos, bases| {
-            let run = &src[src_pos..src_pos + walk.inner_len];
-            let mut t = bases[0] as usize;
-            match st {
-                0 => {
-                    values[t] += run.iter().sum::<f64>();
-                }
-                1 => {
-                    for (slot, &v) in values[t..t + walk.inner_len].iter_mut().zip(run) {
-                        *slot += v;
-                    }
-                }
-                _ => {
-                    for &v in run {
-                        values[t] += v;
-                        t += st as usize;
-                    }
-                }
-            }
-        });
-        Ok(Potential {
-            scope: target_scope,
-            cards: t_cards,
-            values,
-        })
+        self.view().marginalize_in(keep, scratch)
     }
 
     /// Sums out the given variables: `marginalize(scope \ vars)`.
@@ -381,40 +275,7 @@ impl Potential {
 
     /// [`divide`](Self::divide) with caller-provided scratch.
     pub fn divide_in(&self, other: &Potential, scratch: &mut Scratch) -> Result<Potential> {
-        if !other.scope.is_subset_of(&self.scope) {
-            return Err(PgmError::ScopeNotContained {
-                sub: other.scope.to_string(),
-                sup: self.scope.to_string(),
-            });
-        }
-        let steps = steps_into(&self.scope, other)?;
-        let walk = Walk::plan(&self.cards, std::slice::from_ref(&steps));
-        let mut values = scratch.take_buf_empty(self.values.len());
-        let src = &self.values;
-        let div = &other.values;
-        let st = walk.inner_steps[0];
-        walk.for_each_run(scratch, |pos, bases| {
-            let run = &src[pos..pos + walk.inner_len];
-            let mut o = bases[0] as usize;
-            if st == 0 {
-                let d = div[o];
-                values.extend(
-                    run.iter()
-                        .map(|&v| if d == 0.0 && v == 0.0 { 0.0 } else { v / d }),
-                );
-            } else {
-                for &v in run {
-                    let d = div[o];
-                    values.push(if d == 0.0 && v == 0.0 { 0.0 } else { v / d });
-                    o += st as usize;
-                }
-            }
-        });
-        Ok(Potential {
-            scope: self.scope.clone(),
-            cards: self.cards.clone(),
-            values,
-        })
+        divide_views(self.view(), other.view(), scratch)
     }
 
     /// Fixes `var = value`, dropping the variable from the scope (evidence
@@ -425,28 +286,7 @@ impl Potential {
 
     /// [`restrict`](Self::restrict) with caller-provided scratch.
     pub fn restrict_in(&self, var: Var, value: u32, scratch: &mut Scratch) -> Result<Potential> {
-        let axis = self.scope.position(var).ok_or(PgmError::UnknownVar(var))?;
-        let card = self.cards[axis];
-        if value >= card {
-            return Err(PgmError::ValueOutOfRange { var, value, card });
-        }
-        let mut scope = self.scope.clone();
-        scope.remove(var);
-        let mut cards = self.cards.clone();
-        cards.remove(axis);
-        let strides = self.strides();
-        let stride = strides[axis];
-        let mut values = scratch.take_buf_empty(self.values.len() / card as usize);
-        // outer: blocks above the axis; inner: contiguous run below it
-        let inner = stride as usize;
-        let block = inner * card as usize;
-        let base = value as u64 * stride;
-        let mut start = base as usize;
-        while start < self.values.len() {
-            values.extend_from_slice(&self.values[start..start + inner]);
-            start += block;
-        }
-        Potential::new(scope, cards, values)
+        restrict_view(self.view(), var, value, scratch)
     }
 
     /// Largest absolute difference between two same-scope potentials.
@@ -464,6 +304,496 @@ impl Potential {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max))
     }
+}
+
+/// A borrowed dense table: a scope, its cardinalities and a row-major value
+/// slice. This is what the kernels actually consume, so the same code path
+/// serves owned [`Potential`]s and spans of a contiguous arena slab (the
+/// flat junction-tree layout).
+#[derive(Clone, Copy, Debug)]
+pub struct TableRef<'a> {
+    scope: &'a Scope,
+    cards: &'a [u32],
+    values: &'a [f64],
+}
+
+impl<'a> TableRef<'a> {
+    /// Wraps borrowed parts as a table view. `cards` must align with the
+    /// scope order and `values.len()` must equal the product of `cards`.
+    pub fn new(scope: &'a Scope, cards: &'a [u32], values: &'a [f64]) -> Self {
+        debug_assert_eq!(cards.len(), scope.len());
+        debug_assert_eq!(
+            values.len() as u64,
+            cards.iter().fold(1u64, |n, &c| n * c as u64)
+        );
+        TableRef {
+            scope,
+            cards,
+            values,
+        }
+    }
+
+    /// The view's scope.
+    #[inline]
+    pub fn scope(&self) -> &'a Scope {
+        self.scope
+    }
+
+    /// Cardinalities aligned with the scope order.
+    #[inline]
+    pub fn cards(&self) -> &'a [u32] {
+        self.cards
+    }
+
+    /// Raw values, row-major, last scope variable fastest.
+    #[inline]
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Number of table entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-entry view.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Cardinality of a scope variable.
+    pub fn card_of(&self, v: Var) -> Option<u32> {
+        self.scope.position(v).map(|p| self.cards[p])
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Copies the view into an owned [`Potential`].
+    pub fn to_potential(&self) -> Potential {
+        Potential {
+            scope: self.scope.clone(),
+            cards: self.cards.to_vec(),
+            values: self.values.to_vec(),
+        }
+    }
+
+    /// Marginalizes (sums) the view onto `keep ∩ scope`.
+    ///
+    /// Source runs whose target step is 0 and whose consecutive runs feed
+    /// consecutive target slots are processed four runs at a time with four
+    /// independent accumulator chains (`lanes::sum_4_runs`) — same bits,
+    /// no cross-run add latency chain.
+    pub fn marginalize_in(&self, keep: &Scope, scratch: &mut Scratch) -> Result<Potential> {
+        let target_scope = self.scope.intersect(keep);
+        let positions: Vec<usize> = self
+            .scope
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| target_scope.contains(*v))
+            .map(|(i, _)| i)
+            .collect();
+        let t_cards: Vec<u32> = positions.iter().map(|&i| self.cards[i]).collect();
+        let total = checked_len(&t_cards)?;
+        let t_strides = strides_of(&t_cards);
+        // step of each source axis within the target table (0 when summed out)
+        let mut steps = vec![0u64; self.scope.len()];
+        for (t_axis, &s_axis) in positions.iter().enumerate() {
+            steps[s_axis] = t_strides[t_axis];
+        }
+        let walk = Walk::plan(self.cards, std::slice::from_ref(&steps));
+        let mut values = scratch.take_buf(total as usize);
+        let src = self.values;
+        let st = walk.inner_steps[0];
+        let peelable = st == 0
+            && !walk.outer_cards.is_empty()
+            && *walk.outer_steps[0].last().expect("outer nonempty") == 1;
+        if peelable {
+            // Fast path: the innermost outer axis advances the target by 1,
+            // so its sweep maps consecutive source runs to consecutive
+            // target slots — sum four runs in lock-step. The remaining
+            // outer axes run through a manual odometer identical to
+            // `for_each_run`'s.
+            let c1 = *walk.outer_cards.last().expect("outer nonempty") as usize;
+            let inner = walk.inner_len;
+            let n_up = walk.outer_cards.len() - 1;
+            scratch.digits.clear();
+            scratch.digits.resize(n_up, 0);
+            let digits = &mut scratch.digits;
+            let mut t0: u64 = 0;
+            let mut pos = 0usize;
+            'sweeps: loop {
+                let mut t = t0 as usize;
+                let mut c = 0usize;
+                while c + 4 <= c1 {
+                    let s = lanes::sum_4_runs(&src[pos..pos + 4 * inner], inner);
+                    values[t] += s[0];
+                    values[t + 1] += s[1];
+                    values[t + 2] += s[2];
+                    values[t + 3] += s[3];
+                    t += 4;
+                    c += 4;
+                    pos += 4 * inner;
+                }
+                while c < c1 {
+                    values[t] += lanes::seq_sum(&src[pos..pos + inner]);
+                    t += 1;
+                    c += 1;
+                    pos += inner;
+                }
+                for ax in (0..n_up).rev() {
+                    digits[ax] += 1;
+                    t0 += walk.outer_steps[0][ax];
+                    if digits[ax] < walk.outer_cards[ax] {
+                        continue 'sweeps;
+                    }
+                    digits[ax] = 0;
+                    t0 -= walk.outer_steps[0][ax] * walk.outer_cards[ax];
+                }
+                break;
+            }
+        } else {
+            walk.for_each_run(scratch, |src_pos, bases| {
+                let run = &src[src_pos..src_pos + walk.inner_len];
+                let mut t = bases[0] as usize;
+                match st {
+                    0 => {
+                        values[t] += lanes::seq_sum(run);
+                    }
+                    1 => {
+                        lanes::add_assign(&mut values[t..t + walk.inner_len], run);
+                    }
+                    _ => {
+                        for &v in run {
+                            values[t] += v;
+                            t += st as usize;
+                        }
+                    }
+                }
+            });
+        }
+        Ok(Potential {
+            scope: target_scope,
+            cards: t_cards,
+            values,
+        })
+    }
+}
+
+/// Pointwise product of table views; the owned-result form of
+/// [`product_onto`]. The result scope is the union of all view scopes.
+pub fn product_many_views(factors: &[TableRef<'_>], scratch: &mut Scratch) -> Result<Potential> {
+    let mut scope = Scope::empty();
+    for f in factors {
+        scope = scope.union(f.scope);
+    }
+    let cards = resolve_cards(&scope, factors)?;
+    let total = checked_len(&cards)? as usize;
+    // build by appending (the walks tile the output sequentially): unlike
+    // `product_onto` into an arena span, a fresh buffer would have to be
+    // zero-filled before indexed writes, a pure extra pass
+    let mut values = scratch.take_buf_empty(total);
+    match factors {
+        [] => values.resize(total, 1.0),
+        [f] => append_bcast(&mut values, &scope, &cards, *f, scratch)?,
+        [a, b] => {
+            let steps = vec![
+                steps_of(&scope, a.scope, a.cards)?,
+                steps_of(&scope, b.scope, b.cards)?,
+            ];
+            let walk = Walk::plan(&cards, &steps);
+            let (av, bv) = (a.values, b.values);
+            let (sa, sb) = (walk.inner_steps[0], walk.inner_steps[1]);
+            walk.for_each_run(scratch, |pos, bases| {
+                debug_assert_eq!(values.len(), pos);
+                let (mut oa, mut ob) = (bases[0] as usize, bases[1] as usize);
+                match (sa, sb) {
+                    (1, 0) => {
+                        let s = bv[ob];
+                        values.extend(av[oa..oa + walk.inner_len].iter().map(|&v| v * s));
+                    }
+                    (0, 1) => {
+                        let s = av[oa];
+                        values.extend(bv[ob..ob + walk.inner_len].iter().map(|&v| s * v));
+                    }
+                    (1, 1) => {
+                        let ar = &av[oa..oa + walk.inner_len];
+                        let br = &bv[ob..ob + walk.inner_len];
+                        values.extend(ar.iter().zip(br).map(|(&x, &y)| x * y));
+                    }
+                    _ => {
+                        for _ in 0..walk.inner_len {
+                            values.push(av[oa] * bv[ob]);
+                            oa += sa as usize;
+                            ob += sb as usize;
+                        }
+                    }
+                }
+            });
+        }
+        _ => {
+            // copy the first factor, then one multiply-assign pass per
+            // remaining factor (same left-to-right chain per entry)
+            append_bcast(&mut values, &scope, &cards, factors[0], scratch)?;
+            for f in &factors[1..] {
+                mul_assign_bcast(&scope, &cards, &mut values, *f, scratch)?;
+            }
+        }
+    }
+    Ok(Potential {
+        scope,
+        cards,
+        values,
+    })
+}
+
+/// Appends the broadcast of view `f` over (`scope`, `cards`) onto `values`:
+/// the growing twin of [`copy_bcast`] for freshly allocated buffers.
+fn append_bcast(
+    values: &mut Vec<f64>,
+    scope: &Scope,
+    cards: &[u32],
+    f: TableRef<'_>,
+    scratch: &mut Scratch,
+) -> Result<()> {
+    let steps = steps_of(scope, f.scope, f.cards)?;
+    let walk = Walk::plan(cards, std::slice::from_ref(&steps));
+    let a = f.values;
+    let sa = walk.inner_steps[0];
+    walk.for_each_run(scratch, |pos, bases| {
+        debug_assert_eq!(values.len(), pos);
+        let mut oa = bases[0] as usize;
+        match sa {
+            0 => values.resize(pos + walk.inner_len, a[oa]),
+            1 => values.extend_from_slice(&a[oa..oa + walk.inner_len]),
+            _ => {
+                for _ in 0..walk.inner_len {
+                    values.push(a[oa]);
+                    oa += sa as usize;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Writes the pointwise product of `factors` into `dst`, a row-major table
+/// over (`scope`, `cards`). Every factor scope must be contained in `scope`
+/// and agree with `cards` on shared variables. `dst.len()` must equal the
+/// product of `cards`. With no factors, `dst` is filled with ones.
+///
+/// This is the slab entry point: arena calibration multiplies CPTs directly
+/// into a clique's span with no intermediate allocation.
+pub fn product_onto(
+    scope: &Scope,
+    cards: &[u32],
+    dst: &mut [f64],
+    factors: &[TableRef<'_>],
+    scratch: &mut Scratch,
+) -> Result<()> {
+    debug_assert_eq!(
+        dst.len() as u64,
+        cards.iter().fold(1u64, |n, &c| n * c as u64)
+    );
+    match factors {
+        [] => dst.fill(1.0),
+        [f] => copy_bcast(scope, cards, dst, *f, scratch)?,
+        [a, b] => {
+            let steps = vec![
+                steps_of(scope, a.scope, a.cards)?,
+                steps_of(scope, b.scope, b.cards)?,
+            ];
+            let walk = Walk::plan(cards, &steps);
+            let (av, bv) = (a.values, b.values);
+            let (sa, sb) = (walk.inner_steps[0], walk.inner_steps[1]);
+            walk.for_each_run(scratch, |pos, bases| {
+                let out = &mut dst[pos..pos + walk.inner_len];
+                let (mut oa, mut ob) = (bases[0] as usize, bases[1] as usize);
+                match (sa, sb) {
+                    (1, 0) => lanes::mul_scalar(out, &av[oa..oa + walk.inner_len], bv[ob]),
+                    (0, 1) => lanes::mul_scalar(out, &bv[ob..ob + walk.inner_len], av[oa]),
+                    (1, 1) => lanes::mul(
+                        out,
+                        &av[oa..oa + walk.inner_len],
+                        &bv[ob..ob + walk.inner_len],
+                    ),
+                    _ => {
+                        for slot in out {
+                            *slot = av[oa] * bv[ob];
+                            oa += sa as usize;
+                            ob += sb as usize;
+                        }
+                    }
+                }
+            });
+        }
+        _ => {
+            // copy the first factor, then one multiply-assign pass per
+            // remaining factor: each entry sees the same left-to-right
+            // product chain the per-entry walk computed
+            copy_bcast(scope, cards, dst, factors[0], scratch)?;
+            for f in &factors[1..] {
+                mul_assign_bcast(scope, cards, dst, *f, scratch)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Broadcast-copies view `f` into `dst` over (`scope`, `cards`):
+/// `dst[i] = f[project(i)]`.
+fn copy_bcast(
+    scope: &Scope,
+    cards: &[u32],
+    dst: &mut [f64],
+    f: TableRef<'_>,
+    scratch: &mut Scratch,
+) -> Result<()> {
+    let steps = steps_of(scope, f.scope, f.cards)?;
+    let walk = Walk::plan(cards, std::slice::from_ref(&steps));
+    let a = f.values;
+    let sa = walk.inner_steps[0];
+    walk.for_each_run(scratch, |pos, bases| {
+        let out = &mut dst[pos..pos + walk.inner_len];
+        let mut oa = bases[0] as usize;
+        match sa {
+            0 => out.fill(a[oa]),
+            1 => out.copy_from_slice(&a[oa..oa + walk.inner_len]),
+            _ => {
+                for slot in out {
+                    *slot = a[oa];
+                    oa += sa as usize;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Multiplies view `f` into `dst` pointwise over (`scope`, `cards`):
+/// `dst[i] *= f[project(i)]`. The in-place form arena calibration uses for
+/// the Hugin absorption `ψ_to *= m / φ_e` — the clique span is updated in
+/// the slab, no replacement table is allocated.
+pub fn mul_assign_bcast(
+    scope: &Scope,
+    cards: &[u32],
+    dst: &mut [f64],
+    f: TableRef<'_>,
+    scratch: &mut Scratch,
+) -> Result<()> {
+    let steps = steps_of(scope, f.scope, f.cards)?;
+    let walk = Walk::plan(cards, std::slice::from_ref(&steps));
+    let a = f.values;
+    let sa = walk.inner_steps[0];
+    walk.for_each_run(scratch, |pos, bases| {
+        let out = &mut dst[pos..pos + walk.inner_len];
+        let mut oa = bases[0] as usize;
+        match sa {
+            0 => lanes::mul_assign_scalar(out, a[oa]),
+            1 => lanes::mul_assign(out, &a[oa..oa + walk.inner_len]),
+            _ => {
+                for slot in out {
+                    *slot *= a[oa];
+                    oa += sa as usize;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Pointwise division `num / den` with the Hugin convention `0 / 0 = 0`;
+/// `den`'s scope must be contained in `num`'s.
+pub fn divide_views(
+    num: TableRef<'_>,
+    den: TableRef<'_>,
+    scratch: &mut Scratch,
+) -> Result<Potential> {
+    if !den.scope.is_subset_of(num.scope) {
+        return Err(PgmError::ScopeNotContained {
+            sub: den.scope.to_string(),
+            sup: num.scope.to_string(),
+        });
+    }
+    let steps = steps_of(num.scope, den.scope, den.cards)?;
+    let walk = Walk::plan(num.cards, std::slice::from_ref(&steps));
+    // the walk tiles the output sequentially, so append instead of
+    // zero-filling a buffer every run would overwrite anyway
+    let mut values = scratch.take_buf_empty(num.values.len());
+    let src = num.values;
+    let div = den.values;
+    let st = walk.inner_steps[0];
+    walk.for_each_run(scratch, |pos, bases| {
+        debug_assert_eq!(values.len(), pos);
+        let run = &src[pos..pos + walk.inner_len];
+        let mut o = bases[0] as usize;
+        match st {
+            0 => {
+                let d = div[o];
+                if d == 0.0 {
+                    // rare: a zero (or negative-zero) broadcast denominator
+                    // needs the Hugin 0/0 guard on every cell
+                    values.extend(run.iter().map(|&v| lanes::hugin(v, d)));
+                } else {
+                    // hoisting the d == 0.0 test off the hot path leaves a
+                    // pure division stream (bitwise: hugin(v, d) = v / d
+                    // whenever d != 0)
+                    values.extend(run.iter().map(|&v| v / d));
+                }
+            }
+            1 => {
+                let start = values.len();
+                values.extend_from_slice(run);
+                lanes::div_assign(&mut values[start..], &div[o..o + walk.inner_len]);
+            }
+            _ => {
+                for &v in run {
+                    values.push(lanes::hugin(v, div[o]));
+                    o += st as usize;
+                }
+            }
+        }
+    });
+    Ok(Potential {
+        scope: num.scope.clone(),
+        cards: num.cards.to_vec(),
+        values,
+    })
+}
+
+/// Evidence restriction on a view: fixes `var = value` and drops the axis.
+fn restrict_view(
+    p: TableRef<'_>,
+    var: Var,
+    value: u32,
+    scratch: &mut Scratch,
+) -> Result<Potential> {
+    let axis = p.scope.position(var).ok_or(PgmError::UnknownVar(var))?;
+    let card = p.cards[axis];
+    if value >= card {
+        return Err(PgmError::ValueOutOfRange { var, value, card });
+    }
+    let mut scope = p.scope.clone();
+    scope.remove(var);
+    let mut cards = p.cards.to_vec();
+    cards.remove(axis);
+    let strides = strides_of(p.cards);
+    let stride = strides[axis];
+    let mut values = scratch.take_buf_empty(p.values.len() / card as usize);
+    // outer: blocks above the axis; inner: contiguous run below it
+    let inner = stride as usize;
+    let block = inner * card as usize;
+    let base = value as u64 * stride;
+    let mut start = base as usize;
+    while start < p.values.len() {
+        values.extend_from_slice(&p.values[start..start + inner]);
+        start += block;
+    }
+    Potential::new(scope, cards, values)
 }
 
 fn checked_len(cards: &[u32]) -> Result<u64> {
@@ -488,20 +818,27 @@ fn strides_of(cards: &[u32]) -> Vec<u64> {
     strides
 }
 
-/// For each axis of `result` scope, the stride of that variable inside `f`
-/// (zero when `f` does not mention it). Checks cardinality agreement.
-fn steps_into(result: &Scope, f: &Potential) -> Result<Vec<u64>> {
-    let f_strides = f.strides();
-    result
+/// For each axis of the `result` scope, the stride of that variable inside
+/// the table over (`f_scope`, `f_cards`) — zero when the table does not
+/// mention it. Errors if `f_scope` is not contained in `result`.
+fn steps_of(result: &Scope, f_scope: &Scope, f_cards: &[u32]) -> Result<Vec<u64>> {
+    if !f_scope.is_subset_of(result) {
+        return Err(PgmError::ScopeNotContained {
+            sub: f_scope.to_string(),
+            sup: result.to_string(),
+        });
+    }
+    let f_strides = strides_of(f_cards);
+    Ok(result
         .iter()
-        .map(|v| match f.scope.position(v) {
-            Some(p) => Ok(f_strides[p]),
-            None => Ok(0),
+        .map(|v| match f_scope.position(v) {
+            Some(p) => f_strides[p],
+            None => 0,
         })
-        .collect()
+        .collect())
 }
 
-fn resolve_cards(scope: &Scope, factors: &[&Potential]) -> Result<Vec<u32>> {
+fn resolve_cards(scope: &Scope, factors: &[TableRef<'_>]) -> Result<Vec<u32>> {
     let mut cards = Vec::with_capacity(scope.len());
     for v in scope.iter() {
         let mut found: Option<u32> = None;
@@ -705,6 +1042,233 @@ impl Walk {
     }
 }
 
+/// The pre-arena kernels, preserved as the differential baseline.
+///
+/// These are the append-based stride-walk implementations exactly as they
+/// shipped before the flat-arena refactor: no lane primitives, `Vec::push`
+/// and `extend` instead of preallocated slice writes. The differential
+/// suites run the new kernels against them and assert bitwise identity
+/// (`f64::to_bits`). Compiled only for this crate's own tests and under the
+/// `legacy-kernels` feature (enabled by the differential suites in the
+/// junction, bench and umbrella crates).
+#[cfg(any(test, feature = "legacy-kernels"))]
+pub mod legacy {
+    use super::*;
+
+    /// Original `product_many_in`: append-based stride walk.
+    pub fn product_many_in(factors: &[&Potential], scratch: &mut Scratch) -> Result<Potential> {
+        let mut scope = Scope::empty();
+        for f in factors {
+            scope = scope.union(&f.scope);
+        }
+        let views: Vec<TableRef<'_>> = factors.iter().map(|f| f.view()).collect();
+        let cards = resolve_cards(&scope, &views)?;
+        let total = checked_len(&cards)?;
+        let steps: Vec<Vec<u64>> = factors
+            .iter()
+            .map(|f| steps_of(&scope, &f.scope, &f.cards))
+            .collect::<Result<_>>()?;
+        let walk = Walk::plan(&cards, &steps);
+        // the walk visits runs in row-major order covering every output
+        // entry exactly once, so the kernels append (no zero-fill pass)
+        let mut values = scratch.take_buf_empty(total as usize);
+
+        match factors.len() {
+            0 => values.resize(total as usize, 1.0),
+            1 => {
+                let a = &factors[0].values;
+                let sa = walk.inner_steps[0];
+                walk.for_each_run(scratch, |_, bases| {
+                    let mut oa = bases[0] as usize;
+                    if sa == 1 {
+                        values.extend_from_slice(&a[oa..oa + walk.inner_len]);
+                    } else {
+                        for _ in 0..walk.inner_len {
+                            values.push(a[oa]);
+                            oa += sa as usize;
+                        }
+                    }
+                });
+            }
+            2 => {
+                let a = &factors[0].values;
+                let b = &factors[1].values;
+                let (sa, sb) = (walk.inner_steps[0], walk.inner_steps[1]);
+                walk.for_each_run(scratch, |_, bases| {
+                    let (mut oa, mut ob) = (bases[0] as usize, bases[1] as usize);
+                    match (sa, sb) {
+                        (1, 0) => {
+                            let s = b[ob];
+                            values.extend(a[oa..oa + walk.inner_len].iter().map(|&x| x * s));
+                        }
+                        (0, 1) => {
+                            let s = a[oa];
+                            values.extend(b[ob..ob + walk.inner_len].iter().map(|&x| x * s));
+                        }
+                        (1, 1) => {
+                            values.extend(
+                                a[oa..oa + walk.inner_len]
+                                    .iter()
+                                    .zip(&b[ob..ob + walk.inner_len])
+                                    .map(|(&x, &y)| x * y),
+                            );
+                        }
+                        _ => {
+                            for _ in 0..walk.inner_len {
+                                values.push(a[oa] * b[ob]);
+                                oa += sa as usize;
+                                ob += sb as usize;
+                            }
+                        }
+                    }
+                });
+            }
+            _ => {
+                walk.for_each_run(scratch, |_, bases| {
+                    for i in 0..walk.inner_len {
+                        let mut prod = 1.0;
+                        for (f, (&base, &step)) in
+                            factors.iter().zip(bases.iter().zip(&walk.inner_steps))
+                        {
+                            prod *= f.values[(base + i as u64 * step) as usize];
+                        }
+                        values.push(prod);
+                    }
+                });
+            }
+        }
+        debug_assert_eq!(values.len() as u64, total);
+        Ok(Potential {
+            scope,
+            cards,
+            values,
+        })
+    }
+
+    /// Original two-factor product.
+    pub fn product_in(a: &Potential, b: &Potential, scratch: &mut Scratch) -> Result<Potential> {
+        product_many_in(&[a, b], scratch)
+    }
+
+    /// Original `marginalize_in`: scalar accumulation chains only.
+    pub fn marginalize_in(p: &Potential, keep: &Scope, scratch: &mut Scratch) -> Result<Potential> {
+        let target_scope = p.scope.intersect(keep);
+        let positions: Vec<usize> = p
+            .scope
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| target_scope.contains(*v))
+            .map(|(i, _)| i)
+            .collect();
+        let t_cards: Vec<u32> = positions.iter().map(|&i| p.cards[i]).collect();
+        let total = checked_len(&t_cards)?;
+        let t_strides = strides_of(&t_cards);
+        // step of each source axis within the target table (0 when summed out)
+        let mut steps = vec![0u64; p.scope.len()];
+        for (t_axis, &s_axis) in positions.iter().enumerate() {
+            steps[s_axis] = t_strides[t_axis];
+        }
+        let walk = Walk::plan(&p.cards, std::slice::from_ref(&steps));
+        let mut values = scratch.take_buf(total as usize);
+        let src = &p.values;
+        let st = walk.inner_steps[0];
+        walk.for_each_run(scratch, |src_pos, bases| {
+            let run = &src[src_pos..src_pos + walk.inner_len];
+            let mut t = bases[0] as usize;
+            match st {
+                0 => {
+                    values[t] += run.iter().sum::<f64>();
+                }
+                1 => {
+                    for (slot, &v) in values[t..t + walk.inner_len].iter_mut().zip(run) {
+                        *slot += v;
+                    }
+                }
+                _ => {
+                    for &v in run {
+                        values[t] += v;
+                        t += st as usize;
+                    }
+                }
+            }
+        });
+        Ok(Potential {
+            scope: target_scope,
+            cards: t_cards,
+            values,
+        })
+    }
+
+    /// Original `divide_in`: append-based, scalar Hugin division.
+    pub fn divide_in(p: &Potential, other: &Potential, scratch: &mut Scratch) -> Result<Potential> {
+        if !other.scope.is_subset_of(&p.scope) {
+            return Err(PgmError::ScopeNotContained {
+                sub: other.scope.to_string(),
+                sup: p.scope.to_string(),
+            });
+        }
+        let steps = steps_of(&p.scope, &other.scope, &other.cards)?;
+        let walk = Walk::plan(&p.cards, std::slice::from_ref(&steps));
+        let mut values = scratch.take_buf_empty(p.values.len());
+        let src = &p.values;
+        let div = &other.values;
+        let st = walk.inner_steps[0];
+        walk.for_each_run(scratch, |pos, bases| {
+            let run = &src[pos..pos + walk.inner_len];
+            let mut o = bases[0] as usize;
+            if st == 0 {
+                let d = div[o];
+                values.extend(
+                    run.iter()
+                        .map(|&v| if d == 0.0 && v == 0.0 { 0.0 } else { v / d }),
+                );
+            } else {
+                for &v in run {
+                    let d = div[o];
+                    values.push(if d == 0.0 && v == 0.0 { 0.0 } else { v / d });
+                    o += st as usize;
+                }
+            }
+        });
+        Ok(Potential {
+            scope: p.scope.clone(),
+            cards: p.cards.clone(),
+            values,
+        })
+    }
+
+    /// Original `restrict_in`: block-strided contiguous copies.
+    pub fn restrict_in(
+        p: &Potential,
+        var: Var,
+        value: u32,
+        scratch: &mut Scratch,
+    ) -> Result<Potential> {
+        let axis = p.scope.position(var).ok_or(PgmError::UnknownVar(var))?;
+        let card = p.cards[axis];
+        if value >= card {
+            return Err(PgmError::ValueOutOfRange { var, value, card });
+        }
+        let mut scope = p.scope.clone();
+        scope.remove(var);
+        let mut cards = p.cards.clone();
+        cards.remove(axis);
+        let strides = p.strides();
+        let stride = strides[axis];
+        let mut values = scratch.take_buf_empty(p.values.len() / card as usize);
+        // outer: blocks above the axis; inner: contiguous run below it
+        let inner = stride as usize;
+        let block = inner * card as usize;
+        let base = value as u64 * stride;
+        let mut start = base as usize;
+        while start < p.values.len() {
+            values.extend_from_slice(&p.values[start..start + inner]);
+            start += block;
+        }
+        Potential::new(scope, cards, values)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,6 +1389,67 @@ mod tests {
     }
 
     #[test]
+    fn divide_zero_cells_match_legacy_bitwise() {
+        // Zero-cell sweep of the Hugin convention across kernel generations:
+        // 0/0, x/0 (inf error path), 0/x and negative zeros, on runs long
+        // enough to cover full 4-lanes plus a scalar tail.
+        let d = Domain::from_pairs([("a", 3), ("b", 5)]).unwrap();
+        let scope_ab = Scope::from_indices(&[0, 1]);
+        let scope_b = Scope::from_indices(&[1]);
+        let num = Potential::new(
+            scope_ab.clone(),
+            d.cards_of(&scope_ab),
+            vec![
+                0.0, 2.0, 0.0, -0.0, 1.0, //
+                0.5, 0.0, 3.0, 0.0, -0.0, //
+                0.0, 0.0, 0.0, 7.0, 2.0,
+            ],
+        )
+        .unwrap();
+        // same-scope division (unit-stride lane path)
+        let den_full = Potential::new(
+            scope_ab.clone(),
+            d.cards_of(&scope_ab),
+            vec![
+                0.0, 0.0, 4.0, 0.0, -0.0, //
+                2.0, 0.0, 0.0, 5.0, 0.0, //
+                -0.0, 1.0, 0.0, 0.0, 4.0,
+            ],
+        )
+        .unwrap();
+        // broadcast division (scalar-denominator lane path)
+        let den_b = Potential::new(
+            scope_b.clone(),
+            d.cards_of(&scope_b),
+            vec![0.0, 2.0, 0.0, -0.0, 1.0],
+        )
+        .unwrap();
+        let mut s = Scratch::new();
+        for den in [&den_full, &den_b] {
+            let got = num.divide_in(den, &mut s).unwrap();
+            let want = legacy::divide_in(&num, den, &mut s).unwrap();
+            for (g, w) in got.values().iter().zip(want.values()) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+            // 0/0 cells are exactly +0.0, never NaN
+            for (&n, i) in num.values().iter().zip(0..) {
+                let dv = if den.len() == num.len() {
+                    den.values()[i]
+                } else {
+                    den.values()[i % 5]
+                };
+                if n == 0.0 && dv == 0.0 {
+                    assert_eq!(got.values()[i].to_bits(), 0.0f64.to_bits());
+                }
+            }
+            assert!(!got.values().iter().any(|v| v.is_nan()));
+        }
+        // x/0 with x != 0 still surfaces as inf in both generations
+        let inf_new = num.divide(&den_b).unwrap();
+        assert!(inf_new.values().iter().any(|v| v.is_infinite()));
+    }
+
+    #[test]
     fn divide_scope_violation() {
         let d = dom();
         let f = pot(&d, &[1], &[1., 2., 3.]);
@@ -907,5 +1532,74 @@ mod tests {
         let m = fg.marginalize(f.scope()).unwrap();
         assert!((m.values()[0] - 0.25).abs() < 1e-12);
         assert!((m.values()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_onto_matches_product_many() {
+        let d = dom();
+        let f = pot(&d, &[0], &[0.5, 1.5]);
+        let g = pot(&d, &[1], &[1., 2., 3.]);
+        let h = pot(&d, &[0, 2], &[1., 2., 3., 4.]);
+        let mut s = Scratch::new();
+        let want = Potential::product_many_in(&[&f, &g, &h], &mut s).unwrap();
+        let mut dst = vec![0.0; want.len()];
+        product_onto(
+            want.scope(),
+            want.cards(),
+            &mut dst,
+            &[f.view(), g.view(), h.view()],
+            &mut s,
+        )
+        .unwrap();
+        for (a, b) in dst.iter().zip(want.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // no factors: multiplicative identity
+        let mut ones = vec![0.0; 6];
+        product_onto(
+            &Scope::from_indices(&[0, 1]),
+            &d.cards_of(&Scope::from_indices(&[0, 1])),
+            &mut ones,
+            &[],
+            &mut s,
+        )
+        .unwrap();
+        assert!(ones.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn mul_assign_bcast_matches_product() {
+        let d = dom();
+        let f = pot(&d, &[0, 1], &[1., 2., 3., 4., 5., 6.]);
+        let g = pot(&d, &[1], &[10., 20., 30.]);
+        let mut s = Scratch::new();
+        let want = f.product_in(&g, &mut s).unwrap();
+        let mut dst = f.values().to_vec();
+        mul_assign_bcast(f.scope(), f.cards(), &mut dst, g.view(), &mut s).unwrap();
+        for (a, b) in dst.iter().zip(want.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn product_onto_rejects_uncontained_factor() {
+        let d = dom();
+        let f = pot(&d, &[0, 1], &[1.; 6]);
+        let mut dst = vec![0.0; 2];
+        let scope_a = Scope::from_indices(&[0]);
+        let err = product_onto(&scope_a, &[2], &mut dst, &[f.view()], &mut Scratch::new());
+        assert!(matches!(err, Err(PgmError::ScopeNotContained { .. })));
+    }
+
+    #[test]
+    fn view_round_trip_is_bitwise() {
+        let d = dom();
+        let f = pot(&d, &[0, 1], &[1., 2., 3., 4., 5., 6.]);
+        let v = f.view();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.sum(), f.sum());
+        assert_eq!(v.card_of(Var(1)), Some(3));
+        let back = v.to_potential();
+        assert_eq!(back, f);
     }
 }

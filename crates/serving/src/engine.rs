@@ -38,7 +38,7 @@ use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
 use peanut_core::exec::Executor;
 use peanut_core::sync::atomic::{AtomicUsize, Ordering};
 use peanut_core::sync::{thread, Arc, Mutex, OnceLock, RwLock};
-use peanut_core::{Materialization, OnlineEngine, WorkloadStats};
+use peanut_core::{FlatMaterialization, Materialization, OnlineEngine, WorkloadStats};
 use peanut_junction::cost::QueryCost;
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size, Var};
@@ -272,6 +272,10 @@ impl AnswerCache {
 struct EpochState {
     mat: Arc<Materialization>,
     stats: Arc<WorkloadStats>,
+    /// All dense shortcut tables of `mat` packed into one contiguous slab,
+    /// taken at publish time. This is the relocatable artifact the future
+    /// mmap materialization store persists per epoch.
+    flat: Arc<FlatMaterialization>,
 }
 
 /// Batched concurrent query processor over a calibrated tree and a
@@ -301,11 +305,13 @@ impl<'t> ServingEngine<'t> {
         mat: Arc<Materialization>,
         cfg: ServingConfig,
     ) -> Self {
+        let flat = Arc::new(FlatMaterialization::pack(&mat));
         ServingEngine {
             engine,
             state: RwLock::new(EpochState {
                 mat,
                 stats: Arc::new(WorkloadStats::new()),
+                flat,
             }),
             cfg,
             cache: Mutex::new(AnswerCache::default()),
@@ -384,11 +390,21 @@ impl<'t> ServingEngine<'t> {
     pub fn publish(&self, mat: Materialization) -> u64 {
         let mut state = self.state.write();
         let epoch = state.mat.epoch + 1;
+        let mat = Arc::new(mat.with_epoch(epoch));
+        let flat = Arc::new(FlatMaterialization::pack(&mat));
         *state = EpochState {
-            mat: Arc::new(mat.with_epoch(epoch)),
+            mat,
             stats: Arc::new(WorkloadStats::new()),
+            flat,
         };
         epoch
+    }
+
+    /// The current epoch's flat pack: every dense shortcut table in one
+    /// relocatable slab, stamped with the served epoch. Published
+    /// atomically with the materialization itself.
+    pub fn flat_materialization(&self) -> Arc<FlatMaterialization> {
+        Arc::clone(&self.state.read().flat)
     }
 
     /// Starts a fresh observation window for the current epoch without
@@ -894,6 +910,59 @@ mod tests {
         let (_, s3) = serving.serve_batch(&batch);
         assert_eq!(s3.cache_hits, s3.unique);
         assert_eq!(s3.stale_hits, 0);
+    }
+
+    #[test]
+    fn publish_packs_flat_slab_atomically() {
+        use peanut_core::Shortcut;
+        use peanut_junction::{NumericState, RootedTree};
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let rooted = RootedTree::new(&tree);
+        let mut ns = NumericState::initialize(&tree, &bn).unwrap();
+        ns.calibrate(&tree, &rooted).unwrap();
+        let s = Shortcut::from_nodes(&tree, &rooted, vec![0]).unwrap();
+        let (pot, _) = s.materialize(&tree, &rooted, &ns).unwrap();
+        let mat = Materialization {
+            shortcuts: vec![peanut_core::MaterializedShortcut {
+                ratio: 1.0,
+                benefit: 1.0,
+                potential: Some(pot.clone()),
+                shortcut: s,
+            }],
+            overlapping: false,
+            epoch: 0,
+        };
+
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving =
+            ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+        assert!(serving.flat_materialization().is_empty());
+
+        let epoch = serving.publish(mat);
+        let flat = serving.flat_materialization();
+        // the pack carries the published epoch and the exact table bytes —
+        // the relocatable artifact a per-epoch store would persist
+        assert_eq!(flat.epoch(), epoch);
+        assert_eq!(flat.len(), 1);
+        let packed = flat.table(0).unwrap();
+        assert_eq!(packed.len(), pot.len());
+        for (a, b) in packed.iter().zip(pot.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // reattaching the slab restores a blanked materialization bitwise
+        let mut blank = (*serving.materialization()).clone();
+        blank.shortcuts[0]
+            .potential
+            .as_mut()
+            .unwrap()
+            .values_mut()
+            .fill(0.0);
+        assert!(flat.unpack_into(&mut blank));
+        assert_eq!(
+            blank.shortcuts[0].potential.as_ref().unwrap().values(),
+            pot.values()
+        );
     }
 
     #[test]

@@ -59,6 +59,48 @@ fn peanut_selection_is_run_to_run_identical() {
     assert!(!run1.0.is_empty(), "selection must be non-trivial");
 }
 
+/// The flat-arena calibration (one contiguous slab, lane kernels) must be
+/// bit-for-bit the calibration the per-node `Vec` layout produced — on a
+/// real retuned dataset, not just the unit fixtures. Anything less would
+/// silently break every committed expectation downstream of clique
+/// marginals.
+#[test]
+fn arena_calibration_is_bit_identical_to_legacy_layout() {
+    use peanut::junction::calibrate::legacy_state::LegacyNumericState;
+    use peanut::junction::NumericState;
+
+    let spec = dataset("Child").expect("known dataset");
+    let bn = spec.build().expect("generates");
+    let tree = build_junction_tree(&bn).expect("tree");
+    let rooted = RootedTree::new(&tree);
+    let mut arena = NumericState::initialize(&tree, &bn).expect("arena init");
+    let mut legacy = LegacyNumericState::initialize(&tree, &bn).expect("legacy init");
+    arena.calibrate(&tree, &rooted).expect("arena calibration");
+    legacy
+        .calibrate(&tree, &rooted)
+        .expect("legacy calibration");
+    for u in 0..tree.n_cliques() {
+        let new_vals = arena.clique_table(u).values();
+        let old_vals = legacy.clique_potential(u).values();
+        assert_eq!(new_vals.len(), old_vals.len(), "clique {u} length");
+        for (i, (a, b)) in new_vals.iter().zip(old_vals).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "clique {u} entry {i}: arena {a:?} vs legacy {b:?}"
+            );
+        }
+    }
+    for e in 0..tree.edges().len() {
+        let new_vals = arena.separator_table(e).values();
+        let old_vals = legacy.separator_potential(e).values();
+        assert_eq!(new_vals.len(), old_vals.len(), "separator {e} length");
+        for (a, b) in new_vals.iter().zip(old_vals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "separator {e} drift");
+        }
+    }
+}
+
 #[test]
 fn workload_sampling_is_seed_stable() {
     let spec = dataset("Child").expect("known dataset");
