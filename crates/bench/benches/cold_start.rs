@@ -1,0 +1,164 @@
+//! Cold-start benchmark: bringing a tenant's serving artifact back after
+//! a restart (or a page-out), two ways:
+//!
+//! * **recalibrate** — the pre-store path: run the junction-tree
+//!   calibration (initialization + both Hugin passes) and the offline
+//!   selection DP again from the Bayesian network;
+//! * **rehydrate** — open the persisted `.pnut` epoch and reattach the
+//!   calibrated slab + rebuild the materialization structurally
+//!   (`peanut-store`), skipping calibration and selection entirely.
+//!
+//! Both paths start from an in-RAM [`JunctionTree`] (paging keeps the
+//! structure; only the numeric artifact is dropped) and end with an
+//! engine + materialization ready to serve. The bench asserts the two
+//! engines answer **bit-identically**, prints the measured speedup, and
+//! writes `results/bench_cold_start.json` for the CI regression guard
+//! (committed floor: ≥ 5×).
+//!
+//! `--quick` / `PEANUT_QUICK=1` shrinks the model for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peanut_bench::harness::{is_quick, BenchSummary};
+use peanut_core::{
+    FlatMaterialization, Materialization, OfflineContext, OnlineEngine, Peanut, PeanutConfig,
+    Workload,
+};
+use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine};
+use peanut_pgm::{fixtures, BayesianNetwork};
+use peanut_store::{rehydrate_engine, StoreConfig, StoredEpoch};
+use peanut_workload::{uniform_queries, QuerySpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+const BUDGET: u64 = 2048;
+
+fn chain_len() -> usize {
+    if is_quick() {
+        20
+    } else {
+        32
+    }
+}
+
+/// Timed cold-start repetitions (both paths measure the same count).
+fn rounds() -> usize {
+    if is_quick() {
+        5
+    } else {
+        10
+    }
+}
+
+fn training_workload(bn: &BayesianNetwork) -> Workload {
+    let spec = QuerySpec {
+        min_vars: 1,
+        max_vars: 3,
+    };
+    Workload::from_queries(uniform_queries(bn.domain(), 64, spec, 17))
+}
+
+/// The pre-store cold start: calibrate + select, from the network.
+fn recalibrate<'t>(
+    tree: &'t JunctionTree,
+    bn: &BayesianNetwork,
+    train: &Workload,
+) -> (QueryEngine<'t>, Materialization) {
+    let engine = QueryEngine::numeric(tree, bn).expect("calibrates");
+    let ctx = OfflineContext::new(tree, train).expect("context");
+    let (mat, _) = Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(BUDGET),
+        engine.numeric_state().expect("numeric"),
+    )
+    .expect("materializes");
+    (engine, mat)
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let bn = fixtures::chain(chain_len(), 2, 13);
+    let tree = build_junction_tree(&bn).expect("tree");
+    let train = training_workload(&bn);
+
+    // persist one epoch the rehydration path cold-starts from
+    let store = StoreConfig::new(
+        std::env::temp_dir().join(format!("peanut-cold-start-{}", std::process::id())),
+    );
+    let (engine, mat) = recalibrate(&tree, &bn, &train);
+    assert!(
+        !mat.is_empty(),
+        "bench premise: the budget selects shortcuts"
+    );
+    let flat = FlatMaterialization::pack(&mat);
+    let slab = engine.numeric_state().expect("numeric").arena().slab();
+    let path = store
+        .save_epoch(0, &mat, &flat, slab)
+        .expect("persists the epoch");
+
+    // --- correctness: the rehydrated artifact answers bit-identically ---
+    let stored = StoredEpoch::open(&path, true).expect("opens");
+    let (rengine, rmat) = rehydrate_engine(&tree, &stored).expect("rehydrates");
+    let fresh = OnlineEngine::new(&engine, &mat);
+    let rehydrated = OnlineEngine::new(&rengine, &rmat);
+    let spec = QuerySpec {
+        min_vars: 1,
+        max_vars: 3,
+    };
+    for q in uniform_queries(bn.domain(), 24, spec, 29) {
+        let (a, ca) = fresh.answer(&q).expect("fresh answers");
+        let (b, cb) = rehydrated.answer(&q).expect("rehydrated answers");
+        assert_eq!(ca.ops, cb.ops, "same reduced-tree plan for {q}");
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "query {q}");
+        }
+    }
+
+    // --- acceptance: rehydration ≥ 5× faster than recalibration ---
+    let r = rounds();
+    let t0 = Instant::now();
+    for _ in 0..r {
+        black_box(recalibrate(&tree, &bn, &train));
+    }
+    let recalibrate_wall = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..r {
+        let stored = StoredEpoch::open(&path, true).expect("opens");
+        black_box(rehydrate_engine(&tree, &stored).expect("rehydrates"));
+    }
+    let rehydrate_wall = t0.elapsed();
+    let speedup = recalibrate_wall.as_secs_f64() / rehydrate_wall.as_secs_f64();
+    println!(
+        "cold_start/rehydrate_speedup           {speedup:.1}x  \
+         (recalibrate {:.2?} vs rehydrate {:.2?} per cold start, chain({}), budget {BUDGET})",
+        recalibrate_wall / r as u32,
+        rehydrate_wall / r as u32,
+        chain_len(),
+    );
+    assert!(
+        speedup >= 5.0,
+        "rehydration must beat recalibration ≥5x (got {speedup:.1}x)"
+    );
+    let mut summary = BenchSummary::new("cold_start");
+    summary.push("rehydrate_speedup", speedup);
+    match summary.write() {
+        Ok(p) => println!("cold_start/summary written to {}", p.display()),
+        Err(e) => eprintln!("cold_start/summary NOT written: {e}"),
+    }
+
+    // --- criterion timings for both paths ---
+    let mut g = c.benchmark_group("cold_start");
+    g.bench_function("recalibrate", |b| {
+        b.iter(|| black_box(recalibrate(&tree, &bn, &train)))
+    });
+    g.bench_function("rehydrate", |b| {
+        b.iter(|| {
+            let stored = StoredEpoch::open(&path, true).expect("opens");
+            black_box(rehydrate_engine(&tree, &stored).expect("rehydrates"))
+        })
+    });
+    g.finish();
+
+    let _ = std::fs::remove_dir_all(&store.dir);
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

@@ -214,6 +214,7 @@ impl BenchSummary {
 /// `BenchSummary::push` calls across `crates/bench/benches/`.
 pub fn is_known_metric(key: &str) -> bool {
     const EXACT: &[&str] = &[
+        "cold_start.rehydrate_speedup",
         "drift_serving.swap_improvement",
         "multi_tenant_serving.shared_pool_speedup",
         "potential_ops.product_speedup",
@@ -431,6 +432,7 @@ mod tests {
     #[test]
     fn known_metric_registry_matches_bench_emissions() {
         for key in [
+            "cold_start.rehydrate_speedup",
             "drift_serving.swap_improvement",
             "multi_tenant_serving.shared_pool_speedup",
             "potential_ops.product_speedup",

@@ -48,7 +48,7 @@ pub mod workload;
 
 pub use context::OfflineContext;
 pub use exec::{Executor, ScopedExecutor, SequentialExecutor};
-pub use flat::FlatMaterialization;
+pub use flat::{FlatMaterialization, FlatView, SYMBOLIC_SPAN};
 pub use grid::BudgetGrid;
 pub use online::{Materialization, MaterializedShortcut, OnlineEngine, TracedAnswer};
 pub use peanut::{Peanut, PeanutConfig, Variant};

@@ -102,6 +102,31 @@ impl NumericState {
         Ok(())
     }
 
+    /// Reattaches an already-calibrated value slab to a freshly laid-out
+    /// arena — the store rehydration path: no CPT products, no Hugin
+    /// passes, one `memcpy` of the persisted slab. The slab must come from
+    /// a tree with the identical layout (same cliques, same domain); a
+    /// length mismatch fails with [`PgmError::CorruptStore`] rather than
+    /// attaching values to the wrong spans.
+    pub fn from_calibrated_slab(tree: &JunctionTree, slab: &[f64]) -> Result<Self, PgmError> {
+        let mut arena = TreeArena::layout(tree)?;
+        if slab.len() != arena.slab().len() {
+            return Err(PgmError::CorruptStore {
+                path: "<calibrated slab>".into(),
+                detail: format!(
+                    "arena slab length {} does not match the tree's layout ({} entries)",
+                    slab.len(),
+                    arena.slab().len()
+                ),
+            });
+        }
+        arena.replace_slab(slab.to_vec());
+        Ok(NumericState {
+            arena,
+            calibrated: true,
+        })
+    }
+
     /// True once [`calibrate`](Self::calibrate) has run.
     #[inline]
     pub fn is_calibrated(&self) -> bool {
@@ -304,6 +329,24 @@ mod tests {
             let got = st.clique_table(0).to_potential();
             assert!(got.max_abs_diff(&oracle).unwrap() < 1e-9);
         }
+    }
+
+    #[test]
+    fn calibrated_slab_reattaches_bit_identically() {
+        let bn = fixtures::figure1();
+        let (tree, _, st) = calibrated(&bn);
+        let re = NumericState::from_calibrated_slab(&tree, st.arena().slab()).unwrap();
+        assert!(re.is_calibrated());
+        for (a, b) in re.arena().slab().iter().zip(st.arena().slab()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(re.local_consistency_error(&tree).unwrap() < 1e-9);
+        // a slab from a different tree (wrong length) fails loudly
+        let other = build_junction_tree(&fixtures::sprinkler()).unwrap();
+        assert!(matches!(
+            NumericState::from_calibrated_slab(&other, st.arena().slab()),
+            Err(PgmError::CorruptStore { .. })
+        ));
     }
 
     #[test]

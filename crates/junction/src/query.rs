@@ -52,9 +52,24 @@ impl<'t> QueryEngine<'t> {
         })
     }
 
-    /// The underlying tree.
+    /// Numeric engine over an **already calibrated** state — the store
+    /// rehydration path. Skips initialization and the two Hugin passes
+    /// entirely; the caller vouches that `ns` holds this tree's calibrated
+    /// tables (e.g. a persisted arena slab reattached via
+    /// [`NumericState::from_calibrated_slab`]).
+    pub fn from_calibrated(tree: &'t JunctionTree, ns: NumericState) -> Self {
+        debug_assert!(ns.is_calibrated(), "rehydration requires calibrated state");
+        QueryEngine {
+            rooted: RootedTree::new(tree),
+            tree,
+            numeric: Some(ns),
+        }
+    }
+
+    /// The underlying tree (the full `'t` borrow, so callers can retain it
+    /// past this engine — e.g. to rebuild the engine after a page-out).
     #[inline]
-    pub fn tree(&self) -> &JunctionTree {
+    pub fn tree(&self) -> &'t JunctionTree {
         self.tree
     }
 
@@ -263,6 +278,31 @@ mod tests {
             let c_sym = sym.cost(&q).unwrap();
             let (_, c_num) = num.answer(&q).unwrap();
             assert_eq!(c_sym.ops, c_num.ops);
+        }
+    }
+
+    #[test]
+    fn rehydrated_engine_answers_bit_identically() {
+        let bn = fixtures::figure1();
+        let tree = build_junction_tree(&bn).unwrap();
+        let fresh = QueryEngine::numeric(&tree, &bn).unwrap();
+        let slab = fresh.numeric_state().unwrap().arena().slab().to_vec();
+        let rehydrated = QueryEngine::from_calibrated(
+            &tree,
+            NumericState::from_calibrated_slab(&tree, &slab).unwrap(),
+        );
+        let d = bn.domain();
+        let n = d.len() as u32;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let q = Scope::from_indices(&[a, b]);
+                let (x, cx) = fresh.answer(&q).unwrap();
+                let (y, cy) = rehydrated.answer(&q).unwrap();
+                assert_eq!(cx.ops, cy.ops);
+                for (xa, ya) in x.values().iter().zip(y.values()) {
+                    assert_eq!(xa.to_bits(), ya.to_bits(), "query {{x{a},x{b}}}");
+                }
+            }
         }
     }
 

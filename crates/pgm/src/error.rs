@@ -34,6 +34,32 @@ pub enum PgmError {
     UnknownTenant(u32),
     /// A tenant id was registered twice with a sharded engine.
     DuplicateTenant(u32),
+    /// An I/O failure while reading or writing a materialization-store
+    /// file (open, read, write, sync).
+    StoreIo {
+        /// Path of the store file involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        msg: String,
+    },
+    /// A materialization-store file failed validation: bad magic, a
+    /// checksum mismatch, a truncated section, or a shape that does not
+    /// match the tree it is being attached to. Never unsafe, never a
+    /// silent wrong answer — the load fails loudly instead.
+    CorruptStore {
+        /// Path of the store file (or a caller-supplied context label).
+        path: String,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A materialization-store file carries a format version this build
+    /// does not understand.
+    StoreVersion {
+        /// Version stamped in the file header.
+        found: u64,
+        /// Version this build reads and writes.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for PgmError {
@@ -70,6 +96,18 @@ impl fmt::Display for PgmError {
             }
             PgmError::UnknownTenant(t) => write!(f, "no shard registered for tenant {t}"),
             PgmError::DuplicateTenant(t) => write!(f, "tenant {t} is already registered"),
+            PgmError::StoreIo { path, msg } => {
+                write!(f, "store I/O failure on {path}: {msg}")
+            }
+            PgmError::CorruptStore { path, detail } => {
+                write!(f, "corrupt store file {path}: {detail}")
+            }
+            PgmError::StoreVersion { found, expected } => {
+                write!(
+                    f,
+                    "store format version {found} is not the supported version {expected}"
+                )
+            }
         }
     }
 }
@@ -94,6 +132,26 @@ mod tests {
             limit: 10,
         };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn store_errors_display_meaningfully() {
+        let e = PgmError::StoreIo {
+            path: "/tmp/t0-e1.pnut".into(),
+            msg: "No such file or directory".into(),
+        };
+        assert!(e.to_string().contains("/tmp/t0-e1.pnut"));
+        let e = PgmError::CorruptStore {
+            path: "epoch.pnut".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = PgmError::StoreVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('1'));
     }
 
     #[test]

@@ -36,12 +36,13 @@
 
 use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
 use peanut_core::exec::Executor;
-use peanut_core::sync::atomic::{AtomicUsize, Ordering};
+use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use peanut_core::sync::{thread, Arc, Mutex, OnceLock, RwLock};
 use peanut_core::{FlatMaterialization, Materialization, OnlineEngine, WorkloadStats};
 use peanut_junction::cost::QueryCost;
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size, Var};
+use peanut_store::StoreConfig;
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
 use std::panic::resume_unwind;
@@ -278,6 +279,20 @@ struct EpochState {
     flat: Arc<FlatMaterialization>,
 }
 
+/// Write-behind persistence hook of one serving engine: where epochs go
+/// on [`publish`](ServingEngine::publish) and explicit
+/// [`persist_current`](ServingEngine::persist_current) calls.
+struct EngineStore {
+    cfg: StoreConfig,
+    tenant: u32,
+    /// High-water mark of persisted epochs, stored as `epoch + 1` so `0`
+    /// means "nothing persisted yet".
+    persisted: AtomicU64,
+    /// Publishes whose best-effort persist failed (telemetry; the epoch
+    /// keeps serving from RAM).
+    errors: AtomicUsize,
+}
+
 /// Batched concurrent query processor over a calibrated tree and a
 /// hot-swappable, epoch-versioned materialization.
 pub struct ServingEngine<'t> {
@@ -289,6 +304,8 @@ pub struct ServingEngine<'t> {
     /// out (or injected via [`with_pool`](Self::with_pool)). Engines that
     /// only ever serve sequentially never spawn a thread.
     pool: PoolCell,
+    /// Optional epoch persistence ([`set_store`](Self::set_store)).
+    store: Option<EngineStore>,
 }
 
 impl<'t> ServingEngine<'t> {
@@ -316,6 +333,101 @@ impl<'t> ServingEngine<'t> {
             cfg,
             cache: Mutex::new(AnswerCache::default()),
             pool: PoolCell::new(),
+            store: None,
+        }
+    }
+
+    /// Attaches epoch persistence: every [`publish`](Self::publish) (and
+    /// explicit [`persist_current`](Self::persist_current) call) writes
+    /// the epoch's store file for `tenant` under `cfg.dir`. Persistence
+    /// on publish is write-behind and best-effort — a failed write bumps
+    /// [`persist_errors`](Self::persist_errors) and the epoch keeps
+    /// serving from RAM.
+    pub fn set_store(&mut self, cfg: StoreConfig, tenant: u32) {
+        self.store = Some(EngineStore {
+            cfg,
+            tenant,
+            persisted: AtomicU64::new(0),
+            errors: AtomicUsize::new(0),
+        });
+    }
+
+    /// Whether a store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The newest epoch known to be persisted, `None` when no epoch has
+    /// been written (or no store is attached).
+    pub fn persisted_epoch(&self) -> Option<u64> {
+        // ordering: advisory high-water mark; the store file itself was
+        // durably renamed into place before this was bumped.
+        self.store
+            .as_ref()
+            .and_then(|s| s.persisted.load(Ordering::Acquire).checked_sub(1))
+    }
+
+    /// Publishes whose write-behind persist failed.
+    pub fn persist_errors(&self) -> usize {
+        // ordering: telemetry counter, advisory read.
+        self.store
+            .as_ref()
+            .map_or(0, |s| s.errors.load(Ordering::Relaxed))
+    }
+
+    /// Marks `epoch` as already persisted — the rehydration path uses
+    /// this so a freshly faulted-in tenant is not re-written on its next
+    /// page-out.
+    pub(crate) fn mark_persisted(&self, epoch: u64) {
+        if let Some(s) = &self.store {
+            // ordering: Release pairs with the Acquire in persisted_epoch;
+            // the file this records already exists on disk.
+            s.persisted.store(epoch + 1, Ordering::Release);
+        }
+    }
+
+    /// Persists the currently served epoch to the attached store,
+    /// returning the epoch written. Errors are typed ([`PgmError`]) and
+    /// also counted in [`persist_errors`](Self::persist_errors).
+    pub fn persist_current(&self) -> Result<u64, PgmError> {
+        let Some(store) = &self.store else {
+            return Err(PgmError::StoreIo {
+                path: "<unconfigured>".into(),
+                msg: "engine has no store attached".into(),
+            });
+        };
+        let (mat, flat) = {
+            let state = self.state.read();
+            (Arc::clone(&state.mat), Arc::clone(&state.flat))
+        };
+        let Some(ns) = self.engine.numeric_state() else {
+            // ordering: telemetry counter only.
+            store.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(PgmError::StoreIo {
+                path: store
+                    .cfg
+                    .epoch_path(store.tenant, mat.epoch)
+                    .display()
+                    .to_string(),
+                msg: "symbolic engine has no calibrated slab to persist".into(),
+            });
+        };
+        match store
+            .cfg
+            .save_epoch(store.tenant, &mat, &flat, ns.arena().slab())
+        {
+            Ok(_) => {
+                // ordering: Release pairs with the Acquire in
+                // persisted_epoch — the rename above happens-before any
+                // reader that observes the new mark.
+                store.persisted.store(mat.epoch + 1, Ordering::Release);
+                Ok(mat.epoch)
+            }
+            Err(e) => {
+                // ordering: telemetry counter only.
+                store.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
         }
     }
 
@@ -388,15 +500,23 @@ impl<'t> ServingEngine<'t> {
     /// the old epoch, and later lookups drop those entries lazily. The
     /// observation accumulator starts fresh for the new epoch.
     pub fn publish(&self, mat: Materialization) -> u64 {
-        let mut state = self.state.write();
-        let epoch = state.mat.epoch + 1;
-        let mat = Arc::new(mat.with_epoch(epoch));
-        let flat = Arc::new(FlatMaterialization::pack(&mat));
-        *state = EpochState {
-            mat,
-            stats: Arc::new(WorkloadStats::new()),
-            flat,
+        let epoch = {
+            let mut state = self.state.write();
+            let epoch = state.mat.epoch + 1;
+            let mat = Arc::new(mat.with_epoch(epoch));
+            let flat = Arc::new(FlatMaterialization::pack(&mat));
+            *state = EpochState {
+                mat,
+                stats: Arc::new(WorkloadStats::new()),
+                flat,
+            };
+            epoch
         };
+        if self.store.is_some() {
+            // write-behind: failures are counted (persist_errors) and the
+            // epoch serves from RAM regardless
+            let _ = self.persist_current();
+        }
         epoch
     }
 

@@ -30,7 +30,10 @@
 //!   tenants (each a calibrated tree with its own epoch-versioned
 //!   materialization, stats and answer cache) that fans mixed
 //!   `(TenantId, Query)` batches across one shared worker pool, with
-//!   per-tenant dedup and fully isolated epoch state.
+//!   per-tenant dedup and fully isolated epoch state. With a
+//!   [`StoreConfig`] attached, the registry doubles as an LRU resident
+//!   set: cold tenants page out to mmap-able epoch files and fault back
+//!   in on their next arrival (`peanut-store`).
 //! * [`replay`](mod@replay) — a workload-replay driver: streams
 //!   `peanut_workload` query mixes through an engine batch by batch and
 //!   reports throughput and latency percentiles; [`replay_mixed`] does the
@@ -57,6 +60,7 @@ pub use lifecycle::{
     expected_savings, FleetConfig, FleetController, FleetRebalance, LifecycleConfig,
     RematerializationController, SwapEvent, TenantAllocation,
 };
+pub use peanut_store::StoreConfig;
 pub use pool::{PoolStats, SpawnMode, WorkerPool};
 pub use replay::{replay, replay_mixed, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};
-pub use shard::{MixedBatchStats, ShardConfig, ShardedServingEngine, TenantId};
+pub use shard::{MixedBatchStats, PagingStats, ShardConfig, ShardedServingEngine, TenantId};

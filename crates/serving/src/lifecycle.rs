@@ -605,8 +605,10 @@ impl<'s, 't> FleetController<'s, 't> {
     /// Deterministic: tenants are visited in registry order and every
     /// decision depends only on recorded arrivals and configuration.
     pub fn tick(&mut self) -> Result<Option<&FleetRebalance>, PgmError> {
-        // fleet snapshot, registry order
-        let mut tenants: Vec<(TenantId, &ServingEngine<'t>, StatsSnapshot)> = Vec::new();
+        // fleet snapshot, registry order (resident tenants only: a fleet
+        // with paging ticks its hot set; paged-out tenants have no traffic
+        // to observe and keep serving their persisted allocation)
+        let mut tenants: Vec<(TenantId, Arc<ServingEngine<'t>>, StatsSnapshot)> = Vec::new();
         let mut total: u64 = 0;
         for (id, eng) in self.sharded.tenants() {
             let snap = eng.stats().snapshot();
@@ -652,9 +654,9 @@ impl<'s, 't> FleetController<'s, 't> {
         }
 
         // --- per-tenant candidates at the full global budget ---
-        struct Candidate<'a, 'tt> {
+        struct Candidate<'tt> {
             tenant: TenantId,
-            engine: &'a ServingEngine<'tt>,
+            engine: Arc<ServingEngine<'tt>>,
             share: f64,
             entries: Vec<(Scope, f64)>,
             pool: Arc<Vec<peanut_core::MaterializedShortcut>>,
@@ -666,7 +668,7 @@ impl<'s, 't> FleetController<'s, 't> {
         }
         let exec = self.sharded.offline_exec(self.cfg.threads);
         let t0 = Instant::now();
-        let mut candidates: Vec<Candidate<'_, 't>> = Vec::new();
+        let mut candidates: Vec<Candidate<'t>> = Vec::new();
         for ((id, eng, snap), (_, share)) in tenants.iter().zip(&shares) {
             if snap.queries == 0 {
                 continue;
@@ -725,7 +727,7 @@ impl<'s, 't> FleetController<'s, 't> {
             let current_ops = mean_query_ops(eng.engine(), &none, &entries);
             candidates.push(Candidate {
                 tenant: *id,
-                engine: eng,
+                engine: Arc::clone(eng),
                 share: *share,
                 entries,
                 pool,
@@ -745,6 +747,7 @@ impl<'s, 't> FleetController<'s, 't> {
         let reserved: Size = self
             .sharded
             .tenants()
+            .into_iter()
             .filter(|(id, _)| !rebalanced.contains(id))
             .fold(0u64, |a, (_, eng)| {
                 a.saturating_add(eng.materialization().total_size())
@@ -753,7 +756,7 @@ impl<'s, 't> FleetController<'s, 't> {
         // Pricing a trial subset only needs the symbolic cost model, so
         // trials carry no dense tables (the knapsack would otherwise deep-
         // clone every already-selected potential per evaluation).
-        let price = |c: &Candidate<'_, 't>, si: usize| -> (f64, f64) {
+        let price = |c: &Candidate<'t>, si: usize| -> (f64, f64) {
             let trial = Materialization {
                 shortcuts: c
                     .selected
@@ -1324,6 +1327,7 @@ mod tests {
         let fleet_size = |sharded: &ShardedServingEngine<'_>| -> u64 {
             sharded
                 .tenants()
+                .into_iter()
                 .map(|(_, e)| e.materialization().total_size())
                 .sum()
         };

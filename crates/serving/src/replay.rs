@@ -63,6 +63,15 @@ pub struct ReplayReport {
     pub total_ops: u64,
     /// Summed shortcut uses over unique computations.
     pub shortcuts_used: usize,
+    /// Tenants faulted in from the store over the run (mixed replays on a
+    /// paging fleet; zero otherwise).
+    pub faults: usize,
+    /// Tenants paged out over the run.
+    pub page_outs: usize,
+    /// Peak resident tenants observed at any batch end.
+    pub max_resident: usize,
+    /// Total wall-clock time spent faulting tenants in.
+    pub fault_wall: Duration,
 }
 
 impl ReplayReport {
@@ -147,6 +156,10 @@ pub fn replay_mixed(
         report.stale_hits += stats.stale_hits;
         report.total_ops = report.total_ops.saturating_add(stats.total_ops);
         report.shortcuts_used += stats.shortcuts_used;
+        report.faults += stats.faults;
+        report.page_outs += stats.page_outs;
+        report.max_resident = report.max_resident.max(stats.resident);
+        report.fault_wall += stats.fault_wall;
         for (_, b) in &stats.per_tenant {
             let (lo, hi) = epochs.get_or_insert((b.epoch, b.epoch));
             *lo = (*lo).min(b.epoch);

@@ -25,6 +25,19 @@
 //! Per-tenant epoch state stays fully isolated: a
 //! [`publish`](crate::ServingEngine::publish) on one tenant bumps only that
 //! tenant's epoch and invalidates only that tenant's cache entries.
+//!
+//! # Cold-tenant paging
+//!
+//! With a [`StoreConfig`] attached ([`set_store`](ShardedServingEngine::set_store))
+//! and [`max_resident`](ShardConfig::max_resident) set, the registry becomes
+//! an LRU **resident set**: registration persists each tenant's epoch to the
+//! store, and after every mixed batch the least-recently-used tenants beyond
+//! the cap are paged out — their engine `Arc` dropped, only the junction
+//! tree reference and the store file kept. A paged-out tenant's next arrival
+//! faults it back in by rehydrating the persisted epoch (O(mmap + memcpy),
+//! no calibration, no selection DP) and answers bit-identically to an
+//! always-resident fleet. Fault/page-out telemetry lands in
+//! [`MixedBatchStats`] per batch and in [`PagingStats`] cumulatively.
 
 use crate::engine::{
     answer_one, Answer, AnswerCache, BatchStats, CacheLookup, Query, Served, ServingConfig,
@@ -32,11 +45,12 @@ use crate::engine::{
 };
 use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
 use peanut_core::exec::Executor;
-use peanut_core::sync::atomic::{AtomicUsize, Ordering};
-use peanut_core::sync::{thread, Arc, OnceLock};
+use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use peanut_core::sync::{thread, Arc, OnceLock, RwLock};
 use peanut_core::{Materialization, OnlineEngine};
-use peanut_junction::QueryEngine;
+use peanut_junction::{JunctionTree, QueryEngine};
 use peanut_pgm::{PgmError, Scratch};
+use peanut_store::{rehydrate_engine, StoreConfig, StoredEpoch};
 use std::collections::HashMap;
 use std::panic::resume_unwind;
 use std::time::{Duration, Instant};
@@ -64,6 +78,11 @@ pub struct ShardConfig {
     /// How mixed batches fan out: one persistent [`WorkerPool`] shared by
     /// every shard (default) or scoped per-batch threads.
     pub spawn: SpawnMode,
+    /// Resident-set cap: at most this many tenants keep an engine in RAM;
+    /// the least-recently-used beyond it are paged out to the store after
+    /// each batch. `0` (default) disables paging. Takes effect only with a
+    /// store attached ([`set_store`](ShardedServingEngine::set_store)).
+    pub max_resident: usize,
 }
 
 impl Default for ShardConfig {
@@ -74,6 +93,7 @@ impl Default for ShardConfig {
             dedup: d.dedup,
             cache_capacity: d.cache_capacity,
             spawn: d.spawn,
+            max_resident: 0,
         }
     }
 }
@@ -97,14 +117,49 @@ pub struct MixedBatchStats {
     pub shortcuts_used: usize,
     /// Wall-clock time of the whole mixed batch.
     pub wall: Duration,
+    /// Tenants faulted in from the store during this batch.
+    pub faults: usize,
+    /// Fault-ins that failed (all of the tenant's arrivals errored).
+    pub fault_errors: usize,
+    /// Tenants paged out at the end of this batch.
+    pub page_outs: usize,
+    /// Tenants resident after this batch (and its evictions).
+    pub resident: usize,
+    /// Wall-clock time spent faulting tenants in during this batch.
+    pub fault_wall: Duration,
     /// Per-tenant breakdown (only tenants with arrivals in this batch),
     /// in registry order. `wall` on the entries is the whole batch's.
     pub per_tenant: Vec<(TenantId, BatchStats)>,
 }
 
+/// Cumulative paging telemetry of a sharded engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PagingStats {
+    /// Registered tenants.
+    pub registered: usize,
+    /// Tenants currently holding an engine in RAM.
+    pub resident: usize,
+    /// The configured resident-set cap (`0` = unlimited).
+    pub max_resident: usize,
+    /// Tenants faulted in from the store since construction.
+    pub faults: u64,
+    /// Fault-ins that failed.
+    pub fault_errors: u64,
+    /// Tenants paged out since construction.
+    pub page_outs: u64,
+    /// Total wall-clock time spent faulting tenants in.
+    pub fault_wall: Duration,
+}
+
 struct TenantShard<'t> {
     id: TenantId,
-    serving: ServingEngine<'t>,
+    /// The tenant's calibrated model structure — kept while the engine is
+    /// paged out, so a fault-in can rehydrate against it.
+    tree: &'t JunctionTree,
+    /// The engine while resident; `None` while paged out to the store.
+    resident: RwLock<Option<Arc<ServingEngine<'t>>>>,
+    /// Fleet-clock tick of the last access (LRU eviction order).
+    last_used: AtomicU64,
 }
 
 /// A registry of per-tenant serving engines sharing one worker pool.
@@ -115,6 +170,15 @@ pub struct ShardedServingEngine<'t> {
     /// The **one** persistent pool every shard's fresh work fans out on,
     /// spawned lazily on the first mixed batch that needs it.
     pool: PoolCell,
+    /// Epoch persistence + paging backend; `None` keeps every tenant
+    /// resident forever (the pre-store behavior).
+    store: Option<StoreConfig>,
+    /// Logical fleet clock: one tick per access, feeds `last_used`.
+    clock: AtomicU64,
+    faults: AtomicU64,
+    fault_errors: AtomicU64,
+    page_outs: AtomicU64,
+    fault_nanos: AtomicU64,
 }
 
 impl<'t> ShardedServingEngine<'t> {
@@ -125,7 +189,27 @@ impl<'t> ShardedServingEngine<'t> {
             index: HashMap::new(),
             cfg,
             pool: PoolCell::new(),
+            store: None,
+            clock: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            fault_errors: AtomicU64::new(0),
+            page_outs: AtomicU64::new(0),
+            fault_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches epoch persistence and enables paging: tenants registered
+    /// from here on persist their epoch on registration and on every
+    /// publish, and — with [`ShardConfig::max_resident`] set — cold
+    /// tenants page out to `cfg.dir` after each batch. Attach before
+    /// registering tenants.
+    pub fn set_store(&mut self, cfg: StoreConfig) {
+        self.store = Some(cfg);
+    }
+
+    /// The attached store configuration, if any.
+    pub fn store(&self) -> Option<&StoreConfig> {
+        self.store.as_ref()
     }
 
     /// The fleet's shared persistent worker pool, spawning it on first
@@ -158,6 +242,11 @@ impl<'t> ShardedServingEngine<'t> {
     /// materialization. Fails when the id is already taken. The tenant's
     /// private engine is configured with one worker — batch fan-out belongs
     /// to the shared pool, not the shard.
+    ///
+    /// With a store attached, registration also persists the tenant's
+    /// initial epoch (so it can be paged out before its first publish);
+    /// a failed write fails the registration loudly. Persistence needs a
+    /// calibrated slab, so store-backed fleets require numeric engines.
     pub fn register(
         &mut self,
         id: TenantId,
@@ -167,7 +256,8 @@ impl<'t> ShardedServingEngine<'t> {
         if self.index.contains_key(&id) {
             return Err(PgmError::DuplicateTenant(id.0));
         }
-        let serving = ServingEngine::new(
+        let tree = engine.tree();
+        let mut serving = ServingEngine::new(
             engine,
             mat,
             ServingConfig {
@@ -177,10 +267,23 @@ impl<'t> ShardedServingEngine<'t> {
                 spawn: self.cfg.spawn,
             },
         );
+        if let Some(store) = &self.store {
+            serving.set_store(store.clone(), id.0);
+            serving.persist_current()?;
+        }
         // keep the registry sorted by id so every fleet-level iteration
         // (controller ticks, telemetry) is deterministic
         let at = self.shards.partition_point(|s| s.id < id);
-        self.shards.insert(at, TenantShard { id, serving });
+        self.shards.insert(
+            at,
+            TenantShard {
+                id,
+                tree,
+                resident: RwLock::new(Some(Arc::new(serving))),
+                // ordering: registration happens under `&mut self`.
+                last_used: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            },
+        );
         self.index.clear();
         for (i, s) in self.shards.iter().enumerate() {
             self.index.insert(s.id, i);
@@ -199,14 +302,181 @@ impl<'t> ShardedServingEngine<'t> {
     }
 
     /// The per-tenant serving engine (epoch state, stats, cache — and
-    /// [`publish`](ServingEngine::publish) for tenant-local swaps).
-    pub fn tenant(&self, id: TenantId) -> Option<&ServingEngine<'t>> {
-        self.index.get(&id).map(|&i| &self.shards[i].serving)
+    /// [`publish`](ServingEngine::publish) for tenant-local swaps),
+    /// faulting it in from the store when paged out. `None` for unknown
+    /// tenants — and for paged-out tenants whose fault-in failed (counted
+    /// in [`PagingStats::fault_errors`]).
+    pub fn tenant(&self, id: TenantId) -> Option<Arc<ServingEngine<'t>>> {
+        let &slot = self.index.get(&id)?;
+        self.touch(slot, self.tick());
+        let engine = self.shard_engine(slot).ok()?;
+        self.enforce_residency();
+        Some(engine)
     }
 
-    /// All tenants with their engines, in id order.
-    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &ServingEngine<'t>)> {
-        self.shards.iter().map(|s| (s.id, &s.serving))
+    /// All **resident** tenants with their engines, in id order. Paged-out
+    /// tenants are skipped — fleet-level iteration (controller ticks,
+    /// telemetry) works the hot set, not the archive; ask for a cold
+    /// tenant by id ([`tenant`](Self::tenant)) to fault it in.
+    pub fn tenants(&self) -> Vec<(TenantId, Arc<ServingEngine<'t>>)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.resident.read().as_ref().map(|e| (s.id, Arc::clone(e))))
+            .collect()
+    }
+
+    /// Tenants currently holding an engine in RAM.
+    pub fn resident_len(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.resident.read().is_some())
+            .count()
+    }
+
+    /// Cumulative paging telemetry.
+    pub fn paging_stats(&self) -> PagingStats {
+        // ordering: telemetry counters, advisory reads.
+        let faults = self.faults.load(Ordering::Relaxed);
+        let fault_errors = self.fault_errors.load(Ordering::Relaxed);
+        let page_outs = self.page_outs.load(Ordering::Relaxed);
+        // ordering: same — advisory read of the fault wall-time counter.
+        let fault_wall = Duration::from_nanos(self.fault_nanos.load(Ordering::Relaxed));
+        PagingStats {
+            registered: self.shards.len(),
+            resident: self.resident_len(),
+            max_resident: self.cfg.max_resident,
+            faults,
+            fault_errors,
+            page_outs,
+            fault_wall,
+        }
+    }
+
+    /// Advances the fleet clock by one tick and returns the new value.
+    fn tick(&self) -> u64 {
+        // ordering: the clock only orders LRU eviction; ties are benign.
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records an access to `slot` at clock value `now`.
+    fn touch(&self, slot: usize, now: u64) {
+        // ordering: advisory recency stamp read by the evictor; a stale
+        // read evicts a slightly-warmer tenant, never corrupts state.
+        self.shards[slot].last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// The engine of `slot`, faulting it in from the store when paged
+    /// out. Fault-ins and their wall time land in the paging counters.
+    fn shard_engine(&self, slot: usize) -> Result<Arc<ServingEngine<'t>>, PgmError> {
+        let shard = &self.shards[slot];
+        if let Some(engine) = shard.resident.read().as_ref() {
+            return Ok(Arc::clone(engine));
+        }
+        let mut resident = shard.resident.write();
+        // double-check: another thread may have faulted it in while we
+        // waited for the write lock
+        if let Some(engine) = resident.as_ref() {
+            return Ok(Arc::clone(engine));
+        }
+        let t0 = Instant::now();
+        let faulted = self.fault_in(shard);
+        // ordering: telemetry counters only.
+        self.fault_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match faulted {
+            Ok(engine) => {
+                // ordering: telemetry counter only.
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                *resident = Some(Arc::clone(&engine));
+                Ok(engine)
+            }
+            Err(e) => {
+                // ordering: telemetry counter only.
+                self.fault_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Rehydrates a paged-out tenant's newest persisted epoch: reattach
+    /// the calibrated slab, rebuild the materialization structurally, and
+    /// wire the fresh engine back to the store — no calibration pass, no
+    /// selection DP.
+    fn fault_in(&self, shard: &TenantShard<'t>) -> Result<Arc<ServingEngine<'t>>, PgmError> {
+        let Some(store) = &self.store else {
+            return Err(PgmError::StoreIo {
+                path: "<unconfigured>".into(),
+                msg: format!("{} is paged out but the fleet has no store", shard.id),
+            });
+        };
+        let (epoch, path) = store
+            .latest_epoch(shard.id.0)
+            .ok_or_else(|| PgmError::StoreIo {
+                path: store.dir.display().to_string(),
+                msg: format!("no persisted epoch for {}", shard.id),
+            })?;
+        let stored = StoredEpoch::open(&path, store.verify_checksum)?;
+        let (engine, mat) = rehydrate_engine(shard.tree, &stored)?;
+        let mut serving = ServingEngine::new(
+            engine,
+            mat,
+            ServingConfig {
+                workers: 1,
+                dedup: self.cfg.dedup,
+                cache_capacity: self.cfg.cache_capacity,
+                spawn: self.cfg.spawn,
+            },
+        );
+        serving.set_store(store.clone(), shard.id.0);
+        // the file we just rehydrated from is this epoch's persisted form;
+        // the next page-out must not rewrite it
+        serving.mark_persisted(epoch);
+        Ok(Arc::new(serving))
+    }
+
+    /// Pages `slot` out: persists its current epoch if the store does not
+    /// already hold it, then drops the engine. Returns whether the slot
+    /// was resident. Publishes already persist write-behind, so the
+    /// common page-out is a pure pointer drop.
+    fn page_out(&self, slot: usize) -> Result<bool, PgmError> {
+        let shard = &self.shards[slot];
+        let mut resident = shard.resident.write();
+        let Some(engine) = resident.as_ref() else {
+            return Ok(false);
+        };
+        if engine.persisted_epoch() != Some(engine.epoch()) {
+            engine.persist_current()?;
+        }
+        *resident = None;
+        // ordering: telemetry counter only.
+        self.page_outs.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Evicts least-recently-used tenants until the resident set fits
+    /// [`ShardConfig::max_resident`]. A no-op without a store or a cap. A
+    /// tenant whose persist fails stays resident (never drop the only
+    /// copy); the error is counted in [`PagingStats::fault_errors`].
+    pub fn enforce_residency(&self) {
+        if self.store.is_none() || self.cfg.max_resident == 0 {
+            return;
+        }
+        let mut skip: Vec<usize> = Vec::new();
+        while self.resident_len() > self.cfg.max_resident {
+            let coldest = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(slot, s)| !skip.contains(slot) && s.resident.read().is_some())
+                // ordering: advisory recency stamp; see `touch`.
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed));
+            let Some((slot, _)) = coldest else { break };
+            if self.page_out(slot).is_err() {
+                // ordering: telemetry counter only.
+                self.fault_errors.fetch_add(1, Ordering::Relaxed);
+                skip.push(slot);
+            }
+        }
     }
 
     /// The worker count a mixed batch will actually use (before capping by
@@ -238,6 +508,13 @@ impl<'t> ShardedServingEngine<'t> {
         if batch.is_empty() {
             return (Vec::new(), mstats);
         }
+        // ordering: telemetry counters; the end-of-batch deltas attribute
+        // this batch's paging activity (monotone counters never underflow).
+        let faults0 = self.faults.load(Ordering::Relaxed);
+        let fault_errors0 = self.fault_errors.load(Ordering::Relaxed);
+        let page_outs0 = self.page_outs.load(Ordering::Relaxed);
+        let fault_nanos0 = self.fault_nanos.load(Ordering::Relaxed);
+        let now = self.tick();
 
         // --- route arrivals to shards, deduplicating per tenant ---
         // assign[i] = Some((shard slot, unique index within shard))
@@ -263,9 +540,25 @@ impl<'t> ShardedServingEngine<'t> {
             assign.push(Some((slot, u)));
         }
 
+        // --- fault routed shards in (paged-out tenants rehydrate) ---
+        // A failed fault-in errors every arrival of that tenant, never the
+        // batch: the other shards keep serving.
+        let mut engines: Vec<Option<Arc<ServingEngine<'t>>>> = vec![None; n_shards];
+        let mut fault_failed: Vec<Option<PgmError>> = (0..n_shards).map(|_| None).collect();
+        for slot in 0..n_shards {
+            if uniques[slot].is_empty() {
+                continue;
+            }
+            self.touch(slot, now);
+            match self.shard_engine(slot) {
+                Ok(engine) => engines[slot] = Some(engine),
+                Err(e) => fault_failed[slot] = Some(e),
+            }
+        }
+
         // --- per-shard epoch snapshots + cache probes ---
-        struct ShardRun<'a, 't> {
-            serving: &'a ServingEngine<'t>,
+        struct ShardRun<'t> {
+            serving: Arc<ServingEngine<'t>>,
             mat: Arc<Materialization>,
             stats: Arc<peanut_core::WorkloadStats>,
             epoch: u64,
@@ -273,14 +566,14 @@ impl<'t> ShardedServingEngine<'t> {
             from_cache: Vec<bool>,
             bstats: BatchStats,
         }
-        let mut runs: Vec<Option<ShardRun<'_, 't>>> = Vec::with_capacity(n_shards);
+        let mut runs: Vec<Option<ShardRun<'t>>> = Vec::with_capacity(n_shards);
         let mut work: Vec<(usize, usize)> = Vec::new(); // (shard slot, unique idx)
-        for (slot, shard) in self.shards.iter().enumerate() {
-            if uniques[slot].is_empty() {
+        for slot in 0..n_shards {
+            let Some(serving) = engines[slot].as_ref().map(Arc::clone) else {
                 runs.push(None);
                 continue;
-            }
-            let (mat, stats) = shard.serving.epoch_snapshot();
+            };
+            let (mat, stats) = serving.epoch_snapshot();
             let epoch = mat.epoch;
             let n = uniques[slot].len();
             let mut results: Vec<Option<Result<Arc<Answer>, PgmError>>> = Vec::new();
@@ -291,8 +584,8 @@ impl<'t> ShardedServingEngine<'t> {
                 epoch,
                 ..BatchStats::default()
             };
-            if shard.serving.cache_capacity() > 0 {
-                shard.serving.with_cache(|cache: &mut AnswerCache| {
+            if serving.cache_capacity() > 0 {
+                serving.with_cache(|cache: &mut AnswerCache| {
                     for (u, q) in uniques[slot].iter().enumerate() {
                         match cache.lookup(q, epoch) {
                             CacheLookup::Hit(hit) => {
@@ -312,7 +605,7 @@ impl<'t> ShardedServingEngine<'t> {
                 work.extend((0..n).map(|u| (slot, u)));
             }
             runs.push(Some(ShardRun {
-                serving: &shard.serving,
+                serving,
                 mat,
                 stats,
                 epoch,
@@ -448,6 +741,10 @@ impl<'t> ShardedServingEngine<'t> {
             .zip(&assign)
             .map(|((tid, _), a)| match a {
                 None => Err(PgmError::UnknownTenant(tid.0)),
+                Some((slot, _)) if fault_failed[*slot].is_some() => {
+                    // lint:allow(hot_panic) — guarded by the match arm.
+                    Err(fault_failed[*slot].clone().expect("checked above"))
+                }
                 Some((slot, u)) => {
                     // lint:allow(hot_panic) — invariants: assigned arrivals
                     // have runs, and every unique is a hit or in `work`.
@@ -474,6 +771,20 @@ impl<'t> ShardedServingEngine<'t> {
             mstats.shortcuts_used += run.bstats.shortcuts_used;
             mstats.per_tenant.push((self.shards[slot].id, run.bstats));
         }
+
+        // --- paging: evict past the cap, attribute this batch's activity ---
+        self.enforce_residency();
+        // ordering: telemetry counters, delta reads; see the batch start.
+        let faults1 = self.faults.load(Ordering::Relaxed);
+        let fault_errors1 = self.fault_errors.load(Ordering::Relaxed);
+        let page_outs1 = self.page_outs.load(Ordering::Relaxed);
+        // ordering: same — delta read of the fault wall-time counter.
+        let fault_nanos1 = self.fault_nanos.load(Ordering::Relaxed);
+        mstats.faults = faults1.saturating_sub(faults0) as usize;
+        mstats.fault_errors = fault_errors1.saturating_sub(fault_errors0) as usize;
+        mstats.page_outs = page_outs1.saturating_sub(page_outs0) as usize;
+        mstats.fault_wall = Duration::from_nanos(fault_nanos1.saturating_sub(fault_nanos0));
+        mstats.resident = self.resident_len();
         (answers, mstats)
     }
 }

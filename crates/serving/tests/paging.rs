@@ -1,0 +1,246 @@
+//! Cold-tenant paging guarantees of the store-backed sharded engine:
+//!
+//! * a fleet with a resident-set cap **smaller than its tenant count**
+//!   serves a full mixed replay with zero errors, answers **bit-identical**
+//!   to an uncapped (always-resident) fleet, and never ends a batch with
+//!   more than `max_resident` tenants in RAM;
+//! * a paged-out tenant faults back in on access, resuming its epoch
+//!   sequence (publishes persist write-behind and survive a page-out);
+//! * paging telemetry (faults, page-outs, fault wall time) is reported
+//!   per batch and cumulatively.
+
+use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workload};
+use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine};
+use peanut_pgm::{fixtures, BayesianNetwork, Scope};
+use peanut_serving::{Query, ShardConfig, ShardedServingEngine, StoreConfig, TenantId};
+use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("peanut-paging-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fleet_models(n: usize) -> Vec<BayesianNetwork> {
+    (0..n)
+        .map(|i| fixtures::chain(8 + i % 3, 2, 13 + 2 * i as u64))
+        .collect()
+}
+
+fn tenant_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+    let spec = QuerySpec {
+        min_vars: 1,
+        max_vars: 3,
+    };
+    let scopes = uniform_queries(bn.domain(), n, spec, seed);
+    with_evidence(bn.domain(), &scopes, 0.3, seed ^ 0xf00d)
+        .into_iter()
+        .map(|(t, e)| Query::conditioned(t, e))
+        .collect()
+}
+
+fn train_mat(tree: &JunctionTree, engine: &QueryEngine<'_>, batch: &[Query]) -> Materialization {
+    let train: Vec<Scope> = batch.iter().map(|q| q.stat_scope()).collect();
+    let ctx = OfflineContext::new(tree, &Workload::from_queries(train)).unwrap();
+    Peanut::offline_numeric(
+        &ctx,
+        &PeanutConfig::plus(256).with_epsilon(1.0),
+        engine.numeric_state().unwrap(),
+    )
+    .unwrap()
+    .0
+}
+
+/// Registers `trees.len()` tenants, each with a trained materialization,
+/// on a fleet configured with `store` and `max_resident`.
+fn build_fleet<'a>(
+    trees: &'a [JunctionTree],
+    bns: &'a [BayesianNetwork],
+    batches: &[Vec<Query>],
+    store: Option<StoreConfig>,
+    max_resident: usize,
+) -> ShardedServingEngine<'a> {
+    let mut fleet = ShardedServingEngine::new(ShardConfig {
+        workers: 2,
+        max_resident,
+        ..ShardConfig::default()
+    });
+    if let Some(store) = store {
+        fleet.set_store(store);
+    }
+    for (i, (tree, bn)) in trees.iter().zip(bns).enumerate() {
+        let engine = QueryEngine::numeric(tree, bn).unwrap();
+        let mat = train_mat(tree, &engine, &batches[i]);
+        fleet.register(TenantId(i as u32), engine, mat).unwrap();
+    }
+    fleet
+}
+
+/// The tentpole acceptance check: 6 tenants behind a resident cap of 2
+/// drain a full mixed replay with zero errors and bit-identical answers
+/// to an uncapped fleet, while the resident set stays bounded and cold
+/// tenants actually cycle through the store.
+#[test]
+fn capped_fleet_replays_bit_identically_to_uncapped() {
+    let bns = fleet_models(6);
+    let trees: Vec<JunctionTree> = bns
+        .iter()
+        .map(|bn| build_junction_tree(bn).unwrap())
+        .collect();
+    let batches: Vec<Vec<Query>> = bns
+        .iter()
+        .enumerate()
+        .map(|(i, bn)| tenant_batch(bn, 10, 41 + i as u64))
+        .collect();
+
+    let dir = temp_dir("replay");
+    let capped = build_fleet(&trees, &bns, &batches, Some(StoreConfig::new(&dir)), 2);
+    let uncapped = build_fleet(&trees, &bns, &batches, None, 0);
+
+    // arrival stream sweeping through all tenants, several passes: every
+    // pass past the first re-faults tenants the cap evicted
+    let arrivals: Vec<(TenantId, Query)> = (0..3)
+        .flat_map(|_| {
+            batches
+                .iter()
+                .enumerate()
+                .flat_map(|(t, qs)| qs.iter().map(move |q| (TenantId(t as u32), q.clone())))
+        })
+        .collect();
+
+    let mut total_faults = 0usize;
+    let mut total_page_outs = 0usize;
+    for chunk in arrivals.chunks(15) {
+        let (capped_answers, stats) = capped.serve_mixed(chunk);
+        let (plain_answers, _) = uncapped.serve_mixed(chunk);
+        assert!(
+            stats.resident <= 2,
+            "resident set must stay within the cap: {} > 2",
+            stats.resident
+        );
+        total_faults += stats.faults;
+        total_page_outs += stats.page_outs;
+        for (i, (c, p)) in capped_answers.iter().zip(&plain_answers).enumerate() {
+            let (c, p) = (
+                c.as_ref().expect("capped fleet must serve without errors"),
+                p.as_ref()
+                    .expect("uncapped fleet must serve without errors"),
+            );
+            let c_bits: Vec<u64> = c.potential.values().iter().map(|v| v.to_bits()).collect();
+            let p_bits: Vec<u64> = p.potential.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                c_bits, p_bits,
+                "arrival {i} ({}) must answer bit-identically through the page cycle",
+                chunk[i].0
+            );
+            assert_eq!(c.cost.ops, p.cost.ops, "same reduced-tree computation");
+        }
+    }
+    assert!(
+        total_faults > 0 && total_page_outs > 0,
+        "a 6-tenant sweep under a cap of 2 must actually page: \
+         {total_faults} faults, {total_page_outs} page-outs"
+    );
+    let paging = capped.paging_stats();
+    assert_eq!(paging.registered, 6);
+    assert!(paging.resident <= 2);
+    assert_eq!(paging.max_resident, 2);
+    assert_eq!(paging.faults as usize, total_faults);
+    assert_eq!(paging.page_outs as usize, total_page_outs);
+    assert_eq!(paging.fault_errors, 0);
+    assert!(paging.fault_wall > std::time::Duration::ZERO);
+    assert_eq!(uncapped.paging_stats().faults, 0, "no store, no paging");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A publish on a resident tenant persists write-behind; after the tenant
+/// is paged out, its next access faults the *published* epoch back in and
+/// the epoch sequence resumes from there.
+#[test]
+fn publish_survives_a_page_out() {
+    let bns = fleet_models(3);
+    let trees: Vec<JunctionTree> = bns
+        .iter()
+        .map(|bn| build_junction_tree(bn).unwrap())
+        .collect();
+    let batches: Vec<Vec<Query>> = bns
+        .iter()
+        .enumerate()
+        .map(|(i, bn)| tenant_batch(bn, 8, 7 + i as u64))
+        .collect();
+    let dir = temp_dir("publish");
+    let fleet = build_fleet(&trees, &bns, &batches, Some(StoreConfig::new(&dir)), 1);
+
+    // tenant 0: publish a fresh (empty) epoch while resident
+    let t0 = fleet.tenant(TenantId(0)).unwrap();
+    assert_eq!(t0.publish(Materialization::default()), 1);
+    assert_eq!(
+        t0.persisted_epoch(),
+        Some(1),
+        "publish persists write-behind"
+    );
+    assert_eq!(t0.persist_errors(), 0);
+    drop(t0);
+
+    // touching the other tenants under a cap of 1 evicts tenant 0
+    fleet.tenant(TenantId(1)).unwrap();
+    fleet.tenant(TenantId(2)).unwrap();
+    assert!(fleet.resident_len() <= 1);
+
+    // fault tenant 0 back in: it resumes at the published epoch, and the
+    // next publish continues the sequence
+    let t0 = fleet.tenant(TenantId(0)).unwrap();
+    assert_eq!(
+        t0.epoch(),
+        1,
+        "fault-in must pick the newest persisted epoch"
+    );
+    assert!(
+        t0.materialization().is_empty(),
+        "epoch 1 was the empty publish"
+    );
+    assert_eq!(t0.publish(Materialization::default()), 2);
+    assert!(fleet.paging_stats().faults >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The resident-only `tenants()` view and the by-id fault-in: a paged-out
+/// tenant disappears from the fleet iteration but is transparently
+/// rehydrated when addressed directly.
+#[test]
+fn tenants_view_tracks_residency() {
+    let bns = fleet_models(4);
+    let trees: Vec<JunctionTree> = bns
+        .iter()
+        .map(|bn| build_junction_tree(bn).unwrap())
+        .collect();
+    let batches: Vec<Vec<Query>> = bns
+        .iter()
+        .enumerate()
+        .map(|(i, bn)| tenant_batch(bn, 8, 90 + i as u64))
+        .collect();
+    let dir = temp_dir("view");
+    let fleet = build_fleet(&trees, &bns, &batches, Some(StoreConfig::new(&dir)), 2);
+    assert_eq!(fleet.len(), 4);
+    assert_eq!(fleet.tenants().len(), 4, "everyone starts resident");
+
+    // one batch per tenant in id order leaves only the two most recent
+    for (t, qs) in batches.iter().enumerate() {
+        let batch: Vec<(TenantId, Query)> =
+            qs.iter().map(|q| (TenantId(t as u32), q.clone())).collect();
+        let (answers, _) = fleet.serve_mixed(&batch);
+        assert!(answers.iter().all(Result::is_ok));
+    }
+    let resident: Vec<TenantId> = fleet.tenants().into_iter().map(|(id, _)| id).collect();
+    assert_eq!(
+        resident,
+        vec![TenantId(2), TenantId(3)],
+        "LRU must keep the two most recently served tenants"
+    );
+    // addressing a cold tenant faults it in (and re-enforces the cap)
+    assert!(fleet.tenant(TenantId(0)).is_some());
+    let resident: Vec<TenantId> = fleet.tenants().into_iter().map(|(id, _)| id).collect();
+    assert!(resident.contains(&TenantId(0)));
+    assert!(fleet.resident_len() <= 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

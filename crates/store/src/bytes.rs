@@ -1,0 +1,293 @@
+//! The store's single audited `unsafe` module.
+//!
+//! Everything memory-unsafe about the zero-copy read path lives here, in
+//! two narrow capabilities:
+//!
+//! 1. **Mapping**: [`MappedBytes`] opens a store file either via
+//!    `mmap(2)` (the `mmap` feature, unix hosts — the zero-copy path) or
+//!    via an owned, 8-byte-aligned buffered read (`read_owned`, also the
+//!    automatic fallback under miri / non-unix, where the raw syscall is
+//!    unavailable). Both backings expose the same `&[u8]`.
+//! 2. **Reinterpretation**: [`as_u64s`] / [`as_f64s`] cast a naturally
+//!    aligned, multiple-of-8 byte range to a typed slice. The casts
+//!    verify alignment and length and return `None` instead of
+//!    reinterpreting anything that does not qualify.
+//!
+//! Every other store module is `unsafe`-free and works purely with the
+//! safe slices handed out from here; the crate root denies `unsafe_code`
+//! except for this module, and `cargo xtask lint` (rules R1/R2) pins both
+//! the allowlist and the `SAFETY:` coverage below.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::slice;
+
+/// Raw bindings to the two syscalls the zero-copy path needs. `std`
+/// already links libc on unix targets, so declaring the symbols is
+/// enough — no external crate involved. The constants are the
+/// POSIX-mandated values shared by Linux and the BSDs for these flags.
+#[cfg(all(feature = "mmap", unix))]
+mod sys {
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, length: usize) -> i32;
+    }
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+}
+
+/// An immutable byte buffer backing one open store file: either a live
+/// read-only mapping or an owned aligned copy. The base address is always
+/// at least 8-byte aligned (a page for the mapping, a `Vec<u64>`
+/// allocation for the owned copy), which is what makes the typed casts
+/// below possible for the store's all-8-byte-word format.
+pub struct MappedBytes {
+    backing: Backing,
+}
+
+enum Backing {
+    /// A `PROT_READ`/`MAP_PRIVATE` mapping. The fd is closed right after
+    /// mapping (POSIX keeps the mapping alive); `Drop` unmaps.
+    #[cfg(all(feature = "mmap", unix))]
+    Mapped { ptr: *mut u8, len: usize },
+    /// An owned copy inside a `Vec<u64>` so the base stays 8-aligned.
+    /// `len` is the byte length (the last word may be zero-padded).
+    Owned { words: Vec<u64>, len: usize },
+}
+
+// SAFETY: the mapped backing is a private, read-only mapping whose pages
+// never change under us (MAP_PRIVATE isolates the mapping from later
+// writes to the file) and whose pointer is never handed out mutably;
+// the owned backing is a plain Vec. Sharing either across threads is
+// sharing immutable memory.
+unsafe impl Send for MappedBytes {}
+// SAFETY: as above — all access is through `&self` returning `&[u8]`.
+unsafe impl Sync for MappedBytes {}
+
+impl MappedBytes {
+    /// Opens `path` with the best available backing: a zero-copy mapping
+    /// when the `mmap` feature is on and the target is unix, an owned
+    /// aligned read otherwise.
+    pub fn open(path: &Path) -> io::Result<MappedBytes> {
+        #[cfg(all(feature = "mmap", unix))]
+        {
+            MappedBytes::map(path)
+        }
+        #[cfg(not(all(feature = "mmap", unix)))]
+        {
+            MappedBytes::read_owned(path)
+        }
+    }
+
+    /// Maps `path` read-only. Empty files get the owned (empty) backing —
+    /// `mmap` rejects zero-length mappings.
+    #[cfg(all(feature = "mmap", unix))]
+    fn map(path: &Path) -> io::Result<MappedBytes> {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(MappedBytes {
+                backing: Backing::Owned {
+                    words: Vec::new(),
+                    len: 0,
+                },
+            });
+        }
+        // SAFETY: plain FFI call with a live fd, a non-zero length that
+        // matches the file, and a null addr hint; the kernel picks the
+        // address. PROT_READ + MAP_PRIVATE means the resulting pages are
+        // immutable to us and isolated from concurrent file writes. The
+        // result is checked for MAP_FAILED ((void*)-1) before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedBytes {
+            backing: Backing::Mapped { ptr, len },
+        })
+    }
+
+    /// Reads `path` into an owned 8-byte-aligned buffer — the
+    /// non-`unsafe`-syscall backing (miri, non-unix, or explicit callers
+    /// that want a mapping-independent copy).
+    pub fn read_owned(path: &Path) -> io::Result<MappedBytes> {
+        let mut file = File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let len = bytes.len();
+        let mut words = vec![0u64; len.div_ceil(8)];
+        for (w, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_ne_bytes(b);
+        }
+        Ok(MappedBytes {
+            backing: Backing::Owned { words, len },
+        })
+    }
+
+    /// Byte length of the backing.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(all(feature = "mmap", unix))]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Owned { len, .. } => *len,
+        }
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole backing as bytes. The base address is ≥ 8-byte aligned.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(feature = "mmap", unix))]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: ptr/len denote a live PROT_READ mapping owned by
+                // self (unmapped only in Drop), so the range is valid,
+                // initialized, immutable for &self's lifetime, and cannot
+                // exceed isize (mmap would have failed).
+                unsafe { slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned { words, len } => {
+                // SAFETY: `len <= words.len() * 8` by construction in
+                // `read_owned`, so the byte range lies inside the Vec's
+                // initialized allocation; u64 -> u8 only loosens alignment.
+                unsafe { slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Whether this backing is a real mapping (false: owned copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(feature = "mmap", unix))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned { .. } => false,
+        }
+    }
+}
+
+#[cfg(all(feature = "mmap", unix))]
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        if let Backing::Mapped { ptr, len } = &self.backing {
+            // SAFETY: ptr/len came from the successful mmap in `map` and
+            // are unmapped exactly once, here. No slice borrowed from the
+            // mapping can outlive self (they all borrow &self).
+            let rc = unsafe { sys::munmap(*ptr, *len) };
+            debug_assert_eq!(rc, 0, "munmap failed");
+        }
+    }
+}
+
+/// Reinterprets an 8-byte-aligned, multiple-of-8 byte range as `u64`
+/// words. Returns `None` (caller treats as corruption) if either
+/// precondition fails — this function never casts anything unaligned.
+pub fn as_u64s(bytes: &[u8]) -> Option<&[u64]> {
+    if bytes.len() % 8 != 0 || bytes.as_ptr().align_offset(std::mem::align_of::<u64>()) != 0 {
+        return None;
+    }
+    // SAFETY: alignment and length were just verified; every bit pattern
+    // is a valid u64; the returned slice borrows `bytes` so the source
+    // outlives it. Same allocation, same provenance, read-only.
+    Some(unsafe { slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) })
+}
+
+/// Reinterprets an 8-byte-aligned, multiple-of-8 byte range as `f64`
+/// values (every bit pattern is a valid `f64`, NaNs included). Same
+/// contract as [`as_u64s`].
+pub fn as_f64s(bytes: &[u8]) -> Option<&[f64]> {
+    if bytes.len() % 8 != 0 || bytes.as_ptr().align_offset(std::mem::align_of::<f64>()) != 0 {
+        return None;
+    }
+    // SAFETY: as in `as_u64s` — verified alignment/length, valid for all
+    // bit patterns, borrowed from the same read-only allocation.
+    Some(unsafe { slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), bytes.len() / 8) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casts_validate_alignment_and_length() {
+        let words = [1u64, 2, 3];
+        // SAFETY: u64 -> u8 view of a live stack array, length in bounds.
+        let bytes = unsafe { slice::from_raw_parts(words.as_ptr().cast::<u8>(), 24) };
+        assert_eq!(as_u64s(bytes), Some(&words[..]));
+        assert_eq!(as_f64s(bytes).map(<[f64]>::len), Some(3));
+        // not a multiple of 8
+        assert_eq!(as_u64s(&bytes[..20]), None);
+        // misaligned base
+        assert_eq!(as_u64s(&bytes[4..20]), None);
+        // empty is fine
+        assert_eq!(as_u64s(&bytes[..0]), Some(&[][..]));
+    }
+
+    #[test]
+    fn owned_backing_round_trips_any_length() {
+        let dir = std::env::temp_dir().join(format!("peanut-bytes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [0usize, 1, 7, 8, 9, 80] {
+            let payload: Vec<u8> = (0..n).map(|i| i as u8).collect();
+            let path = dir.join(format!("f{n}"));
+            std::fs::write(&path, &payload).unwrap();
+            let owned = MappedBytes::read_owned(&path).unwrap();
+            assert_eq!(owned.len(), n);
+            assert_eq!(owned.as_bytes(), &payload[..]);
+            assert!(!owned.is_mapped());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(all(feature = "mmap", unix))]
+    #[test]
+    fn mapped_backing_matches_owned() {
+        let dir = std::env::temp_dir().join(format!("peanut-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapped");
+        let payload: Vec<u8> = (0..4096u32).flat_map(|i| i.to_ne_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let mapped = MappedBytes::open(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.as_bytes(), &payload[..]);
+        assert_eq!(
+            mapped.as_bytes(),
+            MappedBytes::read_owned(&path).unwrap().as_bytes()
+        );
+        // empty files silently take the owned backing
+        let empty = dir.join("empty");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(!MappedBytes::open(&empty).unwrap().is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(MappedBytes::open(Path::new("/nonexistent/peanut.pnut")).is_err());
+    }
+}

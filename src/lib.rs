@@ -19,5 +19,6 @@ pub use peanut_indsep as indsep;
 pub use peanut_junction as junction;
 pub use peanut_pgm as pgm;
 pub use peanut_serving as serving;
+pub use peanut_store as store;
 pub use peanut_ve as ve;
 pub use peanut_workload as workload;

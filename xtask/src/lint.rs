@@ -3,7 +3,8 @@
 //!
 //! * **R1 — unsafe allowlist.** The `unsafe` keyword may appear only in
 //!   the files listed in [`UNSAFE_ALLOWLIST`] (today: the worker pool's
-//!   lifetime-erasure site). Anywhere else it is a violation even though
+//!   lifetime-erasure site and the materialization store's audited byte
+//!   module). Anywhere else it is a violation even though
 //!   the crate roots already `#![forbid(unsafe_code)]` — the lint is the
 //!   layer that catches a root attribute being dropped together with the
 //!   unsafe block it guarded.
@@ -25,9 +26,10 @@
 //!   family macros stay allowed: invariant checks are wanted on hot
 //!   paths, limping on with a violated invariant is not.
 //! * **R5 — crate-root attributes.** Every crate root must open with
-//!   `#![forbid(unsafe_code)]`, except `peanut-serving`'s, which carries
-//!   `#![deny(unsafe_code)]` + `#![deny(unsafe_op_in_unsafe_fn)]` and
-//!   scopes the single `#[allow(unsafe_code)]` to `mod pool`.
+//!   `#![forbid(unsafe_code)]`, except `peanut-serving`'s and
+//!   `peanut-store`'s, which carry `#![deny(unsafe_code)]` +
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` and scope their single
+//!   `#[allow(unsafe_code)]` to the audited module (`pool`, `bytes`).
 //!
 //! The analysis is deliberately lexical (comment-stripped line scans, no
 //! syn): it must keep working on any Rust the workspace grows, never
@@ -40,8 +42,10 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Files allowed to contain `unsafe` (R1), all subject to R2.
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/serving/src/pool.rs"];
+/// Files allowed to contain `unsafe` (R1), all subject to R2: the worker
+/// pool's lifetime-erasure site and the materialization store's audited
+/// byte module (mmap + aligned slice reinterpretation).
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/serving/src/pool.rs", "crates/store/src/bytes.rs"];
 
 /// Serving hot-path files subject to R4.
 const HOT_PATHS: &[&str] = &[
@@ -157,8 +161,10 @@ fn window_has(lines: &[&str], end: usize, window: usize, marker: &str) -> bool {
 
 /// Whether this path is a crate root the R5 attribute rules apply to.
 fn crate_root_kind(path: &str) -> Option<&'static str> {
-    if path == "crates/serving/src/lib.rs" {
-        return Some("serving");
+    // these two roots scope an `#[allow(unsafe_code)]` to one audited
+    // module, so they carry the deny pair instead of the forbid
+    if path == "crates/serving/src/lib.rs" || path == "crates/store/src/lib.rs" {
+        return Some("deny-pair");
     }
     let is_root = path == "src/lib.rs"
         || path == "xtask/src/main.rs"
@@ -269,14 +275,14 @@ pub fn scan(path: &str, content: &str) -> Vec<Violation> {
 
     // R5: crate-root attributes
     match crate_root_kind(path) {
-        Some("serving") => {
+        Some("deny-pair") => {
             for attr in ["#![deny(unsafe_code)]", "#![deny(unsafe_op_in_unsafe_fn)]"] {
                 if !content.contains(attr) {
                     out.push(Violation {
                         file: path.to_string(),
                         line: 1,
                         rule: "R5/crate-root",
-                        msg: format!("serving crate root must carry `{attr}`"),
+                        msg: format!("this crate root must carry `{attr}`"),
                     });
                 }
             }
@@ -553,13 +559,19 @@ mod tests {
         )
         .is_empty());
 
-        // serving needs the deny pair (forbid would reject `mod pool`)
+        // serving and store need the deny pair (forbid would reject the
+        // scoped `#[allow(unsafe_code)]` on their audited modules)
         assert_eq!(
             rules("crates/serving/src/lib.rs", "#![deny(unsafe_code)]\n"),
             ["R5/crate-root"]
         );
         let ok = "#![deny(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\n";
         assert!(rules("crates/serving/src/lib.rs", ok).is_empty());
+        assert_eq!(
+            rules("crates/store/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ["R5/crate-root", "R5/crate-root"]
+        );
+        assert!(rules("crates/store/src/lib.rs", ok).is_empty());
 
         // non-root files carry no attribute obligation
         assert!(rules("crates/core/src/exec.rs", "//! docs\n").is_empty());
