@@ -15,6 +15,10 @@
 //! * the [`FleetController`] reallocates the global materialization budget
 //!   toward a tenant whose traffic share doubles mid-run, and the total
 //!   allocation never exceeds the global budget;
+//! * under an open-loop mixed arrival stream offered at ~3× the fleet's
+//!   measured capacity, per-tenant admission caps plus deadline shedding
+//!   keep served-query sojourn p99 ≥ 1.5× lower than the unprotected FIFO
+//!   baseline's (the `overload_p99_ratio` floor);
 //! * zero batch errors throughout.
 //!
 //! `PEANUT_WORKERS=1,2,4` sweeps the shared pool, same flag as the other
@@ -26,12 +30,13 @@ use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workloa
 use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine};
 use peanut_pgm::{fixtures, BayesianNetwork, Scope};
 use peanut_serving::{
-    replay_mixed, FleetConfig, FleetController, FleetRebalance, Query, ReplayConfig, ServingConfig,
-    ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
+    poisson_arrivals, replay_mixed, replay_open_loop_mixed, AdmissionConfig, FleetConfig,
+    FleetController, FleetRebalance, OpenLoopConfig, Query, ReplayClock, ReplayConfig,
+    ServingConfig, ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
 };
 use peanut_workload::{tenant_queries, zipf_weights, TenantTraffic};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const BATCH: usize = 128;
 /// Per-tenant training budget for the throughput study.
@@ -215,6 +220,89 @@ fn bench_multi_tenant_serving(c: &mut Criterion) {
     );
     let mut summary = BenchSummary::new("multi_tenant_serving");
     summary.push("shared_pool_speedup", speedup);
+
+    // --- acceptance: fleet overload — per-tenant admission + deadline ---
+    // the single-tenant saturation study lives in query_serving; here the
+    // mixed stream (Zipf shares, one shared pool) is offered at ~3x the
+    // fleet's measured closed-loop capacity. The FIFO baseline queues
+    // every arrival and its served p99 grows with the backlog; the
+    // protected run caps each tenant's backlog (so the hot tenant's flood
+    // cannot monopolize the queue) and sheds queries whose wait blew the
+    // deadline. Caching is off so recurring pool queries cost real
+    // compute in both the capacity probe and the saturated runs.
+    let overload_n = if is_quick() { 1024 } else { 2048 };
+    let overload_stream = arrival_stream(&setup, &weights, overload_n, 0xaa);
+    let fresh_uncached = || {
+        let mut sharded = ShardedServingEngine::new(ShardConfig {
+            workers,
+            cache_capacity: 0,
+            ..ShardConfig::default()
+        });
+        for (t, (tree, bn)) in setup.trees.iter().zip(&setup.bns).enumerate() {
+            let engine = QueryEngine::numeric(tree, bn).expect("calibrates");
+            let mat = trained_mat(tree, &engine, &setup.pools[t]);
+            sharded
+                .register(TenantId(t as u32), engine, mat)
+                .expect("fresh id");
+        }
+        sharded
+    };
+    let probe = fresh_uncached();
+    let closed = replay_mixed(&probe, &overload_stream, &ReplayConfig { batch_size: 32 });
+    assert_eq!(closed.errors, 0);
+    let capacity_qps = closed.throughput_qps;
+    drop(probe);
+    let schedule = poisson_arrivals(overload_stream.len(), 3.0 * capacity_qps, 0xfeed);
+    let deadline = Duration::from_secs_f64(64.0 / capacity_qps);
+    let open_cfg = |admission: AdmissionConfig| OpenLoopConfig {
+        max_batch: 32,
+        admission,
+        clock: ReplayClock::Wall,
+    };
+    let (_, fifo) = replay_open_loop_mixed(
+        &fresh_uncached(),
+        &overload_stream,
+        &schedule,
+        &open_cfg(AdmissionConfig::fifo()),
+    );
+    let protected = AdmissionConfig {
+        max_tenant_backlog: 64,
+        ..AdmissionConfig::with_deadline(deadline)
+    };
+    let (_, shed) = replay_open_loop_mixed(
+        &fresh_uncached(),
+        &overload_stream,
+        &schedule,
+        &open_cfg(protected),
+    );
+    assert_eq!(fifo.errors + shed.errors, 0, "overload runs are error-free");
+    assert_eq!(
+        fifo.served,
+        overload_stream.len(),
+        "the FIFO baseline serves everything, just arbitrarily late"
+    );
+    let p99_ratio = fifo.sojourn_p99.as_secs_f64() / shed.sojourn_p99.as_secs_f64().max(1e-9);
+    println!(
+        "multi_tenant_serving/overload_p99_ratio            {p99_ratio:.2}x  \
+         (fleet capacity {capacity_qps:.0} q/s, offered {:.0} q/s, deadline {deadline:.1?}: \
+         fifo p99 {:.1?} all {} served; protected p99 {:.1?}, {} served + {} deadline-shed \
+         + {} admission-shed, peak backlog {} vs {})",
+        3.0 * capacity_qps,
+        fifo.sojourn_p99,
+        fifo.served,
+        shed.sojourn_p99,
+        shed.served,
+        shed.shed_deadline,
+        shed.shed_admission,
+        fifo.peak_backlog,
+        shed.peak_backlog,
+    );
+    assert!(
+        p99_ratio >= 1.5,
+        "per-tenant admission + deadline shedding must keep fleet served p99 \
+         bounded under 3x offered load (got {p99_ratio:.2}x)"
+    );
+    summary.push("overload_p99_ratio", p99_ratio);
     match summary.write() {
         Ok(path) => println!("multi_tenant_serving/summary written to {}", path.display()),
         Err(e) => eprintln!("multi_tenant_serving/summary NOT written: {e}"),

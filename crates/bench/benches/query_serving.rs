@@ -11,9 +11,16 @@
 //! A second acceptance study measures the *persistent* worker pool against
 //! the scoped spawn-per-batch baseline on small hot batches (100 waves of
 //! 8 fresh queries): at 2 workers the parked pool must deliver ≥ 1.2× the
-//! scoped throughput — the spawn-latency shave the pool exists for. The
-//! ratio metrics land in `results/bench_query_serving.json` for the CI
-//! regression guard (`bench_check`).
+//! scoped throughput — the spawn-latency shave the pool exists for.
+//!
+//! A third, open-loop, study saturates the engine: a Poisson arrival
+//! process offers ~3× the measured closed-loop capacity, and served-query
+//! sojourn p99 is compared between the unprotected FIFO baseline (backlog
+//! grows without bound, every answer arrives arbitrarily late) and
+//! deadline shedding (queries whose queueing wait blew the budget are
+//! shed, keeping p99 near the deadline). All ratio metrics land in
+//! `results/bench_query_serving.json` for the CI regression guard
+//! (`bench_check`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use peanut_bench::harness::{is_quick, worker_sweep, BenchSummary};
@@ -22,8 +29,8 @@ use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree
 use peanut_pgm::Scope;
 use peanut_pgm::{fixtures, BayesianNetwork, Scratch};
 use peanut_serving::{
-    replay, workload_queries, Query, ReplayConfig, ServingConfig, ServingEngine, SpawnMode,
-    WorkloadMix,
+    poisson_arrivals, replay, replay_open_loop, workload_queries, AdmissionConfig, OpenLoopConfig,
+    Query, ReplayClock, ReplayConfig, ServingConfig, ServingEngine, SpawnMode, WorkloadMix,
 };
 use peanut_workload::QuerySpec;
 use std::hint::black_box;
@@ -35,6 +42,19 @@ const HOT_WAVES: usize = 100;
 /// …of this many fresh queries each (well under `BATCH`: the regime where
 /// per-batch thread spawning dominates).
 const HOT_BATCH: usize = 8;
+/// Dispatch quantum of the open-loop saturation study: small enough that
+/// the deadline check runs often, large enough to keep the pool fed.
+const OVERLOAD_BATCH: usize = 32;
+
+/// Arrival count for the open-loop saturation study (longer than the
+/// closed-loop stream: the FIFO collapse needs time to accumulate).
+fn overload_n() -> usize {
+    if is_quick() {
+        1024
+    } else {
+        2048
+    }
+}
 
 /// Stream length (`--quick` / `PEANUT_QUICK=1` shrinks it so the CI
 /// bench-smoke job finishes in minutes).
@@ -267,6 +287,103 @@ fn bench_query_serving(c: &mut Criterion) {
                 ratio >= 1.2,
                 "the persistent pool must beat scoped spawning ≥1.2x on small \
                  hot batches at 2 workers (got {ratio:.2}x)"
+            );
+        }
+    }
+    // --- open-loop saturation acceptance: deadline shedding vs FIFO ---
+    // closed-loop replay can never overload the engine (the next batch is
+    // offered only once the previous one finished), so first measure the
+    // engine's drain capacity closed-loop, then offer ~3x that rate as a
+    // Poisson arrival process. Under the unprotected FIFO baseline the
+    // backlog grows without bound and queueing delay leaks into every
+    // served query's sojourn; with a deadline the driver sheds queries
+    // whose wait already blew the budget, spending the same capacity only
+    // on answers a client is still waiting for. The committed acceptance
+    // metric is the ratio fifo_p99 / shed_p99 of *served*-query sojourns.
+    let overload_queries = {
+        let rooted = RootedTree::new(&setup.tree);
+        let mix = WorkloadMix {
+            spec: QuerySpec {
+                min_vars: 1,
+                max_vars: 4,
+            },
+            pool_size: pool_size(),
+            ..WorkloadMix::default()
+        };
+        workload_queries(&setup.tree, &rooted, overload_n(), &mix, 7)
+    };
+    for workers in worker_sweep() {
+        // caching off: a repeated pool query must cost real compute, both
+        // in the capacity measurement and under saturation
+        let fresh = || {
+            ServingEngine::from_shared(
+                engine.clone(),
+                mat.clone(),
+                ServingConfig {
+                    workers,
+                    cache_capacity: 0,
+                    ..ServingConfig::default()
+                },
+            )
+        };
+        let probe = fresh();
+        let closed = replay(
+            &probe,
+            &overload_queries,
+            &ReplayConfig {
+                batch_size: OVERLOAD_BATCH,
+            },
+        );
+        assert_eq!(closed.errors, 0);
+        let capacity_qps = closed.throughput_qps;
+        let n_workers = probe.workers();
+        drop(probe);
+        let schedule = poisson_arrivals(overload_queries.len(), 3.0 * capacity_qps, 0xbeef);
+        let deadline = Duration::from_secs_f64(64.0 / capacity_qps);
+        let open_cfg = |admission: AdmissionConfig| OpenLoopConfig {
+            max_batch: OVERLOAD_BATCH,
+            admission,
+            clock: ReplayClock::Wall,
+        };
+        let (_, fifo) = replay_open_loop(
+            &fresh(),
+            &overload_queries,
+            &schedule,
+            &open_cfg(AdmissionConfig::fifo()),
+        );
+        let (_, shed) = replay_open_loop(
+            &fresh(),
+            &overload_queries,
+            &schedule,
+            &open_cfg(AdmissionConfig::with_deadline(deadline)),
+        );
+        assert_eq!(fifo.errors + shed.errors, 0, "overload runs are error-free");
+        assert_eq!(
+            fifo.served,
+            overload_queries.len(),
+            "the FIFO baseline serves everything, just arbitrarily late"
+        );
+        let ratio = fifo.sojourn_p99.as_secs_f64() / shed.sojourn_p99.as_secs_f64().max(1e-9);
+        println!(
+            "query_serving/overload_p99_ratio_w{:<2}              {ratio:.2}x  \
+             (capacity {capacity_qps:.0} q/s, offered {:.0} q/s, deadline {deadline:.1?}: \
+             fifo p99 {:.1?} all {} served; shed p99 {:.1?}, {} served + {} deadline-shed, \
+             peak backlog {})",
+            n_workers,
+            3.0 * capacity_qps,
+            fifo.sojourn_p99,
+            fifo.served,
+            shed.sojourn_p99,
+            shed.served,
+            shed.shed_deadline,
+            shed.peak_backlog,
+        );
+        summary.push(&format!("overload_p99_ratio_w{n_workers}"), ratio);
+        if n_workers == 2 {
+            assert!(
+                ratio >= 2.0,
+                "deadline shedding must keep served p99 bounded while FIFO \
+                 collapses under 3x offered load (got {ratio:.2}x)"
             );
         }
     }

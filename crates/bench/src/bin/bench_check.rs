@@ -10,14 +10,22 @@
 //! its guard, fails `bench-smoke` instead of landing.
 //!
 //! The floors are *ratios* (pool vs scoped, batched vs loop, post-swap vs
-//! stale, shared vs isolated), not absolute throughputs, so the guard is
-//! machine-independent. Run the benches first, quick mode with
-//! `PEANUT_WORKERS=2` (what `bench-smoke` does):
+//! stale, shared vs isolated, shed p99 vs FIFO p99), not absolute
+//! throughputs, so the guard is machine-independent. Run the benches
+//! first, quick mode with `PEANUT_WORKERS=2` (what `bench-smoke` does):
 //!
 //! ```text
 //! PEANUT_QUICK=1 PEANUT_WORKERS=2 cargo bench --bench query_serving \
 //!   --bench drift_serving --bench multi_tenant_serving
 //! cargo run -p peanut-bench --bin bench_check
+//! ```
+//!
+//! With `--readme` the binary instead prints the floors as a GitHub
+//! markdown table (metric, committed floor, latest local measurement) —
+//! the generated "Performance floors" section of the README:
+//!
+//! ```text
+//! cargo run -p peanut-bench --bin bench_check -- --readme
 //! ```
 
 use peanut_bench::harness::{is_known_metric, read_metrics, results_dir};
@@ -25,31 +33,29 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
-fn main() -> ExitCode {
-    let dir = results_dir();
-    let baseline_path = dir.join("bench_baseline.json");
-    let baseline = match read_metrics(&baseline_path) {
-        Ok(b) if !b.is_empty() => b,
-        Ok(_) => {
-            eprintln!("bench_check: {} has no floors", baseline_path.display());
-            return ExitCode::FAILURE;
-        }
-        Err(e) => {
-            eprintln!("bench_check: cannot read {}: {e}", baseline_path.display());
-            return ExitCode::FAILURE;
-        }
-    };
+/// Every floor from `bench_baseline.json`, in file order.
+fn load_baseline(path: &std::path::Path) -> Result<Vec<(String, f64)>, String> {
+    match read_metrics(path) {
+        Ok(b) if !b.is_empty() => Ok(b),
+        Ok(_) => Err(format!("{} has no floors", path.display())),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
 
-    // gather every bench summary next to the baseline
+/// Gathers every `bench_*.json` summary next to the baseline into one
+/// metric map, returning the map and how many summary files contributed.
+/// `warn_stale` prints an age warning for summaries older than an hour —
+/// a stale summary satisfies its floors without anything having been
+/// re-measured, so a local "all floors hold" must not be false confidence
+/// (CI writes every summary fresh in the same job).
+fn gather_measured(
+    dir: &std::path::Path,
+    warn_stale: bool,
+) -> Result<(HashMap<String, f64>, usize), String> {
     let mut measured: HashMap<String, f64> = HashMap::new();
     let mut summaries = 0usize;
-    let entries = match std::fs::read_dir(&dir) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("bench_check: cannot list {}: {e}", dir.display());
-            return ExitCode::FAILURE;
-        }
-    };
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
     for entry in entries.flatten() {
         let path = entry.path();
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
@@ -62,16 +68,12 @@ fn main() -> ExitCode {
         match read_metrics(&path) {
             Ok(metrics) => {
                 summaries += 1;
-                // a stale summary from an old run satisfies its floors
-                // without anything having been re-measured; warn so a
-                // local "all floors hold" is not false confidence (CI
-                // writes every summary fresh in the same job)
                 let age = entry
                     .metadata()
                     .and_then(|m| m.modified())
                     .ok()
                     .and_then(|t| t.elapsed().ok());
-                if let Some(age) = age.filter(|a| *a > Duration::from_secs(3600)) {
+                if let Some(age) = age.filter(|a| warn_stale && *a > Duration::from_secs(3600)) {
                     eprintln!(
                         "bench_check: warning: {name} is {}h old — re-run its \
                          bench for a fresh measurement",
@@ -85,6 +87,48 @@ fn main() -> ExitCode {
             }
         }
     }
+    Ok((measured, summaries))
+}
+
+/// `--readme`: the floors as a markdown table for the README.
+fn print_readme_table(baseline: &[(String, f64)], measured: &HashMap<String, f64>) {
+    println!("| Metric | Committed floor | Latest measured |");
+    println!("| --- | ---: | ---: |");
+    for (key, floor) in baseline {
+        let latest = measured
+            .get(key)
+            .map(|v| format!("{v:.2}×"))
+            .unwrap_or_else(|| "—".to_string());
+        println!("| `{key}` | {floor:.2}× | {latest} |");
+    }
+}
+
+fn main() -> ExitCode {
+    let readme_mode = std::env::args().any(|a| a == "--readme");
+    let dir = results_dir();
+    let baseline_path = dir.join("bench_baseline.json");
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (measured, summaries) = match gather_measured(&dir, !readme_mode) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if readme_mode {
+        // measured values are best-effort decoration here: the table must
+        // be printable from a clean checkout with no local bench runs
+        print_readme_table(&baseline, &measured);
+        return ExitCode::SUCCESS;
+    }
+
     if summaries == 0 {
         eprintln!(
             "bench_check: no bench_*.json summaries in {} — run the serving \

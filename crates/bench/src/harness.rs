@@ -217,6 +217,7 @@ pub fn is_known_metric(key: &str) -> bool {
         "cold_start.rehydrate_speedup",
         "drift_serving.swap_improvement",
         "multi_tenant_serving.shared_pool_speedup",
+        "multi_tenant_serving.overload_p99_ratio",
         "potential_ops.product_speedup",
         "potential_ops.product_many_speedup",
         "potential_ops.marginalize_speedup",
@@ -226,6 +227,7 @@ pub fn is_known_metric(key: &str) -> bool {
     const PER_WORKER: &[&str] = &[
         "query_serving.serving_speedup_cold_w",
         "query_serving.pool_vs_scoped_hot_w",
+        "query_serving.overload_p99_ratio_w",
     ];
     EXACT.contains(&key)
         || PER_WORKER.iter().any(|p| {
@@ -441,6 +443,8 @@ mod tests {
             "potential_ops.divide_speedup",
             "query_serving.serving_speedup_cold_w2",
             "query_serving.pool_vs_scoped_hot_w16",
+            "query_serving.overload_p99_ratio_w2",
+            "multi_tenant_serving.overload_p99_ratio",
         ] {
             assert!(is_known_metric(key), "{key} should be known");
         }

@@ -17,12 +17,17 @@
 //! * `pool_model.rs` — exhaustively drives the pool protocol on small
 //!   configurations and asserts every interleaving completes with the
 //!   right counts (and prints how many interleavings that covered);
+//! * `lane_model.rs` — the non-blocking front-end: `submit_batch` handles
+//!   (wait, cross-thread wait, panic re-raise through `wait`), priority
+//!   lanes racing each other, and the graceful drain that completes
+//!   detached waves before drop joins the workers;
 //! * `epoch_model.rs` — a distilled epoch-swap-during-wave: concurrent
 //!   `publish` (write lock) against pool tasks taking epoch snapshots
 //!   (read lock), asserting snapshots are never torn;
 //! * `mutation.rs` (feature `mutation-lost-wakeup`) — re-introduces a
-//!   seeded lost-wakeup ordering bug in `run_wave` and proves the checker
-//!   catches it as a deadlock, deterministically replayable by seed.
+//!   seeded lost-wakeup ordering bug in the pool's enqueue and proves the
+//!   checker catches it as a deadlock, deterministically replayable by
+//!   seed.
 //!
 //! Everything a model body touches must be constructed *inside* the body
 //! closure (fresh pool, fresh locks per schedule) and be deterministic —
@@ -31,7 +36,8 @@
 pub use interleave::{explore, explore_random, replay_plan, replay_seed, Config, Outcome};
 
 use peanut_core::sync::atomic::{AtomicUsize, Ordering};
-use peanut_serving::WorkerPool;
+use peanut_core::sync::Arc;
+use peanut_serving::{Lane, WorkerPool};
 
 /// Builds a pool with `workers` workers inside a model body, runs one
 /// wave of `total` counting tasks, asserts each index ran exactly once,
@@ -56,5 +62,54 @@ pub fn pool_counting_wave(workers: usize, total: usize) {
     let stats = pool.stats();
     assert_eq!(stats.tasks, total as u64, "claimed-task count");
     assert_eq!(stats.waves, 1);
+    assert_eq!(
+        stats.lane_waves[Lane::Serving.index()],
+        1,
+        "run_wave rides the serving lane"
+    );
     drop(pool); // join-on-drop: must complete under every interleaving
+}
+
+/// One full pass through the lane/handle protocol inside a model body:
+/// a non-blocking background submission races a blocking serving wave
+/// for the same workers, the handle is waited, and the pool is dropped.
+/// Asserts both waves complete with exact task counts on their own lanes
+/// under every interleaving — the mid-wave lane yield (the advisory
+/// occupancy mask) may or may not fire depending on the schedule, and
+/// must be invisible to completion either way.
+pub fn lane_handle_roundtrip(workers: usize, serving_tasks: usize, background_tasks: usize) {
+    let pool = WorkerPool::new(workers);
+    // ordering: every Relaxed below is a model-run hit counter; the
+    // scheduler is sequentially consistent anyway.
+    let bg_hits = Arc::new(AtomicUsize::new(0));
+    let b2 = Arc::clone(&bg_hits);
+    let handle = pool.submit_batch(Lane::Background, background_tasks, move |_i, _scratch| {
+        b2.fetch_add(1, Ordering::Relaxed);
+    });
+    let sv_hits = AtomicUsize::new(0);
+    pool.run_wave(serving_tasks, &|_i, _scratch| {
+        sv_hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(
+        sv_hits.load(Ordering::Relaxed),
+        serving_tasks,
+        "the serving wave must fully complete when run_wave returns"
+    );
+    handle.wait();
+    assert_eq!(
+        bg_hits.load(Ordering::Relaxed),
+        background_tasks,
+        "the waited background wave must have fully completed"
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.tasks, (serving_tasks + background_tasks) as u64);
+    assert_eq!(
+        stats.lane_waves[Lane::Serving.index()],
+        u64::from(serving_tasks > 0)
+    );
+    assert_eq!(
+        stats.lane_waves[Lane::Background.index()],
+        u64::from(background_tasks > 0)
+    );
+    drop(pool);
 }

@@ -295,6 +295,23 @@ struct EngineStore {
 
 /// Batched concurrent query processor over a calibrated tree and a
 /// hot-swappable, epoch-versioned materialization.
+///
+/// ```
+/// use peanut_core::Materialization;
+/// use peanut_junction::{build_junction_tree, QueryEngine};
+/// use peanut_pgm::{fixtures, Scope};
+/// use peanut_serving::{Query, ServingConfig, ServingEngine};
+///
+/// let bn = fixtures::sprinkler();
+/// let tree = build_junction_tree(&bn).unwrap();
+/// let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+/// let serving = ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
+///
+/// let batch = [Query::Marginal(Scope::from_indices(&[0]))];
+/// let (answers, stats) = serving.serve_batch(&batch);
+/// assert!(answers[0].is_ok());
+/// assert_eq!(stats.unique, 1);
+/// ```
 pub struct ServingEngine<'t> {
     engine: Arc<QueryEngine<'t>>,
     state: RwLock<EpochState>,
@@ -465,8 +482,10 @@ impl<'t> ServingEngine<'t> {
     }
 
     /// Executor for off-path offline work (lifecycle re-selection): the
-    /// persistent pool when this engine fans out, a scoped `threads`-wide
-    /// fan-out otherwise (sequential when 1).
+    /// persistent pool's re-materialization lane when this engine fans
+    /// out — serving-lane waves preempt it between tasks, so a
+    /// re-selection can never head-of-line block query traffic — a scoped
+    /// `threads`-wide fan-out otherwise (sequential when 1).
     pub(crate) fn offline_exec(&self, threads: usize) -> Box<dyn Executor + '_> {
         self.pool
             .offline_exec(self.cfg.spawn, self.workers(), threads)
@@ -653,11 +672,13 @@ impl<'t> ServingEngine<'t> {
                     Some(answer_one(&online, uniques[i], &mut scratch, epoch).map(Arc::new));
             }
         } else if self.cfg.spawn == SpawnMode::Persistent {
-            // persistent pool: parked workers are woken for the wave;
-            // their scratches persist across batches. run_wave re-raises a
-            // task panic here after the wave drains, so a poisoned batch
-            // never poisons the pool. Each task owns slot `w`, so results
-            // land lock-free instead of contending on one mutex.
+            // persistent pool, serving lane (the highest priority — a
+            // queued re-materialization wave is preempted between tasks):
+            // parked workers are woken for the wave; their scratches
+            // persist across batches. run_wave re-raises a task panic
+            // here after the wave drains, so a poisoned batch never
+            // poisons the pool. Each task owns slot `w`, so results land
+            // lock-free instead of contending on one mutex.
             let slots: Vec<OnceLock<Result<Arc<Answer>, PgmError>>> =
                 (0..work.len()).map(|_| OnceLock::new()).collect();
             self.pool().run_wave(work.len(), &|w, scratch| {

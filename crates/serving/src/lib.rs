@@ -4,6 +4,7 @@
 // each unsafe site in the allowlisted file.
 #![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
 //! # peanut-serving
 //!
 //! Batched concurrent query serving over a calibrated, materialized
@@ -21,9 +22,13 @@
 //! * [`pool`] — the concurrency backbone: a persistent [`WorkerPool`] of
 //!   long-lived workers, spawned once per engine (or shared across a
 //!   sharded engine's shards), parked between waves on a condvar-fronted
-//!   work queue, with per-task panic isolation and join-on-drop shutdown.
-//!   It doubles as the [`Executor`](peanut_core::Executor) the lifecycle's
-//!   off-path re-selections run on, and surfaces [`PoolStats`]
+//!   three-[`Lane`] priority queue (serving > re-materialization >
+//!   background), with per-task panic isolation and drain-then-join
+//!   shutdown. Batches are submitted blocking (`run_wave`) or
+//!   non-blocking (`submit_batch` → [`WaveHandle`]); the pool doubles as
+//!   the [`Executor`](peanut_core::Executor) the lifecycle's off-path
+//!   re-selections run on — routed to [`Lane::Remat`] so they can never
+//!   head-of-line block query traffic — and surfaces [`PoolStats`]
 //!   (spawn-amortization telemetry) for the benches.
 //! * [`shard`] — multi-tenant sharded serving: a
 //!   [`ShardedServingEngine`] registry of
@@ -37,7 +42,14 @@
 //! * [`replay`](mod@replay) — a workload-replay driver: streams
 //!   `peanut_workload` query mixes through an engine batch by batch and
 //!   reports throughput and latency percentiles; [`replay_mixed`] does the
-//!   same for multi-tenant arrival streams.
+//!   same for multi-tenant arrival streams. The open-loop drivers
+//!   ([`replay_open_loop`], [`replay_open_loop_mixed`]) replay a timed
+//!   arrival schedule instead, so sojourn percentiles reflect queueing
+//!   under saturation rather than closed-loop service time.
+//! * [`overload`] — production overload behavior for the open-loop path:
+//!   per-tenant admission control and deadline-aware shedding, every
+//!   offered query resolving to a typed [`ServeOutcome`] (served / shed
+//!   with a [`ShedReason`] / failed) — never a silent error.
 //! * [`lifecycle`] — the epoch lifecycle: a
 //!   [`RematerializationController`]
 //!   watches the observed benefit of the served epoch across a ring of
@@ -50,6 +62,7 @@
 
 pub mod engine;
 pub mod lifecycle;
+pub mod overload;
 #[allow(unsafe_code)]
 pub mod pool;
 pub mod replay;
@@ -60,7 +73,12 @@ pub use lifecycle::{
     expected_savings, FleetConfig, FleetController, FleetRebalance, LifecycleConfig,
     RematerializationController, SwapEvent, TenantAllocation,
 };
+pub use overload::{AdmissionConfig, ServeOutcome, ShedReason};
 pub use peanut_store::StoreConfig;
-pub use pool::{PoolStats, SpawnMode, WorkerPool};
-pub use replay::{replay, replay_mixed, workload_queries, ReplayConfig, ReplayReport, WorkloadMix};
+pub use pool::{Lane, LaneExecutor, PoolStats, SpawnMode, WaveHandle, WorkerPool};
+pub use replay::{
+    poisson_arrivals, replay, replay_mixed, replay_open_loop, replay_open_loop_mixed,
+    workload_queries, OpenLoopConfig, OpenLoopReport, ReplayClock, ReplayConfig, ReplayReport,
+    WorkloadMix,
+};
 pub use shard::{MixedBatchStats, PagingStats, ShardConfig, ShardedServingEngine, TenantId};

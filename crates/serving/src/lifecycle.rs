@@ -187,7 +187,10 @@ fn workload_entries(w: &Workload) -> Vec<(Scope, f64)> {
 /// engine is calibrated, symbolic otherwise. The LRDP fan-out and the
 /// numeric table builds run on `exec` — the serving tier's persistent
 /// worker pool when the engine fans out, so a re-selection reuses parked
-/// workers instead of spawning its own.
+/// workers instead of spawning its own. The pool routes this work to its
+/// re-materialization lane, where concurrent serving-lane waves preempt
+/// it between tasks: a drift-triggered re-selection stretches (it yields
+/// the workers to queries) instead of stalling the query path.
 fn reselect(
     engine: &QueryEngine<'_>,
     observed: &Workload,

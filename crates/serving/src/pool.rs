@@ -1,4 +1,5 @@
-//! The persistent worker pool: long-lived workers, parked between waves.
+//! The persistent worker pool: long-lived workers, parked between waves,
+//! draining a three-lane priority queue.
 //!
 //! The first serving tier spawned a fresh set of scoped threads per batch.
 //! That is correct and simple, but a server draining *small hot batches* —
@@ -10,37 +11,56 @@
 //!   across the shards of a sharded engine) and live until the pool drops;
 //! * between waves the workers are **parked** on a condvar — zero CPU,
 //!   woken in microseconds instead of re-spawned in tens of them;
-//! * a wave ([`run_wave`](WorkerPool::run_wave)) is a batch of independent
-//!   index-identified tasks pushed onto a `Mutex<VecDeque>` work queue;
-//!   workers claim task indices from the front wave work-stealing-style
+//! * a wave is a batch of independent index-identified tasks pushed onto
+//!   one of three [`Lane`]s; workers claim task indices from the front
+//!   wave of the highest-priority non-empty lane work-stealing-style
 //!   (an atomic cursor, no per-task queue nodes);
 //! * each worker owns a [`Scratch`] that persists across tasks *and*
-//!   waves, so steady-state serving performs no transient allocation —
-//!   strictly better than the scoped design, whose scratches died with
-//!   their threads at every batch boundary;
+//!   waves, so steady-state serving performs no transient allocation;
 //! * a panicking task is **isolated**: the worker catches the unwind,
 //!   replaces its scratch, and keeps serving; the panic is re-raised on
-//!   the *submitting* thread once the wave completes, so the pool is never
-//!   poisoned and subsequent waves are unaffected;
-//! * dropping the pool signals shutdown and joins every worker.
+//!   the thread that waits for the wave, so the pool is never poisoned
+//!   and subsequent waves are unaffected;
+//! * dropping the pool signals shutdown, **drains every queued wave**
+//!   (so detached [`WaveHandle`]s still complete) and joins every worker.
+//!
+//! # Priority lanes
+//!
+//! The queue used to be strict FIFO, which let an off-path
+//! re-materialization wave head-of-line block every serving wave behind
+//! it. Waves now carry a [`Lane`]:
+//!
+//! * [`Lane::Serving`] — query traffic; always served first;
+//! * [`Lane::Remat`] — the lifecycle controllers' off-path re-selection
+//!   fan-outs (the pool's [`Executor`] impl routes here);
+//! * [`Lane::Background`] — maintenance work nothing waits on.
+//!
+//! Priority is strict *between* lanes and FIFO *within* a lane, enforced
+//! at **task granularity**: a worker draining a lower-priority wave
+//! re-checks an advisory lane-occupancy mask between tasks and yields to
+//! fresher higher-priority work, so a queued serving wave waits for at
+//! most one in-flight lower-lane task per worker — never for a whole
+//! re-selection wave. Lower lanes can be starved by a saturated serving
+//! lane; that is the intended overload behavior (shed background work,
+//! never queries).
+//!
+//! # Submission modes
+//!
+//! [`run_wave`](WorkerPool::run_wave) /
+//! [`run_wave_on`](WorkerPool::run_wave_on) block the submitting thread
+//! until the wave completes — the borrowed-closure path serving batches
+//! use. [`submit_batch`](WorkerPool::submit_batch) is the non-blocking
+//! front-end: it enqueues an *owned* task closure and returns a
+//! [`WaveHandle`] the submitter can [`wait`](WaveHandle::wait) on later
+//! (or drop, detaching the wave — it still runs). The blocking paths must
+//! **not** be called from inside a pool task (a 1-worker pool would
+//! deadlock waiting for itself); `submit_batch` itself is safe anywhere,
+//! only waiting on the handle from inside a task is not.
 //!
 //! [`PoolStats`] exposes the telemetry the benches assert on: tasks run,
-//! waves served, park/unpark counts, and the spawn amortization that is
-//! the whole point (`workers` spawns total, vs `workers × waves` for the
-//! scoped design).
-//!
-//! The pool also implements [`Executor`], so the
-//! lifecycle controller's off-path re-materialization (LRDP fan-out +
-//! numeric table builds) runs on the same parked workers instead of
-//! spawning its own.
-//!
-//! # Caveat
-//!
-//! [`run_wave`](WorkerPool::run_wave) blocks the submitting thread until
-//! the wave completes and must **not** be called from inside a pool task
-//! (a 1-worker pool would deadlock waiting for itself). Serving tasks
-//! never submit waves, and the lifecycle controllers submit only from
-//! their own tick threads.
+//! waves served (total and per lane), park/unpark counts, and the spawn
+//! amortization that is the whole point. [`PoolStats::delta_since`]
+//! isolates one measurement window from pool-lifetime totals.
 
 use peanut_core::exec::{Executor, ScopedExecutor, SequentialExecutor};
 use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -63,21 +83,64 @@ pub enum SpawnMode {
     Scoped,
 }
 
+/// Priority lane of a submitted wave. Order is priority: lower-indexed
+/// lanes are always drained first, and workers yield mid-wave (between
+/// tasks) to strictly higher lanes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Query traffic — the latency-sensitive lane, always served first.
+    #[default]
+    Serving,
+    /// Off-path re-materialization (lifecycle/fleet re-selection fan-out).
+    Remat,
+    /// Maintenance work nothing waits on; starved under overload.
+    Background,
+}
+
+impl Lane {
+    /// Number of lanes.
+    pub const COUNT: usize = 3;
+
+    /// Every lane, highest priority first.
+    pub const ALL: [Lane; Lane::COUNT] = [Lane::Serving, Lane::Remat, Lane::Background];
+
+    /// Queue index; `0` is the highest priority.
+    pub const fn index(self) -> usize {
+        match self {
+            Lane::Serving => 0,
+            Lane::Remat => 1,
+            Lane::Background => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lane::Serving => write!(f, "serving"),
+            Lane::Remat => write!(f, "remat"),
+            Lane::Background => write!(f, "background"),
+        }
+    }
+}
+
 /// A point-in-time snapshot of a pool's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads spawned — once, at construction. This is the whole
     /// spawn bill; the scoped design pays `workers` per wave instead.
     pub workers: usize,
-    /// Waves submitted via [`WorkerPool::run_wave`].
+    /// Waves submitted, all lanes.
     pub waves: u64,
+    /// Waves submitted per [`Lane`] (indexed by [`Lane::index`]).
+    pub lane_waves: [u64; Lane::COUNT],
     /// Tasks executed across all waves.
     pub tasks: u64,
     /// Times a worker parked (blocked on the work condvar).
     pub parks: u64,
     /// Times a parked worker was woken.
     pub unparks: u64,
-    /// Tasks that panicked (isolated; re-raised on the submitter).
+    /// Tasks that panicked (isolated; re-raised on the waiter).
     pub panics: u64,
 }
 
@@ -87,6 +150,31 @@ impl PoolStats {
     /// a persistent pool's grows without bound as the engine stays up.
     pub fn tasks_per_spawn(&self) -> f64 {
         self.tasks as f64 / self.workers.max(1) as f64
+    }
+
+    /// The counter deltas accumulated since `earlier` (an older snapshot
+    /// of the **same** pool): what happened in the window between the two
+    /// snapshots. Replay reports use this so a steady-state measurement
+    /// is not conflated with warmup (or with every replay that ran before
+    /// it on the same engine) — the counters themselves are
+    /// pool-lifetime totals.
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        let mut lane_waves = [0u64; Lane::COUNT];
+        for (d, (now, was)) in lane_waves
+            .iter_mut()
+            .zip(self.lane_waves.iter().zip(earlier.lane_waves.iter()))
+        {
+            *d = now.saturating_sub(*was);
+        }
+        PoolStats {
+            workers: self.workers,
+            waves: self.waves.saturating_sub(earlier.waves),
+            lane_waves,
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            parks: self.parks.saturating_sub(earlier.parks),
+            unparks: self.unparks.saturating_sub(earlier.unparks),
+            panics: self.panics.saturating_sub(earlier.panics),
+        }
     }
 }
 
@@ -136,8 +224,9 @@ impl PoolCell {
     }
 
     /// Executor for off-path offline work (lifecycle/fleet re-selection):
-    /// the persistent pool when batches fan out, a scoped `threads`-wide
-    /// fan-out otherwise (sequential when 1).
+    /// the persistent pool's [`Lane::Remat`] when batches fan out — so a
+    /// re-selection wave can never head-of-line block serving waves — a
+    /// scoped `threads`-wide fan-out otherwise (sequential when 1).
     pub(crate) fn offline_exec(
         &self,
         spawn: SpawnMode,
@@ -145,7 +234,7 @@ impl PoolCell {
         threads: usize,
     ) -> Box<dyn Executor + '_> {
         if Self::fans_out(spawn, workers) {
-            Box::new(self.get_or_spawn(workers).as_ref())
+            Box::new(self.get_or_spawn(workers).lane_executor(Lane::Remat))
         } else if threads > 1 {
             Box::new(ScopedExecutor::new(threads))
         } else {
@@ -162,17 +251,43 @@ impl PoolCell {
 struct TaskPtr(*const (dyn Fn(usize, &mut Scratch) + Sync));
 
 // SAFETY: the pointee is `Sync` (callable from many threads through a
-// shared reference), and `run_wave` guarantees it stays alive for every
-// dereference (see `Wave::task`).
+// shared reference), and `run_wave_on` guarantees it stays alive for every
+// dereference (see `WaveTask::Borrowed`).
 unsafe impl Send for TaskPtr {}
 unsafe impl Sync for TaskPtr {}
 
-/// One submitted wave: an erased task closure plus claim/completion state.
+/// An owned, heap-allocated wave body (`submit_batch` submissions).
+type OwnedTask = Box<dyn Fn(usize, &mut Scratch) + Send + Sync>;
+
+/// How a wave carries its task body.
+enum WaveTask {
+    /// `run_wave`/`run_wave_on`: the closure is borrowed from the
+    /// submitting thread's stack. SAFETY: only dereferenced for claimed
+    /// indices `< total`, and the blocking submitter does not return
+    /// before every claimed index has completed — so the pointee outlives
+    /// every dereference.
+    Borrowed(TaskPtr),
+    /// `submit_batch`: the wave owns its closure, so the submitter is free
+    /// to return (or drop the handle) while the wave is still queued.
+    Owned(OwnedTask),
+}
+
+impl WaveTask {
+    fn call(&self, i: usize, scratch: &mut Scratch) {
+        match self {
+            // SAFETY: `i` was claimed (`< total`), so the blocking
+            // submitter is still inside `run_wave_on` waiting on the
+            // completion condvar and the pointee is still alive.
+            WaveTask::Borrowed(p) => unsafe { (*p.0)(i, scratch) },
+            WaveTask::Owned(f) => f(i, scratch),
+        }
+    }
+}
+
+/// One submitted wave: a task closure plus claim/completion state.
 struct Wave {
-    /// The task body. SAFETY: only dereferenced for claimed indices
-    /// `< total`, and `run_wave` does not return before every claimed
-    /// index has completed — so the pointee outlives every dereference.
-    task: TaskPtr,
+    task: WaveTask,
+    lane: Lane,
     total: usize,
     next: AtomicUsize,
     done: Mutex<usize>,
@@ -182,18 +297,103 @@ struct Wave {
 }
 
 struct Queue {
-    waves: VecDeque<Arc<Wave>>,
+    /// One FIFO per lane, indexed by [`Lane::index`] (0 = highest
+    /// priority).
+    lanes: [VecDeque<Arc<Wave>>; Lane::COUNT],
     shutdown: bool,
+}
+
+impl Queue {
+    /// The front wave of the highest-priority non-empty lane.
+    fn front(&self) -> Option<&Arc<Wave>> {
+        self.lanes.iter().find_map(|l| l.front())
+    }
 }
 
 struct Shared {
     queue: Mutex<Queue>,
     work_ready: Condvar,
+    /// Advisory bitmask of non-empty lanes (bit = [`Lane::index`]),
+    /// mutated only under the queue mutex. Workers read it lock-free
+    /// between tasks to decide whether to yield a lower-priority wave; a
+    /// stale read merely delays that yield by one task.
+    nonempty: AtomicUsize,
     waves: AtomicU64,
+    lane_waves: [AtomicU64; Lane::COUNT],
     tasks: AtomicU64,
     parks: AtomicU64,
     unparks: AtomicU64,
     panics: AtomicU64,
+}
+
+impl Shared {
+    /// Whether a lane strictly higher-priority than `lane` has queued
+    /// work. Always false for the top lane.
+    fn higher_ready(&self, lane: Lane) -> bool {
+        // ordering: advisory preemption hint only — the authoritative
+        // queue state is re-read under the mutex when the worker actually
+        // re-selects; a stale read delays the yield by at most one task.
+        self.nonempty.load(Ordering::Relaxed) & ((1 << lane.index()) - 1) != 0
+    }
+}
+
+/// A completion handle on a wave submitted via
+/// [`WorkerPool::submit_batch`].
+///
+/// [`wait`](Self::wait) blocks until every task of the wave has completed
+/// and re-raises the first task panic, exactly like the blocking
+/// [`run_wave`](WorkerPool::run_wave) path. Dropping the handle without
+/// waiting *detaches* the wave: it still runs to completion (the pool
+/// drains all queued waves before shutting down), panics are still
+/// counted in [`PoolStats::panics`], but their payloads are discarded
+/// with the wave.
+///
+/// Must not be waited on from inside a pool task running on the same
+/// pool (self-deadlock on a saturated pool); submitting is safe anywhere.
+pub struct WaveHandle {
+    wave: Arc<Wave>,
+}
+
+impl WaveHandle {
+    /// Blocks until the wave has fully completed, then re-raises the
+    /// first task panic (if any) on this thread.
+    pub fn wait(self) {
+        wait_wave(&self.wave);
+    }
+
+    /// Whether every task of the wave has completed (non-blocking).
+    pub fn is_complete(&self) -> bool {
+        *self.wave.done.lock() >= self.wave.total
+    }
+
+    /// The lane the wave was submitted on.
+    pub fn lane(&self) -> Lane {
+        self.wave.lane
+    }
+
+    /// The number of tasks in the wave.
+    pub fn total(&self) -> usize {
+        self.wave.total
+    }
+}
+
+/// Blocks until `wave` completes, then re-raises its first panic.
+fn wait_wave(wave: &Wave) {
+    let mut done = wave.done.lock();
+    while *done < wave.total {
+        done = wave.complete.wait(done);
+    }
+    drop(done);
+    // ordering: the `done` mutex above synchronizes the wave's
+    // completion; this flag only routes control flow afterwards.
+    if wave.panics.load(Ordering::Relaxed) > 0 {
+        let payload = wave
+            .first_panic
+            .lock()
+            .take()
+            .unwrap_or_else(|| Box::new("pool task panicked"));
+        resume_unwind(payload);
+    }
 }
 
 /// A fixed-size pool of persistent, parked worker threads. See the module
@@ -210,11 +410,13 @@ impl WorkerPool {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
-                waves: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            nonempty: AtomicUsize::new(0),
             waves: AtomicU64::new(0),
+            lane_waves: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             tasks: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
@@ -245,12 +447,17 @@ impl WorkerPool {
 
     /// Snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
-        // ordering: all five are independent telemetry counters; the
-        // snapshot is advisory (benches and tests assert window-scale
-        // totals after joins), so Relaxed loads suffice.
+        // ordering: every counter load below is independent telemetry;
+        // the snapshot is advisory (benches and tests assert window-scale
+        // totals after joins), so Relaxed suffices throughout.
+        let mut lane_waves = [0u64; Lane::COUNT];
+        for (out, ctr) in lane_waves.iter_mut().zip(self.shared.lane_waves.iter()) {
+            *out = ctr.load(Ordering::Relaxed);
+        }
         PoolStats {
             workers: self.workers,
             waves: self.shared.waves.load(Ordering::Relaxed),
+            lane_waves,
             tasks: self.shared.tasks.load(Ordering::Relaxed),
             parks: self.shared.parks.load(Ordering::Relaxed),
             unparks: self.shared.unparks.load(Ordering::Relaxed),
@@ -258,47 +465,8 @@ impl WorkerPool {
         }
     }
 
-    /// Runs `task(i, scratch)` for every `i in 0..total` on the pool's
-    /// workers and blocks until all of them have completed. Each worker
-    /// passes its own long-lived [`Scratch`]. Concurrent waves (from other
-    /// threads) queue FIFO.
-    ///
-    /// If any task panicked, the first panic payload is re-raised here —
-    /// on the submitting thread — *after* the wave has fully completed;
-    /// the workers themselves survive and keep serving later waves.
-    ///
-    /// Must not be called from inside a pool task (see the module docs).
-    pub fn run_wave(&self, total: usize, task: &(dyn Fn(usize, &mut Scratch) + Sync)) {
-        if total == 0 {
-            return;
-        }
-        // Lifetime erasure with both sides of the cast spelled out, so the
-        // only thing this transmute can do is extend the trait object's
-        // lifetime bound (`&'a dyn` and `*const dyn + 'static` share the
-        // same fat-pointer layout; rustc rejects a plain `as` cast here
-        // precisely because it refuses to extend trait-object lifetimes).
-        // The invariant that makes the erased `'a` sound — every
-        // dereference happens before `run_wave` returns — is stated at
-        // `Wave::task` and discharged by the completion wait below.
-        //
-        // SAFETY: reference-to-pointer of the identical pointee type;
-        // only the lifetime bound changes, and `Wave::task` keeps every
-        // dereference inside `'a`.
-        let task = unsafe {
-            std::mem::transmute::<
-                &(dyn Fn(usize, &mut Scratch) + Sync),
-                *const (dyn Fn(usize, &mut Scratch) + Sync + 'static),
-            >(task)
-        };
-        let wave = Arc::new(Wave {
-            task: TaskPtr(task),
-            total,
-            next: AtomicUsize::new(0),
-            done: Mutex::new(0),
-            complete: Condvar::new(),
-            panics: AtomicUsize::new(0),
-            first_panic: Mutex::new(None),
-        });
+    /// Pushes a wave onto its lane and wakes the workers.
+    fn enqueue(&self, wave: &Arc<Wave>) {
         // Seeded concurrency mutation (see the feature docs in
         // Cargo.toml): notifying *before* the enqueue lets a parked worker
         // wake, re-check a still-empty queue and re-park, after which the
@@ -308,28 +476,113 @@ impl WorkerPool {
         self.shared.work_ready.notify_all();
         {
             let mut q = self.shared.queue.lock();
-            q.waves.push_back(Arc::clone(&wave));
+            q.lanes[wave.lane.index()].push_back(Arc::clone(wave));
+            // ordering: advisory lane-occupancy hint, mutated under the
+            // queue mutex it mirrors; see `Shared::nonempty`.
+            self.shared
+                .nonempty
+                .fetch_or(1 << wave.lane.index(), Ordering::Relaxed);
         }
         #[cfg(not(feature = "mutation-lost-wakeup"))]
         self.shared.work_ready.notify_all();
-        // ordering: telemetry counter, read only by `stats()` snapshots.
+        // ordering: telemetry counters, read only by `stats()` snapshots
+        // — both fetch_adds below.
         self.shared.waves.fetch_add(1, Ordering::Relaxed);
+        self.shared.lane_waves[wave.lane.index()].fetch_add(1, Ordering::Relaxed);
+    }
 
-        let mut done = wave.done.lock();
-        while *done < total {
-            done = wave.complete.wait(done);
+    /// Runs `task(i, scratch)` for every `i in 0..total` on the pool's
+    /// workers, on [`Lane::Serving`], and blocks until all of them have
+    /// completed. Each worker passes its own long-lived [`Scratch`].
+    /// Concurrent waves (from other threads) queue FIFO within the lane.
+    ///
+    /// If any task panicked, the first panic payload is re-raised here —
+    /// on the submitting thread — *after* the wave has fully completed;
+    /// the workers themselves survive and keep serving later waves.
+    ///
+    /// Must not be called from inside a pool task (see the module docs).
+    pub fn run_wave(&self, total: usize, task: &(dyn Fn(usize, &mut Scratch) + Sync)) {
+        self.run_wave_on(Lane::Serving, total, task);
+    }
+
+    /// Like [`run_wave`](Self::run_wave) on an explicit [`Lane`].
+    pub fn run_wave_on(
+        &self,
+        lane: Lane,
+        total: usize,
+        task: &(dyn Fn(usize, &mut Scratch) + Sync),
+    ) {
+        if total == 0 {
+            return;
         }
-        drop(done);
-        // ordering: the `done` mutex above synchronizes the wave's
-        // completion; this flag only routes control flow afterwards.
-        if wave.panics.load(Ordering::Relaxed) > 0 {
-            let payload = wave
-                .first_panic
-                .lock()
-                .take()
-                .unwrap_or_else(|| Box::new("pool task panicked"));
-            resume_unwind(payload);
+        // Lifetime erasure with both sides of the cast spelled out, so the
+        // only thing this transmute can do is extend the trait object's
+        // lifetime bound (`&'a dyn` and `*const dyn + 'static` share the
+        // same fat-pointer layout; rustc rejects a plain `as` cast here
+        // precisely because it refuses to extend trait-object lifetimes).
+        // The invariant that makes the erased `'a` sound — every
+        // dereference happens before this function returns — is stated at
+        // `WaveTask::Borrowed` and discharged by the completion wait
+        // below.
+        //
+        // SAFETY: reference-to-pointer of the identical pointee type;
+        // only the lifetime bound changes, and `WaveTask::Borrowed` keeps
+        // every dereference inside `'a`.
+        let task = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, &mut Scratch) + Sync),
+                *const (dyn Fn(usize, &mut Scratch) + Sync + 'static),
+            >(task)
+        };
+        let wave = Arc::new(Wave {
+            task: WaveTask::Borrowed(TaskPtr(task)),
+            lane,
+            total,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            complete: Condvar::new(),
+            panics: AtomicUsize::new(0),
+            first_panic: Mutex::new(None),
+        });
+        self.enqueue(&wave);
+        wait_wave(&wave);
+    }
+
+    /// Enqueues a wave of `total` owned tasks on `lane` and returns
+    /// immediately with a [`WaveHandle`] — the non-blocking front-end.
+    /// The closure is owned by the wave, so the submitter is free to move
+    /// on (or drop the handle, detaching the wave) while workers drain
+    /// it; [`WaveHandle::wait`] joins the completion and re-raises the
+    /// first task panic.
+    ///
+    /// A `total` of zero returns an already-complete handle without
+    /// touching the queue.
+    pub fn submit_batch(
+        &self,
+        lane: Lane,
+        total: usize,
+        task: impl Fn(usize, &mut Scratch) + Send + Sync + 'static,
+    ) -> WaveHandle {
+        let wave = Arc::new(Wave {
+            task: WaveTask::Owned(Box::new(task)),
+            lane,
+            total,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            complete: Condvar::new(),
+            panics: AtomicUsize::new(0),
+            first_panic: Mutex::new(None),
+        });
+        if total > 0 {
+            self.enqueue(&wave);
         }
+        WaveHandle { wave }
+    }
+
+    /// An [`Executor`] view of this pool that fans `run_tasks` calls out
+    /// on `lane` — how callers choose which lane off-path work rides.
+    pub fn lane_executor(&self, lane: Lane) -> LaneExecutor<'_> {
+        LaneExecutor { pool: self, lane }
     }
 }
 
@@ -350,25 +603,51 @@ impl Drop for WorkerPool {
 
 /// The serving pool doubles as the offline phase's executor, so a
 /// lifecycle re-materialization (LRDP roots, numeric table builds) reuses
-/// the already-parked serving workers.
+/// the already-parked serving workers — on [`Lane::Remat`], where it can
+/// never head-of-line block serving waves.
 impl Executor for WorkerPool {
     fn run_tasks(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
-        self.run_wave(total, &|i, _scratch| task(i));
+        self.run_wave_on(Lane::Remat, total, &|i, _scratch| task(i));
+    }
+}
+
+/// An [`Executor`] bound to one [`Lane`] of a [`WorkerPool`] (see
+/// [`WorkerPool::lane_executor`]).
+#[derive(Clone, Copy)]
+pub struct LaneExecutor<'p> {
+    pool: &'p WorkerPool,
+    lane: Lane,
+}
+
+impl LaneExecutor<'_> {
+    /// The lane `run_tasks` waves ride on.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+}
+
+impl Executor for LaneExecutor<'_> {
+    fn run_tasks(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.pool
+            .run_wave_on(self.lane, total, &|i, _scratch| task(i));
     }
 }
 
 fn worker_loop(shared: &Shared) {
     let mut scratch = Scratch::new();
     loop {
-        // take (a handle on) the front wave, or park until one arrives
+        // take (a handle on) the front wave of the highest-priority
+        // non-empty lane, or park until one arrives. On shutdown, keep
+        // draining until every lane is empty — queued (possibly detached)
+        // waves must complete before the pool joins.
         let wave = {
             let mut q = shared.queue.lock();
             loop {
+                if let Some(w) = q.front() {
+                    break Arc::clone(w);
+                }
                 if q.shutdown {
                     return;
-                }
-                if let Some(w) = q.waves.front() {
-                    break Arc::clone(w);
                 }
                 // ordering: park/unpark are telemetry counters guarded by
                 // the queue mutex anyway; Relaxed is plenty.
@@ -378,8 +657,15 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        // claim and run tasks until the wave is exhausted
+        // claim and run tasks until the wave is exhausted — or until a
+        // strictly higher-priority lane has work, in which case leave the
+        // wave queued and re-select from the top
+        let mut preempted = false;
         loop {
+            if shared.higher_ready(wave.lane) {
+                preempted = true;
+                break;
+            }
             // ordering: pure work-claiming counter — uniqueness of the
             // handed-out index is all that matters; the task's results are
             // published through the `done` mutex, not through this atomic.
@@ -389,10 +675,7 @@ fn worker_loop(shared: &Shared) {
             }
             // ordering: telemetry counter, read only by `stats()`.
             shared.tasks.fetch_add(1, Ordering::Relaxed);
-            // SAFETY: `i < total`, so the submitting `run_wave` has not
-            // observed `done == total` yet and the pointee is still alive.
-            let task = unsafe { &*wave.task.0 };
-            if catch_unwind(AssertUnwindSafe(|| task(i, &mut scratch)))
+            if catch_unwind(AssertUnwindSafe(|| wave.task.call(i, &mut scratch)))
                 .map_err(|payload| {
                     // ordering: both flags are re-read only after the wave
                     // completes (synchronized by the `done` mutex below).
@@ -413,13 +696,26 @@ fn worker_loop(shared: &Shared) {
                 wave.complete.notify_all();
             }
         }
+        if preempted {
+            // the yielded wave stays at the front of its lane; this (or
+            // another) worker returns to it once higher lanes drain
+            continue;
+        }
 
         // the wave is exhausted: pop it so later waves reach the front
         // (first exhausted-finder wins; ptr_eq keeps a racing pop from
         // removing a *newer* wave)
         let mut q = shared.queue.lock();
-        if q.waves.front().is_some_and(|w| Arc::ptr_eq(w, &wave)) {
-            q.waves.pop_front();
+        let lane_q = &mut q.lanes[wave.lane.index()];
+        if lane_q.front().is_some_and(|w| Arc::ptr_eq(w, &wave)) {
+            lane_q.pop_front();
+            if lane_q.is_empty() {
+                // ordering: advisory lane-occupancy hint, mutated under
+                // the queue mutex it mirrors; see `Shared::nonempty`.
+                shared
+                    .nonempty
+                    .fetch_and(!(1 << wave.lane.index()), Ordering::Relaxed);
+            }
         }
     }
 }
@@ -440,6 +736,7 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.workers, 3);
         assert_eq!(stats.waves, 1);
+        assert_eq!(stats.lane_waves, [1, 0, 0]);
         assert_eq!(stats.tasks, 64);
         assert_eq!(stats.panics, 0);
     }
@@ -513,13 +810,25 @@ mod tests {
     }
 
     #[test]
-    fn executor_impl_covers_every_index() {
+    fn executor_impl_covers_every_index_on_the_remat_lane() {
         let pool = WorkerPool::new(2);
         let out = Mutex::new(Vec::new());
         Executor::run_tasks(&pool, 19, &|i| out.lock().push(i));
         let mut v = out.into_inner();
         v.sort_unstable();
         assert_eq!(v, (0..19).collect::<Vec<_>>());
+        assert_eq!(pool.stats().lane_waves, [0, 1, 0]);
+    }
+
+    #[test]
+    fn lane_executor_routes_to_its_lane() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.lane_executor(Lane::Background).run_tasks(5, &|_i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.stats().lane_waves, [0, 0, 1]);
     }
 
     #[test]
@@ -527,5 +836,122 @@ mod tests {
         let pool = WorkerPool::new(2);
         pool.run_wave(0, &|_i, _s| unreachable!("no tasks"));
         assert_eq!(pool.stats().waves, 0);
+    }
+
+    #[test]
+    fn submit_batch_handle_waits_for_completion() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        let handle = pool.submit_batch(Lane::Background, 16, move |_i, _s| {
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(handle.lane(), Lane::Background);
+        assert_eq!(handle.total(), 16);
+        handle.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(pool.stats().lane_waves, [0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_submit_is_already_complete() {
+        let pool = WorkerPool::new(1);
+        let handle = pool.submit_batch(Lane::Serving, 0, |_i, _s| unreachable!("no tasks"));
+        assert!(handle.is_complete());
+        handle.wait();
+        assert_eq!(pool.stats().waves, 0);
+    }
+
+    #[test]
+    fn detached_waves_drain_before_drop_joins() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let h2 = Arc::clone(&hits);
+            drop(pool.submit_batch(Lane::Background, 4, move |_i, _s| {
+                h2.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // graceful shutdown: queued waves must still run
+        assert_eq!(hits.load(Ordering::Relaxed), 8 * 4);
+    }
+
+    #[test]
+    fn handle_wait_reraises_task_panic() {
+        let pool = WorkerPool::new(2);
+        let handle = pool.submit_batch(Lane::Serving, 4, |i, _s| {
+            if i == 2 {
+                panic!("task 2 exploded");
+            }
+        });
+        let err = catch_unwind(AssertUnwindSafe(|| handle.wait()));
+        assert!(err.is_err(), "the waiter must see the panic");
+        assert_eq!(pool.stats().panics, 1);
+        // the pool survives, exactly like the blocking path
+        pool.run_wave(4, &|_i, _s| {});
+        assert_eq!(pool.stats().waves, 2);
+    }
+
+    #[test]
+    fn serving_preempts_a_queued_background_backlog() {
+        // one worker, wedged inside a background task: everything
+        // submitted meanwhile lands queued. When the wedge lifts, the
+        // serving wave must be drained before the queued background wave
+        // even though it was submitted later.
+        let pool = WorkerPool::new(1);
+        let started = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicUsize::new(0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (s2, r2, o2) = (
+            Arc::clone(&started),
+            Arc::clone(&release),
+            Arc::clone(&order),
+        );
+        let wedge = pool.submit_batch(Lane::Background, 1, move |_i, _s| {
+            s2.fetch_add(1, Ordering::Relaxed);
+            while r2.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
+            o2.lock().push("wedge");
+        });
+        while started.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        // the worker is inside the wedge; queue background then serving
+        let o3 = Arc::clone(&order);
+        let bg = pool.submit_batch(Lane::Background, 1, move |_i, _s| {
+            o3.lock().push("background");
+        });
+        let o4 = Arc::clone(&order);
+        let serving = pool.submit_batch(Lane::Serving, 1, move |_i, _s| {
+            o4.lock().push("serving");
+        });
+        release.store(1, Ordering::Relaxed);
+        serving.wait();
+        bg.wait();
+        wedge.wait();
+        assert_eq!(
+            *order.lock(),
+            vec!["wedge", "serving", "background"],
+            "the serving lane must jump ahead of the queued background wave"
+        );
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_window() {
+        let pool = WorkerPool::new(2);
+        pool.run_wave(8, &|_i, _s| {});
+        let warmup = pool.stats();
+        pool.run_wave(8, &|_i, _s| {});
+        pool.run_wave_on(Lane::Background, 3, &|_i, _s| {});
+        let delta = pool.stats().delta_since(&warmup);
+        assert_eq!(delta.workers, 2);
+        assert_eq!(delta.waves, 2);
+        assert_eq!(delta.tasks, 11);
+        assert_eq!(delta.lane_waves, [1, 0, 1]);
+        // saturating: a foreign (older-pool) snapshot never underflows
+        let zero = pool.stats().delta_since(&pool.stats());
+        assert_eq!(zero.waves, 0);
+        assert_eq!(zero.tasks, 0);
     }
 }

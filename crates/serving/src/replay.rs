@@ -4,17 +4,32 @@
 //! drives a multi-tenant arrival stream through a
 //! [`ShardedServingEngine`] the same way.
 //!
-//! Both drivers pre-warm the engine's persistent worker pool before the
+//! The closed-loop drivers above offer the next batch only once the
+//! previous one completed, so they measure service time and can never
+//! overload the engine. [`replay_open_loop`] / [`replay_open_loop_mixed`]
+//! instead replay a **timed arrival schedule** (for example
+//! [`poisson_arrivals`]) against a backlog the engine drains as fast as
+//! it can: when offered load exceeds capacity the backlog grows, sojourn
+//! times (queueing + service) explode, and the overload controls of
+//! [`AdmissionConfig`] — admission
+//! caps and deadline shedding — are what keep served-query p99 bounded.
+//! That is the regime the saturation benches measure.
+//!
+//! All drivers pre-warm the engine's persistent worker pool before the
 //! timed run, so the one-time thread spawn is charged to setup (as it
 //! would be in a real server's boot) rather than to the first batch's
 //! latency.
 
-use crate::engine::{Query, ServingEngine};
+use crate::engine::{Query, Served, ServingEngine};
+use crate::overload::{AdmissionConfig, ServeOutcome, ShedReason};
+use crate::pool::PoolStats;
 use crate::shard::{ShardedServingEngine, TenantId};
 use peanut_junction::{JunctionTree, RootedTree};
+use peanut_pgm::PgmError;
 use peanut_workload::{skewed_queries, uniform_queries, with_evidence, QuerySpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Replay knobs.
@@ -72,6 +87,12 @@ pub struct ReplayReport {
     pub max_resident: usize,
     /// Total wall-clock time spent faulting tenants in.
     pub fault_wall: Duration,
+    /// Worker-pool activity **attributable to this replay**: the pool's
+    /// counter deltas over the run window ([`PoolStats::delta_since`]),
+    /// not pool-lifetime totals — so warmup, and every earlier replay on
+    /// the same engine, are excluded. All-zero when the engine never
+    /// fanned out onto a pool.
+    pub pool: PoolStats,
 }
 
 impl ReplayReport {
@@ -94,6 +115,7 @@ impl ReplayReport {
 pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
     engine.warm_pool();
+    let pool_before = engine.pool_stats().unwrap_or_default();
     let start = Instant::now();
     let mut report = ReplayReport {
         queries: queries.len(),
@@ -120,6 +142,10 @@ pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig)
         }
     }
     report.wall = start.elapsed();
+    report.pool = engine
+        .pool_stats()
+        .unwrap_or_default()
+        .delta_since(&pool_before);
     if report.wall.as_secs_f64() > 0.0 {
         report.throughput_qps = report.queries as f64 / report.wall.as_secs_f64();
     }
@@ -141,6 +167,7 @@ pub fn replay_mixed(
 ) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
     engine.warm_pool();
+    let pool_before = engine.pool_stats().unwrap_or_default();
     let start = Instant::now();
     let mut report = ReplayReport {
         queries: arrivals.len(),
@@ -174,6 +201,10 @@ pub fn replay_mixed(
     }
     report.epochs = epochs.unwrap_or_default();
     report.wall = start.elapsed();
+    report.pool = engine
+        .pool_stats()
+        .unwrap_or_default()
+        .delta_since(&pool_before);
     if report.wall.as_secs_f64() > 0.0 {
         report.throughput_qps = report.queries as f64 / report.wall.as_secs_f64();
     }
@@ -191,6 +222,345 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     }
     let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// The clock an open-loop replay runs against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplayClock {
+    /// Real time: arrivals in the future are waited out with a sleep,
+    /// sojourns are measured with [`Instant`]. What the benches use.
+    #[default]
+    Wall,
+    /// Deterministic simulated time: serving a dispatched query advances
+    /// the clock by exactly `per_query`, and nothing else advances it
+    /// except idle jumps to the next arrival. Admission and shedding
+    /// decisions become a pure function of (schedule, config), which is
+    /// what the shedding-determinism tests pin down.
+    Virtual {
+        /// Simulated service time charged per dispatched query.
+        per_query: Duration,
+    },
+}
+
+/// Knobs for the open-loop drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Most queries dispatched per wave — the drain quantum; the backlog
+    /// beyond it waits for the next wave.
+    pub max_batch: usize,
+    /// Overload controls (admission caps, deadline). The default is the
+    /// unprotected FIFO baseline.
+    pub admission: AdmissionConfig,
+    /// Wall or virtual time (see [`ReplayClock`]).
+    pub clock: ReplayClock,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            max_batch: 64,
+            admission: AdmissionConfig::default(),
+            clock: ReplayClock::Wall,
+        }
+    }
+}
+
+/// Aggregate report of one open-loop replay. Per-query resolutions come
+/// back alongside it as [`ServeOutcome`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpenLoopReport {
+    /// Queries offered by the arrival schedule.
+    pub offered: usize,
+    /// Queries served to completion.
+    pub served: usize,
+    /// Queries that reached the engine and returned an error.
+    pub errors: usize,
+    /// Queries shed at dispatch with a blown deadline.
+    pub shed_deadline: usize,
+    /// Queries refused at arrival by an admission cap.
+    pub shed_admission: usize,
+    /// Dispatch waves driven.
+    pub batches: usize,
+    /// Peak backlog length observed right after an admission round.
+    pub peak_backlog: usize,
+    /// Clock time from first arrival to last completion (simulated time
+    /// under [`ReplayClock::Virtual`], real time under `Wall`).
+    pub duration: Duration,
+    /// Served queries per clock second.
+    pub throughput_qps: f64,
+    /// Median served-query sojourn (queueing + service — *not* the
+    /// closed-loop service time; this is what a client actually waits).
+    pub sojourn_p50: Duration,
+    /// 95th-percentile served-query sojourn.
+    pub sojourn_p95: Duration,
+    /// 99th-percentile served-query sojourn — the figure shedding keeps
+    /// bounded while the FIFO baseline's grows with the backlog.
+    pub sojourn_p99: Duration,
+    /// Worker-pool counter deltas attributable to this replay
+    /// ([`PoolStats::delta_since`]); all-zero without a pool.
+    pub pool: PoolStats,
+}
+
+/// A Poisson arrival process: `n` absolute arrival offsets with
+/// exponential inter-arrival times at rate `qps`, deterministic in
+/// `seed`. The canonical open-loop schedule — offered load is `qps`
+/// regardless of how fast the engine drains.
+pub fn poisson_arrivals(n: usize, qps: f64, seed: u64) -> Vec<Duration> {
+    assert!(qps > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // inverse-CDF exponential; gen_range(0.0..1.0) excludes 1.0,
+            // so the log argument stays positive
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -(1.0 - u).ln() / qps;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// What one dispatched wave's serve call returns.
+type BatchResults = Vec<Result<Served, PgmError>>;
+
+/// Clock state for one open-loop drive.
+enum ClockState {
+    Wall(Instant),
+    Virtual { now: Duration, per_query: Duration },
+}
+
+impl ClockState {
+    fn start(clock: ReplayClock) -> Self {
+        match clock {
+            ReplayClock::Wall => ClockState::Wall(Instant::now()),
+            ReplayClock::Virtual { per_query } => ClockState::Virtual {
+                now: Duration::ZERO,
+                per_query,
+            },
+        }
+    }
+
+    fn now(&self) -> Duration {
+        match self {
+            ClockState::Wall(start) => start.elapsed(),
+            ClockState::Virtual { now, .. } => *now,
+        }
+    }
+
+    /// Idle with an empty backlog: jump (or sleep) to the next arrival.
+    fn advance_to(&mut self, t: Duration) {
+        match self {
+            ClockState::Wall(start) => {
+                let elapsed = start.elapsed();
+                if t > elapsed {
+                    std::thread::sleep(t - elapsed);
+                }
+            }
+            ClockState::Virtual { now, .. } => *now = (*now).max(t),
+        }
+    }
+
+    /// Charge the service time of a dispatched wave.
+    fn charge(&mut self, dispatched: usize) {
+        if let ClockState::Virtual { now, per_query } = self {
+            *now += *per_query * dispatched as u32;
+        }
+    }
+}
+
+/// The shared open-loop drive: admission at arrival, deadline shedding
+/// at dispatch, `serve` for the actual compute. `tenant_of` returns the
+/// arriving tenant where per-tenant caps apply (mixed replays).
+fn open_loop_drive(
+    n: usize,
+    schedule: &[Duration],
+    cfg: &OpenLoopConfig,
+    tenant_of: &dyn Fn(usize) -> Option<TenantId>,
+    serve: &mut dyn FnMut(&[usize]) -> BatchResults,
+) -> (Vec<ServeOutcome>, OpenLoopReport) {
+    assert_eq!(n, schedule.len(), "one arrival offset per query");
+    assert!(
+        schedule.windows(2).all(|w| w[0] <= w[1]),
+        "arrival schedule must be sorted"
+    );
+    let max_batch = cfg.max_batch.max(1);
+    let mut outcomes: Vec<Option<ServeOutcome>> = (0..n).map(|_| None).collect();
+    let mut report = OpenLoopReport {
+        offered: n,
+        ..OpenLoopReport::default()
+    };
+    let mut clock = ClockState::start(cfg.clock);
+    let mut backlog: VecDeque<(usize, Duration)> = VecDeque::new();
+    let mut tenant_load: HashMap<u32, usize> = HashMap::new();
+    let mut sojourns: Vec<Duration> = Vec::with_capacity(n);
+    let mut next = 0usize;
+    while next < n || !backlog.is_empty() {
+        let now = clock.now();
+        // admit every due arrival, refusing over admission caps
+        while next < n && schedule[next] <= now {
+            let tenant = tenant_of(next);
+            let cap = cfg.admission.max_backlog;
+            let tcap = cfg.admission.max_tenant_backlog;
+            let tload = tenant
+                .map(|t| *tenant_load.entry(t.0).or_default())
+                .unwrap_or(0);
+            if cap > 0 && backlog.len() >= cap {
+                outcomes[next] = Some(ServeOutcome::Shed(ShedReason::AdmissionLimit {
+                    tenant: None,
+                    backlog: backlog.len(),
+                    limit: cap,
+                }));
+                report.shed_admission += 1;
+            } else if tenant.is_some() && tcap > 0 && tload >= tcap {
+                outcomes[next] = Some(ServeOutcome::Shed(ShedReason::AdmissionLimit {
+                    tenant,
+                    backlog: tload,
+                    limit: tcap,
+                }));
+                report.shed_admission += 1;
+            } else {
+                backlog.push_back((next, schedule[next]));
+                if let Some(t) = tenant {
+                    *tenant_load.entry(t.0).or_default() += 1;
+                }
+            }
+            next += 1;
+        }
+        report.peak_backlog = report.peak_backlog.max(backlog.len());
+        if backlog.is_empty() {
+            if next < n {
+                clock.advance_to(schedule[next]);
+            }
+            continue;
+        }
+        // dispatch a wave, shedding queries whose budget queueing already
+        // blew — serving them would waste capacity on abandoned answers
+        let mut wave: Vec<(usize, Duration)> = Vec::with_capacity(max_batch.min(backlog.len()));
+        while wave.len() < max_batch {
+            let (i, arrived) = match backlog.pop_front() {
+                Some(entry) => entry,
+                None => break,
+            };
+            if let Some(t) = tenant_of(i) {
+                if let Some(load) = tenant_load.get_mut(&t.0) {
+                    *load = load.saturating_sub(1);
+                }
+            }
+            if let Some(deadline) = cfg.admission.deadline {
+                let waited = now.saturating_sub(arrived);
+                if waited > deadline {
+                    outcomes[i] = Some(ServeOutcome::Shed(ShedReason::DeadlineBlown {
+                        waited,
+                        deadline,
+                    }));
+                    report.shed_deadline += 1;
+                    continue;
+                }
+            }
+            wave.push((i, arrived));
+        }
+        if wave.is_empty() {
+            continue;
+        }
+        let indices: Vec<usize> = wave.iter().map(|&(i, _)| i).collect();
+        let results = serve(&indices);
+        clock.charge(wave.len());
+        let done = clock.now();
+        report.batches += 1;
+        for ((i, arrived), r) in wave.into_iter().zip(results) {
+            match r {
+                Ok(served) => {
+                    sojourns.push(done.saturating_sub(arrived));
+                    report.served += 1;
+                    outcomes[i] = Some(ServeOutcome::Served(served));
+                }
+                Err(e) => {
+                    report.errors += 1;
+                    outcomes[i] = Some(ServeOutcome::Failed(e));
+                }
+            }
+        }
+    }
+    report.duration = clock.now();
+    if report.duration.as_secs_f64() > 0.0 {
+        report.throughput_qps = report.served as f64 / report.duration.as_secs_f64();
+    }
+    sojourns.sort_unstable();
+    report.sojourn_p50 = percentile(&sojourns, 0.50);
+    report.sojourn_p95 = percentile(&sojourns, 0.95);
+    report.sojourn_p99 = percentile(&sojourns, 0.99);
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every offered query resolves to exactly one outcome"))
+        .collect();
+    (outcomes, report)
+}
+
+/// Replays `queries` against `engine` on a timed arrival `schedule`
+/// (absolute offsets, sorted — see [`poisson_arrivals`]), applying the
+/// overload controls in `cfg.admission`. Returns one [`ServeOutcome`]
+/// per offered query plus the aggregate report; served-query sojourns
+/// include queueing delay, which is what distinguishes this driver from
+/// the closed-loop [`replay`].
+pub fn replay_open_loop(
+    engine: &ServingEngine<'_>,
+    queries: &[Query],
+    schedule: &[Duration],
+    cfg: &OpenLoopConfig,
+) -> (Vec<ServeOutcome>, OpenLoopReport) {
+    engine.warm_pool();
+    let pool_before = engine.pool_stats().unwrap_or_default();
+    let mut batch: Vec<Query> = Vec::new();
+    let (outcomes, mut report) = open_loop_drive(
+        queries.len(),
+        schedule,
+        cfg,
+        &|_| None,
+        &mut |indices: &[usize]| {
+            batch.clear();
+            batch.extend(indices.iter().map(|&i| queries[i].clone()));
+            let (answers, _) = engine.serve_batch(&batch);
+            answers
+        },
+    );
+    report.pool = engine
+        .pool_stats()
+        .unwrap_or_default()
+        .delta_since(&pool_before);
+    (outcomes, report)
+}
+
+/// The multi-tenant open-loop driver: like [`replay_open_loop`] over a
+/// mixed `(TenantId, Query)` arrival stream, with
+/// [`max_tenant_backlog`](AdmissionConfig::max_tenant_backlog) enforced
+/// per arriving tenant so one tenant's burst cannot monopolize the
+/// backlog.
+pub fn replay_open_loop_mixed(
+    engine: &ShardedServingEngine<'_>,
+    arrivals: &[(TenantId, Query)],
+    schedule: &[Duration],
+    cfg: &OpenLoopConfig,
+) -> (Vec<ServeOutcome>, OpenLoopReport) {
+    engine.warm_pool();
+    let pool_before = engine.pool_stats().unwrap_or_default();
+    let mut batch: Vec<(TenantId, Query)> = Vec::new();
+    let (outcomes, mut report) = open_loop_drive(
+        arrivals.len(),
+        schedule,
+        cfg,
+        &|i| Some(arrivals[i].0),
+        &mut |indices: &[usize]| {
+            batch.clear();
+            batch.extend(indices.iter().map(|&i| arrivals[i].clone()));
+            let (answers, _) = engine.serve_mixed(&batch);
+            answers
+        },
+    );
+    report.pool = engine
+        .pool_stats()
+        .unwrap_or_default()
+        .delta_since(&pool_before);
+    (outcomes, report)
 }
 
 /// Shape of a sampled serving workload (see [`workload_queries`]).

@@ -163,6 +163,29 @@ struct TenantShard<'t> {
 }
 
 /// A registry of per-tenant serving engines sharing one worker pool.
+///
+/// ```
+/// use peanut_core::Materialization;
+/// use peanut_junction::{build_junction_tree, QueryEngine};
+/// use peanut_pgm::{fixtures, Scope};
+/// use peanut_serving::{Query, ShardConfig, ShardedServingEngine, TenantId};
+///
+/// let bn = fixtures::sprinkler();
+/// let tree = build_junction_tree(&bn).unwrap();
+/// let mut fleet = ShardedServingEngine::new(ShardConfig::default());
+/// fleet
+///     .register(
+///         TenantId(0),
+///         QueryEngine::numeric(&tree, &bn).unwrap(),
+///         Materialization::default(),
+///     )
+///     .unwrap();
+///
+/// let arrivals = [(TenantId(0), Query::Marginal(Scope::from_indices(&[1])))];
+/// let (answers, stats) = fleet.serve_mixed(&arrivals);
+/// assert!(answers[0].is_ok());
+/// assert_eq!(stats.per_tenant.len(), 1);
+/// ```
 pub struct ShardedServingEngine<'t> {
     shards: Vec<TenantShard<'t>>,
     index: HashMap<TenantId, usize>,
@@ -231,8 +254,9 @@ impl<'t> ShardedServingEngine<'t> {
     }
 
     /// Executor for off-path fleet work (candidate re-selection): the
-    /// shared pool when mixed batches fan out, a scoped `threads`-wide
-    /// fan-out otherwise (sequential when 1).
+    /// shared pool's re-materialization lane when mixed batches fan out
+    /// (so a fleet re-selection never head-of-line blocks serving waves),
+    /// a scoped `threads`-wide fan-out otherwise (sequential when 1).
     pub(crate) fn offline_exec(&self, threads: usize) -> Box<dyn Executor + '_> {
         self.pool
             .offline_exec(self.cfg.spawn, self.workers(), threads)
@@ -638,9 +662,11 @@ impl<'t> ShardedServingEngine<'t> {
             }
         } else if self.cfg.spawn == SpawnMode::Persistent {
             // the shared persistent pool serves whatever tenant's query
-            // comes next; worker scratches persist across batches and
-            // tenants alike. Each task owns slot `w`, so results land
-            // lock-free instead of contending on one mutex.
+            // comes next, on the serving lane so a concurrent fleet
+            // re-selection wave is preempted between tasks; worker
+            // scratches persist across batches and tenants alike. Each
+            // task owns slot `w`, so results land lock-free instead of
+            // contending on one mutex.
             let out: Vec<OnceLock<Result<Arc<Answer>, PgmError>>> =
                 (0..work.len()).map(|_| OnceLock::new()).collect();
             self.pool().run_wave(work.len(), &|w, scratch| {

@@ -1,5 +1,6 @@
 #![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
 //! # peanut-store
 //!
 //! Zero-copy persistence for published serving epochs: one mmap-able

@@ -61,6 +61,18 @@ macro_rules! int_atomic {
                 self.inner.fetch_sub(value, order)
             }
 
+            /// Atomic fetch-or (a model decision point).
+            pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                op_point();
+                self.inner.fetch_or(value, order)
+            }
+
+            /// Atomic fetch-and (a model decision point).
+            pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                op_point();
+                self.inner.fetch_and(value, order)
+            }
+
             /// Atomic swap (a model decision point).
             pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
                 op_point();
