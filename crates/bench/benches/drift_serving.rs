@@ -20,8 +20,8 @@ use peanut_core::{OfflineContext, Peanut, PeanutConfig, Workload};
 use peanut_junction::{build_junction_tree, QueryEngine};
 use peanut_pgm::{fixtures, BayesianNetwork, Scope};
 use peanut_serving::{
-    replay, LifecycleConfig, Query, RematerializationController, ReplayConfig, ServingConfig,
-    ServingEngine,
+    replay, LifecycleConfig, RematerializationController, ReplayConfig, ServeRequest,
+    ServingConfig, ServingEngine,
 };
 use peanut_workload::{drifting_queries, DriftSchedule};
 use std::hint::black_box;
@@ -61,7 +61,7 @@ struct Setup {
     tree: peanut_junction::JunctionTree,
     deep: Vec<Scope>,
     shallow: Vec<Scope>,
-    stream: Vec<Query>,
+    stream: Vec<ServeRequest>,
 }
 
 fn setup() -> Setup {
@@ -79,9 +79,9 @@ fn setup() -> Setup {
         after: 0.0,
         at: DRIFT_AT,
     };
-    let stream: Vec<Query> = drifting_queries(&deep, &shallow, &schedule, n_queries(), 77)
+    let stream: Vec<ServeRequest> = drifting_queries(&deep, &shallow, &schedule, n_queries(), 77)
         .into_iter()
-        .map(Query::Marginal)
+        .map(ServeRequest::marginal)
         .collect();
     Setup {
         bn,
@@ -123,7 +123,7 @@ fn lifecycle_cfg() -> LifecycleConfig {
 fn drive_with_lifecycle(
     serving: &ServingEngine<'_>,
     ctl: &mut RematerializationController<'_, '_>,
-    stream: &[Query],
+    stream: &[ServeRequest],
 ) -> (Vec<(u64, u64, usize, usize)>, usize) {
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
@@ -134,7 +134,7 @@ fn drive_with_lifecycle(
         let mut per_batch = Vec::new();
         for batch in stream.chunks(BATCH) {
             let (answers, stats) = serving.serve_batch(batch);
-            let errors = answers.iter().filter(|a| a.is_err()).count();
+            let errors = answers.iter().filter(|a| !a.is_served()).count();
             per_batch.push((
                 stats.epoch,
                 stats.total_ops,

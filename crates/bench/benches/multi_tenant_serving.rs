@@ -31,7 +31,7 @@ use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine};
 use peanut_pgm::{fixtures, BayesianNetwork, Scope};
 use peanut_serving::{
     poisson_arrivals, replay_mixed, replay_open_loop_mixed, AdmissionConfig, FleetConfig,
-    FleetController, FleetRebalance, OpenLoopConfig, Query, ReplayClock, ReplayConfig,
+    FleetController, FleetRebalance, OpenLoopConfig, ReplayClock, ReplayConfig, ServeRequest,
     ServingConfig, ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
 };
 use peanut_workload::{tenant_queries, zipf_weights, TenantTraffic};
@@ -113,7 +113,12 @@ fn trained_mat(tree: &JunctionTree, engine: &QueryEngine<'_>, pool: &[Scope]) ->
 }
 
 /// The fleet arrival stream: per-tenant steady pools, Zipf-skewed shares.
-fn arrival_stream(setup: &Setup, weights: &[f64], n: usize, seed: u64) -> Vec<(TenantId, Query)> {
+fn arrival_stream(
+    setup: &Setup,
+    weights: &[f64],
+    n: usize,
+    seed: u64,
+) -> Vec<(TenantId, ServeRequest)> {
     let tenants: Vec<TenantTraffic> = setup
         .pools
         .iter()
@@ -122,7 +127,7 @@ fn arrival_stream(setup: &Setup, weights: &[f64], n: usize, seed: u64) -> Vec<(T
         .collect();
     tenant_queries(&tenants, n, seed)
         .into_iter()
-        .map(|(t, q)| (TenantId(t as u32), Query::Marginal(q)))
+        .map(|(t, q)| (TenantId(t as u32), ServeRequest::marginal(q)))
         .collect()
 }
 
@@ -194,7 +199,7 @@ fn bench_multi_tenant_serving(c: &mut Criterion) {
     for _ in 0..PASSES {
         for (tid, q) in &stream {
             let (answers, _) = isolated[tid.0 as usize].serve_batch(std::slice::from_ref(q));
-            isolated_errors += answers.iter().filter(|a| a.is_err()).count();
+            isolated_errors += answers.iter().filter(|a| !a.is_served()).count();
         }
     }
     let isolated_wall = t0.elapsed();
@@ -267,7 +272,7 @@ fn bench_multi_tenant_serving(c: &mut Criterion) {
     );
     let protected = AdmissionConfig {
         max_tenant_backlog: 64,
-        ..AdmissionConfig::with_deadline(deadline)
+        ..AdmissionConfig::default().with_deadline(deadline)
     };
     let (_, shed) = replay_open_loop_mixed(
         &fresh_uncached(),

@@ -30,7 +30,8 @@ use peanut_pgm::Scope;
 use peanut_pgm::{fixtures, BayesianNetwork, Scratch};
 use peanut_serving::{
     poisson_arrivals, replay, replay_open_loop, workload_queries, AdmissionConfig, OpenLoopConfig,
-    Query, ReplayClock, ReplayConfig, ServingConfig, ServingEngine, SpawnMode, WorkloadMix,
+    ReplayClock, ReplayConfig, ServeOutcome, ServeRequest, ServingConfig, ServingEngine, SpawnMode,
+    WorkloadMix,
 };
 use peanut_workload::QuerySpec;
 use std::hint::black_box;
@@ -85,7 +86,7 @@ fn setup() -> Setup {
     Setup { bn, tree }
 }
 
-fn queries_for(tree: &JunctionTree) -> Vec<Query> {
+fn queries_for(tree: &JunctionTree) -> Vec<ServeRequest> {
     let rooted = RootedTree::new(tree);
     let mix = WorkloadMix {
         spec: QuerySpec {
@@ -100,19 +101,10 @@ fn queries_for(tree: &JunctionTree) -> Vec<Query> {
 
 fn materialized_engine<'t>(
     setup: &'t Setup,
-    queries: &[Query],
+    queries: &[ServeRequest],
 ) -> (QueryEngine<'t>, peanut_core::Materialization) {
     let engine = QueryEngine::numeric(&setup.tree, &setup.bn).expect("calibrates");
-    let train: Vec<peanut_pgm::Scope> = queries
-        .iter()
-        .map(|q| match q {
-            Query::Marginal(s) => s.clone(),
-            Query::Conditional { targets, evidence } => {
-                let ev = peanut_pgm::Scope::from_iter(evidence.iter().map(|&(v, _)| v));
-                targets.union(&ev)
-            }
-        })
-        .collect();
+    let train: Vec<peanut_pgm::Scope> = queries.iter().map(ServeRequest::stat_scope).collect();
     let ctx = OfflineContext::new(&setup.tree, &Workload::from_queries(train)).expect("context");
     let (mat, _) = Peanut::offline_numeric(
         &ctx,
@@ -125,14 +117,13 @@ fn materialized_engine<'t>(
 
 /// The baseline a non-serving caller runs: one query at a time, in order,
 /// no coalescing, no scratch carry-over.
-fn single_thread_loop(online: &OnlineEngine<'_, '_>, queries: &[Query]) -> usize {
+fn single_thread_loop(online: &OnlineEngine<'_, '_>, queries: &[ServeRequest]) -> usize {
     let mut answered = 0;
     for q in queries {
-        let ok = match q {
-            Query::Marginal(s) => online.answer(s).is_ok(),
-            Query::Conditional { targets, evidence } => {
-                online.conditional(targets, evidence).is_ok()
-            }
+        let ok = if q.is_marginal() {
+            online.answer(&q.targets).is_ok()
+        } else {
+            online.conditional(&q.targets, &q.evidence).is_ok()
         };
         answered += usize::from(ok);
     }
@@ -230,8 +221,8 @@ fn bench_query_serving(c: &mut Criterion) {
     // once. Caching is disabled so every wave carries fresh work, and the
     // queries are cheap adjacent-pair marginals — the regime where spawn
     // latency, not compute, dominates the wall clock.
-    let hot_batch: Vec<Query> = (0..HOT_BATCH as u32)
-        .map(|a| Query::Marginal(Scope::from_indices(&[a, a + 1])))
+    let hot_batch: Vec<ServeRequest> = (0..HOT_BATCH as u32)
+        .map(|a| ServeRequest::marginal(Scope::from_indices(&[a, a + 1])))
         .collect();
     for workers in worker_sweep() {
         let hot_engine = |spawn: SpawnMode| {
@@ -253,7 +244,7 @@ fn bench_query_serving(c: &mut Criterion) {
             for _ in 0..HOT_WAVES {
                 let (answers, _) = serving.serve_batch(&hot_batch);
                 assert!(
-                    answers.iter().all(Result::is_ok),
+                    answers.iter().all(ServeOutcome::is_served),
                     "hot waves must be error-free"
                 );
             }
@@ -355,7 +346,7 @@ fn bench_query_serving(c: &mut Criterion) {
             &fresh(),
             &overload_queries,
             &schedule,
-            &open_cfg(AdmissionConfig::with_deadline(deadline)),
+            &open_cfg(AdmissionConfig::default().with_deadline(deadline)),
         );
         assert_eq!(fifo.errors + shed.errors, 0, "overload runs are error-free");
         assert_eq!(
@@ -401,10 +392,7 @@ fn bench_scratch_reuse(c: &mut Criterion) {
     let online = OnlineEngine::new(&engine, &mat);
     let heaviest = queries
         .iter()
-        .filter_map(|q| match q {
-            Query::Marginal(s) => Some(s),
-            Query::Conditional { .. } => None,
-        })
+        .filter_map(|q| q.is_marginal().then_some(&q.targets))
         .max_by_key(|s| s.len())
         .expect("has marginals");
 

@@ -216,6 +216,7 @@ pub fn is_known_metric(key: &str) -> bool {
     const EXACT: &[&str] = &[
         "cold_start.rehydrate_speedup",
         "drift_serving.swap_improvement",
+        "evidence_sessions.session_speedup",
         "multi_tenant_serving.shared_pool_speedup",
         "multi_tenant_serving.overload_p99_ratio",
         "potential_ops.product_speedup",
@@ -436,6 +437,7 @@ mod tests {
         for key in [
             "cold_start.rehydrate_speedup",
             "drift_serving.swap_improvement",
+            "evidence_sessions.session_speedup",
             "multi_tenant_serving.shared_pool_speedup",
             "potential_ops.product_speedup",
             "potential_ops.product_many_speedup",

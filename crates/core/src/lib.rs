@@ -22,6 +22,8 @@
 //! * [`online`] — the online engine shared by every method: detect useful
 //!   shortcuts, shrink the Steiner tree, run (or cost) the reduced tree;
 //! * [`peanut`] — the assembled PEANUT / PEANUT+ methods;
+//! * [`request`] — [`ServeRequest`], the unified typed serving request
+//!   (targets plus pinned evidence) every serving surface converges on;
 //! * [`stats`] — runtime workload observation (per-scope arrivals, shortcut
 //!   hit rates, observed vs training benefit) feeding the epoch-versioned
 //!   serving lifecycle;
@@ -40,6 +42,7 @@ pub mod lrdp;
 pub mod online;
 pub mod peanut;
 pub mod plus;
+pub mod request;
 pub mod shortcut;
 pub mod stats;
 pub mod sync;
@@ -52,6 +55,7 @@ pub use flat::{FlatMaterialization, FlatView, SYMBOLIC_SPAN};
 pub use grid::BudgetGrid;
 pub use online::{Materialization, MaterializedShortcut, OnlineEngine, TracedAnswer};
 pub use peanut::{Peanut, PeanutConfig, Variant};
+pub use request::ServeRequest;
 pub use shortcut::Shortcut;
 pub use stats::{StatsSnapshot, WorkloadStats};
 pub use workload::Workload;

@@ -10,7 +10,7 @@ use crate::arena::TreeArena;
 use crate::rooted::RootedTree;
 use crate::tree::{CliqueId, EdgeId, JunctionTree};
 use peanut_pgm::{
-    divide_views, mul_assign_bcast, product_onto, BayesianNetwork, PgmError, Scratch, TableRef,
+    divide_views, mul_assign_bcast, product_onto, BayesianNetwork, PgmError, Scratch, TableRef, Var,
 };
 
 /// Dense clique and separator potentials attached to a junction tree,
@@ -100,6 +100,70 @@ impl NumericState {
         scratch.recycle(update);
         scratch.recycle(m);
         Ok(())
+    }
+
+    /// Absorbs an evidence assignment into a **copy** of this state and
+    /// returns it re-calibrated: every clique table of the result holds the
+    /// restricted joint `P(X_u, e)` (and every separator `P(sep, e)`).
+    ///
+    /// This is the Hugin evidence-entry step: for each `(var, value)` pair
+    /// the entries inconsistent with `value` are zeroed in *one* clique
+    /// containing `var`, then the two calibration passes propagate the
+    /// restriction through the whole tree. The caller pays two full passes
+    /// **once** per evidence context — the seam the serving layer's
+    /// evidence sessions amortize a pinned-evidence query stream over —
+    /// after which marginals of the restricted state are plain
+    /// single-table or Steiner-tree work, never a joint over
+    /// `targets ∪ vars(evidence)`.
+    ///
+    /// Impossible evidence (probability zero under the model, or two pairs
+    /// contradicting each other on one variable) is not an error: the
+    /// result's tables are all zero, matching the per-query conditional
+    /// path, and downstream normalization is a no-op on zero tables.
+    /// Unknown variables and out-of-range values fail with
+    /// [`PgmError::UnknownVar`] / [`PgmError::ValueOutOfRange`].
+    pub fn with_evidence(
+        &self,
+        tree: &JunctionTree,
+        rooted: &RootedTree,
+        evidence: &[(Var, u32)],
+    ) -> Result<NumericState, PgmError> {
+        let domain = tree.domain();
+        for &(v, value) in evidence {
+            if (v.0 as usize) >= domain.len() {
+                return Err(PgmError::UnknownVar(v));
+            }
+            let card = domain.card(v);
+            if value >= card {
+                return Err(PgmError::ValueOutOfRange {
+                    var: v,
+                    value,
+                    card,
+                });
+            }
+        }
+        let mut restricted = self.clone();
+        for &(v, value) in evidence {
+            // the running-intersection property guarantees some clique
+            // contains every domain variable the factor assignment touched;
+            // zeroing in exactly one clique is the standard likelihood entry
+            let u = (0..tree.n_cliques())
+                .find(|&u| tree.clique(u).contains(v))
+                .ok_or(PgmError::UnknownVar(v))?;
+            let (scope, cards, values) = restricted.arena.clique_mut(u);
+            let axis = scope.position(v).expect("clique contains evidence var");
+            // row-major, last variable fastest: the kept entries for
+            // `v = value` form one `inner`-wide slice per `block`
+            let inner: usize = cards[axis + 1..].iter().map(|&c| c as usize).product();
+            let keep = value as usize * inner;
+            let block = inner * cards[axis] as usize;
+            for chunk in values.chunks_mut(block) {
+                chunk[..keep].fill(0.0);
+                chunk[keep + inner..].fill(0.0);
+            }
+        }
+        restricted.calibrate(tree, rooted)?;
+        Ok(restricted)
     }
 
     /// Reattaches an already-calibrated value slab to a freshly laid-out
@@ -347,6 +411,76 @@ mod tests {
             NumericState::from_calibrated_slab(&other, st.arena().slab()),
             Err(PgmError::CorruptStore { .. })
         ));
+    }
+
+    #[test]
+    fn evidence_absorption_matches_restricted_joints() {
+        use peanut_pgm::Var;
+        let bn = fixtures::figure1();
+        let (tree, rooted, st) = calibrated(&bn);
+        let d = bn.domain();
+        let evidence = vec![(d.var("a").unwrap(), 1u32), (d.var("l").unwrap(), 0u32)];
+        let re = st.with_evidence(&tree, &rooted, &evidence).unwrap();
+        assert!(re.is_calibrated());
+        // every clique table must equal the joint over clique ∪ evidence,
+        // restricted to the evidence values (i.e. P(X_u, e))
+        for u in 0..tree.n_cliques() {
+            let clique = tree.clique(u);
+            let ev_scope = peanut_pgm::Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+            let mut oracle = joint::marginal(&bn, &clique.union(&ev_scope)).unwrap();
+            let mut got = re.clique_table(u).to_potential();
+            let mass = got.sum();
+            for &(v, val) in &evidence {
+                if oracle.scope().contains(v) {
+                    oracle = oracle.restrict(v, val).unwrap();
+                }
+                if got.scope().contains(v) {
+                    got = got.restrict(v, val).unwrap();
+                }
+            }
+            assert!(
+                got.max_abs_diff(&oracle).unwrap() < 1e-9,
+                "clique {u} restricted mismatch"
+            );
+            // all mass sits on the evidence-consistent entries
+            assert!((got.sum() - mass).abs() < 1e-12, "clique {u} stray mass");
+        }
+        // contradictory evidence on one variable zeroes the whole tree
+        let zero = st
+            .with_evidence(
+                &tree,
+                &rooted,
+                &[(d.var("a").unwrap(), 0), (d.var("a").unwrap(), 1)],
+            )
+            .unwrap();
+        assert!(zero.arena().slab().iter().all(|&v| v == 0.0));
+        // validation failures are typed
+        assert!(matches!(
+            st.with_evidence(&tree, &rooted, &[(Var(9999), 0)]),
+            Err(PgmError::UnknownVar(_))
+        ));
+        let a = d.var("a").unwrap();
+        assert!(matches!(
+            st.with_evidence(&tree, &rooted, &[(a, d.card(a))]),
+            Err(PgmError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn evidence_absorption_is_deterministic_bitwise() {
+        let bn = fixtures::chain(10, 2, 7);
+        let (tree, rooted, st) = calibrated(&bn);
+        let d = bn.domain();
+        let evidence: Vec<_> = d.all_vars().take(2).map(|v| (v, 1u32)).collect();
+        let x = st.with_evidence(&tree, &rooted, &evidence).unwrap();
+        let y = st.with_evidence(&tree, &rooted, &evidence).unwrap();
+        for (a, b) in x.arena().slab().iter().zip(y.arena().slab()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // the source state is untouched (the absorption copies)
+        assert!(st.local_consistency_error(&tree).unwrap() < 1e-9);
+        let total: f64 = st.clique_table(0).to_potential().sum();
+        assert!((total - 1.0).abs() < 1e-9, "prior tables still normalized");
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! A [`ServingEngine`] wraps one calibrated
 //! [`QueryEngine`] plus an **epoch-versioned,
 //! hot-swappable** [`Materialization`] and
-//! answers *batches* of queries:
+//! answers *batches* of typed [`ServeRequest`]s — targets plus pinned
+//! evidence, the one request shape every serving surface accepts:
 //!
-//! 1. duplicate queries inside a batch are coalesced and computed once
+//! 1. duplicate requests inside a batch are coalesced and computed once
 //!    (workloads sample pools with replacement, so real batches repeat);
+//!    the coalescing key is the whole request, so the same targets under
+//!    different evidence are — correctly — different computations;
 //! 2. the unique queries are claimed work-stealing-style by `workers`
 //!    **persistent** pool threads ([`WorkerPool`]), parked between batches
 //!    — or by scoped per-batch threads under [`SpawnMode::Scoped`], the
@@ -34,11 +37,15 @@
 //!
 //! [`publish`]: ServingEngine::publish
 
+use crate::overload::ServeOutcome;
 use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
+use crate::session::SessionCounters;
 use peanut_core::exec::Executor;
 use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use peanut_core::sync::{thread, Arc, Mutex, OnceLock, RwLock};
-use peanut_core::{FlatMaterialization, Materialization, OnlineEngine, WorkloadStats};
+use peanut_core::{
+    FlatMaterialization, Materialization, OnlineEngine, ServeRequest, WorkloadStats,
+};
 use peanut_junction::cost::QueryCost;
 use peanut_junction::QueryEngine;
 use peanut_pgm::{PgmError, Potential, Scope, Scratch, Size, Var};
@@ -48,7 +55,9 @@ use std::ops::Deref;
 use std::panic::resume_unwind;
 use std::time::{Duration, Instant};
 
-/// One query as submitted by a client.
+/// One query in the pre-[`ServeRequest`] enum form. The serving surfaces
+/// now take [`ServeRequest`] directly; this enum remains as a builder
+/// convenience and converts losslessly via `From<Query> for ServeRequest`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Query {
     /// `P(scope)`.
@@ -90,6 +99,15 @@ impl Query {
                 let ev = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
                 targets.union(&ev)
             }
+        }
+    }
+}
+
+impl From<Query> for ServeRequest {
+    fn from(q: Query) -> Self {
+        match q {
+            Query::Marginal(s) => ServeRequest::marginal(s),
+            Query::Conditional { targets, evidence } => ServeRequest::new(targets, evidence),
         }
     }
 }
@@ -195,6 +213,32 @@ impl Default for ServingConfig {
     }
 }
 
+impl ServingConfig {
+    /// Sets the worker-thread count (chainable). `0` means one per core.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables in-batch coalescing (chainable).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Sets the answer-cache capacity (chainable). `0` disables caching.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the fan-out mode (chainable).
+    pub fn with_spawn(mut self, spawn: SpawnMode) -> Self {
+        self.spawn = spawn;
+        self
+    }
+}
+
 /// Bounded FIFO map of fully computed answers. Entries are tagged with the
 /// epoch of the answer they hold; lookups under a newer epoch drop the
 /// entry lazily instead of flushing the cache on swap. The eviction queue
@@ -203,8 +247,8 @@ impl Default for ServingConfig {
 /// fresher entry by key collision.
 #[derive(Default)]
 pub(crate) struct AnswerCache {
-    map: HashMap<Query, Arc<Answer>>,
-    order: VecDeque<(Query, u64)>,
+    map: HashMap<ServeRequest, Arc<Answer>>,
+    order: VecDeque<(ServeRequest, u64)>,
 }
 
 pub(crate) enum CacheLookup {
@@ -214,7 +258,7 @@ pub(crate) enum CacheLookup {
 }
 
 impl AnswerCache {
-    pub(crate) fn lookup(&mut self, q: &Query, epoch: u64) -> CacheLookup {
+    pub(crate) fn lookup(&mut self, q: &ServeRequest, epoch: u64) -> CacheLookup {
         match self.map.get(q) {
             Some(hit) if hit.epoch == epoch => CacheLookup::Hit(Arc::clone(hit)),
             Some(hit) if hit.epoch < epoch => {
@@ -244,7 +288,7 @@ impl AnswerCache {
         true
     }
 
-    pub(crate) fn insert(&mut self, capacity: usize, q: Query, a: Arc<Answer>) {
+    pub(crate) fn insert(&mut self, capacity: usize, q: ServeRequest, a: Arc<Answer>) {
         if capacity == 0 {
             return;
         }
@@ -300,16 +344,16 @@ struct EngineStore {
 /// use peanut_core::Materialization;
 /// use peanut_junction::{build_junction_tree, QueryEngine};
 /// use peanut_pgm::{fixtures, Scope};
-/// use peanut_serving::{Query, ServingConfig, ServingEngine};
+/// use peanut_serving::{ServeRequest, ServingConfig, ServingEngine};
 ///
 /// let bn = fixtures::sprinkler();
 /// let tree = build_junction_tree(&bn).unwrap();
 /// let engine = QueryEngine::numeric(&tree, &bn).unwrap();
 /// let serving = ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
 ///
-/// let batch = [Query::Marginal(Scope::from_indices(&[0]))];
-/// let (answers, stats) = serving.serve_batch(&batch);
-/// assert!(answers[0].is_ok());
+/// let batch = [ServeRequest::marginal(Scope::from_indices(&[0]))];
+/// let (outcomes, stats) = serving.serve_batch(&batch);
+/// assert!(outcomes[0].is_served());
 /// assert_eq!(stats.unique, 1);
 /// ```
 pub struct ServingEngine<'t> {
@@ -323,6 +367,9 @@ pub struct ServingEngine<'t> {
     pool: PoolCell,
     /// Optional epoch persistence ([`set_store`](Self::set_store)).
     store: Option<EngineStore>,
+    /// Evidence-session registry counters (open/active/backlog), shared
+    /// with the [`crate::session`] module.
+    pub(crate) sessions: SessionCounters,
 }
 
 impl<'t> ServingEngine<'t> {
@@ -351,6 +398,7 @@ impl<'t> ServingEngine<'t> {
             cache: Mutex::new(AnswerCache::default()),
             pool: PoolCell::new(),
             store: None,
+            sessions: SessionCounters::default(),
         }
     }
 
@@ -584,6 +632,12 @@ impl<'t> ServingEngine<'t> {
         &self.engine
     }
 
+    /// The configured fan-out mode (session serving mirrors the batch
+    /// path's spawn choice).
+    pub(crate) fn spawn_mode(&self) -> SpawnMode {
+        self.cfg.spawn
+    }
+
     /// The worker count a batch will actually use (before capping by batch
     /// size).
     pub fn workers(&self) -> usize {
@@ -596,11 +650,13 @@ impl<'t> ServingEngine<'t> {
         }
     }
 
-    /// Answers a batch. Results come back in submission order; duplicate
-    /// queries share one computation (and its telemetry) when deduping is
-    /// on. The whole batch is served under one epoch snapshot — a
-    /// concurrent [`publish`](Self::publish) affects only later batches.
-    pub fn serve_batch(&self, batch: &[Query]) -> (Vec<Result<Served, PgmError>>, BatchStats) {
+    /// Answers a batch of [`ServeRequest`]s. Outcomes come back in
+    /// submission order; duplicate requests share one computation (and its
+    /// telemetry) when deduping is on. The whole batch is served under one
+    /// epoch snapshot — a concurrent [`publish`](Self::publish) affects
+    /// only later batches. This path never sheds, so every outcome is
+    /// [`ServeOutcome::Served`] or [`ServeOutcome::Failed`].
+    pub fn serve_batch(&self, batch: &[ServeRequest]) -> (Vec<ServeOutcome>, BatchStats) {
         let start = Instant::now();
         // epoch snapshot: the materialization and its stats accumulator
         let (mat, stats) = self.epoch_snapshot();
@@ -615,8 +671,8 @@ impl<'t> ServingEngine<'t> {
         }
 
         // coalesce duplicates: assign[i] = index into `uniques`
-        let (uniques, assign): (Vec<&Query>, Vec<usize>) = if self.cfg.dedup {
-            let mut first_of: HashMap<&Query, usize> = HashMap::with_capacity(batch.len());
+        let (uniques, assign): (Vec<&ServeRequest>, Vec<usize>) = if self.cfg.dedup {
+            let mut first_of: HashMap<&ServeRequest, usize> = HashMap::with_capacity(batch.len());
             let mut uniques = Vec::new();
             let assign = batch
                 .iter()
@@ -738,7 +794,7 @@ impl<'t> ServingEngine<'t> {
 
         if self.cfg.cache_capacity > 0 && !work.is_empty() {
             // zero-copy admission: the cache shares the caller's Arc
-            let fresh: Vec<(Query, Arc<Answer>)> = work
+            let fresh: Vec<(ServeRequest, Arc<Answer>)> = work
                 .iter()
                 .filter_map(|&i| match &unique_results[i] {
                     Some(Ok(a)) => Some(((*uniques[i]).clone(), Arc::clone(a))),
@@ -772,6 +828,12 @@ impl<'t> ServingEngine<'t> {
                 if extra > 0 {
                     stats.record_n(&q.stat_scope(), &a.cost, a.baseline_ops, extra);
                 }
+                // evidence contexts weigh arrivals too — the per-worker
+                // OnlineEngine records scopes but knows nothing about
+                // evidence, so conditioned requests log theirs here
+                if !q.is_marginal() {
+                    stats.record_evidence(&q.evidence_scope(), uses[i]);
+                }
             }
         }
 
@@ -783,11 +845,11 @@ impl<'t> ServingEngine<'t> {
                 // lint:allow(hot_panic) — invariant: every unique index is
                 // either a cache hit or a member of `work`, both filled above.
                 |u| match unique_results[u].as_ref().expect("all uniques computed") {
-                    Ok(a) => Ok(Served {
+                    Ok(a) => ServeOutcome::Served(Served {
                         answer: Arc::clone(a),
                         from_cache: from_cache[u],
                     }),
-                    Err(e) => Err(e.clone()),
+                    Err(e) => ServeOutcome::Failed(e.clone()),
                 },
             )
             .collect();
@@ -798,16 +860,15 @@ impl<'t> ServingEngine<'t> {
 
 pub(crate) fn answer_one(
     online: &OnlineEngine<'_, '_>,
-    q: &Query,
+    req: &ServeRequest,
     scratch: &mut Scratch,
     epoch: u64,
 ) -> Result<Answer, PgmError> {
     let t = Instant::now();
-    let traced = match q {
-        Query::Marginal(scope) => online.answer_traced_in(scope, scratch)?,
-        Query::Conditional { targets, evidence } => {
-            online.conditional_traced_in(targets, evidence, scratch)?
-        }
+    let traced = if req.is_marginal() {
+        online.answer_traced_in(&req.targets, scratch)?
+    } else {
+        online.conditional_traced_in(&req.targets, &req.evidence, scratch)?
     };
     Ok(Answer {
         potential: traced.potential,
@@ -824,22 +885,36 @@ mod tests {
     use peanut_junction::build_junction_tree;
     use peanut_pgm::{fixtures, joint};
 
-    fn queries(bn: &peanut_pgm::BayesianNetwork) -> Vec<Query> {
+    fn queries(bn: &peanut_pgm::BayesianNetwork) -> Vec<ServeRequest> {
         let d = bn.domain();
         let n = d.len() as u32;
-        let mut qs: Vec<Query> = (0..n)
+        let mut qs: Vec<ServeRequest> = (0..n)
             .flat_map(|a| {
-                ((a + 1)..n.min(a + 3)).map(move |b| Query::Marginal(Scope::from_indices(&[a, b])))
+                ((a + 1)..n.min(a + 3))
+                    .map(move |b| ServeRequest::marginal(Scope::from_indices(&[a, b])))
             })
             .collect();
-        qs.push(Query::Conditional {
-            targets: Scope::from_indices(&[0]),
-            evidence: vec![(Var(n - 1), 0)],
-        });
+        qs.push(ServeRequest::new(
+            Scope::from_indices(&[0]),
+            vec![(Var(n - 1), 0)],
+        ));
         // force duplicates
         let dup = qs[0].clone();
         qs.push(dup);
         qs
+    }
+
+    #[test]
+    fn query_enum_converts_losslessly() {
+        let m: ServeRequest = Query::Marginal(Scope::from_indices(&[2, 5])).into();
+        assert_eq!(m, ServeRequest::marginal(Scope::from_indices(&[2, 5])));
+        let c: ServeRequest =
+            Query::conditioned(Scope::from_indices(&[1]), vec![(Var(3), 1)]).into();
+        assert_eq!(
+            c,
+            ServeRequest::new(Scope::from_indices(&[1]), vec![(Var(3), 1)])
+        );
+        assert_eq!(c.stat_scope(), Scope::from_indices(&[1, 3]));
     }
 
     #[test]
@@ -850,10 +925,7 @@ mod tests {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                workers: 3,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default().with_workers(3),
         );
         let batch = queries(&bn);
         let (answers, stats) = serving.serve_batch(&batch);
@@ -861,18 +933,19 @@ mod tests {
         assert_eq!(stats.queries, batch.len());
         assert_eq!(stats.epoch, 0);
         assert!(stats.unique < batch.len(), "duplicate must coalesce");
-        for (q, a) in batch.iter().zip(&answers) {
-            let a = a.as_ref().expect("served");
+        // the one conditioned request logged its evidence context
+        let snap = serving.stats().snapshot();
+        assert_eq!(snap.evidence_queries, 1);
+        assert_eq!(serving.stats().evidence_scope_counts().len(), 1);
+        for (q, o) in batch.iter().zip(&answers) {
+            let a = o.served().expect("served");
             assert_eq!(a.epoch, 0);
-            match q {
-                Query::Marginal(s) => {
-                    let want = joint::marginal(&bn, s).unwrap();
-                    assert!(a.potential.max_abs_diff(&want).unwrap() < 1e-9);
-                }
-                Query::Conditional { targets, .. } => {
-                    assert_eq!(a.potential.scope(), targets);
-                    assert!((a.potential.sum() - 1.0).abs() < 1e-9);
-                }
+            if q.is_marginal() {
+                let want = joint::marginal(&bn, &q.targets).unwrap();
+                assert!(a.potential.max_abs_diff(&want).unwrap() < 1e-9);
+            } else {
+                assert_eq!(a.potential.scope(), &q.targets);
+                assert!((a.potential.sum() - 1.0).abs() < 1e-9);
             }
             assert!(a.cost.ops > 0);
             assert!(a.baseline_ops >= a.cost.ops);
@@ -887,14 +960,12 @@ mod tests {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                workers: 1,
-                dedup: false,
-                cache_capacity: 0,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default()
+                .with_workers(1)
+                .with_dedup(false)
+                .with_cache_capacity(0),
         );
-        let q = Query::Marginal(Scope::from_indices(&[0, 3]));
+        let q = ServeRequest::marginal(Scope::from_indices(&[0, 3]));
         let batch = vec![q.clone(), q.clone(), q];
         let (answers, stats) = serving.serve_batch(&batch);
         assert_eq!(stats.unique, 3);
@@ -909,16 +980,13 @@ mod tests {
         let serving =
             ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
         let batch = vec![
-            Query::Marginal(Scope::from_indices(&[0])),
+            ServeRequest::marginal(Scope::from_indices(&[0])),
             // overlapping targets/evidence is rejected per-query
-            Query::Conditional {
-                targets: Scope::from_indices(&[1]),
-                evidence: vec![(Var(1), 0)],
-            },
+            ServeRequest::new(Scope::from_indices(&[1]), vec![(Var(1), 0)]),
         ];
         let (answers, _) = serving.serve_batch(&batch);
-        assert!(answers[0].is_ok());
-        assert!(answers[1].is_err());
+        assert!(answers[0].is_served());
+        assert!(answers[1].failure().is_some());
     }
 
     #[test]
@@ -935,7 +1003,7 @@ mod tests {
         assert_eq!(s2.cache_hits, s2.unique, "second pass fully cached");
         assert_eq!(s2.total_ops, 0, "cache hits charge no fresh ops");
         for (a, b) in first.iter().zip(&second) {
-            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            let (a, b) = (a.served().unwrap(), b.served().unwrap());
             // the warm path must share the first pass's table, not copy it
             assert!(
                 Arc::ptr_eq(&a.answer, &b.answer),
@@ -954,13 +1022,10 @@ mod tests {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                cache_capacity: 2,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default().with_cache_capacity(2),
         );
-        let qs: Vec<Query> = (0..4u32)
-            .map(|i| Query::Marginal(Scope::from_indices(&[i])))
+        let qs: Vec<ServeRequest> = (0..4u32)
+            .map(|i| ServeRequest::marginal(Scope::from_indices(&[i])))
             .collect();
         serving.serve_batch(&qs);
         let cached = serving.cache.lock().map.len();
@@ -976,9 +1041,9 @@ mod tests {
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
         let serving =
             ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
-        let q = Query::Marginal(Scope::from_indices(&[0, 2]));
+        let q = ServeRequest::marginal(Scope::from_indices(&[0, 2]));
         let (answers, _) = serving.serve_batch(std::slice::from_ref(&q));
-        let mut newer = (*answers[0].as_ref().unwrap().answer).clone();
+        let mut newer = (*answers[0].served().unwrap().answer).clone();
         newer.epoch = 1;
 
         let mut cache = AnswerCache::default();
@@ -1001,14 +1066,11 @@ mod tests {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                cache_capacity: 4,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default().with_cache_capacity(4),
         );
         let batch = vec![
-            Query::Marginal(Scope::from_indices(&[0, 2])),
-            Query::Marginal(Scope::from_indices(&[1, 3])),
+            ServeRequest::marginal(Scope::from_indices(&[0, 2])),
+            ServeRequest::marginal(Scope::from_indices(&[1, 3])),
         ];
         for _ in 0..20 {
             serving.serve_batch(&batch);
@@ -1041,7 +1103,7 @@ mod tests {
         assert_eq!(s2.cache_hits, 0, "pre-swap entries must not hit");
         assert_eq!(s2.stale_hits, s2.unique, "stale entries dropped lazily");
         for (a, b) in first.iter().zip(&second) {
-            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            let (a, b) = (a.served().unwrap(), b.served().unwrap());
             assert_eq!(a.epoch, 0);
             assert_eq!(b.epoch, 1);
             assert!(!b.from_cache);
@@ -1113,7 +1175,7 @@ mod tests {
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
         let serving =
             ServingEngine::new(engine, Materialization::default(), ServingConfig::default());
-        let q = Query::Marginal(Scope::from_indices(&[0, 3]));
+        let q = ServeRequest::marginal(Scope::from_indices(&[0, 3]));
         let batch = vec![q.clone(), q.clone(), q.clone()];
         serving.serve_batch(&batch); // 1 computation, 3 arrivals
         serving.serve_batch(&batch); // 1 cache hit, 3 arrivals

@@ -30,12 +30,22 @@
 //!   re-selections run on — routed to [`Lane::Remat`] so they can never
 //!   head-of-line block query traffic — and surfaces [`PoolStats`]
 //!   (spawn-amortization telemetry) for the benches.
+//! * [`session`](mod@session) — stateful evidence sessions: an
+//!   [`EvidenceSession`] pins an evidence assignment once
+//!   ([`ServingEngine::open_session`]), absorbing it into a session-local
+//!   restricted engine and re-calibrating a single time, then streams
+//!   plain target marginals against it — amortizing the evidence cost the
+//!   per-query conditional path re-pays on every request. Sessions
+//!   snapshot their epoch at open (publish-isolated), fan out on the
+//!   serving-priority lane, and feed observed evidence contexts into the
+//!   epoch's [`WorkloadStats`](peanut_core::WorkloadStats) so re-selection
+//!   prices shortcuts under the restricted distribution.
 //! * [`shard`] — multi-tenant sharded serving: a
 //!   [`ShardedServingEngine`] registry of
 //!   tenants (each a calibrated tree with its own epoch-versioned
 //!   materialization, stats and answer cache) that fans mixed
-//!   `(TenantId, Query)` batches across one shared worker pool, with
-//!   per-tenant dedup and fully isolated epoch state. With a
+//!   `(TenantId, ServeRequest)` batches across one shared worker pool,
+//!   with per-tenant dedup and fully isolated epoch state. With a
 //!   [`StoreConfig`] attached, the registry doubles as an LRU resident
 //!   set: cold tenants page out to mmap-able epoch files and fault back
 //!   in on their next arrival (`peanut-store`).
@@ -66,6 +76,7 @@ pub mod overload;
 #[allow(unsafe_code)]
 pub mod pool;
 pub mod replay;
+pub mod session;
 pub mod shard;
 
 pub use engine::{Answer, BatchStats, Query, Served, ServingConfig, ServingEngine};
@@ -74,6 +85,7 @@ pub use lifecycle::{
     RematerializationController, SwapEvent, TenantAllocation,
 };
 pub use overload::{AdmissionConfig, ServeOutcome, ShedReason};
+pub use peanut_core::ServeRequest;
 pub use peanut_store::StoreConfig;
 pub use pool::{Lane, LaneExecutor, PoolStats, SpawnMode, WaveHandle, WorkerPool};
 pub use replay::{
@@ -81,4 +93,5 @@ pub use replay::{
     workload_queries, OpenLoopConfig, OpenLoopReport, ReplayClock, ReplayConfig, ReplayReport,
     WorkloadMix,
 };
+pub use session::EvidenceSession;
 pub use shard::{MixedBatchStats, PagingStats, ShardConfig, ShardedServingEngine, TenantId};

@@ -114,6 +114,40 @@ impl LifecycleConfig {
             threads: 1,
         }
     }
+
+    /// Sets the observation-window size (chainable, like every `with_*`
+    /// knob on the serving configs).
+    pub fn with_min_window(mut self, min_window: u64) -> Self {
+        self.min_window = min_window;
+        self
+    }
+
+    /// Sets the ring of closed windows kept for drift detection
+    /// (chainable).
+    pub fn with_window_ring(mut self, window_ring: usize) -> Self {
+        self.window_ring = window_ring;
+        self
+    }
+
+    /// Sets the benefit-decay fraction that triggers re-selection
+    /// (chainable).
+    pub fn with_decay_threshold(mut self, decay_threshold: f64) -> Self {
+        self.decay_threshold = decay_threshold;
+        self
+    }
+
+    /// Sets the re-selection variant (chainable).
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the offline fan-out thread count used when the engine has no
+    /// pool to lend (chainable).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// One published re-materialization, as observed by the controller.
@@ -481,6 +515,24 @@ impl FleetConfig {
             decay_threshold: 0.5,
             share_drift: 0.25,
         }
+    }
+
+    /// Sets the fleet-wide observation-window size (chainable).
+    pub fn with_min_window(mut self, min_window: u64) -> Self {
+        self.min_window = min_window;
+        self
+    }
+
+    /// Enables or disables the per-tenant candidate cache (chainable).
+    pub fn with_cache_candidates(mut self, cache_candidates: bool) -> Self {
+        self.cache_candidates = cache_candidates;
+        self
+    }
+
+    /// Sets the share-drift rebalance trigger (chainable).
+    pub fn with_share_drift(mut self, share_drift: f64) -> Self {
+        self.share_drift = share_drift;
+        self
     }
 }
 
@@ -908,14 +960,16 @@ fn fingerprint(mat: &Materialization) -> Vec<(Vec<usize>, Size)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Query, ServingConfig};
+    use crate::engine::ServingConfig;
+    use crate::overload::ServeOutcome;
     use crate::shard::ShardConfig;
+    use peanut_core::ServeRequest;
     use peanut_junction::build_junction_tree;
-    use peanut_pgm::fixtures;
+    use peanut_pgm::{fixtures, Var};
 
-    fn pair_queries(lo: u32, hi: u32, span: u32) -> Vec<Query> {
+    fn pair_queries(lo: u32, hi: u32, span: u32) -> Vec<ServeRequest> {
         (lo..hi.saturating_sub(span))
-            .map(|a| Query::Marginal(Scope::from_indices(&[a, a + span])))
+            .map(|a| ServeRequest::marginal(Scope::from_indices(&[a, a + span])))
             .collect()
     }
 
@@ -929,7 +983,7 @@ mod tests {
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
 
         // train on deep long-range pairs
-        let train: Vec<Query> = pair_queries(10, 20, 5);
+        let train: Vec<ServeRequest> = pair_queries(10, 20, 5);
         let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
         let ctx = OfflineContext::new(&tree, &train_w).unwrap();
         let (mat, _) = Peanut::offline_numeric(
@@ -940,22 +994,13 @@ mod tests {
         .unwrap();
         assert!(!mat.is_empty(), "test premise: training selects shortcuts");
 
-        let serving = ServingEngine::new(
-            engine,
-            mat,
-            ServingConfig {
-                workers: 1,
-                ..ServingConfig::default()
-            },
-        );
+        let serving = ServingEngine::new(engine, mat, ServingConfig::default().with_workers(1));
         let mut ctl = RematerializationController::new(
             &serving,
             &train_w,
-            LifecycleConfig {
-                min_window: 32,
-                window_ring: 2,
-                ..LifecycleConfig::new(512)
-            },
+            LifecycleConfig::new(512)
+                .with_min_window(32)
+                .with_window_ring(2),
         );
         assert!(ctl.reference_savings() > 0.0);
 
@@ -969,7 +1014,7 @@ mod tests {
         // full drift to shallow pairs the training shortcuts don't cover;
         // the ring must fill with decayed windows before the controller
         // reacts, so drive plenty
-        let drifted: Vec<Query> = pair_queries(0, 10, 5);
+        let drifted: Vec<ServeRequest> = pair_queries(0, 10, 5);
         let mut swapped = None;
         for _ in 0..40 {
             serving.serve_batch(&drifted);
@@ -1008,18 +1053,12 @@ mod tests {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                workers: 1,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default().with_workers(1),
         );
         let mut ctl = RematerializationController::new(
             &serving,
             &Workload::default(),
-            LifecycleConfig {
-                min_window: 16,
-                ..LifecycleConfig::new(512)
-            },
+            LifecycleConfig::new(512).with_min_window(16),
         );
         let traffic = pair_queries(0, 16, 6);
         let mut swapped = false;
@@ -1049,7 +1088,7 @@ mod tests {
         let bn = fixtures::chain(14, 2, 13);
         let tree = build_junction_tree(&bn).unwrap();
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
-        let train: Vec<Query> = pair_queries(0, 14, 5);
+        let train: Vec<ServeRequest> = pair_queries(0, 14, 5);
         let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
         let ctx = OfflineContext::new(&tree, &train_w).unwrap();
         let (mat, _) = Peanut::offline_numeric(
@@ -1062,16 +1101,14 @@ mod tests {
         let mut ctl = RematerializationController::new(
             &serving,
             &train_w,
-            LifecycleConfig {
-                min_window: 8,
-                window_ring: 2,
-                ..LifecycleConfig::new(512)
-            },
+            LifecycleConfig::new(512)
+                .with_min_window(8)
+                .with_window_ring(2),
         );
         assert!(ctl.reference_savings() > 0.0, "test premise");
         // single-variable in-clique queries: cost == baseline, always
-        let flat: Vec<Query> = (0..14u32)
-            .map(|v| Query::Marginal(Scope::from_indices(&[v])))
+        let flat: Vec<ServeRequest> = (0..14u32)
+            .map(|v| ServeRequest::marginal(Scope::from_indices(&[v])))
             .collect();
         for _ in 0..12 {
             serving.serve_batch(&flat);
@@ -1093,7 +1130,7 @@ mod tests {
         let bn = fixtures::chain(14, 2, 13);
         let tree = build_junction_tree(&bn).unwrap();
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
-        let train: Vec<Query> = pair_queries(0, 14, 5);
+        let train: Vec<ServeRequest> = pair_queries(0, 14, 5);
         let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
         let ctx = OfflineContext::new(&tree, &train_w).unwrap();
         let (mat, _) = Peanut::offline_numeric(
@@ -1106,11 +1143,9 @@ mod tests {
         let mut ctl = RematerializationController::new(
             &serving,
             &train_w,
-            LifecycleConfig {
-                min_window: 16,
-                decay_threshold: 0.9,
-                ..LifecycleConfig::new(512)
-            },
+            LifecycleConfig::new(512)
+                .with_min_window(16)
+                .with_decay_threshold(0.9),
         );
         for _ in 0..6 {
             serving.serve_batch(&train);
@@ -1128,7 +1163,7 @@ mod tests {
         let bn = fixtures::chain(20, 2, 13);
         let tree = build_junction_tree(&bn).unwrap();
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
-        let train: Vec<Query> = pair_queries(10, 20, 5);
+        let train: Vec<ServeRequest> = pair_queries(10, 20, 5);
         let train_w = Workload::from_queries(train.iter().map(|q| q.stat_scope()));
         let ctx = OfflineContext::new(&tree, &train_w).unwrap();
         let (mat, _) = Peanut::offline_numeric(
@@ -1138,29 +1173,21 @@ mod tests {
         )
         .unwrap();
         assert!(!mat.is_empty(), "test premise");
-        let serving = ServingEngine::new(
-            engine,
-            mat,
-            ServingConfig {
-                workers: 1,
-                ..ServingConfig::default()
-            },
-        );
+        let serving = ServingEngine::new(engine, mat, ServingConfig::default().with_workers(1));
         let mut ctl = RematerializationController::new(
             &serving,
             &train_w,
-            LifecycleConfig {
-                min_window: 8,
-                window_ring: 3,
-                ..LifecycleConfig::new(512)
-            },
+            LifecycleConfig::new(512)
+                .with_min_window(8)
+                .with_window_ring(3),
         );
         // one batch = one observation window (5 queries < 2×min_window)
-        let blip: Vec<Query> = pair_queries(0, 10, 5)
+        let blip: Vec<ServeRequest> = pair_queries(0, 10, 5)
             .into_iter()
             .flat_map(|q| [q.clone(), q])
             .collect();
-        let healthy: Vec<Query> = train.iter().flat_map(|q| [q.clone(), q.clone()]).collect();
+        let healthy: Vec<ServeRequest> =
+            train.iter().flat_map(|q| [q.clone(), q.clone()]).collect();
 
         // healthy history fills the ring
         for _ in 0..4 {
@@ -1205,10 +1232,7 @@ mod tests {
         let bn_b = fixtures::chain(18, 2, 29);
         let tree_a = build_junction_tree(&bn_a).unwrap();
         let tree_b = build_junction_tree(&bn_b).unwrap();
-        let mut sharded = ShardedServingEngine::new(ShardConfig {
-            workers: 1,
-            ..ShardConfig::default()
-        });
+        let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(1));
         sharded
             .register(
                 TenantId(0),
@@ -1227,16 +1251,13 @@ mod tests {
         let global_budget = 192;
         let mut ctl = FleetController::new(
             &sharded,
-            FleetConfig {
-                min_window: 64,
-                ..FleetConfig::new(global_budget)
-            },
+            FleetConfig::new(global_budget).with_min_window(64),
         );
 
         let pool_a = pair_queries(0, 18, 7);
         let pool_b = pair_queries(0, 18, 7);
         let serve_mix = |a_arrivals: usize, b_arrivals: usize| {
-            let mut batch: Vec<(TenantId, Query)> = Vec::new();
+            let mut batch: Vec<(TenantId, ServeRequest)> = Vec::new();
             for i in 0..a_arrivals {
                 batch.push((TenantId(0), pool_a[i % pool_a.len()].clone()));
             }
@@ -1244,7 +1265,7 @@ mod tests {
                 batch.push((TenantId(1), pool_b[i % pool_b.len()].clone()));
             }
             let (answers, _) = sharded.serve_mixed(&batch);
-            assert!(answers.iter().all(Result::is_ok));
+            assert!(answers.iter().all(ServeOutcome::is_served));
         };
 
         // phase 1: tenant 0 dominates (75% of traffic)
@@ -1290,10 +1311,7 @@ mod tests {
         let bn_b = fixtures::chain(18, 2, 29);
         let tree_a = build_junction_tree(&bn_a).unwrap();
         let tree_b = build_junction_tree(&bn_b).unwrap();
-        let mut sharded = ShardedServingEngine::new(ShardConfig {
-            workers: 1,
-            ..ShardConfig::default()
-        });
+        let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(1));
         sharded
             .register(
                 TenantId(0),
@@ -1311,14 +1329,11 @@ mod tests {
         let global_budget = 48;
         let mut ctl = FleetController::new(
             &sharded,
-            FleetConfig {
-                min_window: 32,
-                ..FleetConfig::new(global_budget)
-            },
+            FleetConfig::new(global_budget).with_min_window(32),
         );
         let pool = pair_queries(0, 18, 7);
         let serve = |a: usize, b: usize| {
-            let mut batch: Vec<(TenantId, Query)> = Vec::new();
+            let mut batch: Vec<(TenantId, ServeRequest)> = Vec::new();
             for i in 0..a {
                 batch.push((TenantId(0), pool[i % pool.len()].clone()));
             }
@@ -1382,10 +1397,7 @@ mod tests {
         let tree_a = build_junction_tree(&bn_a).unwrap();
         let tree_b = build_junction_tree(&bn_b).unwrap();
         let build_fleet = || {
-            let mut sharded = ShardedServingEngine::new(ShardConfig {
-                workers: 1,
-                ..ShardConfig::default()
-            });
+            let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(1));
             sharded
                 .register(
                     TenantId(0),
@@ -1404,10 +1416,10 @@ mod tests {
         };
         let cached_fleet = build_fleet();
         let plain_fleet = build_fleet();
-        let cfg = |cache: bool| FleetConfig {
-            min_window: 32,
-            cache_candidates: cache,
-            ..FleetConfig::new(192)
+        let cfg = |cache: bool| {
+            FleetConfig::new(192)
+                .with_min_window(32)
+                .with_cache_candidates(cache)
         };
         let mut cached_ctl = FleetController::new(&cached_fleet, cfg(true));
         let mut plain_ctl = FleetController::new(&plain_fleet, cfg(false));
@@ -1418,7 +1430,7 @@ mod tests {
         // stays put, and the cached controller must skip both re-selections
         let pool = pair_queries(0, 18, 7);
         let serve = |fleet: &ShardedServingEngine<'_>, a_rounds: usize, b_rounds: usize| {
-            let mut batch: Vec<(TenantId, Query)> = Vec::new();
+            let mut batch: Vec<(TenantId, ServeRequest)> = Vec::new();
             for _ in 0..a_rounds {
                 batch.extend(pool.iter().map(|q| (TenantId(0), q.clone())));
             }
@@ -1426,7 +1438,7 @@ mod tests {
                 batch.extend(pool.iter().map(|q| (TenantId(1), q.clone())));
             }
             let (answers, _) = fleet.serve_mixed(&batch);
-            assert!(answers.iter().all(Result::is_ok));
+            assert!(answers.iter().all(ServeOutcome::is_served));
         };
         for (a_rounds, b_rounds) in [(4, 2), (2, 4)] {
             serve(&cached_fleet, a_rounds, b_rounds);
@@ -1456,15 +1468,103 @@ mod tests {
         }
     }
 
+    /// Evidence-aware selection: identical logical traffic recorded
+    /// through the per-query conditional path (joint `targets ∪ evidence`
+    /// scopes) versus through an evidence session (scopes restricted to
+    /// the targets, plus an explicit evidence-context histogram) trains
+    /// the re-selection on *different* observed distributions — and the
+    /// offline DP picks a different shortcut set.
+    #[test]
+    fn evidence_sessions_change_reselection() {
+        let bn = fixtures::chain(20, 2, 13);
+        let tree = build_junction_tree(&bn).unwrap();
+        let engine = QueryEngine::numeric(&tree, &bn).unwrap();
+        let serving = ServingEngine::new(
+            engine,
+            Materialization::default(),
+            ServingConfig::default().with_workers(1),
+        );
+        let evidence = vec![(Var(19), 1u32)];
+        let targets: Vec<Scope> = (0..10u32)
+            .map(|a| Scope::from_indices(&[a, a + 5]))
+            .collect();
+
+        // (a) per-query conditional path: every arrival re-attaches the
+        // evidence, so the recorded scope is the joint over the Steiner
+        // tree reaching the evidence variable
+        let conds: Vec<ServeRequest> = targets
+            .iter()
+            .map(|t| ServeRequest::new(t.clone(), evidence.clone()))
+            .collect();
+        for _ in 0..8 {
+            let (answers, _) = serving.serve_batch(&conds);
+            assert!(answers.iter().all(ServeOutcome::is_served));
+        }
+        assert!(serving.stats().snapshot().evidence_fraction() > 0.0);
+        let joint_counts = serving.stats().scope_counts();
+        let joint_w =
+            Workload::from_weighted(joint_counts.iter().map(|(s, c)| (s.clone(), *c as f64)));
+        serving.reset_stats();
+
+        // (b) session path: the evidence is pinned once and the recorded
+        // scopes are the bare targets under the restricted distribution
+        let session = serving.open_session(evidence).unwrap();
+        for _ in 0..8 {
+            let (answers, _) = session.serve_batch(&targets);
+            assert!(answers.iter().all(ServeOutcome::is_served));
+        }
+        drop(session);
+        assert!(serving.stats().snapshot().evidence_fraction() > 0.0);
+        let restricted_counts = serving.stats().scope_counts();
+        let restricted_w = Workload::from_weighted(
+            restricted_counts
+                .iter()
+                .map(|(s, c)| (s.clone(), *c as f64)),
+        );
+
+        assert_ne!(
+            joint_counts, restricted_counts,
+            "the two serving paths must observe different distributions"
+        );
+
+        // same budget, same engine, same DP — only the observed
+        // distribution differs, and the chosen shortcut set moves with it
+        let exec = serving.offline_exec(1);
+        let mat_joint = reselect(
+            serving.engine(),
+            &joint_w,
+            512,
+            1.2,
+            Variant::PeanutPlus,
+            exec.as_ref(),
+        )
+        .unwrap();
+        let mat_restricted = reselect(
+            serving.engine(),
+            &restricted_w,
+            512,
+            1.2,
+            Variant::PeanutPlus,
+            exec.as_ref(),
+        )
+        .unwrap();
+        assert!(
+            !mat_joint.is_empty() || !mat_restricted.is_empty(),
+            "test premise: at least one distribution selects shortcuts"
+        );
+        assert_ne!(
+            fingerprint(&mat_joint),
+            fingerprint(&mat_restricted),
+            "evidence-aware recording must change the selected shortcut set"
+        );
+    }
+
     /// A steady fleet (shares stable, no decay) must not rebalance again.
     #[test]
     fn fleet_holds_when_stable() {
         let bn = fixtures::chain(16, 2, 13);
         let tree = build_junction_tree(&bn).unwrap();
-        let mut sharded = ShardedServingEngine::new(ShardConfig {
-            workers: 1,
-            ..ShardConfig::default()
-        });
+        let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(1));
         sharded
             .register(
                 TenantId(0),
@@ -1472,15 +1572,10 @@ mod tests {
                 Materialization::default(),
             )
             .unwrap();
-        let mut ctl = FleetController::new(
-            &sharded,
-            FleetConfig {
-                min_window: 32,
-                ..FleetConfig::new(512)
-            },
-        );
+        let mut ctl = FleetController::new(&sharded, FleetConfig::new(512).with_min_window(32));
         let pool = pair_queries(0, 16, 6);
-        let batch: Vec<(TenantId, Query)> = pool.iter().map(|q| (TenantId(0), q.clone())).collect();
+        let batch: Vec<(TenantId, ServeRequest)> =
+            pool.iter().map(|q| (TenantId(0), q.clone())).collect();
         for _ in 0..4 {
             sharded.serve_mixed(&batch);
         }

@@ -105,6 +105,14 @@ impl ServeOutcome {
     pub fn is_shed(&self) -> bool {
         matches!(self, ServeOutcome::Shed(_))
     }
+
+    /// The engine error, when dispatch failed.
+    pub fn failure(&self) -> Option<&PgmError> {
+        match self {
+            ServeOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Overload-control knobs for the open-loop replay drivers.
@@ -135,12 +143,23 @@ impl AdmissionConfig {
         AdmissionConfig::default()
     }
 
-    /// A shedding configuration: unbounded admission, `deadline` budget.
-    pub fn with_deadline(deadline: Duration) -> Self {
-        AdmissionConfig {
-            deadline: Some(deadline),
-            ..AdmissionConfig::default()
-        }
+    /// Sets the sojourn deadline (chainable, like every `with_*` knob on
+    /// the serving configs).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the global backlog cap (chainable). `0` means unbounded.
+    pub fn with_max_backlog(mut self, max_backlog: usize) -> Self {
+        self.max_backlog = max_backlog;
+        self
+    }
+
+    /// Sets the per-tenant backlog cap (chainable). `0` means unbounded.
+    pub fn with_max_tenant_backlog(mut self, max_tenant_backlog: usize) -> Self {
+        self.max_tenant_backlog = max_tenant_backlog;
+        self
     }
 }
 
@@ -165,6 +184,8 @@ mod tests {
         assert!(!failed.is_shed());
         assert!(!failed.is_served());
         assert!(failed.shed_reason().is_none());
+        assert_eq!(failed.failure(), Some(&PgmError::EmptyNetwork));
+        assert!(shed.failure().is_none());
     }
 
     #[test]
@@ -173,8 +194,12 @@ mod tests {
         assert_eq!(fifo.max_backlog, 0);
         assert_eq!(fifo.max_tenant_backlog, 0);
         assert!(fifo.deadline.is_none());
-        let shed = AdmissionConfig::with_deadline(Duration::from_millis(25));
+        let shed = AdmissionConfig::fifo()
+            .with_deadline(Duration::from_millis(25))
+            .with_max_backlog(128)
+            .with_max_tenant_backlog(32);
         assert_eq!(shed.deadline, Some(Duration::from_millis(25)));
-        assert_eq!(shed.max_backlog, 0);
+        assert_eq!(shed.max_backlog, 128);
+        assert_eq!(shed.max_tenant_backlog, 32);
     }
 }

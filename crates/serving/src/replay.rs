@@ -20,12 +20,12 @@
 //! would be in a real server's boot) rather than to the first batch's
 //! latency.
 
-use crate::engine::{Query, Served, ServingEngine};
+use crate::engine::ServingEngine;
 use crate::overload::{AdmissionConfig, ServeOutcome, ShedReason};
 use crate::pool::PoolStats;
 use crate::shard::{ShardedServingEngine, TenantId};
+use peanut_core::ServeRequest;
 use peanut_junction::{JunctionTree, RootedTree};
-use peanut_pgm::PgmError;
 use peanut_workload::{skewed_queries, uniform_queries, with_evidence, QuerySpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,7 +112,11 @@ impl ReplayReport {
 }
 
 /// Streams `queries` through `engine` in batches and aggregates telemetry.
-pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig) -> ReplayReport {
+pub fn replay(
+    engine: &ServingEngine<'_>,
+    queries: &[ServeRequest],
+    cfg: &ReplayConfig,
+) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
     engine.warm_pool();
     let pool_before = engine.pool_stats().unwrap_or_default();
@@ -135,9 +139,9 @@ pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig)
         report.total_ops = report.total_ops.saturating_add(stats.total_ops);
         report.shortcuts_used += stats.shortcuts_used;
         for a in &answers {
-            match a {
-                Ok(served) => latencies.push(served.latency()),
-                Err(_) => report.errors += 1,
+            match a.served() {
+                Some(served) => latencies.push(served.latency()),
+                None => report.errors += 1,
             }
         }
     }
@@ -162,7 +166,7 @@ pub fn replay(engine: &ServingEngine<'_>, queries: &[Query], cfg: &ReplayConfig)
 /// observed across all tenants and batches.
 pub fn replay_mixed(
     engine: &ShardedServingEngine<'_>,
-    arrivals: &[(TenantId, Query)],
+    arrivals: &[(TenantId, ServeRequest)],
     cfg: &ReplayConfig,
 ) -> ReplayReport {
     let batch_size = cfg.batch_size.max(1);
@@ -193,9 +197,9 @@ pub fn replay_mixed(
             *hi = (*hi).max(b.epoch);
         }
         for a in &answers {
-            match a {
-                Ok(served) => latencies.push(served.latency()),
-                Err(_) => report.errors += 1,
+            match a.served() {
+                Some(served) => latencies.push(served.latency()),
+                None => report.errors += 1,
             }
         }
     }
@@ -321,7 +325,7 @@ pub fn poisson_arrivals(n: usize, qps: f64, seed: u64) -> Vec<Duration> {
 }
 
 /// What one dispatched wave's serve call returns.
-type BatchResults = Vec<Result<Served, PgmError>>;
+type BatchResults = Vec<ServeOutcome>;
 
 /// Clock state for one open-loop drive.
 enum ClockState {
@@ -468,17 +472,17 @@ fn open_loop_drive(
         let done = clock.now();
         report.batches += 1;
         for ((i, arrived), r) in wave.into_iter().zip(results) {
-            match r {
-                Ok(served) => {
+            match &r {
+                ServeOutcome::Served(_) => {
                     sojourns.push(done.saturating_sub(arrived));
                     report.served += 1;
-                    outcomes[i] = Some(ServeOutcome::Served(served));
                 }
-                Err(e) => {
-                    report.errors += 1;
-                    outcomes[i] = Some(ServeOutcome::Failed(e));
-                }
+                ServeOutcome::Failed(_) => report.errors += 1,
+                // the engine itself never sheds — only this driver does —
+                // but a pass-through keeps the outcome types honest
+                ServeOutcome::Shed(_) => report.shed_deadline += 1,
             }
+            outcomes[i] = Some(r);
         }
     }
     report.duration = clock.now();
@@ -504,13 +508,13 @@ fn open_loop_drive(
 /// the closed-loop [`replay`].
 pub fn replay_open_loop(
     engine: &ServingEngine<'_>,
-    queries: &[Query],
+    queries: &[ServeRequest],
     schedule: &[Duration],
     cfg: &OpenLoopConfig,
 ) -> (Vec<ServeOutcome>, OpenLoopReport) {
     engine.warm_pool();
     let pool_before = engine.pool_stats().unwrap_or_default();
-    let mut batch: Vec<Query> = Vec::new();
+    let mut batch: Vec<ServeRequest> = Vec::new();
     let (outcomes, mut report) = open_loop_drive(
         queries.len(),
         schedule,
@@ -531,19 +535,19 @@ pub fn replay_open_loop(
 }
 
 /// The multi-tenant open-loop driver: like [`replay_open_loop`] over a
-/// mixed `(TenantId, Query)` arrival stream, with
+/// mixed `(TenantId, ServeRequest)` arrival stream, with
 /// [`max_tenant_backlog`](AdmissionConfig::max_tenant_backlog) enforced
 /// per arriving tenant so one tenant's burst cannot monopolize the
 /// backlog.
 pub fn replay_open_loop_mixed(
     engine: &ShardedServingEngine<'_>,
-    arrivals: &[(TenantId, Query)],
+    arrivals: &[(TenantId, ServeRequest)],
     schedule: &[Duration],
     cfg: &OpenLoopConfig,
 ) -> (Vec<ServeOutcome>, OpenLoopReport) {
     engine.warm_pool();
     let pool_before = engine.pool_stats().unwrap_or_default();
-    let mut batch: Vec<(TenantId, Query)> = Vec::new();
+    let mut batch: Vec<(TenantId, ServeRequest)> = Vec::new();
     let (outcomes, mut report) = open_loop_drive(
         arrivals.len(),
         schedule,
@@ -590,18 +594,18 @@ impl Default for WorkloadMix {
 
 /// Samples a serving workload following the paper's workload model
 /// (Def. 3.3: a distribution over a *finite* query pool): draws up to
-/// `mix.pool_size` **distinct** queries (duplicate generator draws are
+/// `mix.pool_size` **distinct** requests (duplicate generator draws are
 /// removed) — a skewed/uniform blend with a fraction turned into
-/// conditional queries — then samples `n` arrivals from the pool with
-/// replacement. Repeated arrivals are what batch coalescing and the answer
-/// cache exploit. Deterministic in `seed`.
+/// evidence-conditioned requests — then samples `n` arrivals from the
+/// pool with replacement. Repeated arrivals are what batch coalescing and
+/// the answer cache exploit. Deterministic in `seed`.
 pub fn workload_queries(
     tree: &JunctionTree,
     rooted: &RootedTree,
     n: usize,
     mix: &WorkloadMix,
     seed: u64,
-) -> Vec<Query> {
+) -> Vec<ServeRequest> {
     assert!(
         (0.0..=1.0).contains(&mix.skew_fraction),
         "fraction in [0, 1]"
@@ -616,10 +620,9 @@ pub fn workload_queries(
         seed ^ 0x5eed,
     ));
     let mut seen = std::collections::HashSet::new();
-    let pool: Vec<Query> =
+    let pool: Vec<ServeRequest> =
         with_evidence(tree.domain(), &scopes, mix.evidence_fraction, seed ^ 0xe71d)
             .into_iter()
-            .map(|(targets, evidence)| Query::conditioned(targets, evidence))
             .filter(|q| seen.insert(q.clone()))
             .collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xa881);
@@ -696,11 +699,12 @@ mod tests {
             evidence_fraction: 0.0,
             ..WorkloadMix::default()
         };
-        let arrivals: Vec<(TenantId, Query)> = workload_queries(&tree_a, &rooted_a, 60, &mix, 3)
-            .into_iter()
-            .enumerate()
-            .map(|(i, q)| (TenantId((i % 2) as u32), q))
-            .collect();
+        let arrivals: Vec<(TenantId, ServeRequest)> =
+            workload_queries(&tree_a, &rooted_a, 60, &mix, 3)
+                .into_iter()
+                .enumerate()
+                .map(|(i, q)| (TenantId((i % 2) as u32), q))
+                .collect();
         let report = replay_mixed(&sharded, &arrivals, &ReplayConfig { batch_size: 20 });
         assert_eq!(report.queries, 60);
         assert_eq!(report.batches, 3);

@@ -1,0 +1,437 @@
+//! Stateful evidence sessions: pin an evidence assignment once, then
+//! stream marginal queries against a session-local restricted engine.
+//!
+//! The per-query conditional path answers `P(targets | e)` by computing a
+//! *joint* marginal over `targets ∪ vars(e)` and restricting — every query
+//! re-pays the evidence: the Steiner tree spans the evidence variables, so
+//! a distant context inflates every single answer. Real conditioned
+//! traffic is session-shaped (one observed context, many queries — the
+//! pattern Darwiche's *Dynamic Jointrees* exploits), and
+//! [`ServingEngine::open_session`] amortizes it: the engine absorbs the
+//! evidence into a clone of the calibrated tree **once**
+//! ([`QueryEngine::restricted_to_evidence`]), re-calibrates, and every
+//! subsequent query is a plain marginal over just its targets.
+//!
+//! Sessions deliberately answer on the *plain* restricted tree, without
+//! shortcuts: materialized shortcut potentials hold prior-joint marginals,
+//! which are simply wrong under an evidence restriction. What the session
+//! records instead — per-target-scope arrivals at baseline cost, plus the
+//! evidence context itself ([`WorkloadStats::record_evidence`]) — is
+//! exactly the signal the lifecycle layer needs to re-select shortcuts
+//! under the *restricted* distribution.
+//!
+//! # Epoch-swap semantics
+//!
+//! A session snapshots its epoch (and that epoch's stats accumulator) at
+//! open and owns its restricted tree outright, so a concurrent
+//! [`publish`](ServingEngine::publish) never touches an in-flight
+//! session: its answers keep their open-time epoch tag until the session
+//! is dropped. Sessions opened after the swap see the new epoch. Session
+//! queries fan out on the engine's serving-priority worker lane and are
+//! counted in [`ServingEngine::session_backlog`] while in flight.
+
+use crate::engine::{Answer, BatchStats, Served, ServingEngine};
+use crate::overload::ServeOutcome;
+use crate::pool::SpawnMode;
+use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use peanut_core::sync::{thread, Arc, OnceLock};
+use peanut_core::{Materialization, OnlineEngine, WorkloadStats};
+use peanut_junction::QueryEngine;
+use peanut_pgm::{PgmError, Scope, Scratch, Var};
+use std::panic::resume_unwind;
+use std::time::Instant;
+
+/// Session registry counters of one [`ServingEngine`]: all advisory
+/// telemetry, surfaced through the engine accessors below.
+#[derive(Default)]
+pub(crate) struct SessionCounters {
+    /// Sessions opened over the engine's lifetime.
+    pub(crate) opened: AtomicU64,
+    /// Sessions currently open (decremented on drop).
+    pub(crate) active: AtomicUsize,
+    /// Session queries currently in flight, the session share of the
+    /// engine's admission backlog.
+    pub(crate) backlog: AtomicUsize,
+}
+
+/// Decrements the session backlog when a serve wave finishes — or
+/// unwinds, so a panicking batch cannot wedge the admission signal.
+struct BacklogGuard<'a> {
+    counter: &'a AtomicUsize,
+    n: usize,
+}
+
+impl Drop for BacklogGuard<'_> {
+    fn drop(&mut self) {
+        // ordering: advisory backlog telemetry only.
+        self.counter.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+/// One open evidence session: an owned evidence-restricted, re-calibrated
+/// engine plus the epoch snapshot it was opened under. Created by
+/// [`ServingEngine::open_session`]; closing is just dropping it.
+pub struct EvidenceSession<'s, 't> {
+    serving: &'s ServingEngine<'t>,
+    /// The session-local engine: the shared tree with the evidence
+    /// absorbed and messages re-propagated, paid once at open.
+    local: QueryEngine<'t>,
+    /// Empty materialization the session answers through — shortcut
+    /// tables hold prior-joint marginals, invalid under the restriction.
+    unmaterialized: Materialization,
+    evidence: Vec<(Var, u32)>,
+    evidence_scope: Scope,
+    /// The open-time epoch's accumulator; a publish mid-session retires
+    /// it, and this session keeps feeding the retired window (exactly
+    /// like an in-flight batch would).
+    stats: Arc<WorkloadStats>,
+    epoch: u64,
+}
+
+impl<'t> ServingEngine<'t> {
+    /// Opens an evidence session: absorbs `evidence` into a session-local
+    /// clone of the calibrated tree and re-propagates **once**, so the
+    /// marginal stream served through [`EvidenceSession::serve_batch`]
+    /// never re-pays the evidence. Contradictory evidence is not an error
+    /// (the restricted tables are all-zero and every answer sums to 0);
+    /// unknown variables and out-of-range values are.
+    pub fn open_session(
+        &self,
+        mut evidence: Vec<(Var, u32)>,
+    ) -> Result<EvidenceSession<'_, 't>, PgmError> {
+        evidence.sort_unstable();
+        let local = self.engine().restricted_to_evidence(&evidence)?;
+        let (mat, stats) = self.epoch_snapshot();
+        let evidence_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+        // ordering: registry counters are advisory telemetry.
+        self.sessions.opened.fetch_add(1, Ordering::Relaxed);
+        self.sessions.active.fetch_add(1, Ordering::Relaxed);
+        Ok(EvidenceSession {
+            serving: self,
+            local,
+            unmaterialized: Materialization::default(),
+            evidence,
+            evidence_scope,
+            stats,
+            epoch: mat.epoch,
+        })
+    }
+
+    /// Sessions currently open on this engine.
+    pub fn active_sessions(&self) -> usize {
+        // ordering: advisory telemetry.
+        self.sessions.active.load(Ordering::Relaxed)
+    }
+
+    /// Sessions opened over this engine's lifetime.
+    pub fn sessions_opened(&self) -> u64 {
+        // ordering: advisory telemetry.
+        self.sessions.opened.load(Ordering::Relaxed)
+    }
+
+    /// Session queries currently in flight — the session share of the
+    /// engine's backlog, for admission accounting next to batch traffic.
+    pub fn session_backlog(&self) -> usize {
+        // ordering: advisory telemetry.
+        self.sessions.backlog.load(Ordering::Relaxed)
+    }
+}
+
+impl<'s, 't> EvidenceSession<'s, 't> {
+    /// The pinned evidence assignment (sorted by variable).
+    pub fn evidence(&self) -> &[(Var, u32)] {
+        &self.evidence
+    }
+
+    /// The scope of the pinned evidence variables.
+    pub fn evidence_scope(&self) -> &Scope {
+        &self.evidence_scope
+    }
+
+    /// The materialization epoch this session was opened under; every
+    /// answer it produces carries this tag, across concurrent publishes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The session-local restricted engine (for diagnostics/tests).
+    pub fn engine(&self) -> &QueryEngine<'t> {
+        &self.local
+    }
+
+    /// Serves one marginal `P(targets | evidence)` under the pinned
+    /// context.
+    pub fn serve_one(&self, targets: &Scope) -> ServeOutcome {
+        let (mut outcomes, _) = self.serve_batch(std::slice::from_ref(targets));
+        // lint:allow(hot_panic) — serve_batch returns one outcome per
+        // target by construction.
+        outcomes.pop().expect("one outcome per target")
+    }
+
+    /// Serves a batch of marginal target scopes under the pinned
+    /// evidence, in submission order. Each answer is the normalized
+    /// `P(targets | evidence)` computed on the session-local restricted
+    /// tree — no joint over `targets ∪ vars(e)` is ever formed, which is
+    /// where the amortization over the per-query conditional path comes
+    /// from. Fans out on the engine's serving-priority lane and counts
+    /// toward [`ServingEngine::session_backlog`] while in flight.
+    pub fn serve_batch(&self, targets: &[Scope]) -> (Vec<ServeOutcome>, BatchStats) {
+        let start = Instant::now();
+        let mut bstats = BatchStats {
+            queries: targets.len(),
+            unique: targets.len(),
+            epoch: self.epoch,
+            ..BatchStats::default()
+        };
+        if targets.is_empty() {
+            return (Vec::new(), bstats);
+        }
+        let backlog = &self.serving.sessions.backlog;
+        // ordering: advisory backlog telemetry (released by the guard).
+        backlog.fetch_add(targets.len(), Ordering::Relaxed);
+        let _backlog = BacklogGuard {
+            counter: backlog,
+            n: targets.len(),
+        };
+
+        let mut results: Vec<Option<Result<Answer, PgmError>>> = Vec::new();
+        results.resize_with(targets.len(), || None);
+        let n_workers = self.serving.workers().min(targets.len()).max(1);
+        if targets.len() <= 1 || n_workers == 1 {
+            // in-thread fast path, mirroring the batch engine
+            let online = OnlineEngine::with_stats(&self.local, &self.unmaterialized, &self.stats);
+            let mut scratch = Scratch::new();
+            for (i, t) in targets.iter().enumerate() {
+                results[i] = Some(self.answer_local(&online, t, &mut scratch));
+            }
+        } else if self.serving.spawn_mode() == SpawnMode::Persistent {
+            // serving-priority lane of the shared persistent pool: session
+            // streams are foreground traffic, same as batches
+            let slots: Vec<OnceLock<Result<Answer, PgmError>>> =
+                (0..targets.len()).map(|_| OnceLock::new()).collect();
+            self.serving.pool().run_wave(targets.len(), &|w, scratch| {
+                let online =
+                    OnlineEngine::with_stats(&self.local, &self.unmaterialized, &self.stats);
+                let r = self.answer_local(&online, &targets[w], scratch);
+                assert!(slots[w].set(r).is_ok(), "wave claims each index once");
+            });
+            for (w, slot) in slots.into_iter().enumerate() {
+                // lint:allow(hot_panic) — protocol invariant: run_wave does
+                // not return before every claimed index has completed.
+                results[w] = Some(slot.into_inner().expect("completed wave ran every task"));
+            }
+        } else {
+            // scoped baseline, mirroring the batch engine's fallback
+            let next = AtomicUsize::new(0);
+            let outs: Vec<Vec<(usize, Result<Answer, PgmError>)>> = thread::scope(|s| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let online = OnlineEngine::with_stats(
+                                &self.local,
+                                &self.unmaterialized,
+                                &self.stats,
+                            );
+                            let mut scratch = Scratch::new();
+                            let mut out = Vec::new();
+                            loop {
+                                // ordering: work-claiming counter only; the
+                                // scope join publishes the results.
+                                let w = next.fetch_add(1, Ordering::Relaxed);
+                                if w >= targets.len() {
+                                    break;
+                                }
+                                out.push((
+                                    w,
+                                    self.answer_local(&online, &targets[w], &mut scratch),
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
+                    .collect()
+            });
+            for (w, r) in outs.into_iter().flatten() {
+                results[w] = Some(r);
+            }
+        }
+
+        let mut served = 0u64;
+        let outcomes: Vec<ServeOutcome> = results
+            .into_iter()
+            .map(|r| {
+                // lint:allow(hot_panic) — invariant: every fan-out path
+                // above fills every index.
+                match r.expect("all targets answered") {
+                    Ok(a) => {
+                        served += 1;
+                        bstats.total_ops = bstats.total_ops.saturating_add(a.cost.ops);
+                        ServeOutcome::Served(Served {
+                            answer: Arc::new(a),
+                            from_cache: false,
+                        })
+                    }
+                    Err(e) => ServeOutcome::Failed(e),
+                }
+            })
+            .collect();
+        // one evidence-context record per served query: the accumulator
+        // weighs contexts by the traffic they actually carried, which is
+        // what evidence-aware re-selection prices against
+        self.stats.record_evidence(&self.evidence_scope, served);
+        bstats.wall = start.elapsed();
+        (outcomes, bstats)
+    }
+
+    /// Answers one target marginal on the restricted tree and normalizes
+    /// it into `P(targets | evidence)`. Target scopes recorded via the
+    /// per-worker [`OnlineEngine`] are the *restricted* scopes — the
+    /// distribution re-selection should price under for this traffic.
+    fn answer_local(
+        &self,
+        online: &OnlineEngine<'_, 't>,
+        targets: &Scope,
+        scratch: &mut Scratch,
+    ) -> Result<Answer, PgmError> {
+        let t = Instant::now();
+        let traced = online.answer_traced_in(targets, scratch)?;
+        let mut potential = traced.potential;
+        // restricted tables hold P(·, e); normalizing yields P(· | e).
+        // Contradictory evidence leaves an all-zero table (sum 0), which
+        // normalize passes through untouched.
+        potential.normalize();
+        Ok(Answer {
+            potential,
+            cost: traced.cost,
+            baseline_ops: traced.baseline_ops,
+            epoch: self.epoch,
+            service_time: t.elapsed(),
+        })
+    }
+}
+
+impl Drop for EvidenceSession<'_, '_> {
+    fn drop(&mut self) {
+        // ordering: advisory registry telemetry.
+        self.serving.sessions.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServingConfig;
+    use peanut_core::ServeRequest;
+    use peanut_junction::build_junction_tree;
+    use peanut_pgm::fixtures;
+
+    fn serving_for(bn: &peanut_pgm::BayesianNetwork) -> ServingEngine<'static> {
+        // leak the tree for 'static; tests only — the engines borrow it
+        let tree = Box::leak(Box::new(build_junction_tree(bn).unwrap()));
+        let engine = QueryEngine::numeric(tree, bn).unwrap();
+        ServingEngine::new(engine, Materialization::default(), ServingConfig::default())
+    }
+
+    #[test]
+    fn session_matches_per_query_conditional_path() {
+        let bn = fixtures::chain(10, 2, 3);
+        let serving = serving_for(&bn);
+        let evidence = vec![(Var(9), 1), (Var(8), 0)];
+        let session = serving.open_session(evidence.clone()).unwrap();
+        assert_eq!(
+            session.evidence(),
+            &[(Var(8), 0), (Var(9), 1)],
+            "evidence is canonicalized"
+        );
+        let targets: Vec<Scope> = (0..4u32)
+            .map(|i| Scope::from_indices(&[i, i + 1]))
+            .collect();
+        let (outcomes, bstats) = session.serve_batch(&targets);
+        assert_eq!(bstats.queries, targets.len());
+        let requests: Vec<ServeRequest> = targets
+            .iter()
+            .map(|t| ServeRequest::new(t.clone(), evidence.clone()))
+            .collect();
+        let (per_query, _) = serving.serve_batch(&requests);
+        for (s, p) in outcomes.iter().zip(&per_query) {
+            let (s, p) = (s.served().unwrap(), p.served().unwrap());
+            assert!((s.potential.sum() - 1.0).abs() < 1e-12);
+            let diff = s.potential.max_abs_diff(&p.potential).unwrap();
+            assert!(
+                diff < 1e-9,
+                "session diverged from conditional path: {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_registry_counts_open_close_and_backlog_drains() {
+        let bn = fixtures::sprinkler();
+        let serving = serving_for(&bn);
+        assert_eq!(serving.active_sessions(), 0);
+        {
+            let s1 = serving.open_session(vec![(Var(0), 1)]).unwrap();
+            let s2 = serving.open_session(vec![(Var(3), 0)]).unwrap();
+            assert_eq!(serving.active_sessions(), 2);
+            assert_eq!(serving.sessions_opened(), 2);
+            let (o, _) = s1.serve_batch(&[Scope::from_indices(&[1]), Scope::from_indices(&[2])]);
+            assert!(o.iter().all(ServeOutcome::is_served));
+            assert!(s2.serve_one(&Scope::from_indices(&[1])).is_served());
+            assert_eq!(serving.session_backlog(), 0, "backlog drains after serve");
+        }
+        assert_eq!(serving.active_sessions(), 0, "drop closes the session");
+        assert_eq!(serving.sessions_opened(), 2);
+    }
+
+    #[test]
+    fn session_rejects_bad_evidence_but_not_contradictions() {
+        let bn = fixtures::sprinkler();
+        let serving = serving_for(&bn);
+        assert!(serving.open_session(vec![(Var(99), 0)]).is_err());
+        // same variable pinned to two values: a contradiction, served as
+        // all-zero tables rather than an error (Hugin semantics)
+        let s = serving
+            .open_session(vec![(Var(1), 0), (Var(1), 1)])
+            .unwrap();
+        let a = s.serve_one(&Scope::from_indices(&[2]));
+        assert_eq!(a.served().unwrap().potential.sum(), 0.0);
+    }
+
+    #[test]
+    fn session_records_restricted_scopes_and_evidence_contexts() {
+        let bn = fixtures::chain(8, 2, 3);
+        let serving = serving_for(&bn);
+        let session = serving.open_session(vec![(Var(7), 1)]).unwrap();
+        let t = Scope::from_indices(&[0, 1]);
+        let (o, _) = session.serve_batch(&[t.clone(), t.clone()]);
+        assert!(o.iter().all(ServeOutcome::is_served));
+        let stats = serving.stats();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.evidence_queries, 2);
+        assert!((snap.evidence_fraction() - 1.0).abs() < 1e-12);
+        // the recorded scope is the *restricted* target scope, not the
+        // joint targets∪evidence scope the per-query path would log
+        let counts = stats.scope_counts();
+        assert_eq!(counts, vec![(t, 2)]);
+        let ev = stats.evidence_scope_counts();
+        assert_eq!(ev, vec![(Scope::from_indices(&[7]), 2)]);
+    }
+
+    #[test]
+    fn errors_are_per_target_not_per_session() {
+        let bn = fixtures::sprinkler();
+        let serving = serving_for(&bn);
+        let session = serving.open_session(vec![(Var(0), 1)]).unwrap();
+        // a target overlapping the pinned evidence is answerable on the
+        // restricted tree (it is just a variable of the tree), so the
+        // interesting failure is an unknown variable
+        let (o, _) = session.serve_batch(&[Scope::from_indices(&[1]), Scope::from_indices(&[99])]);
+        assert!(o[0].is_served());
+        assert!(o[1].failure().is_some());
+    }
+}

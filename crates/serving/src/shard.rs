@@ -8,10 +8,11 @@
 //! unit of sharding) — behind **one** worker pool.
 //!
 //! [`serve_mixed`](ShardedServingEngine::serve_mixed) accepts a batch of
-//! `(TenantId, Query)` arrivals, the traffic shape a fleet endpoint drains:
+//! `(TenantId, ServeRequest)` arrivals, the traffic shape a fleet endpoint
+//! drains:
 //!
 //! 1. arrivals are routed to their shard and deduplicated **per tenant**
-//!    (two tenants asking the same `Scope` are different computations over
+//!    (two tenants asking the same request are different computations over
 //!    different models — answers never cross shards);
 //! 2. each shard's unique queries probe that shard's epoch-tagged answer
 //!    cache (one lock scope per shard, stale entries drop lazily exactly as
@@ -40,14 +41,14 @@
 //! [`MixedBatchStats`] per batch and in [`PagingStats`] cumulatively.
 
 use crate::engine::{
-    answer_one, Answer, AnswerCache, BatchStats, CacheLookup, Query, Served, ServingConfig,
-    ServingEngine,
+    answer_one, Answer, AnswerCache, BatchStats, CacheLookup, Served, ServingConfig, ServingEngine,
 };
+use crate::overload::ServeOutcome;
 use crate::pool::{PoolCell, PoolStats, SpawnMode, WorkerPool};
 use peanut_core::exec::Executor;
 use peanut_core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use peanut_core::sync::{thread, Arc, OnceLock, RwLock};
-use peanut_core::{Materialization, OnlineEngine};
+use peanut_core::{Materialization, OnlineEngine, ServeRequest};
 use peanut_junction::{JunctionTree, QueryEngine};
 use peanut_pgm::{PgmError, Scratch};
 use peanut_store::{rehydrate_engine, StoreConfig, StoredEpoch};
@@ -95,6 +96,39 @@ impl Default for ShardConfig {
             spawn: d.spawn,
             max_resident: 0,
         }
+    }
+}
+
+impl ShardConfig {
+    /// Sets the shared worker-thread count (chainable). `0` means one per
+    /// core.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables per-tenant coalescing (chainable).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Sets the per-tenant answer-cache capacity (chainable).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the fan-out mode (chainable).
+    pub fn with_spawn(mut self, spawn: SpawnMode) -> Self {
+        self.spawn = spawn;
+        self
+    }
+
+    /// Sets the resident-set cap (chainable). `0` disables paging.
+    pub fn with_max_resident(mut self, max_resident: usize) -> Self {
+        self.max_resident = max_resident;
+        self
     }
 }
 
@@ -168,7 +202,7 @@ struct TenantShard<'t> {
 /// use peanut_core::Materialization;
 /// use peanut_junction::{build_junction_tree, QueryEngine};
 /// use peanut_pgm::{fixtures, Scope};
-/// use peanut_serving::{Query, ShardConfig, ShardedServingEngine, TenantId};
+/// use peanut_serving::{ServeRequest, ShardConfig, ShardedServingEngine, TenantId};
 ///
 /// let bn = fixtures::sprinkler();
 /// let tree = build_junction_tree(&bn).unwrap();
@@ -181,9 +215,9 @@ struct TenantShard<'t> {
 ///     )
 ///     .unwrap();
 ///
-/// let arrivals = [(TenantId(0), Query::Marginal(Scope::from_indices(&[1])))];
-/// let (answers, stats) = fleet.serve_mixed(&arrivals);
-/// assert!(answers[0].is_ok());
+/// let arrivals = [(TenantId(0), ServeRequest::marginal(Scope::from_indices(&[1])))];
+/// let (outcomes, stats) = fleet.serve_mixed(&arrivals);
+/// assert!(outcomes[0].is_served());
 /// assert_eq!(stats.per_tenant.len(), 1);
 /// ```
 pub struct ShardedServingEngine<'t> {
@@ -281,16 +315,7 @@ impl<'t> ShardedServingEngine<'t> {
             return Err(PgmError::DuplicateTenant(id.0));
         }
         let tree = engine.tree();
-        let mut serving = ServingEngine::new(
-            engine,
-            mat,
-            ServingConfig {
-                workers: 1,
-                dedup: self.cfg.dedup,
-                cache_capacity: self.cfg.cache_capacity,
-                spawn: self.cfg.spawn,
-            },
-        );
+        let mut serving = ServingEngine::new(engine, mat, self.tenant_config());
         if let Some(store) = &self.store {
             serving.set_store(store.clone(), id.0);
             serving.persist_current()?;
@@ -376,6 +401,17 @@ impl<'t> ShardedServingEngine<'t> {
         }
     }
 
+    /// The per-tenant engine configuration: shards inherit the fleet's
+    /// dedup/cache/spawn knobs but always run one worker — batch fan-out
+    /// belongs to the shared pool, not the shard.
+    fn tenant_config(&self) -> ServingConfig {
+        ServingConfig::default()
+            .with_workers(1)
+            .with_dedup(self.cfg.dedup)
+            .with_cache_capacity(self.cfg.cache_capacity)
+            .with_spawn(self.cfg.spawn)
+    }
+
     /// Advances the fleet clock by one tick and returns the new value.
     fn tick(&self) -> u64 {
         // ordering: the clock only orders LRU eviction; ties are benign.
@@ -441,16 +477,7 @@ impl<'t> ShardedServingEngine<'t> {
             })?;
         let stored = StoredEpoch::open(&path, store.verify_checksum)?;
         let (engine, mat) = rehydrate_engine(shard.tree, &stored)?;
-        let mut serving = ServingEngine::new(
-            engine,
-            mat,
-            ServingConfig {
-                workers: 1,
-                dedup: self.cfg.dedup,
-                cache_capacity: self.cfg.cache_capacity,
-                spawn: self.cfg.spawn,
-            },
-        );
+        let mut serving = ServingEngine::new(engine, mat, self.tenant_config());
         serving.set_store(store.clone(), shard.id.0);
         // the file we just rehydrated from is this epoch's persisted form;
         // the next page-out must not rewrite it
@@ -515,15 +542,16 @@ impl<'t> ShardedServingEngine<'t> {
         }
     }
 
-    /// Answers a mixed batch of `(tenant, query)` arrivals. Results come
-    /// back in submission order. Duplicates coalesce *within* a tenant
-    /// only; every shard keeps its own cache and epoch. All shards' fresh
-    /// work is served by one shared pool.
+    /// Answers a mixed batch of `(tenant, request)` arrivals. Outcomes
+    /// come back in submission order (unknown tenants and fault failures
+    /// are [`ServeOutcome::Failed`], never a batch error). Duplicates
+    /// coalesce *within* a tenant only; every shard keeps its own cache
+    /// and epoch. All shards' fresh work is served by one shared pool.
     #[allow(clippy::type_complexity)]
     pub fn serve_mixed(
         &self,
-        batch: &[(TenantId, Query)],
-    ) -> (Vec<Result<Served, PgmError>>, MixedBatchStats) {
+        batch: &[(TenantId, ServeRequest)],
+    ) -> (Vec<ServeOutcome>, MixedBatchStats) {
         let start = Instant::now();
         let mut mstats = MixedBatchStats {
             arrivals: batch.len(),
@@ -543,8 +571,8 @@ impl<'t> ShardedServingEngine<'t> {
         // --- route arrivals to shards, deduplicating per tenant ---
         // assign[i] = Some((shard slot, unique index within shard))
         let n_shards = self.shards.len();
-        let mut uniques: Vec<Vec<&Query>> = vec![Vec::new(); n_shards];
-        let mut first_of: Vec<HashMap<&Query, usize>> = vec![HashMap::new(); n_shards];
+        let mut uniques: Vec<Vec<&ServeRequest>> = vec![Vec::new(); n_shards];
+        let mut first_of: Vec<HashMap<&ServeRequest, usize>> = vec![HashMap::new(); n_shards];
         let mut assign: Vec<Option<(usize, usize)>> = Vec::with_capacity(batch.len());
         for (tid, q) in batch {
             let Some(&slot) = self.index.get(tid) else {
@@ -723,7 +751,7 @@ impl<'t> ShardedServingEngine<'t> {
         }
         for (slot, run) in runs.iter_mut().enumerate() {
             let Some(run) = run else { continue };
-            let fresh: Vec<(Query, Arc<Answer>)> = (0..uniques[slot].len())
+            let fresh: Vec<(ServeRequest, Arc<Answer>)> = (0..uniques[slot].len())
                 .filter(|&u| !run.from_cache[u])
                 .filter_map(|u| match &run.results[u] {
                     Some(Ok(a)) => Some(((*uniques[slot][u]).clone(), Arc::clone(a))),
@@ -756,31 +784,37 @@ impl<'t> ShardedServingEngine<'t> {
                         run.stats
                             .record_n(&q.stat_scope(), &a.cost, a.baseline_ops, extra);
                     }
+                    // evidence contexts weigh arrivals too (the worker's
+                    // OnlineEngine records scopes, not evidence)
+                    if !q.is_marginal() {
+                        run.stats
+                            .record_evidence(&q.evidence_scope(), uses[slot][u]);
+                    }
                 }
             }
             run.bstats.queries = uses[slot].iter().map(|&n| n as usize).sum();
         }
 
         // --- fan back out in arrival order ---
-        let answers: Vec<Result<Served, PgmError>> = batch
+        let answers: Vec<ServeOutcome> = batch
             .iter()
             .zip(&assign)
             .map(|((tid, _), a)| match a {
-                None => Err(PgmError::UnknownTenant(tid.0)),
+                None => ServeOutcome::Failed(PgmError::UnknownTenant(tid.0)),
                 Some((slot, _)) if fault_failed[*slot].is_some() => {
                     // lint:allow(hot_panic) — guarded by the match arm.
-                    Err(fault_failed[*slot].clone().expect("checked above"))
+                    ServeOutcome::Failed(fault_failed[*slot].clone().expect("checked above"))
                 }
                 Some((slot, u)) => {
                     // lint:allow(hot_panic) — invariants: assigned arrivals
                     // have runs, and every unique is a hit or in `work`.
                     let run = runs[*slot].as_ref().expect("run");
                     match run.results[*u].as_ref().expect("all uniques computed") {
-                        Ok(ans) => Ok(Served {
+                        Ok(ans) => ServeOutcome::Served(Served {
                             answer: Arc::clone(ans),
                             from_cache: run.from_cache[*u],
                         }),
-                        Err(e) => Err(e.clone()),
+                        Err(e) => ServeOutcome::Failed(e.clone()),
                     }
                 }
             })
@@ -851,21 +885,14 @@ mod tests {
     #[test]
     fn mixed_batch_routes_to_the_right_model() {
         let (bns, trees) = fixtures_pair();
-        let sharded = two_tenant_engine(
-            &trees,
-            &bns,
-            ShardConfig {
-                workers: 3,
-                ..ShardConfig::default()
-            },
-        );
+        let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default().with_workers(3));
         // the same scope asked of both tenants must answer from each
         // tenant's own model
         let s = Scope::from_indices(&[0, 2]);
         let batch = vec![
-            (TenantId(0), Query::Marginal(s.clone())),
-            (TenantId(1), Query::Marginal(s.clone())),
-            (TenantId(0), Query::Marginal(s.clone())),
+            (TenantId(0), ServeRequest::marginal(s.clone())),
+            (TenantId(1), ServeRequest::marginal(s.clone())),
+            (TenantId(0), ServeRequest::marginal(s.clone())),
         ];
         let (answers, stats) = sharded.serve_mixed(&batch);
         assert_eq!(stats.arrivals, 3);
@@ -873,14 +900,14 @@ mod tests {
         assert_eq!(stats.per_tenant.len(), 2);
         for (i, bn) in bns.iter().enumerate() {
             let want = joint::marginal(bn, &s).unwrap();
-            let got = answers[i].as_ref().unwrap();
+            let got = answers[i].served().unwrap();
             assert!(got.potential.max_abs_diff(&want).unwrap() < 1e-9);
         }
         // arrivals 0 and 2 are the same tenant's duplicate: shared Arc
-        let (a0, a2) = (answers[0].as_ref().unwrap(), answers[2].as_ref().unwrap());
+        let (a0, a2) = (answers[0].served().unwrap(), answers[2].served().unwrap());
         assert!(Arc::ptr_eq(&a0.answer, &a2.answer));
         // different tenants must never share an answer
-        let a1 = answers[1].as_ref().unwrap();
+        let a1 = answers[1].served().unwrap();
         assert!(!Arc::ptr_eq(&a0.answer, &a1.answer));
     }
 
@@ -889,15 +916,18 @@ mod tests {
         let (bns, trees) = fixtures_pair();
         let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default());
         let batch = vec![
-            (TenantId(0), Query::Marginal(Scope::from_indices(&[0]))),
-            (TenantId(9), Query::Marginal(Scope::from_indices(&[0]))),
+            (
+                TenantId(0),
+                ServeRequest::marginal(Scope::from_indices(&[0])),
+            ),
+            (
+                TenantId(9),
+                ServeRequest::marginal(Scope::from_indices(&[0])),
+            ),
         ];
         let (answers, stats) = sharded.serve_mixed(&batch);
-        assert!(answers[0].is_ok());
-        assert_eq!(
-            answers[1].as_ref().unwrap_err(),
-            &PgmError::UnknownTenant(9)
-        );
+        assert!(answers[0].is_served());
+        assert_eq!(answers[1].failure(), Some(&PgmError::UnknownTenant(9)));
         assert_eq!(stats.unknown_tenant, 1);
         assert_eq!(stats.unique, 1);
     }
@@ -922,11 +952,17 @@ mod tests {
     fn per_tenant_caches_are_isolated_across_publish() {
         let (bns, trees) = fixtures_pair();
         let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default());
-        let batch: Vec<(TenantId, Query)> = (0..2u32)
+        let batch: Vec<(TenantId, ServeRequest)> = (0..2u32)
             .flat_map(|t| {
                 vec![
-                    (TenantId(t), Query::Marginal(Scope::from_indices(&[0, 1]))),
-                    (TenantId(t), Query::Marginal(Scope::from_indices(&[2]))),
+                    (
+                        TenantId(t),
+                        ServeRequest::marginal(Scope::from_indices(&[0, 1])),
+                    ),
+                    (
+                        TenantId(t),
+                        ServeRequest::marginal(Scope::from_indices(&[2])),
+                    ),
                 ]
             })
             .collect();
@@ -949,7 +985,7 @@ mod tests {
         let t1 = &by_tenant[&TenantId(1)];
         assert_eq!(t1.cache_hits, t1.unique);
         for (i, (tid, _)) in batch.iter().enumerate() {
-            let (a, b) = (first[i].as_ref().unwrap(), second[i].as_ref().unwrap());
+            let (a, b) = (first[i].served().unwrap(), second[i].served().unwrap());
             if *tid == TenantId(1) {
                 assert!(Arc::ptr_eq(&a.answer, &b.answer), "tenant 1 must stay warm");
                 assert_eq!(b.epoch, 0);
@@ -968,12 +1004,11 @@ mod tests {
         let (answers, stats) = sharded.serve_mixed(&[]);
         assert!(answers.is_empty());
         assert_eq!(stats.arrivals, 0);
-        let (answers, stats) =
-            sharded.serve_mixed(&[(TenantId(0), Query::Marginal(Scope::from_indices(&[0])))]);
-        assert_eq!(
-            answers[0].as_ref().unwrap_err(),
-            &PgmError::UnknownTenant(0)
-        );
+        let (answers, stats) = sharded.serve_mixed(&[(
+            TenantId(0),
+            ServeRequest::marginal(Scope::from_indices(&[0])),
+        )]);
+        assert_eq!(answers[0].failure(), Some(&PgmError::UnknownTenant(0)));
         assert_eq!(stats.unknown_tenant, 1);
     }
 
@@ -981,7 +1016,7 @@ mod tests {
     fn stats_accumulate_per_tenant() {
         let (bns, trees) = fixtures_pair();
         let sharded = two_tenant_engine(&trees, &bns, ShardConfig::default());
-        let q = Query::Marginal(Scope::from_indices(&[0, 1]));
+        let q = ServeRequest::marginal(Scope::from_indices(&[0, 1]));
         let batch = vec![
             (TenantId(0), q.clone()),
             (TenantId(0), q.clone()),

@@ -14,7 +14,8 @@ use peanut_junction::{build_junction_tree, QueryEngine};
 use peanut_pgm::generate::{generate_network, DagConfig};
 use peanut_pgm::{fixtures, BayesianNetwork, Potential, Scope, Var};
 use peanut_serving::{
-    LifecycleConfig, Query, RematerializationController, ServingConfig, ServingEngine,
+    LifecycleConfig, RematerializationController, ServeOutcome, ServeRequest, ServingConfig,
+    ServingEngine,
 };
 use peanut_ve::ve_answer;
 use peanut_workload::{drifting_queries, uniform_queries, with_evidence, DriftSchedule, QuerySpec};
@@ -32,22 +33,19 @@ fn ve_conditional(bn: &BayesianNetwork, targets: &Scope, evidence: &[(Var, u32)]
     joint
 }
 
-fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<ServeRequest> {
     let spec = QuerySpec {
         min_vars: 1,
         max_vars: 4,
     };
     let scopes = uniform_queries(bn.domain(), n, spec, seed);
     with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d)
-        .into_iter()
-        .map(|(t, e)| Query::conditioned(t, e))
-        .collect()
 }
 
 fn train_mat(
     tree: &peanut_junction::JunctionTree,
     engine: &QueryEngine<'_>,
-    batch: &[Query],
+    batch: &[ServeRequest],
     budget: u64,
 ) -> Materialization {
     let train: Vec<Scope> = batch.iter().map(|q| q.stat_scope()).collect();
@@ -64,16 +62,13 @@ fn train_mat(
     .0
 }
 
-fn check_against_ve(
-    bn: &BayesianNetwork,
-    batch: &[Query],
-    answers: &[Result<peanut_serving::Served, peanut_pgm::PgmError>],
-) {
+fn check_against_ve(bn: &BayesianNetwork, batch: &[ServeRequest], answers: &[ServeOutcome]) {
     for (q, a) in batch.iter().zip(answers) {
-        let a = a.as_ref().expect("batch query must succeed");
-        let want = match q {
-            Query::Marginal(s) => ve_answer(bn, s).unwrap().0,
-            Query::Conditional { targets, evidence } => ve_conditional(bn, targets, evidence),
+        let a = a.served().expect("batch query must succeed");
+        let want = if q.is_marginal() {
+            ve_answer(bn, &q.targets).unwrap().0
+        } else {
+            ve_conditional(bn, &q.targets, &q.evidence)
         };
         assert!(
             a.potential.max_abs_diff(&want).unwrap() < 1e-9,
@@ -106,11 +101,7 @@ proptest! {
         let mat_a = train_mat(&tree, &engine, &batch_a, budget);
         let mat_b = train_mat(&tree, &engine, &batch_b, budget.saturating_mul(2));
 
-        let serving = ServingEngine::new(
-            engine,
-            mat_a,
-            ServingConfig { workers: 4, ..ServingConfig::default() },
-        );
+        let serving = ServingEngine::new(engine, mat_a, ServingConfig::default().with_workers(4));
         let (pre, s_pre) = serving.serve_batch(&batch_a);
         prop_assert_eq!(s_pre.epoch, 0);
         check_against_ve(&bn, &batch_a, &pre);
@@ -119,12 +110,12 @@ proptest! {
         let epoch = serving.publish(mat_b);
         prop_assert_eq!(epoch, 1);
 
-        let mixed: Vec<Query> = batch_a.iter().chain(&batch_b).cloned().collect();
+        let mixed: Vec<ServeRequest> = batch_a.iter().chain(&batch_b).cloned().collect();
         let (post, s_post) = serving.serve_batch(&mixed);
         prop_assert_eq!(s_post.epoch, 1);
         prop_assert_eq!(s_post.cache_hits, 0, "pre-swap entries must never hit post-swap");
         check_against_ve(&bn, &mixed, &post);
-        for a in post.iter().flatten() {
+        for a in post.iter().filter_map(ServeOutcome::served) {
             prop_assert_eq!(a.epoch, 1, "post-swap answers must carry the new epoch");
             prop_assert!(!a.from_cache);
         }
@@ -133,7 +124,7 @@ proptest! {
         let (warm, s_warm) = serving.serve_batch(&mixed);
         prop_assert_eq!(s_warm.cache_hits, s_warm.unique);
         for (a, b) in post.iter().zip(&warm) {
-            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            let (a, b) = (a.served().unwrap(), b.served().unwrap());
             prop_assert!(
                 std::sync::Arc::ptr_eq(&a.answer, &b.answer),
                 "warm path must share, not copy"
@@ -165,21 +156,11 @@ fn drift_run(seed: u64) -> (Vec<(u64, u64)>, Vec<(Vec<usize>, u64)>, u64) {
     )
     .unwrap();
 
-    let serving = ServingEngine::new(
-        engine,
-        mat,
-        ServingConfig {
-            workers: 2,
-            ..ServingConfig::default()
-        },
-    );
+    let serving = ServingEngine::new(engine, mat, ServingConfig::default().with_workers(2));
     let mut ctl = RematerializationController::new(
         &serving,
         &train_w,
-        LifecycleConfig {
-            min_window: 64,
-            ..LifecycleConfig::new(512)
-        },
+        LifecycleConfig::new(512).with_min_window(64),
     );
 
     let schedule = DriftSchedule::Linear {
@@ -190,9 +171,9 @@ fn drift_run(seed: u64) -> (Vec<(u64, u64)>, Vec<(Vec<usize>, u64)>, u64) {
     let stream = drifting_queries(&deep, &shallow, &schedule, 600, seed);
     let mut swap_points = Vec::new();
     for chunk in stream.chunks(25) {
-        let batch: Vec<Query> = chunk.iter().cloned().map(Query::Marginal).collect();
+        let batch: Vec<ServeRequest> = chunk.iter().cloned().map(ServeRequest::marginal).collect();
         let (answers, _) = serving.serve_batch(&batch);
-        assert!(answers.iter().all(Result::is_ok));
+        assert!(answers.iter().all(ServeOutcome::is_served));
         if let Some(ev) = ctl.tick().unwrap() {
             swap_points.push((ev.at_arrivals, ev.epoch));
         }

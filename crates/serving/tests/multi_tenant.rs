@@ -12,7 +12,7 @@ use peanut_junction::{build_junction_tree, QueryEngine};
 use peanut_pgm::generate::{generate_network, DagConfig};
 use peanut_pgm::{fixtures, BayesianNetwork, Potential, Scope, Var};
 use peanut_serving::{
-    Query, ServingConfig, ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
+    ServeRequest, ServingConfig, ServingEngine, ShardConfig, ShardedServingEngine, TenantId,
 };
 use peanut_ve::ve_answer;
 use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
@@ -30,22 +30,19 @@ fn ve_conditional(bn: &BayesianNetwork, targets: &Scope, evidence: &[(Var, u32)]
     joint
 }
 
-fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<ServeRequest> {
     let spec = QuerySpec {
         min_vars: 1,
         max_vars: 4,
     };
     let scopes = uniform_queries(bn.domain(), n, spec, seed);
     with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d)
-        .into_iter()
-        .map(|(t, e)| Query::conditioned(t, e))
-        .collect()
 }
 
 fn train_mat(
     tree: &peanut_junction::JunctionTree,
     engine: &QueryEngine<'_>,
-    batch: &[Query],
+    batch: &[ServeRequest],
     budget: u64,
 ) -> Materialization {
     let train: Vec<Scope> = batch.iter().map(|q| q.stat_scope()).collect();
@@ -88,17 +85,14 @@ proptest! {
         ];
 
         // per-tenant batches over each tenant's own model, with evidence
-        let batches: Vec<Vec<Query>> = bns
+        let batches: Vec<Vec<ServeRequest>> = bns
             .iter()
             .enumerate()
             .map(|(i, bn)| random_batch(bn, 12, seed ^ (i as u64) << 8))
             .collect();
 
         // sharded engine with materialized shortcuts and shared workers
-        let mut sharded = ShardedServingEngine::new(ShardConfig {
-            workers: 4,
-            ..ShardConfig::default()
-        });
+        let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(4));
         for (i, (tree, bn)) in trees.iter().zip(&bns).enumerate() {
             let engine = QueryEngine::numeric(tree, bn).unwrap();
             let mat = train_mat(tree, &engine, &batches[i], 128);
@@ -106,7 +100,7 @@ proptest! {
         }
 
         // interleave the two tenants' arrivals round-robin
-        let mixed: Vec<(TenantId, Query)> = batches[0]
+        let mixed: Vec<(TenantId, ServeRequest)> = batches[0]
             .iter()
             .zip(&batches[1])
             .flat_map(|(a, b)| {
@@ -120,14 +114,7 @@ proptest! {
         for (i, (tree, bn)) in trees.iter().zip(&bns).enumerate() {
             let engine = QueryEngine::numeric(tree, bn).unwrap();
             let mat = train_mat(tree, &engine, &batches[i], 128);
-            let alone = ServingEngine::new(
-                engine,
-                mat,
-                ServingConfig {
-                    workers: 1,
-                    ..ServingConfig::default()
-                },
-            );
+            let alone = ServingEngine::new(engine, mat, ServingConfig::default().with_workers(1));
             let (alone_answers, _) = alone.serve_batch(&batches[i]);
             let mixed_answers = served
                 .iter()
@@ -135,7 +122,7 @@ proptest! {
                 .filter(|(_, (tid, _))| *tid == TenantId(i as u32))
                 .map(|(a, _)| a);
             for (m, a) in mixed_answers.zip(&alone_answers) {
-                let (m, a) = (m.as_ref().unwrap(), a.as_ref().unwrap());
+                let (m, a) = (m.served().unwrap(), a.served().unwrap());
                 prop_assert_eq!(m.potential.scope(), a.potential.scope());
                 let m_bits: Vec<u64> = m.potential.values().iter().map(|v| v.to_bits()).collect();
                 let a_bits: Vec<u64> = a.potential.values().iter().map(|v| v.to_bits()).collect();
@@ -149,10 +136,11 @@ proptest! {
         // (b) against the VE oracle on the owning tenant's model
         for ((tid, q), a) in mixed.iter().zip(&served) {
             let bn = &bns[tid.0 as usize];
-            let a = a.as_ref().unwrap();
-            let want = match q {
-                Query::Marginal(s) => ve_answer(bn, s).unwrap().0,
-                Query::Conditional { targets, evidence } => ve_conditional(bn, targets, evidence),
+            let a = a.served().unwrap();
+            let want = if q.is_marginal() {
+                ve_answer(bn, &q.targets).unwrap().0
+            } else {
+                ve_conditional(bn, &q.targets, &q.evidence)
             };
             prop_assert!(
                 a.potential.max_abs_diff(&want).unwrap() < 1e-9,
@@ -174,22 +162,19 @@ fn epoch_swap_is_tenant_local() {
         build_junction_tree(&bns[0]).unwrap(),
         build_junction_tree(&bns[1]).unwrap(),
     ];
-    let mut sharded = ShardedServingEngine::new(ShardConfig {
-        workers: 2,
-        ..ShardConfig::default()
-    });
+    let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(2));
     for (i, (tree, bn)) in trees.iter().zip(&bns).enumerate() {
         let engine = QueryEngine::numeric(tree, bn).unwrap();
         sharded
             .register(TenantId(i as u32), engine, Materialization::default())
             .unwrap();
     }
-    let mixed: Vec<(TenantId, Query)> = (0..2u32)
+    let mixed: Vec<(TenantId, ServeRequest)> = (0..2u32)
         .flat_map(|t| {
             (0..3u32).map(move |v| {
                 (
                     TenantId(t),
-                    Query::Marginal(Scope::from_indices(&[v, v + 1])),
+                    ServeRequest::marginal(Scope::from_indices(&[v, v + 1])),
                 )
             })
         })
@@ -219,7 +204,7 @@ fn epoch_swap_is_tenant_local() {
 
     let (second, stats) = sharded.serve_mixed(&mixed);
     for ((tid, _), (a, b)) in mixed.iter().zip(first.iter().zip(&second)) {
-        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        let (a, b) = (a.served().unwrap(), b.served().unwrap());
         if *tid == TenantId(1) {
             // B's entries survived both of A's swaps: zero-copy, old epoch
             assert!(

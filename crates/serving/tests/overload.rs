@@ -10,7 +10,7 @@ use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine, RootedTree
 use peanut_pgm::{fixtures, BayesianNetwork};
 use peanut_serving::{
     poisson_arrivals, replay_open_loop, replay_open_loop_mixed, workload_queries, AdmissionConfig,
-    Lane, OpenLoopConfig, Query, ReplayClock, ServeOutcome, ServingConfig, ServingEngine,
+    Lane, OpenLoopConfig, ReplayClock, ServeOutcome, ServeRequest, ServingConfig, ServingEngine,
     ShardConfig, ShardedServingEngine, ShedReason, TenantId, WorkerPool, WorkloadMix,
 };
 use std::time::{Duration, Instant};
@@ -21,7 +21,7 @@ fn fixture() -> (BayesianNetwork, JunctionTree) {
     (bn, tree)
 }
 
-fn queries(tree: &JunctionTree, n: usize, seed: u64) -> Vec<Query> {
+fn queries(tree: &JunctionTree, n: usize, seed: u64) -> Vec<ServeRequest> {
     let rooted = RootedTree::new(tree);
     let mix = WorkloadMix {
         pool_size: 32,
@@ -60,16 +60,13 @@ fn shedding_is_deterministic_on_the_virtual_clock() {
     let (bn, tree) = fixture();
     let qs = queries(&tree, 400, 11);
     let schedule = poisson_arrivals(qs.len(), 2000.0, 42); // 2× capacity
-    let cfg = saturated_cfg(AdmissionConfig::with_deadline(Duration::from_millis(8)));
+    let cfg = saturated_cfg(AdmissionConfig::default().with_deadline(Duration::from_millis(8)));
     let run = || {
         let engine = QueryEngine::numeric(&tree, &bn).unwrap();
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                workers: 1,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default().with_workers(1),
         );
         replay_open_loop(&serving, &qs, &schedule, &cfg)
     };
@@ -103,15 +100,12 @@ fn deadline_shedding_bounds_p99_where_fifo_collapses() {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                workers: 1,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default().with_workers(1),
         );
         replay_open_loop(&serving, &qs, &schedule, &saturated_cfg(admission))
     };
     let (fifo_outcomes, fifo) = run(AdmissionConfig::fifo());
-    let (shed_outcomes, shed) = run(AdmissionConfig::with_deadline(deadline));
+    let (shed_outcomes, shed) = run(AdmissionConfig::default().with_deadline(deadline));
 
     // FIFO serves everything, however late; shedding trades lateness for
     // typed Shed outcomes
@@ -165,15 +159,9 @@ fn global_admission_cap_bounds_the_backlog() {
     let serving = ServingEngine::new(
         engine,
         Materialization::default(),
-        ServingConfig {
-            workers: 1,
-            ..ServingConfig::default()
-        },
+        ServingConfig::default().with_workers(1),
     );
-    let cfg = saturated_cfg(AdmissionConfig {
-        max_backlog: cap,
-        ..AdmissionConfig::default()
-    });
+    let cfg = saturated_cfg(AdmissionConfig::default().with_max_backlog(cap));
     let (outcomes, report) = replay_open_loop(&serving, &qs, &schedule, &cfg);
     assert!(report.shed_admission > 0, "3× load must refuse arrivals");
     assert!(
@@ -207,10 +195,7 @@ fn per_tenant_admission_isolates_a_flooding_tenant() {
     let (bn, tree) = fixture();
     let hot = TenantId(0);
     let quiet = TenantId(1);
-    let mut sharded = ShardedServingEngine::new(ShardConfig {
-        workers: 1,
-        ..ShardConfig::default()
-    });
+    let mut sharded = ShardedServingEngine::new(ShardConfig::default().with_workers(1));
     for id in [hot, quiet] {
         sharded
             .register(
@@ -222,16 +207,13 @@ fn per_tenant_admission_isolates_a_flooding_tenant() {
     }
     // 9 of 10 arrivals are the flooding tenant's
     let qs = queries(&tree, 500, 19);
-    let arrivals: Vec<(TenantId, Query)> = qs
+    let arrivals: Vec<(TenantId, ServeRequest)> = qs
         .into_iter()
         .enumerate()
         .map(|(i, q)| (if i % 10 == 9 { quiet } else { hot }, q))
         .collect();
     let schedule = poisson_arrivals(arrivals.len(), 3000.0, 23);
-    let cfg = saturated_cfg(AdmissionConfig {
-        max_tenant_backlog: 8,
-        ..AdmissionConfig::default()
-    });
+    let cfg = saturated_cfg(AdmissionConfig::default().with_max_tenant_backlog(8));
     let (outcomes, report) = replay_open_loop_mixed(&sharded, &arrivals, &schedule, &cfg);
     assert!(report.shed_admission > 0, "the flood must hit the cap");
     let shed_of = |t: TenantId| {
@@ -327,10 +309,7 @@ fn wall_clock_open_loop_serves_everything_below_capacity() {
     let serving = ServingEngine::new(
         engine,
         Materialization::default(),
-        ServingConfig {
-            workers: 2,
-            ..ServingConfig::default()
-        },
+        ServingConfig::default().with_workers(2),
     );
     let cfg = OpenLoopConfig {
         max_batch: 16,

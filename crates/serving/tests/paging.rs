@@ -12,7 +12,9 @@
 use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workload};
 use peanut_junction::{build_junction_tree, JunctionTree, QueryEngine};
 use peanut_pgm::{fixtures, BayesianNetwork, Scope};
-use peanut_serving::{Query, ShardConfig, ShardedServingEngine, StoreConfig, TenantId};
+use peanut_serving::{
+    ServeOutcome, ServeRequest, ShardConfig, ShardedServingEngine, StoreConfig, TenantId,
+};
 use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -27,19 +29,20 @@ fn fleet_models(n: usize) -> Vec<BayesianNetwork> {
         .collect()
 }
 
-fn tenant_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+fn tenant_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<ServeRequest> {
     let spec = QuerySpec {
         min_vars: 1,
         max_vars: 3,
     };
     let scopes = uniform_queries(bn.domain(), n, spec, seed);
     with_evidence(bn.domain(), &scopes, 0.3, seed ^ 0xf00d)
-        .into_iter()
-        .map(|(t, e)| Query::conditioned(t, e))
-        .collect()
 }
 
-fn train_mat(tree: &JunctionTree, engine: &QueryEngine<'_>, batch: &[Query]) -> Materialization {
+fn train_mat(
+    tree: &JunctionTree,
+    engine: &QueryEngine<'_>,
+    batch: &[ServeRequest],
+) -> Materialization {
     let train: Vec<Scope> = batch.iter().map(|q| q.stat_scope()).collect();
     let ctx = OfflineContext::new(tree, &Workload::from_queries(train)).unwrap();
     Peanut::offline_numeric(
@@ -56,15 +59,15 @@ fn train_mat(tree: &JunctionTree, engine: &QueryEngine<'_>, batch: &[Query]) -> 
 fn build_fleet<'a>(
     trees: &'a [JunctionTree],
     bns: &'a [BayesianNetwork],
-    batches: &[Vec<Query>],
+    batches: &[Vec<ServeRequest>],
     store: Option<StoreConfig>,
     max_resident: usize,
 ) -> ShardedServingEngine<'a> {
-    let mut fleet = ShardedServingEngine::new(ShardConfig {
-        workers: 2,
-        max_resident,
-        ..ShardConfig::default()
-    });
+    let mut fleet = ShardedServingEngine::new(
+        ShardConfig::default()
+            .with_workers(2)
+            .with_max_resident(max_resident),
+    );
     if let Some(store) = store {
         fleet.set_store(store);
     }
@@ -87,7 +90,7 @@ fn capped_fleet_replays_bit_identically_to_uncapped() {
         .iter()
         .map(|bn| build_junction_tree(bn).unwrap())
         .collect();
-    let batches: Vec<Vec<Query>> = bns
+    let batches: Vec<Vec<ServeRequest>> = bns
         .iter()
         .enumerate()
         .map(|(i, bn)| tenant_batch(bn, 10, 41 + i as u64))
@@ -99,7 +102,7 @@ fn capped_fleet_replays_bit_identically_to_uncapped() {
 
     // arrival stream sweeping through all tenants, several passes: every
     // pass past the first re-faults tenants the cap evicted
-    let arrivals: Vec<(TenantId, Query)> = (0..3)
+    let arrivals: Vec<(TenantId, ServeRequest)> = (0..3)
         .flat_map(|_| {
             batches
                 .iter()
@@ -122,8 +125,8 @@ fn capped_fleet_replays_bit_identically_to_uncapped() {
         total_page_outs += stats.page_outs;
         for (i, (c, p)) in capped_answers.iter().zip(&plain_answers).enumerate() {
             let (c, p) = (
-                c.as_ref().expect("capped fleet must serve without errors"),
-                p.as_ref()
+                c.served().expect("capped fleet must serve without errors"),
+                p.served()
                     .expect("uncapped fleet must serve without errors"),
             );
             let c_bits: Vec<u64> = c.potential.values().iter().map(|v| v.to_bits()).collect();
@@ -163,7 +166,7 @@ fn publish_survives_a_page_out() {
         .iter()
         .map(|bn| build_junction_tree(bn).unwrap())
         .collect();
-    let batches: Vec<Vec<Query>> = bns
+    let batches: Vec<Vec<ServeRequest>> = bns
         .iter()
         .enumerate()
         .map(|(i, bn)| tenant_batch(bn, 8, 7 + i as u64))
@@ -214,7 +217,7 @@ fn tenants_view_tracks_residency() {
         .iter()
         .map(|bn| build_junction_tree(bn).unwrap())
         .collect();
-    let batches: Vec<Vec<Query>> = bns
+    let batches: Vec<Vec<ServeRequest>> = bns
         .iter()
         .enumerate()
         .map(|(i, bn)| tenant_batch(bn, 8, 90 + i as u64))
@@ -226,10 +229,10 @@ fn tenants_view_tracks_residency() {
 
     // one batch per tenant in id order leaves only the two most recent
     for (t, qs) in batches.iter().enumerate() {
-        let batch: Vec<(TenantId, Query)> =
+        let batch: Vec<(TenantId, ServeRequest)> =
             qs.iter().map(|q| (TenantId(t as u32), q.clone())).collect();
         let (answers, _) = fleet.serve_mixed(&batch);
-        assert!(answers.iter().all(Result::is_ok));
+        assert!(answers.iter().all(ServeOutcome::is_served));
     }
     let resident: Vec<TenantId> = fleet.tenants().into_iter().map(|(id, _)| id).collect();
     assert_eq!(

@@ -6,16 +6,19 @@
 use peanut_core::Materialization;
 use peanut_junction::{build_junction_tree, QueryEngine};
 use peanut_pgm::{fixtures, BayesianNetwork, Scope};
-use peanut_serving::{Query, ServingConfig, ServingEngine, SpawnMode, WorkerPool};
+use peanut_serving::{
+    ServeOutcome, ServeRequest, ServingConfig, ServingEngine, SpawnMode, WorkerPool,
+};
 use peanut_ve::ve_answer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-fn batch(bn: &BayesianNetwork) -> Vec<Query> {
+fn batch(bn: &BayesianNetwork) -> Vec<ServeRequest> {
     let n = bn.domain().len() as u32;
     (0..n)
         .flat_map(|a| {
-            ((a + 1)..n.min(a + 3)).map(move |b| Query::Marginal(Scope::from_indices(&[a, b])))
+            ((a + 1)..n.min(a + 3))
+                .map(move |b| ServeRequest::marginal(Scope::from_indices(&[a, b])))
         })
         .collect()
 }
@@ -31,11 +34,10 @@ fn worker_panic_does_not_poison_the_pool() {
     let serving = ServingEngine::with_pool(
         engine,
         Materialization::default(),
-        ServingConfig {
-            workers: 2,
-            cache_capacity: 0, // every batch must recompute through the pool
-            ..ServingConfig::default()
-        },
+        // cache capacity 0: every batch must recompute through the pool
+        ServingConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(0),
         Arc::clone(&pool),
     );
 
@@ -56,11 +58,8 @@ fn worker_panic_does_not_poison_the_pool() {
         let (answers, stats) = serving.serve_batch(&queries);
         assert_eq!(stats.queries, queries.len());
         for (q, a) in queries.iter().zip(&answers) {
-            let a = a.as_ref().expect("served after panic");
-            let Query::Marginal(scope) = q else {
-                unreachable!()
-            };
-            let (mut want, _) = ve_answer(&bn, scope).unwrap();
+            let a = a.served().expect("served after panic");
+            let (mut want, _) = ve_answer(&bn, &q.targets).unwrap();
             want.normalize();
             assert!(a.potential.max_abs_diff(&want).unwrap() < 1e-9);
         }
@@ -80,16 +79,14 @@ fn drop_joins_all_workers() {
     let serving = ServingEngine::with_pool(
         engine,
         Materialization::default(),
-        ServingConfig {
-            workers: 3,
-            cache_capacity: 0,
-            ..ServingConfig::default()
-        },
+        ServingConfig::default()
+            .with_workers(3)
+            .with_cache_capacity(0),
         pool,
     );
     let queries = batch(&bn);
     let (answers, _) = serving.serve_batch(&queries);
-    assert!(answers.iter().all(Result::is_ok));
+    assert!(answers.iter().all(ServeOutcome::is_served));
     drop(serving);
     // the engine held the last Arc<WorkerPool>; its drop joined the
     // workers, so nothing can be holding the pool anymore
@@ -109,17 +106,15 @@ fn pool_answers_are_byte_identical_to_sequential() {
         let serving = ServingEngine::new(
             engine,
             Materialization::default(),
-            ServingConfig {
-                workers,
-                cache_capacity: 0,
-                spawn,
-                ..ServingConfig::default()
-            },
+            ServingConfig::default()
+                .with_workers(workers)
+                .with_cache_capacity(0)
+                .with_spawn(spawn),
         );
         let (answers, _) = serving.serve_batch(&queries);
         answers
-            .into_iter()
-            .map(|a| a.expect("served").potential.values().to_vec())
+            .iter()
+            .map(|a| a.served().expect("served").potential.values().to_vec())
             .collect()
     };
     let sequential = serve(1, SpawnMode::Persistent);
@@ -145,14 +140,11 @@ fn one_worker_engine_spawns_no_pool() {
     let serving = ServingEngine::new(
         engine,
         Materialization::default(),
-        ServingConfig {
-            workers: 1,
-            ..ServingConfig::default()
-        },
+        ServingConfig::default().with_workers(1),
     );
     serving.warm_pool(); // no-op for 1 worker
     let (answers, _) = serving.serve_batch(&batch(&bn));
-    assert!(answers.iter().all(Result::is_ok));
+    assert!(answers.iter().all(ServeOutcome::is_served));
     assert!(
         serving.pool_stats().is_none(),
         "sequential serving must not spawn workers"
@@ -252,16 +244,14 @@ fn pool_spawns_once_across_batches() {
     let serving = ServingEngine::new(
         engine,
         Materialization::default(),
-        ServingConfig {
-            workers: 2,
-            cache_capacity: 0,
-            ..ServingConfig::default()
-        },
+        ServingConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(0),
     );
     let queries = batch(&bn);
     for _ in 0..5 {
         let (answers, _) = serving.serve_batch(&queries);
-        assert!(answers.iter().all(Result::is_ok));
+        assert!(answers.iter().all(ServeOutcome::is_served));
     }
     let stats = serving.pool_stats().expect("pool spawned");
     assert_eq!(stats.workers, 2, "spawned once, sized by the config");

@@ -7,7 +7,7 @@ use peanut_core::{Materialization, OfflineContext, Peanut, PeanutConfig, Workloa
 use peanut_junction::{build_junction_tree, QueryEngine};
 use peanut_pgm::generate::{generate_network, DagConfig};
 use peanut_pgm::{BayesianNetwork, Potential, Scope, Var};
-use peanut_serving::{Query, ServingConfig, ServingEngine};
+use peanut_serving::{ServeRequest, ServingConfig, ServingEngine};
 use peanut_ve::ve_answer;
 use peanut_workload::{uniform_queries, with_evidence, QuerySpec};
 use proptest::prelude::*;
@@ -24,16 +24,13 @@ fn ve_conditional(bn: &BayesianNetwork, targets: &Scope, evidence: &[(Var, u32)]
     joint
 }
 
-fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+fn random_batch(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<ServeRequest> {
     let spec = QuerySpec {
         min_vars: 1,
         max_vars: 4,
     };
     let scopes = uniform_queries(bn.domain(), n, spec, seed);
     with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d)
-        .into_iter()
-        .map(|(t, e)| Query::conditioned(t, e))
-        .collect()
 }
 
 proptest! {
@@ -59,10 +56,8 @@ proptest! {
         // the shortcut-reduced path is exercised, not just plain JT
         let train: Vec<Scope> = batch
             .iter()
-            .filter_map(|q| match q {
-                Query::Marginal(s) => Some(s.clone()),
-                Query::Conditional { .. } => None,
-            })
+            .filter(|q| q.is_marginal())
+            .map(|q| q.targets.clone())
             .collect();
         let mat = if train.is_empty() || budget == 0 {
             Materialization::default()
@@ -77,23 +72,17 @@ proptest! {
             mat
         };
 
-        let serving = ServingEngine::new(
-            engine,
-            mat,
-            ServingConfig {
-                workers: 4,
-                ..ServingConfig::default()
-            },
-        );
+        let serving = ServingEngine::new(engine, mat, ServingConfig::default().with_workers(4));
         let (answers, stats) = serving.serve_batch(&batch);
         prop_assert_eq!(answers.len(), batch.len());
         prop_assert!(stats.unique <= stats.queries);
 
         for (q, a) in batch.iter().zip(&answers) {
-            let a = a.as_ref().expect("batch query must succeed");
-            let want = match q {
-                Query::Marginal(s) => ve_answer(&bn, s).unwrap().0,
-                Query::Conditional { targets, evidence } => ve_conditional(&bn, targets, evidence),
+            let a = a.served().expect("batch query must succeed");
+            let want = if q.is_marginal() {
+                ve_answer(&bn, &q.targets).unwrap().0
+            } else {
+                ve_conditional(&bn, &q.targets, &q.evidence)
             };
             prop_assert!(
                 a.potential.max_abs_diff(&want).unwrap() < 1e-9,

@@ -126,7 +126,8 @@ fn assert_round_trip(
         max_vars: 3,
     };
     let scopes = uniform_queries(bn.domain(), 12, spec, seed ^ 0x5eed);
-    for (targets, evidence) in with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d) {
+    for q in with_evidence(bn.domain(), &scopes, 0.4, seed ^ 0xf00d) {
+        let (targets, evidence) = (q.targets, q.evidence);
         let (a, ca) = fresh.conditional(&targets, &evidence).unwrap();
         let (b, cb) = rehydrated.conditional(&targets, &evidence).unwrap();
         assert_eq!(ca.ops, cb.ops, "rehydrated plan must match");

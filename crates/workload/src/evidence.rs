@@ -4,14 +4,22 @@
 //! sees evidence-conditioned traffic (`P(targets | evidence)`). This module
 //! turns a fraction of sampled scopes into conditional queries by splitting
 //! off some variables as evidence with uniformly drawn values — seeded and
-//! reproducible, like every other generator in this crate.
+//! reproducible, like every other generator in this crate. Queries come out
+//! as typed [`ServeRequest`]s, the unified form every serving surface
+//! accepts.
 
+use peanut_core::ServeRequest;
 use peanut_pgm::{Domain, Scope, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A query as a serving system sees it: target scope plus (possibly empty)
-/// evidence assignments. Empty evidence means a plain marginal query.
+/// The pre-[`ServeRequest`] tuple form of a conditional query. Kept only
+/// so downstream code migrating to the typed request compiles with a
+/// warning instead of breaking silently.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `peanut_core::ServeRequest` — the typed request every serving surface accepts"
+)]
 pub type ConditionedQuery = (Scope, Vec<(Var, u32)>);
 
 /// Converts `fraction` of the given scopes into conditional queries.
@@ -19,13 +27,13 @@ pub type ConditionedQuery = (Scope, Vec<(Var, u32)>);
 /// A selected scope with at least two variables is split: between one
 /// variable and all-but-one become evidence (values drawn uniformly from the
 /// variable's domain), the rest stay targets. Scopes left unselected — and
-/// all single-variable scopes — pass through with empty evidence.
+/// all single-variable scopes — pass through as plain marginal requests.
 pub fn with_evidence(
     domain: &Domain,
     scopes: &[Scope],
     fraction: f64,
     seed: u64,
-) -> Vec<ConditionedQuery> {
+) -> Vec<ServeRequest> {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "fraction must be in [0, 1]"
@@ -35,7 +43,7 @@ pub fn with_evidence(
         .iter()
         .map(|q| {
             if q.len() < 2 || rng.gen_range(0.0..1.0) >= fraction {
-                return (q.clone(), Vec::new());
+                return ServeRequest::marginal(q.clone());
             }
             let n_evidence = rng.gen_range(1..q.len());
             // Fisher–Yates with the seeded stream, then split the shuffle
@@ -49,7 +57,7 @@ pub fn with_evidence(
                 .map(|&v| (v, rng.gen_range(0..domain.card(v))))
                 .collect();
             let targets = Scope::from_iter(vars[n_evidence..].iter().copied());
-            (targets, evidence)
+            ServeRequest::new(targets, evidence)
         })
         .collect()
 }
@@ -80,12 +88,13 @@ mod tests {
         let bn = fixtures::chain(12, 3, 5);
         let d = bn.domain();
         let qs = scopes();
-        for (orig, (targets, evidence)) in qs.iter().zip(with_evidence(d, &qs, 1.0, 9)) {
-            let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
-            assert!(targets.is_disjoint_from(&ev_scope));
-            assert_eq!(&targets.union(&ev_scope), orig);
-            assert!(!targets.is_empty());
-            for (v, val) in evidence {
+        for (orig, req) in qs.iter().zip(with_evidence(d, &qs, 1.0, 9)) {
+            let ev_scope = req.evidence_scope();
+            assert!(req.targets.is_disjoint_from(&ev_scope));
+            assert_eq!(&req.stat_scope(), orig);
+            assert!(!req.targets.is_empty());
+            assert!(!req.is_marginal());
+            for &(v, val) in &req.evidence {
                 assert!(val < d.card(v));
             }
         }
@@ -94,13 +103,12 @@ mod tests {
     #[test]
     fn zero_fraction_passes_through() {
         let bn = fixtures::chain(12, 3, 5);
-        for (orig, (targets, evidence)) in
-            scopes()
-                .iter()
-                .zip(with_evidence(bn.domain(), &scopes(), 0.0, 3))
+        for (orig, req) in scopes()
+            .iter()
+            .zip(with_evidence(bn.domain(), &scopes(), 0.0, 3))
         {
-            assert_eq!(&targets, orig);
-            assert!(evidence.is_empty());
+            assert_eq!(&req.targets, orig);
+            assert!(req.is_marginal());
         }
     }
 }

@@ -12,17 +12,23 @@
 //!   a served query stream) for the re-materialization lifecycle;
 //! * **tenants** — multi-tenant fleet traffic: interleaved per-tenant
 //!   streams with Zipf-skewed arrival rates and independent per-tenant
-//!   drift schedules, the input of the sharded serving layer.
+//!   drift schedules, the input of the sharded serving layer;
+//! * **sessions** — evidence-session traffic: streams of correlated queries
+//!   served under one pinned evidence assignment, with drift-schedulable
+//!   context mixtures, the input of the stateful evidence-session path.
 //!
-//! Queries are plain [`peanut_pgm::Scope`]s; consumers aggregate them into a
-//! `peanut_core::Workload` with empirical frequencies.
+//! Marginal queries are plain [`peanut_pgm::Scope`]s; evidence-conditioned
+//! traffic comes out as typed `peanut_core::ServeRequest`s. Consumers
+//! aggregate them into a `peanut_core::Workload` with empirical frequencies.
 
 pub mod drift;
 pub mod evidence;
 pub mod gen;
+pub mod session;
 pub mod tenants;
 
 pub use drift::{drifting_queries, mix, DriftSchedule, DriftStream};
-pub use evidence::{with_evidence, ConditionedQuery};
+pub use evidence::with_evidence;
 pub use gen::{skewed_queries, uniform_queries, QuerySpec};
+pub use session::{evidence_contexts, session_queries, Session, SessionStream};
 pub use tenants::{tenant_queries, zipf_weights, TenantStream, TenantTraffic};

@@ -1,0 +1,282 @@
+//! Evidence-session traffic: streams of *correlated* queries served under
+//! one pinned evidence assignment.
+//!
+//! Real evidence-conditioned traffic is not i.i.d. per query: a client
+//! observes some variables once (a patient's symptoms, a configuration),
+//! then asks a stream of marginals under that fixed context — the pattern
+//! Darwiche's *Dynamic Jointrees* exploits and the serving layer's
+//! evidence sessions amortize. A [`SessionStream`] generates exactly that
+//! shape: session `i` pins an evidence assignment drawn from a primary
+//! context pool with probability `λ(i)` (secondary otherwise — the same
+//! [`DriftSchedule`] machinery the marginal drift streams use, so evidence
+//! regimes can drift over a served stream), then draws a fixed number of
+//! target scopes from a query pool, skipping targets that overlap the
+//! pinned evidence. Deterministic in the seed, like every generator here.
+
+use crate::drift::DriftSchedule;
+use peanut_core::ServeRequest;
+use peanut_pgm::{Domain, Scope, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated session: a pinned evidence assignment plus the target
+/// scopes queried under it, in arrival order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Session {
+    /// The evidence assignment every query of the session is conditioned
+    /// on (sorted by variable).
+    pub evidence: Vec<(Var, u32)>,
+    /// Target scopes, in arrival order; each is disjoint from the
+    /// evidence scope.
+    pub targets: Vec<Scope>,
+}
+
+impl Session {
+    /// The session flattened to per-query [`ServeRequest`]s — what the
+    /// *shared-engine* baseline serves (re-attaching the evidence per
+    /// query), and what the session path amortizes.
+    pub fn requests(&self) -> Vec<ServeRequest> {
+        self.targets
+            .iter()
+            .map(|t| ServeRequest::new(t.clone(), self.evidence.clone()))
+            .collect()
+    }
+}
+
+/// Draws `n` pinned evidence assignments of `n_vars` distinct variables
+/// each (values uniform over the variable's domain) — the context pools a
+/// [`SessionStream`] mixes between. Deterministic in `seed`.
+pub fn evidence_contexts(
+    domain: &Domain,
+    n: usize,
+    n_vars: usize,
+    seed: u64,
+) -> Vec<Vec<(Var, u32)>> {
+    assert!(n_vars >= 1, "a context pins at least one variable");
+    assert!(
+        n_vars <= domain.len(),
+        "cannot pin more variables than the domain has"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars: Vec<Var> = domain.all_vars().collect();
+    (0..n)
+        .map(|_| {
+            // partial Fisher–Yates: the first n_vars entries are a
+            // uniform sample of distinct variables
+            let mut pool = vars.clone();
+            for i in 0..n_vars {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let mut ev: Vec<(Var, u32)> = pool[..n_vars]
+                .iter()
+                .map(|&v| (v, rng.gen_range(0..domain.card(v))))
+                .collect();
+            ev.sort_unstable();
+            ev
+        })
+        .collect()
+}
+
+/// A lazily drawn stream of evidence sessions: session `i` pins a context
+/// from the `primary` pool with probability `schedule.lambda_at(i)` and
+/// from `secondary` otherwise, then draws `length` targets from the target
+/// pool with replacement (skipping targets that overlap the pinned
+/// evidence). Unbounded; callers `take(n)`.
+pub struct SessionStream<'a> {
+    primary: &'a [Vec<(Var, u32)>],
+    secondary: &'a [Vec<(Var, u32)>],
+    targets: &'a [Scope],
+    length: usize,
+    schedule: DriftSchedule,
+    rng: StdRng,
+    next_session: usize,
+}
+
+impl<'a> SessionStream<'a> {
+    /// Builds a stream. Both context pools and the target pool must be
+    /// non-empty, the session length positive, and the schedule valid;
+    /// every context must leave at least one non-overlapping target in the
+    /// pool (checked up front so a degenerate configuration fails at
+    /// construction, not mid-stream).
+    pub fn new(
+        primary: &'a [Vec<(Var, u32)>],
+        secondary: &'a [Vec<(Var, u32)>],
+        targets: &'a [Scope],
+        length: usize,
+        schedule: DriftSchedule,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !primary.is_empty() && !secondary.is_empty(),
+            "both context pools must be non-empty"
+        );
+        assert!(!targets.is_empty(), "target pool must be non-empty");
+        assert!(length > 0, "sessions must contain at least one query");
+        schedule.validate();
+        for ev in primary.iter().chain(secondary) {
+            let ev_scope = Scope::from_iter(ev.iter().map(|&(v, _)| v));
+            assert!(
+                targets.iter().any(|t| t.is_disjoint_from(&ev_scope)),
+                "every evidence context needs a disjoint target in the pool"
+            );
+        }
+        SessionStream {
+            primary,
+            secondary,
+            targets,
+            length,
+            schedule,
+            rng: StdRng::seed_from_u64(seed),
+            next_session: 0,
+        }
+    }
+
+    /// Index of the next session the stream will draw.
+    pub fn position(&self) -> usize {
+        self.next_session
+    }
+
+    /// λ the next session's context will be drawn with.
+    pub fn current_lambda(&self) -> f64 {
+        self.schedule.lambda_at(self.next_session)
+    }
+}
+
+impl Iterator for SessionStream<'_> {
+    type Item = Session;
+
+    fn next(&mut self) -> Option<Session> {
+        let lambda = self.schedule.lambda_at(self.next_session);
+        self.next_session += 1;
+        let pool = if self.rng.gen_range(0.0..1.0) < lambda {
+            self.primary
+        } else {
+            self.secondary
+        };
+        let evidence = pool[self.rng.gen_range(0..pool.len())].clone();
+        let ev_scope = Scope::from_iter(evidence.iter().map(|&(v, _)| v));
+        // rejection-sample disjoint targets; construction guaranteed at
+        // least one exists per context, so this terminates
+        let mut targets = Vec::with_capacity(self.length);
+        while targets.len() < self.length {
+            let t = &self.targets[self.rng.gen_range(0..self.targets.len())];
+            if t.is_disjoint_from(&ev_scope) {
+                targets.push(t.clone());
+            }
+        }
+        Some(Session { evidence, targets })
+    }
+}
+
+/// Draws the first `n` sessions of a [`SessionStream`].
+pub fn session_queries(
+    primary: &[Vec<(Var, u32)>],
+    secondary: &[Vec<(Var, u32)>],
+    targets: &[Scope],
+    length: usize,
+    schedule: &DriftSchedule,
+    n: usize,
+    seed: u64,
+) -> Vec<Session> {
+    SessionStream::new(primary, secondary, targets, length, schedule.clone(), seed)
+        .take(n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peanut_pgm::fixtures;
+
+    fn target_pool() -> Vec<Scope> {
+        (0..6u32)
+            .map(|i| Scope::from_indices(&[i, i + 1]))
+            .collect()
+    }
+
+    #[test]
+    fn contexts_are_deterministic_distinct_vars_in_range() {
+        let bn = fixtures::chain(12, 3, 5);
+        let d = bn.domain();
+        let a = evidence_contexts(d, 8, 3, 7);
+        let b = evidence_contexts(d, 8, 3, 7);
+        assert_eq!(a, b);
+        for ctx in &a {
+            assert_eq!(ctx.len(), 3);
+            let scope = Scope::from_iter(ctx.iter().map(|&(v, _)| v));
+            assert_eq!(scope.len(), 3, "pinned variables must be distinct");
+            for &(v, val) in ctx {
+                assert!(val < d.card(v));
+            }
+            assert!(ctx.windows(2).all(|w| w[0] <= w[1]), "sorted by variable");
+        }
+    }
+
+    #[test]
+    fn sessions_pin_one_context_and_disjoint_targets() {
+        let bn = fixtures::chain(12, 3, 5);
+        let d = bn.domain();
+        let primary = evidence_contexts(d, 4, 2, 1);
+        let secondary = evidence_contexts(d, 4, 2, 2);
+        let pool = target_pool();
+        let sessions = session_queries(
+            &primary,
+            &secondary,
+            &pool,
+            5,
+            &DriftSchedule::Constant(1.0),
+            10,
+            42,
+        );
+        assert_eq!(sessions.len(), 10);
+        for s in &sessions {
+            assert!(primary.contains(&s.evidence), "λ=1 draws primary contexts");
+            assert_eq!(s.targets.len(), 5);
+            let ev_scope = Scope::from_iter(s.evidence.iter().map(|&(v, _)| v));
+            for t in &s.targets {
+                assert!(t.is_disjoint_from(&ev_scope));
+            }
+            let reqs = s.requests();
+            assert_eq!(reqs.len(), 5);
+            assert!(reqs.iter().all(|r| r.evidence == s.evidence));
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_drift_schedulable() {
+        let bn = fixtures::chain(12, 3, 5);
+        let d = bn.domain();
+        let primary = evidence_contexts(d, 3, 2, 1);
+        let secondary = evidence_contexts(d, 3, 2, 99);
+        let pool = target_pool();
+        let schedule = DriftSchedule::Step {
+            before: 1.0,
+            after: 0.0,
+            at: 20,
+        };
+        let a = session_queries(&primary, &secondary, &pool, 3, &schedule, 40, 5);
+        let b = session_queries(&primary, &secondary, &pool, 3, &schedule, 40, 5);
+        assert_eq!(a, b);
+        assert!(a[..20].iter().all(|s| primary.contains(&s.evidence)));
+        assert!(a[20..].iter().all(|s| secondary.contains(&s.evidence)));
+        let mut stream = SessionStream::new(&primary, &secondary, &pool, 3, schedule.clone(), 5);
+        assert_eq!(stream.position(), 0);
+        assert!((stream.current_lambda() - 1.0).abs() < 1e-12);
+        let first: Vec<Session> = stream.by_ref().take(15).collect();
+        assert_eq!(stream.position(), 15);
+        let rest: Vec<Session> = stream.take(25).collect();
+        assert_eq!(a[..15], first[..]);
+        assert_eq!(a[15..], rest[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint target")]
+    fn overlapping_pools_fail_at_construction() {
+        let bn = fixtures::chain(3, 2, 5);
+        let d = bn.domain();
+        let ctx = evidence_contexts(d, 1, 3, 0); // pins the whole domain
+        let pool = vec![Scope::from_indices(&[0])];
+        SessionStream::new(&ctx, &ctx, &pool, 2, DriftSchedule::Constant(0.5), 0);
+    }
+}

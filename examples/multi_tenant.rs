@@ -19,7 +19,7 @@ use peanut::junction::{build_junction_tree, QueryEngine};
 use peanut::materialize::Materialization;
 use peanut::pgm::{fixtures, Scope};
 use peanut::serving::{
-    replay_mixed, FleetConfig, FleetController, Query, ReplayConfig, ShardConfig,
+    replay_mixed, FleetConfig, FleetController, ReplayConfig, ServeRequest, ShardConfig,
     ShardedServingEngine, TenantId,
 };
 use peanut::workload::{tenant_queries, zipf_weights, TenantTraffic};
@@ -64,10 +64,7 @@ fn main() {
 
     let mut ctl = FleetController::new(
         &sharded,
-        FleetConfig {
-            min_window: 600,
-            ..FleetConfig::new(GLOBAL_BUDGET)
-        },
+        FleetConfig::new(GLOBAL_BUDGET).with_min_window(600),
     );
 
     let serve_window = |weights: &[f64], seed: u64| {
@@ -76,9 +73,9 @@ fn main() {
             .zip(weights)
             .map(|(p, &w)| TenantTraffic::steady(w, p.clone()))
             .collect();
-        let arrivals: Vec<(TenantId, Query)> = tenant_queries(&tenants, WINDOW, seed)
+        let arrivals: Vec<(TenantId, ServeRequest)> = tenant_queries(&tenants, WINDOW, seed)
             .into_iter()
-            .map(|(t, q)| (TenantId(t as u32), Query::Marginal(q)))
+            .map(|(t, q)| (TenantId(t as u32), ServeRequest::marginal(q)))
             .collect();
         let report = replay_mixed(&sharded, &arrivals, &ReplayConfig { batch_size: 100 });
         assert_eq!(report.errors, 0, "fleet serving must stay clean");

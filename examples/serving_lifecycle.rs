@@ -18,7 +18,7 @@ use peanut::junction::{build_junction_tree, QueryEngine};
 use peanut::materialize::{OfflineContext, Peanut, PeanutConfig, Workload};
 use peanut::pgm::{fixtures, Scope};
 use peanut::serving::{
-    LifecycleConfig, Query, RematerializationController, ServingConfig, ServingEngine,
+    LifecycleConfig, RematerializationController, ServeRequest, ServingConfig, ServingEngine,
 };
 use peanut::workload::{DriftSchedule, DriftStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,10 +67,7 @@ fn main() {
     let mut ctl = RematerializationController::new(
         &serving,
         &train_w,
-        LifecycleConfig {
-            min_window: 400,
-            ..LifecycleConfig::new(BUDGET)
-        },
+        LifecycleConfig::new(BUDGET).with_min_window(400),
     );
     println!(
         "reference savings of epoch 0 on its training distribution: {:.1}%\n",
@@ -83,9 +80,9 @@ fn main() {
         to: 0.0,
         over: N_QUERIES / 2,
     };
-    let stream: Vec<Query> = DriftStream::new(&region_a, &region_b, schedule, 7)
+    let stream: Vec<ServeRequest> = DriftStream::new(&region_a, &region_b, schedule, 7)
         .take(N_QUERIES)
-        .map(Query::Marginal)
+        .map(ServeRequest::marginal)
         .collect();
 
     println!("  batch  lambda  epoch  window-savings  errors");
@@ -99,7 +96,7 @@ fn main() {
         });
         for (b, batch) in stream.chunks(BATCH).enumerate() {
             let (answers, stats) = serving.serve_batch(batch);
-            let errors = answers.iter().filter(|a| a.is_err()).count();
+            let errors = answers.iter().filter(|a| !a.is_served()).count();
             assert_eq!(errors, 0, "serving must stay clean across swaps");
             if b % 5 == 0 {
                 let lambda = 1.0 - ((b * BATCH) as f64 / (N_QUERIES / 2) as f64).min(1.0);
@@ -143,7 +140,11 @@ fn main() {
     );
     // replay the drifted region once more against the final epoch: this is
     // what steady-state traffic looks like after the lifecycle converged
-    let tail: Vec<Query> = region_b.iter().cloned().map(Query::Marginal).collect();
+    let tail: Vec<ServeRequest> = region_b
+        .iter()
+        .cloned()
+        .map(ServeRequest::marginal)
+        .collect();
     serving.reset_stats();
     serving.serve_batch(&tail);
     let snap = serving.stats().snapshot();

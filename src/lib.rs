@@ -21,7 +21,7 @@
 //! use peanut::junction::{build_junction_tree, QueryEngine};
 //! use peanut::materialize::{OfflineContext, Peanut, PeanutConfig, Workload};
 //! use peanut::pgm::{fixtures, Scope};
-//! use peanut::serving::{Query, ServingConfig, ServingEngine};
+//! use peanut::serving::{ServeRequest, ServingConfig, ServingEngine};
 //!
 //! let bn = fixtures::sprinkler();
 //! let tree = build_junction_tree(&bn).unwrap();
@@ -39,8 +39,8 @@
 //! .unwrap();
 //!
 //! let serving = ServingEngine::new(engine, mat, ServingConfig::default());
-//! let (answers, _stats) = serving.serve_batch(&[Query::Marginal(train)]);
-//! assert!(answers[0].is_ok());
+//! let (answers, _stats) = serving.serve_batch(&[ServeRequest::marginal(train)]);
+//! assert!(answers[0].is_served());
 //! ```
 
 pub use peanut_core as materialize;
